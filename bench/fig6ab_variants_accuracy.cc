@@ -1,0 +1,40 @@
+// Fig. 6(a)(b): F-measure of DMatch vs its restricted variants (DMatch_C:
+// collective only; DMatch_D: deep only) and the distributed single-pass
+// baselines on TPCH and TFACC at Dup = 0.5. Paper shape: DMatch clearly on
+// top (0.92 / 0.86+); the variants each lose 20-35% relative; baselines in
+// between or below.
+
+#include "bench/bench_util.h"
+#include "datagen/tfacc_lite.h"
+#include "datagen/tpch_lite.h"
+
+using namespace dcer;
+
+int main(int argc, char** argv) {
+  double scale = bench::ArgD(argc, argv, "scale", 2.0);
+  int workers = bench::ArgI(argc, argv, "workers", 16);
+
+  TpchOptions topt;
+  topt.scale = scale;
+  topt.dup_rate = 0.5;
+  auto tpch = MakeTpch(topt);
+  TfaccOptions fopt;
+  fopt.scale = scale;
+  fopt.dup_rate = 0.5;
+  auto tfacc = MakeTfacc(fopt);
+
+  bench::PrintHeader("Fig 6(a)(b): F of DMatch vs variants/baselines, Dup=0.5");
+  TablePrinter table({"method", "TPCH F", "TFACC F"});
+  for (Method m : {Method::kDMatch, Method::kDMatchC, Method::kDMatchD,
+                   Method::kBlocking, Method::kDistDedup,
+                   Method::kMetaBlocking}) {
+    table.AddRow({MethodName(m),
+                  FmtF(RunMethod(m, *tpch, workers).accuracy.f1),
+                  FmtF(RunMethod(m, *tfacc, workers).accuracy.f1)});
+  }
+  table.Print();
+  std::printf("(paper: DMatch 0.92 on TPCH, 33%% over DMatch_C and 23%% over"
+              " DMatch_D; note all TFACC rules have <= 4 variables, so"
+              " DMatch_D == DMatch there)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 6(e)(f): runtime vs the average number of predicates per rule |φ|
+// (TPCH: 2..10; TFACC: 4..8), DMatch vs DMatch_noMQO, n = 16 workers,
+// ‖Σ‖ = 10 rules. Paper shape: both grow with |φ|; MQO's shared
+// intermediate results win more as rules get bigger (35.9% average gap).
+
+#include "bench/bench_util.h"
+#include "datagen/rulesets.h"
+#include "datagen/tfacc_lite.h"
+#include "datagen/tpch_lite.h"
+
+using namespace dcer;
+
+namespace {
+
+// Best-of-3 simulated ER time: single runs on a shared host are noisy at
+// the ms scale; the minimum is the standard robust estimator.
+double BestOf3(dcer::GenDataset& gd, const dcer::RuleSet& rules, int workers,
+               bool use_mqo) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    dcer::MatchContext ctx(gd.dataset);
+    dcer::DMatchReport r =
+        dcer::bench::TimedDMatch(gd, rules, workers, use_mqo, &ctx);
+    if (rep == 0 || r.simulated_seconds < best) best = r.simulated_seconds;
+  }
+  return best;
+}
+
+void Sweep(const char* name, GenDataset& gd,
+           RuleSet (*make_rules)(const GenDataset&, size_t, size_t),
+           const std::vector<size_t>& pred_counts, int workers) {
+  TablePrinter table({"|phi|", "DMatch", "DMatch_noMQO", "MQO saving"});
+  for (size_t preds : pred_counts) {
+    RuleSet rules = make_rules(gd, 10, preds);
+    // ER time only, per the paper's protocol (partitioning: see exp2).
+    double t1 = BestOf3(gd, rules, workers, true);
+    double t2 = BestOf3(gd, rules, workers, false);
+    table.AddRow({std::to_string(preds), FmtSecs(t1), FmtSecs(t2),
+                  StringPrintf("%.0f%%", (1.0 - t1 / t2) * 100)});
+  }
+  std::printf("-- %s (||Sigma||=10) --\n", name);
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::ArgD(argc, argv, "scale", 3.0);
+  int workers = bench::ArgI(argc, argv, "workers", 16);
+  bench::PrintHeader("Fig 6(e)(f): time vs avg predicates per rule");
+
+  TpchOptions topt;
+  topt.scale = scale;
+  auto tpch = MakeTpch(topt);
+  Sweep("TPCH", *tpch, MakeTpchSweepRules, {2, 4, 6, 8, 10}, workers);
+
+  TfaccOptions fopt;
+  fopt.scale = scale;
+  auto tfacc = MakeTfacc(fopt);
+  Sweep("TFACC", *tfacc, MakeTfaccSweepRules, {4, 6, 8}, workers);
+
+  std::printf("(paper: time grows with |phi|; DMatch beats noMQO by 35.9%%"
+              " on average)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 6(i)(j): parallel scalability — runtime as the number of workers n
+// varies 4..32 (TPCH with ‖Σ‖ = 75 sweep rules; TFACC with ‖Σ‖ = 30).
+// Reported time is the BSP simulated parallel time (per-superstep max over
+// workers, modelling n dedicated machines; the bench host has fewer cores).
+// Paper shape: DMatch ~3.56x faster from n=4 to n=32 (noMQO ~4.03x).
+
+#include "bench/bench_util.h"
+#include "datagen/rulesets.h"
+#include "datagen/tfacc_lite.h"
+#include "datagen/tpch_lite.h"
+
+using namespace dcer;
+
+namespace {
+
+// Best-of-3 simulated ER time: single runs on a shared host are noisy at
+// the ms scale; the minimum is the standard robust estimator.
+double BestOf3(dcer::GenDataset& gd, const dcer::RuleSet& rules, int workers,
+               bool use_mqo) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    dcer::MatchContext ctx(gd.dataset);
+    dcer::DMatchReport r =
+        dcer::bench::TimedDMatch(gd, rules, workers, use_mqo, &ctx);
+    if (rep == 0 || r.simulated_seconds < best) best = r.simulated_seconds;
+  }
+  return best;
+}
+
+void Sweep(const char* name, GenDataset& gd, const RuleSet& rules,
+           const std::vector<int>& worker_counts) {
+  TablePrinter table({"n", "DMatch", "speedup", "DMatch_noMQO", "speedup"});
+  double base_with = 0;
+  double base_without = 0;
+  for (int n : worker_counts) {
+    // ER time only, per the paper's protocol (partitioning: see exp2).
+    double t1 = BestOf3(gd, rules, n, true);
+    double t2 = BestOf3(gd, rules, n, false);
+    if (base_with == 0) {
+      base_with = t1;
+      base_without = t2;
+    }
+    table.AddRow({std::to_string(n), FmtSecs(t1),
+                  StringPrintf("%.2fx", base_with / t1), FmtSecs(t2),
+                  StringPrintf("%.2fx", base_without / t2)});
+  }
+  std::printf("-- %s --\n", name);
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::ArgD(argc, argv, "scale", 3.0);
+  bench::PrintHeader("Fig 6(i)(j): time vs number of workers");
+
+  TpchOptions topt;
+  topt.scale = scale;
+  auto tpch = MakeTpch(topt);
+  RuleSet tpch_rules = MakeTpchSweepRules(*tpch, 75, 6);
+  Sweep("TPCH (||Sigma||=75)", *tpch, tpch_rules, {4, 8, 16, 32});
+
+  TfaccOptions fopt;
+  fopt.scale = scale;
+  auto tfacc = MakeTfacc(fopt);
+  RuleSet tfacc_rules = MakeTfaccSweepRules(*tfacc, 30, 6);
+  Sweep("TFACC (||Sigma||=30)", *tfacc, tfacc_rules, {4, 8, 16, 32});
+
+  std::printf("(paper: DMatch 3.56x faster at n=32 vs n=4; parallel"
+              " scalability, Thm. 7)\n");
+  return 0;
+}

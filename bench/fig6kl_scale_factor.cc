@@ -1,0 +1,48 @@
+// Fig. 6(k)(l): runtime vs dataset scale factor (0.05..1.0 of the bench's
+// base size), n = 16 workers, DMatch vs DMatch_noMQO. Paper shape: time
+// grows with data size; MQO's advantage persists at every scale.
+
+#include "bench/bench_util.h"
+#include "datagen/tfacc_lite.h"
+#include "datagen/tpch_lite.h"
+
+using namespace dcer;
+
+int main(int argc, char** argv) {
+  double base = bench::ArgD(argc, argv, "base", 8.0);
+  int workers = bench::ArgI(argc, argv, "workers", 16);
+  bench::PrintHeader("Fig 6(k)(l): time vs scale factor");
+
+  for (int which = 0; which < 2; ++which) {
+    TablePrinter table(
+        {"sf", "tuples", "DMatch", "DMatch_noMQO", "supersteps"});
+    for (double sf : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+      std::unique_ptr<GenDataset> gd;
+      if (which == 0) {
+        TpchOptions o;
+        o.scale = base * sf;
+        gd = MakeTpch(o);
+      } else {
+        TfaccOptions o;
+        o.scale = base * sf;
+        gd = MakeTfacc(o);
+      }
+      MatchContext c1(gd->dataset);
+      DMatchReport with = bench::TimedDMatch(*gd, gd->rules, workers, true,
+                                             &c1);
+      MatchContext c2(gd->dataset);
+      DMatchReport without =
+          bench::TimedDMatch(*gd, gd->rules, workers, false, &c2);
+      // ER time only, per the paper's protocol (partitioning: see exp2).
+      table.AddRow({FmtF(sf), FmtCount(gd->dataset.num_tuples()),
+                    FmtSecs(with.simulated_seconds),
+                    FmtSecs(without.simulated_seconds),
+                    std::to_string(with.supersteps)});
+    }
+    std::printf("-- %s --\n", which == 0 ? "TPCH" : "TFACC");
+    table.Print();
+  }
+  std::printf("(paper: 505s at sf=1 on 30M-tuple TPCH with MQO vs 607s"
+              " without; shape: monotone growth, MQO consistently ahead)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the core data structures: the
+// union-find behind E_id, text embeddings, inverted-index construction,
+// rule-join enumeration, and Hypercube distribution.
+
+#include <benchmark/benchmark.h>
+
+#include "chase/join.h"
+#include "common/rng.h"
+#include "common/union_find.h"
+#include "datagen/ecommerce.h"
+#include "ml/embedding.h"
+#include "partition/hypercube.h"
+
+namespace dcer {
+namespace {
+
+void BM_UnionFind(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::pair<uint32_t, uint32_t>> ops(n);
+  for (auto& [a, b] : ops) {
+    a = static_cast<uint32_t>(rng.Uniform(n));
+    b = static_cast<uint32_t>(rng.Uniform(n));
+  }
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (auto [a, b] : ops) uf.Union(a, b);
+    benchmark::DoNotOptimize(uf.Find(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EmbedText(benchmark::State& state) {
+  std::string text =
+      "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbedText(text));
+  }
+}
+BENCHMARK(BM_EmbedText);
+
+void BM_Cosine(benchmark::State& state) {
+  Embedding a = EmbedText("ThinkPad X1 Carbon 7th Gen");
+  Embedding b = EmbedText("ThinkPad X1 Carbon 14 inch");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Cosine(a, b));
+  }
+}
+BENCHMARK(BM_Cosine);
+
+void BM_IndexBuildAndLookup(benchmark::State& state) {
+  EcommerceOptions options;
+  options.num_customers = static_cast<size_t>(state.range(0));
+  auto gd = MakeEcommerce(options);
+  DatasetView view = DatasetView::Full(gd->dataset);
+  for (auto _ : state) {
+    DatasetIndex index(&view);
+    const Value probe = gd->dataset.relation(0).at(0, 2);
+    benchmark::DoNotOptimize(index.Lookup(0, 2, probe));
+  }
+}
+BENCHMARK(BM_IndexBuildAndLookup)->Arg(200)->Arg(1000);
+
+void BM_RuleJoinEnumerate(benchmark::State& state) {
+  EcommerceOptions options;
+  options.num_customers = static_cast<size_t>(state.range(0));
+  auto gd = MakeEcommerce(options);
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  DatasetIndex index(&view);
+  // phi1: the 2-variable equality-join rule.
+  RuleJoiner joiner(&index, &gd->rules.rule(0), &gd->registry, &ctx);
+  for (auto _ : state) {
+    size_t count = 0;
+    joiner.Enumerate([&](const std::vector<uint32_t>&,
+                         const std::vector<int>&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RuleJoinEnumerate)->Arg(200)->Arg(1000);
+
+void BM_HypercubeDistribute(benchmark::State& state) {
+  EcommerceOptions options;
+  options.num_customers = 500;
+  auto gd = MakeEcommerce(options);
+  MqoPlan plan = AssignHash(gd->rules, true);
+  HypercubeGrid grid = HypercubeGrid::Build(
+      gd->dataset, gd->rules.rule(0), plan.rules[0],
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    HashEvaluator hasher;
+    std::vector<std::vector<Gid>> cells(grid.num_cells);
+    benchmark::DoNotOptimize(DistributeRule(
+        gd->dataset, gd->rules.rule(0), plan.rules[0], grid, &hasher,
+        &cells));
+  }
+}
+BENCHMARK(BM_HypercubeDistribute)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace dcer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table V: F-measure and runtime of DMatch vs the baseline categories on
+// the four labeled datasets (IMDB, ACM-DBLP, Movie, Songs analogues).
+// The paper's 8 named baselines map to our 6 category re-implementations
+// (DESIGN.md §4); the reproduction target is the shape: DMatch at or near
+// the top on every dataset, each baseline collapsing somewhere.
+
+#include "bench/bench_util.h"
+#include "datagen/magellan.h"
+
+using namespace dcer;
+
+int main(int argc, char** argv) {
+  MagellanOptions options;
+  options.num_entities =
+      static_cast<size_t>(bench::ArgD(argc, argv, "entities", 800));
+  int workers = bench::ArgI(argc, argv, "workers", 16);
+
+  bench::PrintHeader("Table V: accuracy (F) and time on labeled datasets");
+  std::vector<std::unique_ptr<GenDataset>> datasets;
+  datasets.push_back(MakeImdb(options));
+  datasets.push_back(MakeAcmDblp(options));
+  datasets.push_back(MakeMovie(options));
+  datasets.push_back(MakeSongs(options));
+
+  const Method methods[] = {
+      Method::kMlMatcher, Method::kMetaBlocking, Method::kHybrid,
+      Method::kBlocking,  Method::kWindowing,    Method::kDistDedup,
+      Method::kDMatch,
+  };
+
+  std::vector<std::string> headers = {"method"};
+  for (const auto& gd : datasets) {
+    headers.push_back(gd->name + " F");
+    headers.push_back(gd->name + " T");
+  }
+  TablePrinter table(headers);
+  for (Method m : methods) {
+    std::vector<std::string> row = {MethodName(m)};
+    for (const auto& gd : datasets) {
+      RunResult r = RunMethod(m, *gd, workers);
+      row.push_back(FmtF(r.accuracy.f1));
+      row.push_back(FmtSecs(r.seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(paper Table V shape: DMatch F in 0.96-0.99 on every dataset;"
+              " every baseline has at least one dataset where it collapses)\n");
+  return 0;
+}

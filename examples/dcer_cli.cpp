@@ -1,0 +1,193 @@
+// dcer_cli — run deep and collective ER on your own CSV files.
+//
+// Usage:
+//   dcer_cli <config-file> [--workers=N] [--out=matches.csv] [--explain]
+//
+// The config file declares relations (schema + CSV path), ML classifiers,
+// and MRLs in the rule DSL:
+//
+//   relation Customers cno:string name:string phone:string addr:string
+//   load Customers customers.csv
+//   classifier M1 cosine 0.8
+//   classifier M2 edit 0.6
+//   rule phi1: Customers(t) ^ Customers(s) ^ t.phone = s.phone ^
+//        M2(t.name, s.name) -> t.id = s.id
+//
+// Classifier kinds: cosine (char-n-gram embedding), edit, jaccard,
+// numeric <tolerance>. Rules may span lines until "-> ... id = ... id".
+// Output: one "relation,row_a,row_b" line per deduced match.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chase/match.h"
+#include "common/string_util.h"
+#include "parallel/dmatch.h"
+#include "relational/csv.h"
+#include "rules/parser.h"
+
+using namespace dcer;
+
+namespace {
+
+ValueType ParseType(const std::string& t) {
+  if (t == "int") return ValueType::kInt;
+  if (t == "double") return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "dcer_cli: %s\n", msg.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: dcer_cli <config> [--workers=N] [--out=FILE] "
+                "[--explain]");
+  }
+  int workers = 1;
+  std::string out_path;
+  bool explain = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    }
+  }
+
+  std::ifstream config(argv[1]);
+  if (!config) return Fail(std::string("cannot open ") + argv[1]);
+
+  Dataset dataset;
+  MlRegistry registry;
+  std::vector<std::string> rule_lines;
+  std::string line;
+  std::string pending_rule;
+  int line_no = 0;
+  while (std::getline(config, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tokens = SplitWhitespace(trimmed);
+
+    if (!pending_rule.empty() || tokens[0] == "rule") {
+      // Rules may continue across lines until the consequence appears.
+      std::string body(trimmed);
+      if (tokens[0] == "rule") body = body.substr(4);
+      pending_rule += " " + body;
+      if (pending_rule.find("->") != std::string::npos) {
+        rule_lines.push_back(pending_rule);
+        pending_rule.clear();
+      }
+      continue;
+    }
+    if (tokens[0] == "relation") {
+      if (tokens.size() < 3) return Fail("relation needs a name and columns");
+      std::vector<Attribute> attrs;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        auto parts = Split(tokens[i], ':');
+        attrs.push_back({parts[0], ParseType(parts.size() > 1 ? parts[1]
+                                                              : "string")});
+      }
+      dataset.AddRelation(Schema(tokens[1], std::move(attrs)));
+    } else if (tokens[0] == "load") {
+      if (tokens.size() != 3) return Fail("load <relation> <csv>");
+      int rel = dataset.RelationIndex(tokens[1]);
+      if (rel < 0) return Fail("unknown relation " + tokens[1]);
+      Status st = LoadCsv(tokens[2], &dataset, static_cast<size_t>(rel));
+      if (!st.ok()) return Fail(st.ToString());
+    } else if (tokens[0] == "classifier") {
+      if (tokens.size() < 4) {
+        return Fail("classifier <name> <kind> <threshold> [tolerance]");
+      }
+      double threshold = std::atof(tokens[3].c_str());
+      std::unique_ptr<MlClassifier> m;
+      if (tokens[2] == "cosine") {
+        m = std::make_unique<EmbeddingCosineClassifier>(tokens[1], threshold);
+      } else if (tokens[2] == "edit") {
+        m = std::make_unique<EditSimilarityClassifier>(tokens[1], threshold);
+      } else if (tokens[2] == "jaccard") {
+        m = std::make_unique<TokenJaccardClassifier>(tokens[1], threshold);
+      } else if (tokens[2] == "numeric") {
+        double tol = tokens.size() > 4 ? std::atof(tokens[4].c_str()) : 0.05;
+        m = std::make_unique<NumericToleranceClassifier>(tokens[1], tol,
+                                                         threshold);
+      } else {
+        return Fail("unknown classifier kind " + tokens[2]);
+      }
+      registry.Register(std::move(m));
+    } else {
+      return Fail(StringPrintf("line %d: unknown directive '%s'", line_no,
+                               tokens[0].c_str()));
+    }
+  }
+  if (!pending_rule.empty()) return Fail("unterminated rule (missing '->')");
+
+  RuleSet rules;
+  for (const std::string& text : rule_lines) {
+    Rule rule;
+    Status st = ParseRule(text, dataset, registry, &rule);
+    if (!st.ok()) return Fail(st.ToString());
+    rules.Add(std::move(rule));
+  }
+  if (rules.empty()) return Fail("no rules defined");
+
+  std::fprintf(stderr, "dcer_cli: %s, %zu rules, %d worker(s)\n",
+               dataset.ToString().c_str(), rules.size(), workers);
+
+  MatchContext ctx(dataset);
+  if (workers <= 1) {
+    MatchOptions options;
+    options.enable_provenance = explain;
+    MatchReport report =
+        Match(DatasetView::Full(dataset), rules, registry, options, &ctx);
+    std::fprintf(stderr, "dcer_cli: %llu matches in %.2fs (%llu valuations)\n",
+                 static_cast<unsigned long long>(report.matched_pairs),
+                 report.seconds,
+                 static_cast<unsigned long long>(report.chase.valuations));
+  } else {
+    DMatchOptions options;
+    options.num_workers = workers;
+    DMatchReport report = DMatch(dataset, rules, registry, options, &ctx);
+    std::fprintf(stderr,
+                 "dcer_cli: %llu matches, %d supersteps, %llu messages\n",
+                 static_cast<unsigned long long>(report.matched_pairs),
+                 report.supersteps,
+                 static_cast<unsigned long long>(report.messages));
+  }
+
+  std::ostringstream body;
+  body << "relation,row_a,row_b\n";
+  for (auto [a, b] : ctx.MatchedPairs()) {
+    TupleLoc la = dataset.loc(a);
+    TupleLoc lb = dataset.loc(b);
+    if (la.relation == lb.relation) {
+      body << dataset.relation(la.relation).schema().name() << "," << la.row
+           << "," << lb.row << "\n";
+    } else {
+      body << dataset.relation(la.relation).schema().name() << ":" << la.row
+           << "," << dataset.relation(lb.relation).schema().name() << ":"
+           << lb.row << ",\n";
+    }
+    if (explain && ctx.provenance() != nullptr) {
+      std::fprintf(stderr, "%s",
+                   ctx.provenance()->Explain(dataset, rules, a, b).c_str());
+    }
+  }
+  if (out_path.empty()) {
+    std::fputs(body.str().c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << body.str();
+    std::fprintf(stderr, "dcer_cli: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fraud detection on a generated e-commerce dataset (the paper's motivating
+// use case): run parallel deep+collective ER with DMatch, then use the
+// deduced customer/shop/product matches to flag mutual-purchase rings —
+// pairs of shops that buy the same (matched) product from each other
+// through customer accounts that ER reveals to be the same person.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "datagen/ecommerce.h"
+#include "eval/table_printer.h"
+#include "parallel/dmatch.h"
+
+using namespace dcer;
+
+int main(int argc, char** argv) {
+  EcommerceOptions options;
+  options.num_customers = argc > 1 ? static_cast<size_t>(std::atoi(argv[1]))
+                                   : 400;
+  auto gd = MakeEcommerce(options);
+  std::printf("Dataset: %s\n", gd->dataset.ToString().c_str());
+
+  DMatchOptions dopt;
+  dopt.num_workers = 4;
+  MatchContext ctx(gd->dataset);
+  DMatchReport report = DMatch(gd->dataset, gd->rules, gd->registry, dopt,
+                               &ctx);
+  PrecisionRecall pr = gd->truth.Evaluate(ctx.MatchedPairs());
+  std::printf("DMatch: %d supersteps, %llu messages, F-measure %.3f "
+              "(P %.3f / R %.3f)\n\n",
+              report.supersteps,
+              static_cast<unsigned long long>(report.messages), pr.f1,
+              pr.precision, pr.recall);
+
+  // Index the relations we need.
+  const Dataset& d = gd->dataset;
+  size_t customers = d.RelationIndexOrDie("Customers");
+  size_t shops = d.RelationIndexOrDie("Shops");
+  size_t orders = d.RelationIndexOrDie("Orders");
+  int cno_attr = d.relation(customers).schema().AttrIndex("cno");
+  int owner_attr = d.relation(shops).schema().AttrIndex("owner");
+  int sno_attr = d.relation(shops).schema().AttrIndex("sno");
+
+  // cno -> customer gid; sno -> shop gid; owner chains.
+  std::map<std::string, Gid> by_cno;
+  const Relation& cust = d.relation(customers);
+  for (size_t r = 0; r < cust.num_rows(); ++r) {
+    by_cno[cust.at(r, cno_attr).AsString()] = cust.gid(r);
+  }
+  std::map<std::string, Gid> by_sno;
+  std::map<Gid, Gid> shop_owner;  // shop gid -> owner customer gid
+  const Relation& shop = d.relation(shops);
+  for (size_t r = 0; r < shop.num_rows(); ++r) {
+    by_sno[shop.at(r, sno_attr).AsString()] = shop.gid(r);
+    auto it = by_cno.find(shop.at(r, owner_attr).AsString());
+    if (it != by_cno.end()) shop_owner[shop.gid(r)] = it->second;
+  }
+
+  // A ring: order o1 = (buyer b1, seller s1) and o2 = (buyer b2, seller s2)
+  // where b1 is (matched with) the owner of s2 and b2 with the owner of s1
+  // — the two shops buy from each other. ER supplies the identity closure.
+  const Relation& ord = d.relation(orders);
+  int buyer_attr = ord.schema().AttrIndex("buyer");
+  int seller_attr = ord.schema().AttrIndex("seller");
+  struct Purchase {
+    Gid buyer;
+    Gid seller_shop;
+  };
+  std::vector<Purchase> purchases;
+  for (size_t r = 0; r < ord.num_rows(); ++r) {
+    auto bi = by_cno.find(ord.at(r, buyer_attr).AsString());
+    auto si = by_sno.find(ord.at(r, seller_attr).AsString());
+    if (bi != by_cno.end() && si != by_sno.end()) {
+      purchases.push_back({bi->second, si->second});
+    }
+  }
+  std::set<std::pair<Gid, Gid>> rings;
+  for (const Purchase& p : purchases) {
+    for (const Purchase& q : purchases) {
+      auto o1 = shop_owner.find(q.seller_shop);
+      auto o2 = shop_owner.find(p.seller_shop);
+      if (o1 == shop_owner.end() || o2 == shop_owner.end()) continue;
+      if (p.seller_shop == q.seller_shop) continue;
+      // p's buyer owns (is matched with the owner of) q's shop & vice versa.
+      if (ctx.Matched(p.buyer, o1->second) &&
+          ctx.Matched(q.buyer, o2->second)) {
+        Gid a = std::min(p.seller_shop, q.seller_shop);
+        Gid b = std::max(p.seller_shop, q.seller_shop);
+        rings.insert({a, b});
+      }
+    }
+  }
+  std::printf("Mutual-purchase rings flagged: %zu\n", rings.size());
+  size_t shown = 0;
+  for (auto [a, b] : rings) {
+    if (++shown > 5) break;
+    TupleLoc la = d.loc(a);
+    TupleLoc lb = d.loc(b);
+    std::printf("  shops %s <-> %s\n",
+                d.relation(la.relation).at(la.row, 1).ToString().c_str(),
+                d.relation(lb.relation).at(lb.row, 1).ToString().c_str());
+  }
+  std::printf("\nWithout the deep/collective matches, the ring detector sees"
+              " the accounts as unrelated buyers.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds the e-commerce dataset of Example 1 (Tables I-IV), the MRLs of
+// Example 2 (φ1..φ5, plus the φ6 gap-filler documented in
+// datagen/paper_example.cc), chases it with the sequential Match, and prints
+// the deduced matches of Example 3 together with the derivation of the
+// "fraud" match (t1 ~ t2) — including the recursive steps through products
+// and shops.
+
+#include <cstdio>
+
+#include "chase/match.h"
+#include "datagen/paper_example.h"
+
+using namespace dcer;
+
+int main() {
+  auto ex = MakePaperExample();
+  std::printf("Dataset: %s\n", ex->dataset.ToString().c_str());
+  std::printf("\nRules (Example 2):\n%s\n",
+              ex->rules.ToString(ex->dataset).c_str());
+
+  // Chase to the fixpoint Γ with provenance recording.
+  DatasetView view = DatasetView::Full(ex->dataset);
+  MatchContext ctx(ex->dataset);
+  MatchOptions options;
+  options.enable_provenance = true;
+  MatchReport report = Match(view, ex->rules, ex->registry, options, &ctx);
+
+  std::printf("Chase done: %llu matches, %llu validated ML predictions, "
+              "%llu valuations inspected, %d rounds.\n\n",
+              static_cast<unsigned long long>(report.matched_pairs),
+              static_cast<unsigned long long>(report.validated_ml),
+              static_cast<unsigned long long>(report.chase.valuations),
+              report.rounds);
+
+  std::printf("Deduced matches (Example 3 expects {t1,t2,t3}, {t4,t5}, "
+              "{t9,t10}, {t12,t13}):\n");
+  for (auto [a, b] : ctx.MatchedPairs()) {
+    std::printf("  t%u.id = t%u.id\n", a + 1, b + 1);
+  }
+
+  std::printf("\nWhy is t1 the same customer as t2 (the fraud deduction)?\n");
+  std::printf("%s\n", ctx.provenance()
+                          ->Explain(ex->dataset, ex->rules, ex->t[1],
+                                    ex->t[2])
+                          .c_str());
+
+  std::printf("Conclusion: customer c1 owns shop s2 (via c1~c2), and shops "
+              "s2/s4 buy the same product from each other -> account "
+              "abuse.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// MRL discovery (Sec. VI "MRLs"): mine matching rules with embedded ML
+// predicates from labeled pairs of a songs dataset, print them, and compare
+// the mined rule set's accuracy against the hand-written rules.
+
+#include <cstdio>
+
+#include "chase/match.h"
+#include "datagen/magellan.h"
+#include "mining/miner.h"
+
+using namespace dcer;
+
+namespace {
+double F1(const GenDataset& gd, const RuleSet& rules) {
+  MatchContext ctx(gd.dataset);
+  Match(DatasetView::Full(gd.dataset), rules, gd.registry, {}, &ctx);
+  return gd.truth.Evaluate(ctx.MatchedPairs()).f1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  MagellanOptions options;
+  options.num_entities = argc > 1 ? static_cast<size_t>(std::atoi(argv[1]))
+                                  : 300;
+  auto gd = MakeSongs(options);
+  std::printf("Dataset: %s (%llu true duplicate pairs)\n",
+              gd->dataset.ToString().c_str(),
+              static_cast<unsigned long long>(gd->truth.NumTruePairs()));
+
+  // Labeled sample: positives + blocking-style hard negatives + randoms
+  // (approximates the full evidence set of DC discovery).
+  size_t songs = gd->dataset.RelationIndexOrDie("Songs");
+  auto labeled =
+      BuildDiscoverySample(gd->dataset, gd->truth, songs, -1, 2000, 7);
+  size_t pos = 0;
+  for (const auto& [_, label] : labeled) pos += label;
+  std::printf("Discovery sample: %zu pairs (%zu positive)\n\n",
+              labeled.size(), pos);
+
+  MinerOptions mopts;
+  mopts.max_predicates = 3;
+  mopts.min_confidence = 0.95;
+  mopts.min_support = 5;
+  RuleSet mined = MineRules(gd->dataset, gd->registry, songs, -1, labeled,
+                            mopts);
+  std::printf("Mined %zu minimal MRLs:\n%s\n", mined.size(),
+              mined.ToString(gd->dataset).c_str());
+
+  std::printf("F-measure of mined rules:        %.3f\n", F1(*gd, mined));
+  std::printf("F-measure of hand-written rules: %.3f\n", F1(*gd, gd->rules));
+  return 0;
+}

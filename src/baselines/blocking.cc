@@ -1,0 +1,26 @@
+#include "baselines/candidates.h"
+#include "baselines/matchers.h"
+#include "common/timer.h"
+
+namespace dcer {
+
+BaselineReport RunBlocking(const Dataset& dataset,
+                           const std::vector<RelationHint>& hints,
+                           const BaselineConfig& config, MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  for (const RelationHint& hint : hints) {
+    baselines_internal::ForEachBlockedPair(
+        dataset, hint, config.max_block, [&](Gid a, Gid b) {
+          ++report.comparisons;
+          if (TupleSimilarity(dataset, a, b, hint.compare_attrs) >=
+              config.threshold) {
+            if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
+          }
+        });
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dcer

@@ -1,0 +1,109 @@
+#ifndef DCER_BASELINES_CANDIDATES_H_
+#define DCER_BASELINES_CANDIDATES_H_
+
+// Internal candidate-generation helpers shared by the baseline matchers.
+
+#include <unordered_map>
+
+#include "baselines/pair_classifier.h"
+#include "common/string_util.h"
+
+namespace dcer::baselines_internal {
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+using BlockMap = std::unordered_map<Value, std::vector<Gid>, ValueHasher>;
+
+inline BlockMap BuildBlocks(const Dataset& d, size_t rel, size_t attr) {
+  BlockMap blocks;
+  const Relation& relation = d.relation(rel);
+  for (size_t row = 0; row < relation.num_rows(); ++row) {
+    const Value& v = relation.at(row, attr);
+    if (v.is_null()) continue;
+    blocks[v].push_back(relation.gid(row));
+  }
+  return blocks;
+}
+
+/// Exact-blocking candidate pairs for one hint: within-block pairs of the
+/// hint's relation, or cross pairs against pair_relation for two-source
+/// tasks. Oversized blocks are skipped (as deployed blockers do).
+template <typename F>
+void ForEachBlockedPair(const Dataset& d, const RelationHint& hint,
+                        size_t max_block, F&& cb) {
+  BlockMap left = BuildBlocks(d, hint.relation, hint.block_attr);
+  if (hint.pair_relation < 0) {
+    for (const auto& [_, gids] : left) {
+      if (gids.size() > max_block) continue;
+      for (size_t i = 0; i < gids.size(); ++i) {
+        for (size_t j = i + 1; j < gids.size(); ++j) cb(gids[i], gids[j]);
+      }
+    }
+    return;
+  }
+  BlockMap right = BuildBlocks(d, static_cast<size_t>(hint.pair_relation),
+                               hint.block_attr);
+  for (const auto& [value, lg] : left) {
+    auto it = right.find(value);
+    if (it == right.end()) continue;
+    if (lg.size() * it->second.size() > max_block * max_block) continue;
+    for (Gid a : lg) {
+      for (Gid b : it->second) cb(a, b);
+    }
+  }
+}
+
+/// Token blocking: lower-cased whitespace tokens of the compare attributes
+/// map tuples to blocks; pairs sharing tokens are candidates weighted by the
+/// number of shared blocks. cb(a, b, weight); same-relation pairs only
+/// (or cross pairs for two-source hints).
+template <typename F>
+void ForEachTokenPair(const Dataset& d, const RelationHint& hint,
+                      size_t max_block, F&& cb) {
+  std::unordered_map<std::string, std::vector<Gid>> token_blocks;
+  auto index_relation = [&](size_t rel) {
+    const Relation& relation = d.relation(rel);
+    for (size_t row = 0; row < relation.num_rows(); ++row) {
+      for (size_t attr : hint.compare_attrs) {
+        const Value& v = relation.at(row, attr);
+        if (v.is_null() || v.type() != ValueType::kString) continue;
+        for (const std::string& tok : SplitWhitespace(ToLower(v.AsString()))) {
+          if (tok.size() < 2) continue;
+          token_blocks[tok].push_back(relation.gid(row));
+        }
+      }
+    }
+  };
+  index_relation(hint.relation);
+  if (hint.pair_relation >= 0) {
+    index_relation(static_cast<size_t>(hint.pair_relation));
+  }
+
+  // Accumulate pair weights (#shared tokens).
+  std::unordered_map<uint64_t, std::pair<std::pair<Gid, Gid>, int>> weights;
+  for (const auto& [_, gids] : token_blocks) {
+    if (gids.size() > max_block) continue;
+    for (size_t i = 0; i < gids.size(); ++i) {
+      for (size_t j = i + 1; j < gids.size(); ++j) {
+        Gid a = std::min(gids[i], gids[j]);
+        Gid b = std::max(gids[i], gids[j]);
+        if (a == b) continue;
+        bool cross = d.relation_of(a) != d.relation_of(b);
+        if (hint.pair_relation >= 0 ? !cross : cross) continue;
+        uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+        auto [it, inserted] = weights.try_emplace(key, std::make_pair(a, b), 0);
+        ++it->second.second;
+      }
+    }
+  }
+  for (const auto& [_, entry] : weights) {
+    cb(entry.first.first, entry.first.second, entry.second);
+  }
+}
+
+}  // namespace dcer::baselines_internal
+
+#endif  // DCER_BASELINES_CANDIDATES_H_

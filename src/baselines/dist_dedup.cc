@@ -1,0 +1,53 @@
+#include <mutex>
+#include <thread>
+
+#include "baselines/candidates.h"
+#include "baselines/matchers.h"
+#include "common/timer.h"
+
+namespace dcer {
+
+BaselineReport RunDistDedup(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config, MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  // Materialize candidate pairs, then distribute them across workers in
+  // round-robin "triangle" shards (DisDedup balances the pairwise workload
+  // across all workers).
+  std::vector<std::pair<Gid, Gid>> candidates;
+  std::vector<const RelationHint*> pair_hint;
+  for (const RelationHint& hint : hints) {
+    baselines_internal::ForEachBlockedPair(dataset, hint, config.max_block,
+                                           [&](Gid a, Gid b) {
+                                             candidates.push_back({a, b});
+                                             pair_hint.push_back(&hint);
+                                           });
+  }
+  report.comparisons = candidates.size();
+
+  std::mutex mutex;
+  auto work = [&](int worker) {
+    std::vector<std::pair<Gid, Gid>> local_matches;
+    for (size_t i = worker; i < candidates.size();
+         i += static_cast<size_t>(config.num_workers)) {
+      auto [a, b] = candidates[i];
+      if (TupleSimilarity(dataset, a, b, pair_hint[i]->compare_attrs) >=
+          config.threshold) {
+        local_matches.push_back({a, b});
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto [a, b] : local_matches) {
+      if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int w = 0; w < config.num_workers; ++w) threads.emplace_back(work, w);
+  for (auto& t : threads) t.join();
+
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dcer

@@ -1,0 +1,55 @@
+#ifndef DCER_BASELINES_MATCHERS_H_
+#define DCER_BASELINES_MATCHERS_H_
+
+#include "baselines/pair_classifier.h"
+
+namespace dcer {
+
+/// Dedoop-like: exact blocking on the hint's block attribute, then weighted
+/// average attribute similarity within blocks (rule-based, single pass).
+BaselineReport RunBlocking(const Dataset& dataset,
+                           const std::vector<RelationHint>& hints,
+                           const BaselineConfig& config, MatchContext* out);
+
+/// Sorted-neighborhood (merge/purge): sort by the hint's sort attribute,
+/// compare tuples within a sliding window.
+BaselineReport RunWindowing(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config, MatchContext* out);
+
+/// DeepER-like: token blocking for candidates, then a trained linear model
+/// over embedding/similarity features. `truth` supplies the labeled
+/// training pairs (the paper's 2:1 train/test split); training pairs are
+/// sampled with `seed`.
+BaselineReport RunMlMatcher(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config,
+                            const GroundTruth& truth, uint64_t seed,
+                            MatchContext* out);
+
+/// SparkER-like: schema-agnostic token blocking over all compare attributes,
+/// meta-blocking edge pruning (keep candidate pairs whose co-occurrence
+/// weight is above the mean), then a Jaccard match decision.
+BaselineReport RunMetaBlocking(const Dataset& dataset,
+                               const std::vector<RelationHint>& hints,
+                               const BaselineConfig& config,
+                               MatchContext* out);
+
+/// DisDedup-like: the same comparator as RunBlocking but with blocks
+/// distributed across `config.num_workers` threads (triangle-style worker
+/// assignment), reporting parallel wall-clock.
+BaselineReport RunDistDedup(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config, MatchContext* out);
+
+/// ERBlox-like hybrid: MD-style blocking keys (the hint's block attribute)
+/// for candidate generation plus a trained ML classifier for the decision.
+BaselineReport RunHybrid(const Dataset& dataset,
+                         const std::vector<RelationHint>& hints,
+                         const BaselineConfig& config,
+                         const GroundTruth& truth, uint64_t seed,
+                         MatchContext* out);
+
+}  // namespace dcer
+
+#endif  // DCER_BASELINES_MATCHERS_H_

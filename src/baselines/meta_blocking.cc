@@ -1,0 +1,52 @@
+#include "baselines/candidates.h"
+#include "baselines/matchers.h"
+#include "common/timer.h"
+#include "ml/similarity.h"
+
+namespace dcer {
+
+BaselineReport RunMetaBlocking(const Dataset& dataset,
+                               const std::vector<RelationHint>& hints,
+                               const BaselineConfig& config,
+                               MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  for (const RelationHint& hint : hints) {
+    // Pass 1: collect candidate pairs with co-occurrence weights.
+    std::vector<std::pair<std::pair<Gid, Gid>, int>> pairs;
+    double total_weight = 0;
+    baselines_internal::ForEachTokenPair(
+        dataset, hint, config.max_block, [&](Gid a, Gid b, int weight) {
+          pairs.push_back({{a, b}, weight});
+          total_weight += weight;
+        });
+    if (pairs.empty()) continue;
+    // Meta-blocking pruning: keep edges above the mean weight.
+    double mean = total_weight / static_cast<double>(pairs.size());
+    auto concat = [&](Gid g) {
+      std::string s;
+      const Row& row = dataset.tuple(g);
+      for (size_t attr : hint.compare_attrs) {
+        if (!row[attr].is_null()) {
+          s += row[attr].ToString();
+          s += ' ';
+        }
+      }
+      return s;
+    };
+    for (const auto& [pair, weight] : pairs) {
+      if (weight < mean) continue;
+      ++report.comparisons;
+      if (TokenJaccard(concat(pair.first), concat(pair.second)) >=
+          config.threshold * 0.8) {
+        if (out->Apply(Fact::IdMatch(pair.first, pair.second), nullptr)) {
+          ++report.matches;
+        }
+      }
+    }
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dcer

@@ -1,0 +1,106 @@
+#include <memory>
+
+#include "baselines/candidates.h"
+#include "baselines/matchers.h"
+#include "common/timer.h"
+#include "ml/classifier.h"
+
+namespace dcer {
+
+namespace {
+
+// Trains a LearnedPairClassifier on labeled pairs sampled from the ground
+// truth (the experiments' 2:1 train/test protocol).
+std::unique_ptr<LearnedPairClassifier> TrainClassifier(
+    const Dataset& dataset, const std::vector<RelationHint>& hints,
+    const GroundTruth& truth, uint64_t seed) {
+  auto model = std::make_unique<LearnedPairClassifier>("baseline-ml", 0.5);
+  auto labeled = truth.SampleLabeledPairs(dataset, 200, 400, seed);
+  if (labeled.empty()) return model;
+  std::vector<std::vector<double>> features;
+  std::vector<bool> labels;
+  auto values_of = [&](Gid g) {
+    std::vector<Value> vals;
+    const Row& row = dataset.tuple(g);
+    // Use the compare attributes of the tuple's relation hint if available,
+    // else all attributes.
+    for (const RelationHint& h : hints) {
+      if (h.relation == dataset.relation_of(g) ||
+          (h.pair_relation >= 0 &&
+           static_cast<uint32_t>(h.pair_relation) == dataset.relation_of(g))) {
+        for (size_t attr : h.compare_attrs) vals.push_back(row[attr]);
+        return vals;
+      }
+    }
+    vals = row;
+    return vals;
+  };
+  for (const auto& [pair, label] : labeled) {
+    features.push_back(LearnedPairClassifier::Features(values_of(pair.first),
+                                                       values_of(pair.second)));
+    labels.push_back(label);
+  }
+  model->Train(features, labels, 15);
+  return model;
+}
+
+}  // namespace
+
+BaselineReport RunMlMatcher(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config,
+                            const GroundTruth& truth, uint64_t seed,
+                            MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  std::unique_ptr<LearnedPairClassifier> model =
+      TrainClassifier(dataset, hints, truth, seed);
+  for (const RelationHint& hint : hints) {
+    auto values_of = [&](Gid g) {
+      std::vector<Value> vals;
+      const Row& row = dataset.tuple(g);
+      for (size_t attr : hint.compare_attrs) vals.push_back(row[attr]);
+      return vals;
+    };
+    baselines_internal::ForEachTokenPair(
+        dataset, hint, config.max_block, [&](Gid a, Gid b, int weight) {
+          if (weight < 2) return;  // require at least two shared tokens
+          ++report.comparisons;
+          if (model->Predict(values_of(a), values_of(b))) {
+            if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
+          }
+        });
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+BaselineReport RunHybrid(const Dataset& dataset,
+                         const std::vector<RelationHint>& hints,
+                         const BaselineConfig& config,
+                         const GroundTruth& truth, uint64_t seed,
+                         MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  std::unique_ptr<LearnedPairClassifier> model =
+      TrainClassifier(dataset, hints, truth, seed);
+  for (const RelationHint& hint : hints) {
+    auto values_of = [&](Gid g) {
+      std::vector<Value> vals;
+      const Row& row = dataset.tuple(g);
+      for (size_t attr : hint.compare_attrs) vals.push_back(row[attr]);
+      return vals;
+    };
+    baselines_internal::ForEachBlockedPair(
+        dataset, hint, config.max_block, [&](Gid a, Gid b) {
+          ++report.comparisons;
+          if (model->Predict(values_of(a), values_of(b))) {
+            if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
+          }
+        });
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dcer

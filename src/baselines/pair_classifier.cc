@@ -1,0 +1,28 @@
+#include "baselines/pair_classifier.h"
+
+#include "ml/similarity.h"
+
+namespace dcer {
+
+double AttrSimilarity(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return 0;
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    return EditSimilarity(a.AsString(), b.AsString());
+  }
+  if (a.type() != ValueType::kString && b.type() != ValueType::kString) {
+    return NumericSimilarity(a.AsDouble(), b.AsDouble(), 0.05);
+  }
+  return a == b ? 1.0 : 0.0;
+}
+
+double TupleSimilarity(const Dataset& dataset, Gid a, Gid b,
+                       const std::vector<size_t>& attrs) {
+  if (attrs.empty()) return 0;
+  const Row& ra = dataset.tuple(a);
+  const Row& rb = dataset.tuple(b);
+  double total = 0;
+  for (size_t attr : attrs) total += AttrSimilarity(ra[attr], rb[attr]);
+  return total / static_cast<double>(attrs.size());
+}
+
+}  // namespace dcer

@@ -1,0 +1,37 @@
+#ifndef DCER_BASELINES_PAIR_CLASSIFIER_H_
+#define DCER_BASELINES_PAIR_CLASSIFIER_H_
+
+#include "chase/match_context.h"
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// Shared configuration of the single-pass baselines (Sec. VI "Baselines").
+/// Each baseline performs one sweep of pairwise comparisons — no recursion,
+/// no cross-relation joins — which is exactly the gap deep/collective ER
+/// closes (so their recall ceiling on deep-tier duplicates is structural).
+struct BaselineConfig {
+  double threshold = 0.70;  // similarity accept threshold
+  size_t window = 6;        // sorted-neighborhood window
+  size_t max_block = 512;   // skip oversized blocks (as real systems do)
+  int num_workers = 4;      // DisDedup-like parallel matcher
+};
+
+/// Outcome counters of one baseline run.
+struct BaselineReport {
+  double seconds = 0;
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+};
+
+/// Per-attribute similarity: edit similarity for strings, relative-tolerance
+/// agreement for numbers, exact match otherwise; NULLs score 0.
+double AttrSimilarity(const Value& a, const Value& b);
+
+/// Mean AttrSimilarity over the hint's compare attributes.
+double TupleSimilarity(const Dataset& dataset, Gid a, Gid b,
+                       const std::vector<size_t>& attrs);
+
+}  // namespace dcer
+
+#endif  // DCER_BASELINES_PAIR_CLASSIFIER_H_

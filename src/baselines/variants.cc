@@ -1,0 +1,21 @@
+#include "baselines/variants.h"
+
+namespace dcer {
+
+RuleSet CollectiveOnlyRules(const RuleSet& rules) {
+  RuleSet out;
+  for (const Rule& r : rules.rules()) {
+    if (!r.HasIdPrecondition()) out.Add(r);
+  }
+  return out;
+}
+
+RuleSet DeepOnlyRules(const RuleSet& rules, size_t max_vars) {
+  RuleSet out;
+  for (const Rule& r : rules.rules()) {
+    if (r.num_vars() <= max_vars) out.Add(r);
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,19 @@
+#ifndef DCER_BASELINES_VARIANTS_H_
+#define DCER_BASELINES_VARIANTS_H_
+
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// DMatch_C (collective-only): drops every rule carrying an id predicate in
+/// its precondition — no recursion, valuations may still span many tables.
+RuleSet CollectiveOnlyRules(const RuleSet& rules);
+
+/// DMatch_D (deep-only): keeps only rules with at most `max_vars` tuple
+/// variables (the experiments use 4), since real-life quality rules rarely
+/// exceed 3-4 variables; recursion via id preconditions stays allowed.
+RuleSet DeepOnlyRules(const RuleSet& rules, size_t max_vars = 4);
+
+}  // namespace dcer
+
+#endif  // DCER_BASELINES_VARIANTS_H_

@@ -1,0 +1,49 @@
+#include <algorithm>
+
+#include "baselines/candidates.h"
+#include "baselines/matchers.h"
+#include "common/timer.h"
+
+namespace dcer {
+
+BaselineReport RunWindowing(const Dataset& dataset,
+                            const std::vector<RelationHint>& hints,
+                            const BaselineConfig& config, MatchContext* out) {
+  Timer timer;
+  BaselineReport report;
+  for (const RelationHint& hint : hints) {
+    // Sort all candidate tuples (both relations for two-source tasks) by the
+    // rendered sort key, then compare within the sliding window.
+    std::vector<std::pair<std::string, Gid>> keyed;
+    auto add_relation = [&](size_t rel) {
+      const Relation& relation = dataset.relation(rel);
+      for (size_t row = 0; row < relation.num_rows(); ++row) {
+        const Value& v = relation.at(row, hint.sort_attr);
+        keyed.push_back({v.is_null() ? "" : ToLower(v.ToString()),
+                         relation.gid(row)});
+      }
+    };
+    add_relation(hint.relation);
+    if (hint.pair_relation >= 0) {
+      add_relation(static_cast<size_t>(hint.pair_relation));
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      for (size_t j = i + 1; j < keyed.size() && j <= i + config.window; ++j) {
+        Gid a = keyed[i].second;
+        Gid b = keyed[j].second;
+        bool cross = dataset.relation_of(a) != dataset.relation_of(b);
+        if (hint.pair_relation >= 0 ? !cross : cross) continue;
+        ++report.comparisons;
+        if (TupleSimilarity(dataset, a, b, hint.compare_attrs) >=
+            config.threshold) {
+          if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
+        }
+      }
+    }
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dcer

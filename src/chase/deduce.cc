@@ -1,0 +1,389 @@
+#include "chase/deduce.h"
+
+#include <deque>
+
+namespace dcer {
+
+ChaseStats& ChaseStats::operator+=(const ChaseStats& o) {
+  valuations += o.valuations;
+  matches += o.matches;
+  validated_ml += o.validated_ml;
+  deps_added += o.deps_added;
+  deps_dropped += o.deps_dropped;
+  deps_fired += o.deps_fired;
+  seeded_joins += o.seeded_joins;
+  indices_built += o.indices_built;
+  return *this;
+}
+
+namespace {
+// Content signature of a view's row sets, for sharing indices across rules
+// with identical sub-fragments.
+uint64_t ViewSignature(const DatasetView& view) {
+  uint64_t h = HashInt(view.num_relations());
+  for (size_t rel = 0; rel < view.num_relations(); ++rel) {
+    h = HashCombine(h, HashInt(view.rows(rel).size()));
+    for (uint32_t row : view.rows(rel)) h = HashCombine(h, HashInt(row));
+  }
+  return h;
+}
+}  // namespace
+
+ChaseEngine::ChaseEngine(const DatasetView* view, const RuleSet* rules,
+                         const MlRegistry* registry, MatchContext* ctx,
+                         Options options)
+    : ChaseEngine(view, nullptr, rules, registry, ctx, options) {}
+
+ChaseEngine::ChaseEngine(
+    const DatasetView* union_view,
+    const std::vector<std::vector<DatasetView>>* rule_views,
+    const RuleSet* rules, const MlRegistry* registry, MatchContext* ctx,
+    Options options)
+    : view_(union_view),
+      rules_(rules),
+      registry_(registry),
+      ctx_(ctx),
+      options_(options),
+      deps_(options.dependency_capacity) {
+  scopes_.resize(rules_->size());
+  if (rule_views == nullptr) {
+    // Sequential form: one scope per rule over the full view; MQO shares a
+    // single index set, noMQO pays per-rule index construction.
+    if (options_.share_indices) {
+      shared_index_ = std::make_unique<DatasetIndex>(view_);
+    }
+    for (size_t i = 0; i < rules_->size(); ++i) {
+      DatasetIndex* index = shared_index_.get();
+      if (index == nullptr) {
+        owned_indices_.push_back(std::make_unique<DatasetIndex>(view_));
+        index = owned_indices_.back().get();
+      }
+      Scope scope;
+      scope.index = index;
+      scope.joiner = std::make_unique<RuleJoiner>(index, &rules_->rule(i),
+                                                  registry_, ctx_);
+      scopes_[i].push_back(std::move(scope));
+    }
+    return;
+  }
+  // Parallel form: one scope per (rule, assigned block). MQO shares an
+  // index among blocks with identical contents (common across rules with
+  // shared hash functions).
+  scopes_of_gid_.resize(rules_->size());
+  std::unordered_map<uint64_t, DatasetIndex*> by_signature;
+  for (size_t i = 0; i < rules_->size(); ++i) {
+    for (const DatasetView& block : (*rule_views)[i]) {
+      uint32_t scope_idx = static_cast<uint32_t>(scopes_[i].size());
+      for (size_t rel = 0; rel < block.num_relations(); ++rel) {
+        for (uint32_t row : block.rows(rel)) {
+          scopes_of_gid_[i][view_->dataset().relation(rel).gid(row)]
+              .push_back(scope_idx);
+        }
+      }
+      DatasetIndex* index = nullptr;
+      if (options_.share_indices) {
+        uint64_t sig = ViewSignature(block);
+        auto it = by_signature.find(sig);
+        if (it != by_signature.end()) index = it->second;
+        if (index == nullptr) {
+          owned_indices_.push_back(std::make_unique<DatasetIndex>(&block));
+          index = owned_indices_.back().get();
+          by_signature.emplace(sig, index);
+        }
+      } else {
+        owned_indices_.push_back(std::make_unique<DatasetIndex>(&block));
+        index = owned_indices_.back().get();
+      }
+      Scope scope;
+      scope.index = index;
+      scope.joiner = std::make_unique<RuleJoiner>(index, &rules_->rule(i),
+                                                  registry_, ctx_);
+      scopes_[i].push_back(std::move(scope));
+    }
+  }
+}
+
+std::vector<Gid> ChaseEngine::GidsOf(size_t rule_idx,
+                                     const std::vector<uint32_t>& rows) const {
+  const Rule& rule = rules_->rule(rule_idx);
+  std::vector<Gid> out(rows.size());
+  for (size_t v = 0; v < rows.size(); ++v) {
+    out[v] = view_->dataset().relation(rule.var_relation(v)).gid(rows[v]);
+  }
+  return out;
+}
+
+bool ChaseEngine::ApplyFactAndFire(const Fact& fact, int rule,
+                                   const std::vector<Gid>& valuation,
+                                   Delta* delta) {
+  Delta local;
+  if (!ctx_->Apply(fact, &local)) return false;
+  if (fact.kind == Fact::Kind::kId) {
+    ++stats_.matches;
+  } else {
+    ++stats_.validated_ml;
+  }
+  if (ProvenanceLog* prov = ctx_->provenance()) {
+    prov->Record(fact, rule, valuation);
+  }
+
+  // Every newly-true key may fire dependencies or obsolete their targets.
+  std::vector<DependencyStore::Dependency> fired;
+  if (fact.kind == Fact::Kind::kMl) {
+    deps_.OnKeyTrue(fact.Key(), &fired);
+  } else {
+    for (auto [a, b] : local.id_pairs) deps_.OnKeyTrue(IdPairKey(a, b), &fired);
+  }
+  delta->Append(local);
+  for (const auto& dep : fired) {
+    ++stats_.deps_fired;
+    ApplyFactAndFire(dep.target, dep.rule, dep.valuation, delta);
+  }
+  return true;
+}
+
+void ChaseEngine::HandleValuation(size_t rule_idx, RuleJoiner* joiner,
+                                  const std::vector<uint32_t>& rows,
+                                  const std::vector<int>& unsat,
+                                  Delta* delta) {
+  const Rule& rule = rules_->rule(rule_idx);
+
+  // Build the consequence fact under this valuation.
+  const Predicate& c = rule.consequence();
+  Fact target;
+  if (c.kind == PredicateKind::kIdEq) {
+    Gid a = view_->dataset().relation(rule.var_relation(c.lhs.var))
+                .gid(rows[c.lhs.var]);
+    Gid b = view_->dataset().relation(rule.var_relation(c.rhs.var))
+                .gid(rows[c.rhs.var]);
+    if (a == b) return;  // reflexive, nothing to deduce
+    target = Fact::IdMatch(a, b);
+    if (ctx_->Matched(a, b)) return;  // already in Γ
+  } else {
+    target = joiner->MlFactFor(c, rows);
+    if (ctx_->IsValidatedMl(target.Key())) return;
+  }
+
+  if (unsat.empty()) {
+    ApplyFactAndFire(target, static_cast<int>(rule_idx), GidsOf(rule_idx, rows),
+                     delta);
+    return;
+  }
+
+  // Blocked only on id/ML predicates: record l1 ∧ ... ∧ ln -> l in H.
+  std::vector<uint64_t> required;
+  required.reserve(unsat.size());
+  for (int i : unsat) {
+    const Predicate& p = rule.preconditions()[i];
+    if (p.kind == PredicateKind::kIdEq) {
+      Gid a = view_->dataset().relation(rule.var_relation(p.lhs.var))
+                  .gid(rows[p.lhs.var]);
+      Gid b = view_->dataset().relation(rule.var_relation(p.rhs.var))
+                  .gid(rows[p.rhs.var]);
+      required.push_back(IdPairKey(a, b));
+    } else {
+      required.push_back(joiner->MlFactFor(p, rows).Key());
+    }
+  }
+  if (deps_.Add(target, std::move(required), static_cast<int>(rule_idx),
+                GidsOf(rule_idx, rows))) {
+    ++stats_.deps_added;
+  } else {
+    ++stats_.deps_dropped;
+  }
+}
+
+void ChaseEngine::Deduce(Delta* delta) {
+  for (size_t ri = 0; ri < rules_->size(); ++ri) {
+    const Rule& rule = rules_->rule(ri);
+    for (Scope& scope : scopes_[ri]) {
+      // A block missing one of the rule's relations entirely cannot host
+      // any valuation; skip it before paying the enumeration setup.
+      bool feasible = true;
+      for (size_t v = 0; v < rule.num_vars() && feasible; ++v) {
+        feasible = !scope.index->view()
+                        .rows(rule.var_relation(static_cast<int>(v)))
+                        .empty();
+      }
+      if (!feasible) continue;
+      RuleJoiner* joiner = scope.joiner.get();
+      uint64_t before = joiner->valuations_checked();
+      joiner->Enumerate([&](const std::vector<uint32_t>& rows,
+                            const std::vector<int>& unsat) {
+        HandleValuation(ri, joiner, rows, unsat, delta);
+        return true;
+      });
+      stats_.valuations += joiner->valuations_checked() - before;
+    }
+  }
+  stats_.indices_built = 0;
+  if (shared_index_ != nullptr) {
+    stats_.indices_built += shared_index_->num_indices_built();
+  }
+  for (const auto& idx : owned_indices_) {
+    stats_.indices_built += idx->num_indices_built();
+  }
+}
+
+namespace {
+// A unit of update-driven work: a newly-true id pair or ML fact.
+struct WorkItem {
+  bool is_ml;
+  Gid a, b;
+  int32_t ml_id = -1;
+  uint64_t a_sig = 0, b_sig = 0;
+};
+}  // namespace
+
+void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
+  std::deque<WorkItem> queue;
+  for (auto [a, b] : seeds.id_pairs) {
+    queue.push_back({false, a, b, -1, 0, 0});
+  }
+  for (const Fact& f : seeds.facts) {
+    if (f.kind == Fact::Kind::kMl) {
+      queue.push_back({true, f.a, f.b, f.ml_id, f.a_sig, f.b_sig});
+    }
+  }
+
+  while (!queue.empty()) {
+    WorkItem item = queue.front();
+    queue.pop_front();
+
+    uint32_t rel_a = view_->dataset().relation_of(item.a);
+    uint32_t rel_b = view_->dataset().relation_of(item.b);
+
+    for (size_t ri = 0; ri < rules_->size(); ++ri) {
+      const Rule& rule = rules_->rule(ri);
+      // Only blocks hosting item.a can host a seeded valuation; b must be
+      // co-located there too.
+      std::span<const uint32_t> candidate_scopes;
+      std::vector<uint32_t> all_scopes;  // sequential form: the single scope
+      if (!scopes_of_gid_.empty()) {
+        auto it = scopes_of_gid_[ri].find(item.a);
+        if (it == scopes_of_gid_[ri].end()) continue;
+        candidate_scopes = it->second;
+      } else {
+        all_scopes.resize(scopes_[ri].size());
+        for (uint32_t s = 0; s < all_scopes.size(); ++s) all_scopes[s] = s;
+        candidate_scopes = all_scopes;
+      }
+      for (uint32_t scope_idx : candidate_scopes) {
+      Scope& scope = scopes_[ri][scope_idx];
+      RuleJoiner* joiner = scope.joiner.get();
+      // Map gids to rows of this scope's block; a block the rule's
+      // Hypercube did not co-locate the pair in cannot host the valuation.
+      const DatasetView& rv = scope.index->view();
+      uint32_t row_a = rv.RowOf(item.a);
+      uint32_t row_b = rv.RowOf(item.b);
+      if (row_a == kInvalidGid || row_b == kInvalidGid) continue;
+      for (const Predicate& p : rule.preconditions()) {
+        if (!p.is_id_or_ml()) continue;
+        // Which (t, s) var assignments does this item support?
+        std::vector<std::pair<uint32_t, uint32_t>> orients;
+        if (!item.is_ml && p.kind == PredicateKind::kIdEq) {
+          if (rule.var_relation(p.lhs.var) == static_cast<int>(rel_a) &&
+              rule.var_relation(p.rhs.var) == static_cast<int>(rel_b)) {
+            orients.push_back({row_a, row_b});
+          }
+          if (item.a != item.b &&
+              rule.var_relation(p.lhs.var) == static_cast<int>(rel_b) &&
+              rule.var_relation(p.rhs.var) == static_cast<int>(rel_a)) {
+            orients.push_back({row_b, row_a});
+          }
+        } else if (item.is_ml && p.kind == PredicateKind::kMl &&
+                   p.ml_id == item.ml_id) {
+          uint64_t lhs_sig =
+              MlSideSignature(rule.var_relation(p.lhs.var), p.lhs_ml_attrs);
+          uint64_t rhs_sig =
+              MlSideSignature(rule.var_relation(p.rhs.var), p.rhs_ml_attrs);
+          if (lhs_sig == item.a_sig && rhs_sig == item.b_sig) {
+            orients.push_back({row_a, row_b});
+          }
+          if ((item.a != item.b || item.a_sig != item.b_sig) &&
+              lhs_sig == item.b_sig && rhs_sig == item.a_sig) {
+            orients.push_back({row_b, row_a});
+          }
+        }
+        for (auto [lrow, rrow] : orients) {
+          ++stats_.seeded_joins;
+          std::pair<int, uint32_t> seed_arr[2] = {{p.lhs.var, lrow},
+                                                  {p.rhs.var, rrow}};
+          uint64_t before = joiner->valuations_checked();
+          Delta round;
+          joiner->EnumerateSeeded(
+              seed_arr, [&](const std::vector<uint32_t>& rows,
+                            const std::vector<int>& unsat) {
+                HandleValuation(ri, joiner, rows, unsat, &round);
+                return true;
+              });
+          stats_.valuations += joiner->valuations_checked() - before;
+          // Cascade: everything newly derived becomes new work.
+          for (auto [x, y] : round.id_pairs) {
+            queue.push_back({false, x, y, -1, 0, 0});
+          }
+          for (const Fact& f : round.facts) {
+            if (f.kind == Fact::Kind::kMl) {
+              queue.push_back({true, f.a, f.b, f.ml_id, f.a_sig, f.b_sig});
+            }
+          }
+          out->Append(round);
+        }
+      }
+      }
+    }
+  }
+}
+
+void ChaseEngine::NotifyAppend(std::span<const Gid> gids) {
+  auto notify = [&](DatasetIndex* index) {
+    for (Gid gid : gids) {
+      uint32_t row = index->view().RowOf(gid);
+      if (row == kInvalidGid) continue;
+      index->NotifyAppend(view_->dataset().loc(gid).relation, row);
+    }
+  };
+  if (shared_index_ != nullptr) notify(shared_index_.get());
+  for (auto& index : owned_indices_) notify(index.get());
+}
+
+void ChaseEngine::DeduceForNewTuples(std::span<const Gid> new_gids,
+                                     Delta* delta) {
+  for (Gid gid : new_gids) {
+    TupleLoc loc = view_->dataset().loc(gid);
+    for (size_t ri = 0; ri < rules_->size(); ++ri) {
+      const Rule& rule = rules_->rule(ri);
+      for (Scope& scope : scopes_[ri]) {
+        RuleJoiner* joiner = scope.joiner.get();
+        uint32_t row = scope.index->view().RowOf(gid);
+        if (row == kInvalidGid) continue;
+        (void)loc;
+        for (size_t v = 0; v < rule.num_vars(); ++v) {
+          if (rule.var_relation(static_cast<int>(v)) !=
+              static_cast<int>(loc.relation)) {
+            continue;
+          }
+          ++stats_.seeded_joins;
+          std::pair<int, uint32_t> seed[1] = {{static_cast<int>(v), row}};
+          uint64_t before = joiner->valuations_checked();
+          joiner->EnumerateSeeded(
+              seed, [&](const std::vector<uint32_t>& rows,
+                        const std::vector<int>& unsat) {
+                HandleValuation(ri, joiner, rows, unsat, delta);
+                return true;
+              });
+          stats_.valuations += joiner->valuations_checked() - before;
+        }
+      }
+    }
+  }
+}
+
+void ChaseEngine::ApplyExternalFacts(std::span<const Fact> facts,
+                                     Delta* newly) {
+  for (const Fact& f : facts) {
+    ApplyFactAndFire(f, /*rule=*/-1, {}, newly);
+  }
+}
+
+}  // namespace dcer

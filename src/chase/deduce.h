@@ -1,0 +1,134 @@
+#ifndef DCER_CHASE_DEDUCE_H_
+#define DCER_CHASE_DEDUCE_H_
+
+#include <memory>
+#include <span>
+
+#include "chase/dependency_store.h"
+#include "chase/join.h"
+
+namespace dcer {
+
+/// Counters exposed by the chase (computation-cost metrics of Sec. VI).
+struct ChaseStats {
+  uint64_t valuations = 0;      // leaf valuations inspected
+  uint64_t matches = 0;         // direct id facts applied
+  uint64_t validated_ml = 0;    // ML facts validated
+  uint64_t deps_added = 0;      // dependencies stored in H
+  uint64_t deps_dropped = 0;    // dependencies dropped (H at capacity)
+  uint64_t deps_fired = 0;      // dependencies fired
+  uint64_t seeded_joins = 0;    // update-driven re-joins
+  uint64_t indices_built = 0;   // inverted indices constructed
+
+  ChaseStats& operator+=(const ChaseStats& o);
+};
+
+/// One chase evaluation instance over a dataset view: owns the dependency
+/// store H and the inverted indices, and implements procedures Deduce
+/// (Fig. 3 line 2) and IncDeduce (Fig. 4). The sequential Match wraps one
+/// engine over the full dataset; each BSP worker of DMatch wraps one over
+/// its fragment (algorithms A and A_Δ of Sec. V-B are exactly Deduce and
+/// IncDeduce run against local data).
+class ChaseEngine {
+ public:
+  struct Options {
+    /// Capacity K of the dependency set H (bounded by available memory in
+    /// the paper). Dropped dependencies only cost re-joins, never results.
+    size_t dependency_capacity = size_t{1} << 20;
+    /// MQO: share one set of inverted indices across all rules. The noMQO
+    /// ablation (Fig. 6(e)-(h)) sets this false and pays per-rule index
+    /// construction.
+    bool share_indices = true;
+  };
+
+  /// Evaluates every rule over `view`. Sequential Match uses this with the
+  /// full-dataset view.
+  ChaseEngine(const DatasetView* view, const RuleSet* rules,
+              const MlRegistry* registry, MatchContext* ctx, Options options);
+
+  /// Parallel-worker form: rule r is evaluated separately inside each of
+  /// its assigned virtual blocks (*rule_views)[r] (see
+  /// Partition::rule_views) — never across blocks, so the cluster performs
+  /// each rule's join work exactly once in total. `union_view` hosts
+  /// everything the worker holds and is used for gid resolution. With
+  /// share_indices, blocks with identical contents (MQO-shared hash
+  /// functions across rules) share one set of inverted indices.
+  ChaseEngine(const DatasetView* union_view,
+              const std::vector<std::vector<DatasetView>>* rule_views,
+              const RuleSet* rules, const MlRegistry* registry,
+              MatchContext* ctx, Options options);
+
+  /// Full pass: enumerates valuations of every rule, applies consequences,
+  /// and records dependencies for valuations blocked only on id/ML
+  /// predicates. Newly deduced facts (with their equivalence expansions)
+  /// are appended to *delta.
+  void Deduce(Delta* delta);
+
+  /// Update-driven pass: re-inspects only valuations that involve a fact in
+  /// `seeds` (which must already be applied to the context), cascading
+  /// internally until no new fact is derivable from them. Newly deduced
+  /// facts are appended to *out.
+  void IncDeduce(const Delta& seeds, Delta* out);
+
+  /// Registers tuples newly appended to the evaluation views with every
+  /// index built so far (incremental ΔD support).
+  void NotifyAppend(std::span<const Gid> gids);
+
+  /// Incremental ΔD (Sec. V-A Remark): enumerates only the valuations that
+  /// involve at least one of the newly appended tuples (each must already be
+  /// present in the evaluation views and indices), applies consequences, and
+  /// records dependencies. Feed the resulting delta to IncDeduce to cascade.
+  void DeduceForNewTuples(std::span<const Gid> new_gids, Delta* delta);
+
+  /// Applies facts received from other workers (not yet in the context),
+  /// firing dependencies transitively. Everything newly true is appended to
+  /// *newly (feed it to IncDeduce as seeds).
+  void ApplyExternalFacts(std::span<const Fact> facts, Delta* newly);
+
+  const ChaseStats& stats() const { return stats_; }
+  const DependencyStore& dependencies() const { return deps_; }
+  const DatasetView& view() const { return *view_; }
+  MatchContext& context() { return *ctx_; }
+
+ private:
+  // One evaluation scope: a (rule, block) pair with its index and joiner.
+  struct Scope {
+    DatasetIndex* index = nullptr;
+    std::unique_ptr<RuleJoiner> joiner;
+  };
+
+  // Applies `fact` (derived by rule/valuation; rule < 0 for external facts)
+  // and fires dependencies transitively. Appends all newly true facts and
+  // pairs to *delta. Returns true iff the fact was new.
+  bool ApplyFactAndFire(const Fact& fact, int rule,
+                        const std::vector<Gid>& valuation, Delta* delta);
+
+  // Shared handling of one complete valuation of rule `rule_idx` found by
+  // `joiner` (the scope it was found in).
+  void HandleValuation(size_t rule_idx, RuleJoiner* joiner,
+                       const std::vector<uint32_t>& rows,
+                       const std::vector<int>& unsat, Delta* delta);
+
+  std::vector<Gid> GidsOf(size_t rule_idx,
+                          const std::vector<uint32_t>& rows) const;
+
+  const DatasetView* view_;
+  const RuleSet* rules_;
+  const MlRegistry* registry_;
+  MatchContext* ctx_;
+  Options options_;
+  DependencyStore deps_;
+  ChaseStats stats_;
+
+  std::unique_ptr<DatasetIndex> shared_index_;
+  std::vector<std::unique_ptr<DatasetIndex>> owned_indices_;
+  std::vector<std::vector<Scope>> scopes_;  // [rule][block]
+  // Per rule: gid -> indices of the scopes hosting it. Lets the
+  // update-driven pass touch only the blocks that can host a seeded
+  // valuation instead of scanning every (rule, block) pair per work item.
+  std::vector<std::unordered_map<Gid, std::vector<uint32_t>>> scopes_of_gid_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_DEDUCE_H_

@@ -1,0 +1,62 @@
+#include "chase/dependency_store.h"
+
+#include <algorithm>
+
+namespace dcer {
+
+bool DependencyStore::Add(Fact target, std::vector<uint64_t> required_keys,
+                          int rule, std::vector<Gid> valuation) {
+  if (alive_ >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  // De-duplicate requirement keys so `remaining` counts distinct ones.
+  std::sort(required_keys.begin(), required_keys.end());
+  required_keys.erase(
+      std::unique(required_keys.begin(), required_keys.end()),
+      required_keys.end());
+
+  uint32_t idx = static_cast<uint32_t>(deps_.size());
+  Dependency dep;
+  dep.target = target;
+  dep.rule = rule;
+  dep.valuation = std::move(valuation);
+  dep.remaining = static_cast<uint32_t>(required_keys.size());
+  dep.required_keys = std::move(required_keys);
+  for (uint64_t key : dep.required_keys) by_requirement_.emplace(key, idx);
+  by_target_.emplace(target.Key(), idx);
+  deps_.push_back(std::move(dep));
+  ++alive_;
+  return true;
+}
+
+void DependencyStore::OnKeyTrue(uint64_t key,
+                                std::vector<Dependency>* fired) {
+  // Requirements satisfied by this key.
+  auto [rb, re] = by_requirement_.equal_range(key);
+  for (auto it = rb; it != re; ++it) {
+    Dependency& dep = deps_[it->second];
+    if (dep.dead) continue;
+    if (--dep.remaining == 0) {
+      --alive_;
+      fired->push_back(dep);  // copy out, then tombstone in place
+      dep.dead = true;
+      dep.required_keys.clear();
+      dep.valuation.clear();
+    }
+  }
+  by_requirement_.erase(rb, re);
+
+  // Dependencies whose target just became true are obsolete.
+  auto [tb, te] = by_target_.equal_range(key);
+  for (auto it = tb; it != te; ++it) {
+    Dependency& dep = deps_[it->second];
+    if (!dep.dead) {
+      dep.dead = true;
+      --alive_;
+    }
+  }
+  by_target_.erase(tb, te);
+}
+
+}  // namespace dcer

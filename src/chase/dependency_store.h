@@ -1,0 +1,58 @@
+#ifndef DCER_CHASE_DEPENDENCY_STORE_H_
+#define DCER_CHASE_DEPENDENCY_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/fact.h"
+
+namespace dcer {
+
+/// The bounded set H of dependencies l1 ∧ ... ∧ ln → l (Sec. V-A (2)):
+/// valuations whose equality predicates hold but whose id/ML predicates
+/// don't yet. When every li becomes valid, the target l is enforced without
+/// re-running the join. H is capacity-bounded (the paper's constant K);
+/// dropped dependencies are covered by IncDeduce's update-driven re-joins,
+/// so K only affects performance, never the fixpoint (tested).
+class DependencyStore {
+ public:
+  explicit DependencyStore(size_t capacity) : capacity_(capacity) {}
+
+  struct Dependency {
+    Fact target;
+    std::vector<uint64_t> required_keys;  // keys of unsatisfied id/ML facts
+    int rule = -1;                        // provenance when fired
+    std::vector<Gid> valuation;
+    uint32_t remaining = 0;
+    bool dead = false;
+  };
+
+  /// Adds a dependency; returns false (and drops it) if at capacity.
+  bool Add(Fact target, std::vector<uint64_t> required_keys, int rule,
+           std::vector<Gid> valuation);
+
+  /// Called for every fact key that became true. Appends to *fired the
+  /// dependencies whose requirements are now all satisfied (they are
+  /// removed from H), and drops dependencies whose target has this key
+  /// ("will no longer be checked later on").
+  void OnKeyTrue(uint64_t key, std::vector<Dependency>* fired);
+
+  size_t size() const { return alive_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t num_dropped() const { return dropped_; }
+
+ private:
+  size_t capacity_;
+  size_t alive_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<Dependency> deps_;
+  // requirement key -> dependency indices waiting on it.
+  std::unordered_multimap<uint64_t, uint32_t> by_requirement_;
+  // target key -> dependency indices producing it.
+  std::unordered_multimap<uint64_t, uint32_t> by_target_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_DEPENDENCY_STORE_H_

@@ -1,0 +1,93 @@
+#ifndef DCER_CHASE_FACT_H_
+#define DCER_CHASE_FACT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/relation.h"
+
+namespace dcer {
+
+/// Signature of one side of an ML fact: which relation/attribute vector the
+/// values came from. Distinguishes M(t[name], s[name]) from M(t[addr],
+/// s[addr]) on the same tuple pair.
+inline uint64_t MlSideSignature(int relation, const std::vector<int>& attrs) {
+  uint64_t h = HashInt(static_cast<uint64_t>(relation) + 101);
+  for (int a : attrs) h = HashCombine(h, HashInt(static_cast<uint64_t>(a)));
+  return h;
+}
+
+/// Key of an id fact (t.id = s.id); symmetric in (a, b).
+inline uint64_t IdPairKey(Gid a, Gid b) {
+  return HashCombine(HashInt(0x1d), HashUnorderedPair(a, b));
+}
+
+/// An element of Γ beyond the reflexive pairs: either a deduced match
+/// (t.id, s.id) or a validated ML prediction M(t[Ā], s[B̄]) (Sec. III-A).
+/// Facts are also the BSP message payload — only facts, never raw tuples,
+/// travel between workers.
+struct Fact {
+  enum class Kind : uint8_t { kId, kMl };
+
+  Kind kind = Kind::kId;
+  Gid a = kInvalidGid;
+  Gid b = kInvalidGid;
+  int32_t ml_id = -1;    // kMl only
+  uint64_t a_sig = 0;    // kMl only: MlSideSignature of side a
+  uint64_t b_sig = 0;    // kMl only: MlSideSignature of side b
+
+  static Fact IdMatch(Gid a, Gid b) {
+    Fact f;
+    f.kind = Kind::kId;
+    f.a = a;
+    f.b = b;
+    return f;
+  }
+
+  static Fact MlValidated(int32_t ml_id, Gid a, uint64_t a_sig, Gid b,
+                          uint64_t b_sig) {
+    Fact f;
+    f.kind = Kind::kMl;
+    f.ml_id = ml_id;
+    f.a = a;
+    f.b = b;
+    f.a_sig = a_sig;
+    f.b_sig = b_sig;
+    return f;
+  }
+
+  /// Canonical key: symmetric under swapping sides. Id and ML facts live in
+  /// the same key space (the dependency store indexes on it).
+  uint64_t Key() const {
+    if (kind == Kind::kId) return IdPairKey(a, b);
+    uint64_t ha = HashCombine(a_sig, HashInt(a));
+    uint64_t hb = HashCombine(b_sig, HashInt(b));
+    return HashCombine(HashInt(0x31 + static_cast<uint64_t>(ml_id)),
+                       HashUnorderedPair(ha, hb));
+  }
+};
+
+/// The changes produced by applying facts: the direct facts (what gets sent
+/// to other workers) and the expanded set of newly-equivalent concrete id
+/// pairs (what drives dependency firing and update-driven re-joins).
+struct Delta {
+  std::vector<Fact> facts;
+  std::vector<std::pair<Gid, Gid>> id_pairs;
+
+  bool empty() const { return facts.empty(); }
+  void clear() {
+    facts.clear();
+    id_pairs.clear();
+  }
+  void Append(const Delta& other) {
+    facts.insert(facts.end(), other.facts.begin(), other.facts.end());
+    id_pairs.insert(id_pairs.end(), other.id_pairs.begin(),
+                    other.id_pairs.end());
+  }
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_FACT_H_

@@ -1,0 +1,70 @@
+#include "chase/incremental.h"
+
+#include "common/timer.h"
+
+namespace dcer {
+
+IncrementalMatcher::IncrementalMatcher(const Dataset* dataset,
+                                       const RuleSet* rules,
+                                       const MlRegistry* registry,
+                                       MatchOptions options)
+    : dataset_(dataset),
+      rules_(rules),
+      registry_(registry),
+      options_(options),
+      view_(std::make_unique<DatasetView>(DatasetView::Full(*dataset))),
+      ctx_(std::make_unique<MatchContext>(*dataset)) {
+  if (options_.enable_provenance) ctx_->EnableProvenance();
+  ChaseEngine::Options engine_options;
+  engine_options.dependency_capacity = options_.dependency_capacity;
+  engine_options.share_indices = options_.use_mqo;
+  engine_ = std::make_unique<ChaseEngine>(view_.get(), rules_, registry_,
+                                          ctx_.get(), engine_options);
+}
+
+MatchReport IncrementalMatcher::RunToFixpoint(Delta delta) {
+  Timer timer;
+  MatchReport report;
+  report.rounds = 1;
+  while (!delta.empty()) {
+    Delta next;
+    engine_->IncDeduce(delta, &next);
+    delta = std::move(next);
+    ++report.rounds;
+  }
+  // Per-call stats: difference against the engine's running counters.
+  ChaseStats now = engine_->stats();
+  report.chase = now;
+  report.chase.valuations -= stats_before_.valuations;
+  report.chase.matches -= stats_before_.matches;
+  report.chase.validated_ml -= stats_before_.validated_ml;
+  report.chase.deps_added -= stats_before_.deps_added;
+  report.chase.deps_fired -= stats_before_.deps_fired;
+  report.chase.seeded_joins -= stats_before_.seeded_joins;
+  stats_before_ = now;
+  report.seconds = timer.ElapsedSeconds();
+  report.matched_pairs = ctx_->num_matched_pairs();
+  report.validated_ml = ctx_->num_validated_ml();
+  return report;
+}
+
+MatchReport IncrementalMatcher::Initialize() {
+  Delta delta;
+  engine_->Deduce(&delta);
+  return RunToFixpoint(std::move(delta));
+}
+
+MatchReport IncrementalMatcher::AppendBatch(std::span<const Gid> new_gids) {
+  // Make the new tuples visible to the evaluation scope, the indices, and
+  // the equivalence relation.
+  ctx_->GrowToDataset();
+  for (Gid gid : new_gids) view_->Append(gid);
+  engine_->NotifyAppend(new_gids);
+
+  // Update-driven: only valuations touching a new tuple are inspected.
+  Delta delta;
+  engine_->DeduceForNewTuples(new_gids, &delta);
+  return RunToFixpoint(std::move(delta));
+}
+
+}  // namespace dcer

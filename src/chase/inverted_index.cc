@@ -1,0 +1,47 @@
+#include "chase/inverted_index.h"
+
+namespace dcer {
+
+namespace {
+uint64_t Key(size_t rel, size_t attr) {
+  return (static_cast<uint64_t>(rel) << 32) | static_cast<uint64_t>(attr);
+}
+}  // namespace
+
+const DatasetIndex::AttrIndex& DatasetIndex::GetOrBuild(size_t rel,
+                                                        size_t attr) {
+  uint64_t key = Key(rel, attr);
+  auto it = indices_.find(key);
+  if (it != indices_.end()) return *it->second;
+
+  auto index = std::make_unique<AttrIndex>();
+  const Relation& relation = view_->dataset().relation(rel);
+  for (uint32_t row : view_->rows(rel)) {
+    const Value& v = relation.at(row, attr);
+    if (v.is_null()) continue;  // NULL never joins through an index
+    (*index)[v].push_back(row);
+  }
+  ++num_built_;
+  auto [pos, _] = indices_.emplace(key, std::move(index));
+  return *pos->second;
+}
+
+void DatasetIndex::NotifyAppend(size_t rel, uint32_t row) {
+  const Relation& relation = view_->dataset().relation(rel);
+  for (auto& [key, index] : indices_) {
+    if ((key >> 32) != rel) continue;
+    size_t attr = static_cast<size_t>(key & 0xffffffffu);
+    const Value& v = relation.at(row, attr);
+    if (!v.is_null()) (*index)[v].push_back(row);
+  }
+}
+
+const std::vector<uint32_t>& DatasetIndex::Lookup(size_t rel, size_t attr,
+                                                  const Value& v) {
+  if (v.is_null()) return empty_;
+  const AttrIndex& index = GetOrBuild(rel, attr);
+  auto it = index.find(v);
+  return it == index.end() ? empty_ : it->second;
+}
+
+}  // namespace dcer

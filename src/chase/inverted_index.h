@@ -1,0 +1,57 @@
+#ifndef DCER_CHASE_INVERTED_INDEX_H_
+#define DCER_CHASE_INVERTED_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/view.h"
+
+namespace dcer {
+
+/// Lazily-built inverted indices value -> rows for the equality predicates
+/// of Sec. V-A (1). One DatasetIndex is shared by all rules — that sharing
+/// is part of the MQO optimization; the noMQO ablation rebuilds an index per
+/// rule instead (Fig. 6(e)-(h)).
+class DatasetIndex {
+ public:
+  explicit DatasetIndex(const DatasetView* view) : view_(view) {}
+
+  DatasetIndex(const DatasetIndex&) = delete;
+  DatasetIndex& operator=(const DatasetIndex&) = delete;
+
+  const DatasetView& view() const { return *view_; }
+
+  /// Rows of relation `rel` (in the view) whose attribute `attr` equals `v`.
+  /// Builds the (rel, attr) index on first use.
+  const std::vector<uint32_t>& Lookup(size_t rel, size_t attr, const Value& v);
+
+  /// Number of (relation, attribute) indices built so far (MQO metric).
+  size_t num_indices_built() const { return num_built_; }
+
+  /// Registers a row newly appended to the view in every already-built
+  /// index of its relation (incremental ER over updates ΔD). The caller
+  /// must have added the row to the view first.
+  void NotifyAppend(size_t rel, uint32_t row);
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const {
+      return static_cast<size_t>(v.Hash());
+    }
+  };
+  using AttrIndex = std::unordered_map<Value, std::vector<uint32_t>, ValueHash>;
+
+  const AttrIndex& GetOrBuild(size_t rel, size_t attr);
+
+  const DatasetView* view_;
+  // (rel, attr) -> index; keyed densely: rel * max_attrs + attr is avoided in
+  // favor of a map keyed by pair packed into uint64.
+  std::unordered_map<uint64_t, std::unique_ptr<AttrIndex>> indices_;
+  size_t num_built_ = 0;
+  const std::vector<uint32_t> empty_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_INVERTED_INDEX_H_

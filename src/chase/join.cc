@@ -1,0 +1,257 @@
+#include "chase/join.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcer {
+
+RuleJoiner::RuleJoiner(DatasetIndex* index, const Rule* rule,
+                       const MlRegistry* registry, const MatchContext* ctx)
+    : index_(index), rule_(rule), registry_(registry), ctx_(ctx) {
+  size_t n = rule_->num_vars();
+  const_preds_.resize(n);
+  self_eqs_.resize(n);
+  const auto& pre = rule_->preconditions();
+  for (size_t i = 0; i < pre.size(); ++i) {
+    const Predicate& p = pre[i];
+    switch (p.kind) {
+      case PredicateKind::kConstEq:
+        const_preds_[p.lhs.var].push_back(&p);
+        break;
+      case PredicateKind::kAttrEq:
+        if (p.lhs.var == p.rhs.var) {
+          self_eqs_[p.lhs.var].push_back(&p);
+        } else {
+          cross_eqs_.push_back(&p);
+        }
+        break;
+      case PredicateKind::kIdEq:
+      case PredicateKind::kMl:
+        leaf_preds_.push_back(static_cast<int>(i));
+        break;
+    }
+  }
+  binding_.assign(n, kInvalidGid);
+  bound_.assign(n, false);
+}
+
+Gid RuleJoiner::GidOf(int var, uint32_t row) const {
+  return index_->view().dataset().relation(rule_->var_relation(var)).gid(row);
+}
+
+std::vector<Value> RuleJoiner::MlValues(int var, const std::vector<int>& attrs,
+                                        uint32_t row) const {
+  const Relation& rel =
+      index_->view().dataset().relation(rule_->var_relation(var));
+  std::vector<Value> out;
+  out.reserve(attrs.size());
+  for (int a : attrs) out.push_back(rel.at(row, a));
+  return out;
+}
+
+Fact RuleJoiner::MlFactFor(const Predicate& p,
+                           const std::vector<uint32_t>& rows) const {
+  uint64_t a_sig =
+      MlSideSignature(rule_->var_relation(p.lhs.var), p.lhs_ml_attrs);
+  uint64_t b_sig =
+      MlSideSignature(rule_->var_relation(p.rhs.var), p.rhs_ml_attrs);
+  return Fact::MlValidated(p.ml_id, GidOf(p.lhs.var, rows[p.lhs.var]), a_sig,
+                           GidOf(p.rhs.var, rows[p.rhs.var]), b_sig);
+}
+
+bool RuleJoiner::EvalIdOrMl(const Predicate& p) const {
+  if (p.kind == PredicateKind::kIdEq) {
+    return ctx_->Matched(GidOf(p.lhs.var, binding_[p.lhs.var]),
+                         GidOf(p.rhs.var, binding_[p.rhs.var]));
+  }
+  Fact f = MlFactFor(p, binding_);
+  if (ctx_->IsValidatedMl(f.Key())) return true;
+  std::vector<Value> va = MlValues(p.lhs.var, p.lhs_ml_attrs,
+                                   binding_[p.lhs.var]);
+  std::vector<Value> vb = MlValues(p.rhs.var, p.rhs_ml_attrs,
+                                   binding_[p.rhs.var]);
+  return registry_->Predict(p.ml_id, f.Key(), va, vb);
+}
+
+bool RuleJoiner::RowSatisfiesLocalPreds(int var, uint32_t row) const {
+  const Relation& rel =
+      index_->view().dataset().relation(rule_->var_relation(var));
+  for (const Predicate* p : const_preds_[var]) {
+    if (!EqJoinable(rel.at(row, p->lhs.attr), p->constant)) return false;
+  }
+  for (const Predicate* p : self_eqs_[var]) {
+    if (!EqJoinable(rel.at(row, p->lhs.attr), rel.at(row, p->rhs.attr))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RuleJoiner::PickNextVar() const {
+  int best = -1;
+  int best_links = -1;
+  size_t best_size = 0;
+  for (size_t v = 0; v < rule_->num_vars(); ++v) {
+    if (bound_[v]) continue;
+    int links = 0;
+    for (const Predicate* p : cross_eqs_) {
+      if ((p->lhs.var == static_cast<int>(v) && bound_[p->rhs.var]) ||
+          (p->rhs.var == static_cast<int>(v) && bound_[p->lhs.var])) {
+        ++links;
+      }
+    }
+    if (!const_preds_[v].empty()) ++links;  // constants are selective too
+    size_t rel_size = index_->view().rows(rule_->var_relation(v)).size();
+    if (links > best_links ||
+        (links == best_links && (best < 0 || rel_size < best_size))) {
+      best = static_cast<int>(v);
+      best_links = links;
+      best_size = rel_size;
+    }
+  }
+  return best;
+}
+
+bool RuleJoiner::CheckLeaf(const Callback& cb) {
+  ++valuations_checked_;
+  std::vector<int> unsat;
+  for (int i : leaf_preds_) {
+    if (!EvalIdOrMl(rule_->preconditions()[i])) unsat.push_back(i);
+  }
+  return cb(binding_, unsat);
+}
+
+void RuleJoiner::Backtrack(const Callback& cb, bool* stop) {
+  if (*stop) return;
+  if (num_bound_ == rule_->num_vars()) {
+    if (!CheckLeaf(cb)) *stop = true;
+    return;
+  }
+  int var = PickNextVar();
+  const int rel = rule_->var_relation(var);
+  const Relation& relation = index_->view().dataset().relation(rel);
+
+  // Gather equality constraints on `var` from bound variables and constants.
+  std::vector<Constraint> constraints;
+  for (const Predicate* p : cross_eqs_) {
+    int other = -1;
+    int my_attr = -1;
+    int other_attr = -1;
+    if (p->lhs.var == var && bound_[p->rhs.var]) {
+      other = p->rhs.var;
+      my_attr = p->lhs.attr;
+      other_attr = p->rhs.attr;
+    } else if (p->rhs.var == var && bound_[p->lhs.var]) {
+      other = p->lhs.var;
+      my_attr = p->rhs.attr;
+      other_attr = p->lhs.attr;
+    } else {
+      continue;
+    }
+    const Relation& other_rel =
+        index_->view().dataset().relation(rule_->var_relation(other));
+    constraints.push_back(
+        {my_attr, &other_rel.at(binding_[other], other_attr)});
+  }
+  for (const Predicate* p : const_preds_[var]) {
+    constraints.push_back({p->lhs.attr, &p->constant});
+  }
+
+  // Candidate rows: the shortest index posting list, or a full scan.
+  const std::vector<uint32_t>* candidates = nullptr;
+  size_t lookup_used = constraints.size();  // sentinel: none
+  if (!constraints.empty()) {
+    size_t best_len = SIZE_MAX;
+    for (size_t c = 0; c < constraints.size(); ++c) {
+      if (constraints[c].value->is_null()) {
+        // NULL joins nothing through equality: no candidates at all.
+        return;
+      }
+      const std::vector<uint32_t>& list =
+          index_->Lookup(rel, constraints[c].attr, *constraints[c].value);
+      if (list.size() < best_len) {
+        best_len = list.size();
+        candidates = &list;
+        lookup_used = c;
+      }
+      if (best_len == 0) break;
+    }
+  } else {
+    candidates = &index_->view().rows(rel);
+  }
+
+  bound_[var] = true;
+  ++num_bound_;
+  for (uint32_t row : *candidates) {
+    // Verify remaining constraints (the lookup enforced only one).
+    bool ok = true;
+    for (size_t c = 0; c < constraints.size(); ++c) {
+      if (c == lookup_used) continue;
+      if (!EqJoinable(relation.at(row, constraints[c].attr),
+                      *constraints[c].value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (!self_eqs_[var].empty() || constraints.empty()) {
+      // Self-equalities (and const preds on full scans, already covered by
+      // `constraints`) still need checking.
+      bool self_ok = true;
+      for (const Predicate* p : self_eqs_[var]) {
+        if (!EqJoinable(relation.at(row, p->lhs.attr),
+                        relation.at(row, p->rhs.attr))) {
+          self_ok = false;
+          break;
+        }
+      }
+      if (!self_ok) continue;
+    }
+    binding_[var] = row;
+    Backtrack(cb, stop);
+    if (*stop) break;
+  }
+  binding_[var] = kInvalidGid;
+  bound_[var] = false;
+  --num_bound_;
+}
+
+void RuleJoiner::Enumerate(const Callback& cb) {
+  std::fill(bound_.begin(), bound_.end(), false);
+  std::fill(binding_.begin(), binding_.end(), kInvalidGid);
+  num_bound_ = 0;
+  bool stop = false;
+  Backtrack(cb, &stop);
+}
+
+void RuleJoiner::EnumerateSeeded(
+    std::span<const std::pair<int, uint32_t>> seeds, const Callback& cb) {
+  std::fill(bound_.begin(), bound_.end(), false);
+  std::fill(binding_.begin(), binding_.end(), kInvalidGid);
+  num_bound_ = 0;
+  for (auto [var, row] : seeds) {
+    if (bound_[var]) {
+      if (binding_[var] != row) return;  // conflicting seeds
+      continue;
+    }
+    if (!RowSatisfiesLocalPreds(var, row)) return;
+    binding_[var] = row;
+    bound_[var] = true;
+    ++num_bound_;
+  }
+  // Cross equalities among seeded variables must hold.
+  for (const Predicate* p : cross_eqs_) {
+    if (bound_[p->lhs.var] && bound_[p->rhs.var]) {
+      const Dataset& d = index_->view().dataset();
+      const Value& lv = d.relation(rule_->var_relation(p->lhs.var))
+                            .at(binding_[p->lhs.var], p->lhs.attr);
+      const Value& rv = d.relation(rule_->var_relation(p->rhs.var))
+                            .at(binding_[p->rhs.var], p->rhs.attr);
+      if (!EqJoinable(lv, rv)) return;
+    }
+  }
+  bool stop = false;
+  Backtrack(cb, &stop);
+}
+
+}  // namespace dcer

@@ -1,0 +1,87 @@
+#ifndef DCER_CHASE_JOIN_H_
+#define DCER_CHASE_JOIN_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "chase/inverted_index.h"
+#include "chase/match_context.h"
+#include "ml/registry.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Enumerates the valuations h of a rule in a dataset view (Sec. II
+/// "Semantics"). Equality and constant predicates are enforced during the
+/// backtracking join via inverted indices; id and ML predicates are
+/// evaluated at the leaves against the current Γ (id: equivalence check;
+/// ML: validated-set lookup, then the cached classifier).
+///
+/// The callback receives the complete binding (one row per tuple variable)
+/// and the indices of the precondition id/ML predicates that do NOT yet
+/// hold; an empty list means h ⊨ X. Returning false stops enumeration.
+class RuleJoiner {
+ public:
+  using Callback = std::function<bool(const std::vector<uint32_t>& rows,
+                                      const std::vector<int>& unsat)>;
+
+  RuleJoiner(DatasetIndex* index, const Rule* rule, const MlRegistry* registry,
+             const MatchContext* ctx);
+
+  /// Enumerates all valuations.
+  void Enumerate(const Callback& cb);
+
+  /// Enumerates valuations with the given variables pre-bound (update-driven
+  /// re-joins of IncDeduce). Seed rows must be rows of the view's relations;
+  /// seeds violating the rule's constant/self-equality predicates yield
+  /// nothing.
+  void EnumerateSeeded(std::span<const std::pair<int, uint32_t>> seeds,
+                       const Callback& cb);
+
+  /// Leaf valuations inspected (the paper's computation-cost metric).
+  uint64_t valuations_checked() const { return valuations_checked_; }
+
+  /// Computes the ML fact for precondition/consequence predicate `p` under
+  /// `rows`, evaluating nothing. Exposed for Deduce's consequence handling.
+  Fact MlFactFor(const Predicate& p, const std::vector<uint32_t>& rows) const;
+
+  /// Gathers the attribute-value vector of an ML predicate side.
+  std::vector<Value> MlValues(int var, const std::vector<int>& attrs,
+                              uint32_t row) const;
+
+ private:
+  // Candidate constraint on the next variable: attr must equal value.
+  struct Constraint {
+    int attr;
+    const Value* value;
+  };
+
+  void Backtrack(const Callback& cb, bool* stop);
+  int PickNextVar() const;
+  bool RowSatisfiesLocalPreds(int var, uint32_t row) const;
+  bool CheckLeaf(const Callback& cb);
+  bool EvalIdOrMl(const Predicate& p) const;
+  Gid GidOf(int var, uint32_t row) const;
+
+  DatasetIndex* index_;
+  const Rule* rule_;
+  const MlRegistry* registry_;
+  const MatchContext* ctx_;
+
+  // Per-variable predicate buckets, precomputed once.
+  std::vector<std::vector<const Predicate*>> const_preds_;   // t.A = c
+  std::vector<std::vector<const Predicate*>> self_eqs_;      // t.A = t.B
+  std::vector<const Predicate*> cross_eqs_;                  // t.A = s.B
+  std::vector<int> leaf_preds_;  // indices of id/ML preconditions
+
+  // Backtracking state.
+  std::vector<uint32_t> binding_;
+  std::vector<bool> bound_;
+  size_t num_bound_ = 0;
+  uint64_t valuations_checked_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_JOIN_H_

@@ -1,0 +1,39 @@
+#include "chase/match.h"
+
+#include "common/timer.h"
+
+namespace dcer {
+
+MatchReport Match(const DatasetView& view, const RuleSet& rules,
+                  const MlRegistry& registry, const MatchOptions& options,
+                  MatchContext* ctx) {
+  Timer timer;
+  if (options.enable_provenance) ctx->EnableProvenance();
+
+  ChaseEngine::Options engine_options;
+  engine_options.dependency_capacity = options.dependency_capacity;
+  engine_options.share_indices = options.use_mqo;
+  ChaseEngine engine(&view, &rules, &registry, ctx, engine_options);
+
+  MatchReport report;
+  Delta delta;
+  engine.Deduce(&delta);
+  report.rounds = 1;
+
+  // IncDeduce cascades internally; the loop re-runs it until a pass derives
+  // nothing, which certifies the fixpoint (Fig. 3 lines 4-6).
+  while (!delta.empty()) {
+    Delta next;
+    engine.IncDeduce(delta, &next);
+    delta = std::move(next);
+    ++report.rounds;
+  }
+
+  report.chase = engine.stats();
+  report.seconds = timer.ElapsedSeconds();
+  report.matched_pairs = ctx->num_matched_pairs();
+  report.validated_ml = ctx->num_validated_ml();
+  return report;
+}
+
+}  // namespace dcer

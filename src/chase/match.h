@@ -1,0 +1,38 @@
+#ifndef DCER_CHASE_MATCH_H_
+#define DCER_CHASE_MATCH_H_
+
+#include "chase/deduce.h"
+
+namespace dcer {
+
+/// Configuration of the sequential Match algorithm.
+struct MatchOptions {
+  /// Capacity K of the dependency set H.
+  size_t dependency_capacity = size_t{1} << 20;
+  /// MQO on/off (shared inverted indices). Off = the DMatch_noMQO ablation.
+  bool use_mqo = true;
+  /// Record rule/valuation provenance for Explain().
+  bool enable_provenance = false;
+};
+
+/// Outcome counters of one Match run.
+struct MatchReport {
+  ChaseStats chase;
+  int rounds = 0;            // 1 (Deduce) + IncDeduce passes
+  double seconds = 0;        // wall clock
+  uint64_t matched_pairs = 0;
+  uint64_t validated_ml = 0;
+};
+
+/// Sequential algorithm Match (Fig. 3): chases `view` with `rules` to the
+/// fixpoint Γ, which is left in *ctx. ctx must be freshly constructed over
+/// the same dataset as the view. Deterministic given the inputs; by the
+/// Church–Rosser property (Cor. 1) the resulting Γ is independent of rule
+/// order, which the tests verify against NaiveChase.
+MatchReport Match(const DatasetView& view, const RuleSet& rules,
+                  const MlRegistry& registry, const MatchOptions& options,
+                  MatchContext* ctx);
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_MATCH_H_

@@ -1,0 +1,48 @@
+#include "chase/match_context.h"
+
+#include <algorithm>
+
+namespace dcer {
+
+bool MatchContext::Apply(const Fact& fact, Delta* delta) {
+  if (fact.kind == Fact::Kind::kMl) {
+    auto [it, inserted] = validated_ml_.insert(fact.Key());
+    if (inserted && delta != nullptr) delta->facts.push_back(fact);
+    return inserted;
+  }
+  if (eid_.Same(fact.a, fact.b)) return false;
+  if (delta != nullptr) {
+    // Every pair across the two classes becomes newly equivalent; these
+    // drive dependency firing and update-driven re-joins.
+    std::vector<uint32_t> ca = eid_.ClassMembers(fact.a);
+    std::vector<uint32_t> cb = eid_.ClassMembers(fact.b);
+    for (uint32_t x : ca) {
+      for (uint32_t y : cb) delta->id_pairs.push_back({x, y});
+    }
+    delta->facts.push_back(fact);
+  }
+  eid_.Union(fact.a, fact.b);
+  return true;
+}
+
+std::vector<std::pair<Gid, Gid>> MatchContext::MatchedPairs() const {
+  std::vector<std::pair<Gid, Gid>> out;
+  size_t n = eid_.size();
+  std::vector<bool> seen(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t root = eid_.Find(i);
+    if (seen[root]) continue;
+    seen[root] = true;
+    std::vector<uint32_t> members = eid_.ClassMembers(root);
+    std::sort(members.begin(), members.end());
+    for (size_t x = 0; x < members.size(); ++x) {
+      for (size_t y = x + 1; y < members.size(); ++y) {
+        out.push_back({members[x], members[y]});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,69 @@
+#ifndef DCER_CHASE_MATCH_CONTEXT_H_
+#define DCER_CHASE_MATCH_CONTEXT_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "chase/fact.h"
+#include "chase/provenance.h"
+#include "common/union_find.h"
+#include "relational/dataset.h"
+
+namespace dcer {
+
+/// The evolving match set Γ of the chase (Sec. III-A): an equivalence
+/// relation E_id over global tuple ids (initialized to the reflexive pairs)
+/// plus the set of validated ML predictions. Each BSP worker owns one; the
+/// sequential Match owns one for the whole dataset.
+class MatchContext {
+ public:
+  explicit MatchContext(const Dataset& dataset)
+      : dataset_(&dataset), eid_(dataset.num_tuples()) {}
+
+  MatchContext(const MatchContext&) = delete;
+  MatchContext& operator=(const MatchContext&) = delete;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// True iff (a.id, b.id) ∈ Γ (reflexive and transitive by construction).
+  bool Matched(Gid a, Gid b) const { return eid_.Same(a, b); }
+
+  /// True iff this ML prediction was validated by some rule's consequence.
+  bool IsValidatedMl(uint64_t ml_key) const {
+    return validated_ml_.count(ml_key) > 0;
+  }
+
+  /// Applies a fact. Returns true iff it was new; in that case appends the
+  /// fact and (for id facts) every newly-equivalent concrete pair to *delta.
+  bool Apply(const Fact& fact, Delta* delta);
+
+  const UnionFind& eid() const { return eid_; }
+
+  /// Extends E_id to cover tuples appended to the dataset after this
+  /// context was created (incremental ER over updates).
+  void GrowToDataset() { eid_.Grow(dataset_->num_tuples()); }
+
+  /// All matched non-reflexive pairs (the deduced matches of Γ), sorted.
+  /// O(|D| + |pairs|); used by evaluation and tests.
+  std::vector<std::pair<Gid, Gid>> MatchedPairs() const;
+
+  uint64_t num_matched_pairs() const { return eid_.NumMatchedPairs(); }
+  size_t num_validated_ml() const { return validated_ml_.size(); }
+
+  void EnableProvenance() {
+    if (!provenance_) provenance_ = std::make_unique<ProvenanceLog>();
+  }
+  ProvenanceLog* provenance() { return provenance_.get(); }
+  const ProvenanceLog* provenance() const { return provenance_.get(); }
+
+ private:
+  const Dataset* dataset_;
+  UnionFind eid_;
+  std::unordered_set<uint64_t> validated_ml_;
+  std::unique_ptr<ProvenanceLog> provenance_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_MATCH_CONTEXT_H_

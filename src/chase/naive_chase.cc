@@ -1,0 +1,117 @@
+#include "chase/naive_chase.h"
+
+#include <numeric>
+
+#include "chase/fact.h"
+
+namespace dcer {
+
+namespace {
+
+// Evaluates every precondition of `rule` under `rows`; true iff h ⊨ X.
+bool SatisfiesPreconditions(const Dataset& d, const Rule& rule,
+                            const std::vector<uint32_t>& rows,
+                            const MlRegistry& registry,
+                            const MatchContext& ctx) {
+  for (const Predicate& p : rule.preconditions()) {
+    switch (p.kind) {
+      case PredicateKind::kConstEq: {
+        const Relation& r = d.relation(rule.var_relation(p.lhs.var));
+        if (!EqJoinable(r.at(rows[p.lhs.var], p.lhs.attr), p.constant)) {
+          return false;
+        }
+        break;
+      }
+      case PredicateKind::kAttrEq: {
+        const Relation& rl = d.relation(rule.var_relation(p.lhs.var));
+        const Relation& rr = d.relation(rule.var_relation(p.rhs.var));
+        if (!EqJoinable(rl.at(rows[p.lhs.var], p.lhs.attr),
+                        rr.at(rows[p.rhs.var], p.rhs.attr))) {
+          return false;
+        }
+        break;
+      }
+      case PredicateKind::kIdEq: {
+        Gid a = d.relation(rule.var_relation(p.lhs.var)).gid(rows[p.lhs.var]);
+        Gid b = d.relation(rule.var_relation(p.rhs.var)).gid(rows[p.rhs.var]);
+        if (!ctx.Matched(a, b)) return false;
+        break;
+      }
+      case PredicateKind::kMl: {
+        Gid a = d.relation(rule.var_relation(p.lhs.var)).gid(rows[p.lhs.var]);
+        Gid b = d.relation(rule.var_relation(p.rhs.var)).gid(rows[p.rhs.var]);
+        uint64_t a_sig =
+            MlSideSignature(rule.var_relation(p.lhs.var), p.lhs_ml_attrs);
+        uint64_t b_sig =
+            MlSideSignature(rule.var_relation(p.rhs.var), p.rhs_ml_attrs);
+        Fact f = Fact::MlValidated(p.ml_id, a, a_sig, b, b_sig);
+        if (ctx.IsValidatedMl(f.Key())) break;
+        std::vector<Value> va;
+        std::vector<Value> vb;
+        const Relation& rl = d.relation(rule.var_relation(p.lhs.var));
+        const Relation& rr = d.relation(rule.var_relation(p.rhs.var));
+        for (int attr : p.lhs_ml_attrs) va.push_back(rl.at(rows[p.lhs.var], attr));
+        for (int attr : p.rhs_ml_attrs) vb.push_back(rr.at(rows[p.rhs.var], attr));
+        if (!registry.Predict(p.ml_id, f.Key(), va, vb)) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+// Applies the consequence; returns true if Γ changed.
+bool ApplyConsequence(const Dataset& d, const Rule& rule,
+                      const std::vector<uint32_t>& rows, MatchContext* ctx) {
+  const Predicate& c = rule.consequence();
+  if (c.kind == PredicateKind::kIdEq) {
+    Gid a = d.relation(rule.var_relation(c.lhs.var)).gid(rows[c.lhs.var]);
+    Gid b = d.relation(rule.var_relation(c.rhs.var)).gid(rows[c.rhs.var]);
+    return ctx->Apply(Fact::IdMatch(a, b), nullptr);
+  }
+  Gid a = d.relation(rule.var_relation(c.lhs.var)).gid(rows[c.lhs.var]);
+  Gid b = d.relation(rule.var_relation(c.rhs.var)).gid(rows[c.rhs.var]);
+  uint64_t a_sig = MlSideSignature(rule.var_relation(c.lhs.var), c.lhs_ml_attrs);
+  uint64_t b_sig = MlSideSignature(rule.var_relation(c.rhs.var), c.rhs_ml_attrs);
+  return ctx->Apply(Fact::MlValidated(c.ml_id, a, a_sig, b, b_sig), nullptr);
+}
+
+// Recursively enumerates all row assignments for vars [v..] of the rule.
+bool EnumerateAll(const DatasetView& view, const Rule& rule,
+                  const MlRegistry& registry, MatchContext* ctx,
+                  std::vector<uint32_t>& rows, size_t v) {
+  const Dataset& d = view.dataset();
+  if (v == rule.num_vars()) {
+    if (!SatisfiesPreconditions(d, rule, rows, registry, *ctx)) return false;
+    return ApplyConsequence(d, rule, rows, ctx);
+  }
+  bool changed = false;
+  for (uint32_t row : view.rows(rule.var_relation(static_cast<int>(v)))) {
+    rows[v] = row;
+    changed |= EnumerateAll(view, rule, registry, ctx, rows, v + 1);
+  }
+  return changed;
+}
+
+}  // namespace
+
+void NaiveChase(const DatasetView& view, const RuleSet& rules,
+                const MlRegistry& registry, MatchContext* ctx,
+                const std::vector<size_t>& rule_order) {
+  std::vector<size_t> order = rule_order;
+  if (order.empty()) {
+    order.resize(rules.size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri : order) {
+      const Rule& rule = rules.rule(ri);
+      std::vector<uint32_t> rows(rule.num_vars());
+      changed |= EnumerateAll(view, rule, registry, ctx, rows, 0);
+    }
+  }
+}
+
+}  // namespace dcer

@@ -1,0 +1,25 @@
+#ifndef DCER_CHASE_NAIVE_CHASE_H_
+#define DCER_CHASE_NAIVE_CHASE_H_
+
+#include "chase/match_context.h"
+#include "chase/view.h"
+#include "ml/registry.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Reference chase evaluator: repeats full brute-force enumeration of every
+/// valuation of every rule (nested scans, no indices, no dependency store,
+/// no deltas) until the fixpoint. Exponential in rule arity — use only on
+/// small inputs. Exists to validate Match and DMatch (Church–Rosser /
+/// Prop. 4 & 8 tests): all three must converge to the same Γ.
+///
+/// `rule_order`, if non-empty, is the order in which rules are tried per
+/// round — the result must not depend on it (Cor. 1), which tests assert.
+void NaiveChase(const DatasetView& view, const RuleSet& rules,
+                const MlRegistry& registry, MatchContext* ctx,
+                const std::vector<size_t>& rule_order = {});
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_NAIVE_CHASE_H_

@@ -1,0 +1,120 @@
+#include "chase/provenance.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace dcer {
+
+namespace {
+// Renders tuple `gid` as "Relation[gid](v1, v2, ...)".
+std::string RenderTuple(const Dataset& dataset, Gid gid) {
+  TupleLoc loc = dataset.loc(gid);
+  const Relation& rel = dataset.relation(loc.relation);
+  std::string out =
+      rel.schema().name() + "[" + std::to_string(gid) + "](";
+  const Row& row = rel.row(loc.row);
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+}  // namespace
+
+void ProvenanceLog::Record(const Fact& fact, int rule,
+                           std::vector<Gid> valuation) {
+  uint64_t key = fact.Key();
+  if (derivations_.count(key)) return;
+  derivations_.emplace(key, Derivation{rule, std::move(valuation)});
+  if (fact.kind == Fact::Kind::kId && fact.a != fact.b) {
+    edges_[fact.a].push_back(fact.b);
+    edges_[fact.b].push_back(fact.a);
+  }
+}
+
+const ProvenanceLog::Derivation* ProvenanceLog::Find(uint64_t fact_key) const {
+  auto it = derivations_.find(fact_key);
+  return it == derivations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<Gid, Gid>> ProvenanceLog::FindPath(Gid a, Gid b) const {
+  if (a == b) return {};
+  std::unordered_map<Gid, Gid> parent;
+  std::deque<Gid> queue{a};
+  parent[a] = a;
+  while (!queue.empty()) {
+    Gid cur = queue.front();
+    queue.pop_front();
+    if (cur == b) break;
+    auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    for (Gid next : it->second) {
+      if (!parent.count(next)) {
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (!parent.count(b)) return {};
+  std::vector<std::pair<Gid, Gid>> path;
+  for (Gid cur = b; cur != a; cur = parent[cur]) {
+    path.push_back({parent[cur], cur});
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void ProvenanceLog::ExplainEdge(const Dataset& dataset, const RuleSet& rules,
+                                Gid a, Gid b, int depth, int max_depth,
+                                std::string* out) const {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const Derivation* d = Find(IdPairKey(a, b));
+  if (d == nullptr) {
+    // Not a direct edge; decompose along the match path.
+    for (auto [x, y] : FindPath(a, b)) {
+      ExplainEdge(dataset, rules, x, y, depth, max_depth, out);
+    }
+    return;
+  }
+  if (d->rule < 0) {
+    // Fact received from another worker; its derivation lives elsewhere.
+    *out += indent + RenderTuple(dataset, a) + " ~ " + RenderTuple(dataset, b) +
+            "  (received)\n";
+    return;
+  }
+  const Rule& rule = rules.rule(d->rule);
+  *out += indent + RenderTuple(dataset, a) + " ~ " + RenderTuple(dataset, b) +
+          "  by " + (rule.name().empty() ? StringPrintf("rule#%d", d->rule)
+                                         : rule.name()) +
+          "\n";
+  if (depth >= max_depth) return;
+  // Expand recursive id preconditions of the valuation that fired.
+  for (const Predicate& p : rule.preconditions()) {
+    if (p.kind != PredicateKind::kIdEq) continue;
+    Gid pa = d->valuation[p.lhs.var];
+    Gid pb = d->valuation[p.rhs.var];
+    if (pa == pb) continue;
+    *out += indent + "  using prior match:\n";
+    ExplainEdge(dataset, rules, pa, pb, depth + 2, max_depth, out);
+  }
+}
+
+std::string ProvenanceLog::Explain(const Dataset& dataset,
+                                   const RuleSet& rules, Gid a, Gid b,
+                                   int max_depth) const {
+  std::vector<std::pair<Gid, Gid>> path = FindPath(a, b);
+  if (path.empty() && a != b) {
+    return "no derivation recorded for (" + std::to_string(a) + ", " +
+           std::to_string(b) + ")\n";
+  }
+  std::string out;
+  for (auto [x, y] : path) {
+    ExplainEdge(dataset, rules, x, y, 0, max_depth, &out);
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,54 @@
+#ifndef DCER_CHASE_PROVENANCE_H_
+#define DCER_CHASE_PROVENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/fact.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Records, for every deduced fact, the rule and valuation that produced it,
+/// and reconstructs derivation explanations. This implements the paper's
+/// "logic explanation of ML predictions" remark and the Exp-4 use case:
+/// Explain(t, s) prints the chain of rule applications (with the tuples they
+/// bound) that led to a match — including the recursive steps.
+class ProvenanceLog {
+ public:
+  struct Derivation {
+    int rule = -1;                // index into the rule set
+    std::vector<Gid> valuation;   // gid per tuple variable
+  };
+
+  /// Records the derivation of `fact` (first derivation wins).
+  void Record(const Fact& fact, int rule, std::vector<Gid> valuation);
+
+  /// Derivation of the fact with this key, or nullptr.
+  const Derivation* Find(uint64_t fact_key) const;
+
+  /// Human-readable derivation of why a ~ b, walking the direct-match edges
+  /// between their equivalence classes and expanding recursive id
+  /// preconditions up to `max_depth`.
+  std::string Explain(const Dataset& dataset, const RuleSet& rules, Gid a,
+                      Gid b, int max_depth = 4) const;
+
+  size_t size() const { return derivations_.size(); }
+
+ private:
+  // Renders one direct edge and recursively expands its id preconditions.
+  void ExplainEdge(const Dataset& dataset, const RuleSet& rules, Gid a, Gid b,
+                   int depth, int max_depth, std::string* out) const;
+
+  // Finds a path of direct match edges from a to b (BFS); empty if none.
+  std::vector<std::pair<Gid, Gid>> FindPath(Gid a, Gid b) const;
+
+  std::unordered_map<uint64_t, Derivation> derivations_;
+  // Direct match edges for path reconstruction: gid -> matched gids.
+  std::unordered_map<Gid, std::vector<Gid>> edges_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_PROVENANCE_H_

@@ -1,0 +1,172 @@
+#include "chase/soft_match.h"
+
+#include <algorithm>
+
+namespace dcer {
+
+namespace {
+std::pair<Gid, Gid> Norm(Gid a, Gid b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+SoftMatcher::SoftMatcher(const DatasetView* view, const RuleSet* rules,
+                         std::vector<double> weights,
+                         const MlRegistry* registry, SoftMatchOptions options)
+    : view_(view),
+      rules_(rules),
+      weights_(std::move(weights)),
+      registry_(registry),
+      options_(options),
+      ctx_(view->dataset()),
+      index_(view) {
+  if (weights_.empty()) weights_.assign(rules_->size(), 1.0);
+  joiners_.resize(rules_->size());
+  for (size_t i = 0; i < rules_->size(); ++i) {
+    joiners_[i] = std::make_unique<RuleJoiner>(&index_, &rules_->rule(i),
+                                               registry_, &ctx_);
+  }
+}
+
+double SoftMatcher::Probability(Gid a, Gid b) const {
+  if (a == b) return 1.0;
+  auto it = prob_.find(Norm(a, b));
+  return it == prob_.end() ? 0.0 : it->second;
+}
+
+void SoftMatcher::Accumulate(Gid a, Gid b, double strength, ProbMap* into) {
+  if (a == b || strength <= 0) return;
+  double& p = (*into)[Norm(a, b)];
+  p = 1.0 - (1.0 - p) * (1.0 - strength);
+}
+
+double SoftMatcher::ValuationStrength(size_t ri, RuleJoiner* joiner,
+                                      const std::vector<uint32_t>& rows) {
+  const Rule& rule = rules_->rule(ri);
+  double strength = weights_[ri];
+  for (const Predicate& p : rule.preconditions()) {
+    if (p.kind == PredicateKind::kIdEq) {
+      Gid a = view_->dataset().relation(rule.var_relation(p.lhs.var))
+                  .gid(rows[p.lhs.var]);
+      Gid b = view_->dataset().relation(rule.var_relation(p.rhs.var))
+                  .gid(rows[p.rhs.var]);
+      strength *= Probability(a, b);
+    } else if (p.kind == PredicateKind::kMl) {
+      Fact f = joiner->MlFactFor(p, rows);
+      uint64_t key = f.Key();
+      auto it = ml_score_cache_.find(key);
+      double score;
+      if (it != ml_score_cache_.end()) {
+        score = it->second;
+      } else {
+        std::vector<Value> va =
+            joiner->MlValues(p.lhs.var, p.lhs_ml_attrs, rows[p.lhs.var]);
+        std::vector<Value> vb =
+            joiner->MlValues(p.rhs.var, p.rhs_ml_attrs, rows[p.rhs.var]);
+        score = registry_->Score(p.ml_id, va, vb);
+        ml_score_cache_.emplace(key, score);
+      }
+      strength *= score;
+    }
+    if (strength <= 0) return 0;
+  }
+  return strength;
+}
+
+void SoftMatcher::TransitivitySweep(ProbMap* into) {
+  // Adjacency over the previous pass's pairs at/above the threshold.
+  std::map<Gid, std::vector<std::pair<Gid, double>>> adj;
+  for (const auto& [pair, p] : prob_) {
+    if (p < options_.threshold) continue;
+    adj[pair.first].push_back({pair.second, p});
+    adj[pair.second].push_back({pair.first, p});
+  }
+  for (const auto& [b, neighbors] : adj) {
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        auto [a, pab] = neighbors[i];
+        auto [c, pbc] = neighbors[j];
+        double strength = options_.transitivity_factor * pab * pbc;
+        auto it = into->find(Norm(a, c));
+        double direct = it == into->end() ? 0.0 : it->second;
+        // Transitive support replaces, never stacks with, weaker direct
+        // evidence (a~b~c is not independent of a~c derivations).
+        if (strength > direct) (*into)[Norm(a, c)] = strength;
+      }
+    }
+  }
+}
+
+int SoftMatcher::Run() {
+  int pass = 0;
+  for (; pass < options_.max_passes; ++pass) {
+    // Recompute every pair's probability from this pass's derivations
+    // (noisy-or over distinct valuations), using the previous pass's
+    // probabilities for recursive id preconditions. Probabilities are
+    // monotone across passes, bounded by 1, so the loop converges.
+    ProbMap next;
+    for (size_t ri = 0; ri < rules_->size(); ++ri) {
+      const Rule& rule = rules_->rule(ri);
+      RuleJoiner* joiner = joiners_[ri].get();
+      joiner->Enumerate([&](const std::vector<uint32_t>& rows,
+                            const std::vector<int>& unsat) {
+        // Hard-mirrored id preconditions must hold; ML preconditions enter
+        // the strength multiplicatively (their unsat status is advisory).
+        for (int i : unsat) {
+          if (rule.preconditions()[i].kind == PredicateKind::kIdEq) {
+            return true;  // below-threshold recursion: skip
+          }
+        }
+        double strength = ValuationStrength(ri, joiner, rows);
+        if (strength <= 0) return true;
+        const Predicate& c = rule.consequence();
+        if (c.kind == PredicateKind::kIdEq) {
+          Gid a = view_->dataset().relation(rule.var_relation(c.lhs.var))
+                      .gid(rows[c.lhs.var]);
+          Gid b = view_->dataset().relation(rule.var_relation(c.rhs.var))
+                      .gid(rows[c.rhs.var]);
+          Accumulate(a, b, strength, &next);
+        } else {
+          // Soft-validated ML prediction: mirror when strong enough.
+          if (strength >= options_.threshold) {
+            ctx_.Apply(joiner->MlFactFor(c, rows), nullptr);
+          }
+        }
+        return true;
+      });
+    }
+    TransitivitySweep(&next);
+
+    double max_gain = 0;
+    for (auto& [pair, p] : next) {
+      double prev = Probability(pair.first, pair.second);
+      // Monotone: evidence never shrinks across passes.
+      p = std::max(p, prev);
+      max_gain = std::max(max_gain, p - prev);
+      if (p >= options_.threshold) {
+        // Mirror into the hard context so recursion fires next pass.
+        ctx_.Apply(Fact::IdMatch(pair.first, pair.second), nullptr);
+      }
+    }
+    prob_ = std::move(next);
+    if (max_gain < options_.epsilon) {
+      ++pass;
+      break;
+    }
+  }
+  return pass;
+}
+
+std::vector<std::tuple<Gid, Gid, double>> SoftMatcher::Matches(
+    double min_probability) const {
+  std::vector<std::tuple<Gid, Gid, double>> out;
+  for (const auto& [pair, p] : prob_) {
+    if (p >= min_probability) out.push_back({pair.first, pair.second, p});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return std::get<2>(x) > std::get<2>(y);
+  });
+  return out;
+}
+
+}  // namespace dcer

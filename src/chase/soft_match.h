@@ -1,0 +1,87 @@
+#ifndef DCER_CHASE_SOFT_MATCH_H_
+#define DCER_CHASE_SOFT_MATCH_H_
+
+#include <map>
+
+#include "chase/deduce.h"
+
+namespace dcer {
+
+/// Soft deep and collective ER — the first future-work item of the paper's
+/// conclusion: "extend MRLs to soft rules that return the probability of
+/// ER".
+///
+/// Each rule carries a confidence weight w ∈ (0, 1]. A firing valuation
+/// contributes strength
+///     w · Π score(M) over its ML preconditions
+///       · Π P(x ~ y)  over its id preconditions,
+/// and a pair's probability accumulates across independent derivations by
+/// noisy-or: P ← 1 - (1-P)(1-strength). Transitivity is itself soft:
+/// P(a~c) picks up t · P(a~b) · P(b~c) for a configurable damping t.
+///
+/// Evaluation iterates to a fixpoint: probabilities only grow and are
+/// bounded by 1, and a pass that raises nothing by more than epsilon stops
+/// the loop. Pairs at or above `threshold` behave like hard matches for
+/// recursive rule evaluation (they satisfy id preconditions), so the hard
+/// chase is the w=1, boolean-ML special case.
+struct SoftMatchOptions {
+  double threshold = 0.5;           // id preconditions fire at this P
+  double epsilon = 1e-3;            // convergence tolerance per pass
+  int max_passes = 20;
+  double transitivity_factor = 0.9; // damping t for soft transitivity
+};
+
+class SoftMatcher {
+ public:
+  /// `weights[i]` is the confidence of rules.rule(i); pass an empty vector
+  /// for all-1.0 weights.
+  SoftMatcher(const DatasetView* view, const RuleSet* rules,
+              std::vector<double> weights, const MlRegistry* registry,
+              SoftMatchOptions options = {});
+
+  SoftMatcher(const SoftMatcher&) = delete;
+  SoftMatcher& operator=(const SoftMatcher&) = delete;
+
+  /// Runs the probabilistic fixpoint. Returns the number of passes.
+  int Run();
+
+  /// Probability that a and b denote the same entity (1 for a == b).
+  double Probability(Gid a, Gid b) const;
+
+  /// All pairs with probability >= min_probability, sorted by descending
+  /// probability.
+  std::vector<std::tuple<Gid, Gid, double>> Matches(
+      double min_probability) const;
+
+  /// The hard context mirroring pairs at/above the threshold (what
+  /// recursive id preconditions see).
+  const MatchContext& hard_context() const { return ctx_; }
+
+ private:
+  using ProbMap = std::map<std::pair<Gid, Gid>, double>;
+
+  // Noisy-or accumulation of one derivation's strength into *into.
+  void Accumulate(Gid a, Gid b, double strength, ProbMap* into);
+  // Strength of a satisfied valuation of rule `ri` under `rows`, using the
+  // previous pass's probabilities for id preconditions.
+  double ValuationStrength(size_t ri, RuleJoiner* joiner,
+                           const std::vector<uint32_t>& rows);
+  // Soft transitivity over the previous pass's high-probability graph.
+  void TransitivitySweep(ProbMap* into);
+
+  const DatasetView* view_;
+  const RuleSet* rules_;
+  std::vector<double> weights_;
+  const MlRegistry* registry_;
+  SoftMatchOptions options_;
+
+  MatchContext ctx_;  // hard mirror: pairs with P >= threshold
+  DatasetIndex index_;
+  std::vector<std::unique_ptr<RuleJoiner>> joiners_;
+  ProbMap prob_;  // previous pass's fixpoint-in-progress
+  std::map<uint64_t, double> ml_score_cache_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_SOFT_MATCH_H_

@@ -1,0 +1,32 @@
+#include "chase/view.h"
+
+#include <numeric>
+
+namespace dcer {
+
+DatasetView DatasetView::Full(const Dataset& dataset) {
+  std::vector<std::vector<uint32_t>> rows(dataset.num_relations());
+  for (size_t r = 0; r < dataset.num_relations(); ++r) {
+    rows[r].resize(dataset.relation(r).num_rows());
+    std::iota(rows[r].begin(), rows[r].end(), 0);
+  }
+  return DatasetView(&dataset, std::move(rows));
+}
+
+size_t DatasetView::num_tuples() const {
+  size_t total = 0;
+  for (const auto& r : rows_) total += r.size();
+  return total;
+}
+
+void DatasetView::BuildGidMap() {
+  hosted_.clear();
+  for (size_t rel = 0; rel < rows_.size(); ++rel) {
+    const Relation& relation = dataset_->relation(rel);
+    for (uint32_t row : rows_[rel]) {
+      hosted_.emplace(relation.gid(row), row);
+    }
+  }
+}
+
+}  // namespace dcer

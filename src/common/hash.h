@@ -1,0 +1,51 @@
+#ifndef DCER_COMMON_HASH_H_
+#define DCER_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dcer {
+
+/// 64-bit FNV-1a over raw bytes. Deterministic across runs and platforms,
+/// which matters for reproducible partitioning experiments.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL ^ (seed * 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashInt(uint64_t x, uint64_t seed = 0) {
+  // SplitMix64 finalizer.
+  x += 0x9E3779B97F4A7C15ULL + seed * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+/// Hash for unordered pairs: symmetric in (a, b).
+inline uint64_t HashUnorderedPair(uint64_t a, uint64_t b) {
+  if (a > b) {
+    uint64_t t = a;
+    a = b;
+    b = t;
+  }
+  return HashCombine(HashInt(a), HashInt(b));
+}
+
+}  // namespace dcer
+
+#endif  // DCER_COMMON_HASH_H_

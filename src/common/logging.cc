@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dcer {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  if (level < g_level.load()) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kWarning:
+      tag = "W";
+      break;
+    case LogLevel::kError:
+      tag = "E";
+      break;
+  }
+  // Strip directories from file for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", tag, base, line, msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace dcer

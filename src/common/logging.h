@@ -1,0 +1,46 @@
+#ifndef DCER_COMMON_LOGGING_H_
+#define DCER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so library users and benches are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define DCER_LOG(level)                                                  \
+  ::dcer::internal::LogStream(::dcer::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+}  // namespace dcer
+
+#endif  // DCER_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dcer {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF sampling via rejection (Devroye). Good enough for workloads.
+  double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-9)));
+    if (x < 1.0) x = 1.0;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      uint64_t k = static_cast<uint64_t>(x) - 1;
+      if (k < n) return k;
+    }
+  }
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::RandomWord(size_t min_len, size_t max_len) {
+  size_t len = min_len + Uniform(max_len - min_len + 1);
+  std::string s(len, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+  return s;
+}
+
+Rng Rng::Fork(uint64_t stream_id) {
+  return Rng(Next() ^ (stream_id * 0xD1B54A32D192ED03ULL));
+}
+
+}  // namespace dcer

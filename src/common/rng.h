@@ -1,0 +1,50 @@
+#ifndef DCER_COMMON_RNG_H_
+#define DCER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcer {
+
+/// Deterministic xoshiro256** PRNG. All data generators and experiments use
+/// this (never std::rand), so every table and figure is reproducible from a
+/// seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [0, n) with skew parameter s (s=0 uniform).
+  /// Used for skewed workloads in the balancing experiments.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Random element index weighted by `weights` (must be non-empty).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Lower-case alphabetic string of the given length.
+  std::string RandomWord(size_t min_len, size_t max_len);
+
+  /// Forks an independent stream (for per-worker determinism).
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dcer
+
+#endif  // DCER_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace dcer {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+  }
+  std::string out = name;
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,101 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include <algorithm>
+
+namespace dcer {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b, int bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  size_t n = a.size();
+  size_t m = b.size();
+  if (bound >= 0 && m - n > static_cast<size_t>(bound)) {
+    return static_cast<size_t>(bound) + 1;
+  }
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    size_t row_min = cur[0];
+    for (size_t i = 1; i <= n; ++i) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, prev[i - 1] + cost});
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (bound >= 0 && row_min > static_cast<size_t>(bound)) {
+      return static_cast<size_t>(bound) + 1;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int len = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(len > 0 ? static_cast<size_t>(len) : 0, '\0');
+  if (len > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace dcer

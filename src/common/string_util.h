@@ -1,0 +1,34 @@
+#ifndef DCER_COMMON_STRING_UTIL_H_
+#define DCER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcer {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; drops empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string ToLower(std::string_view s);
+
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Levenshtein edit distance with an early-exit bound; returns bound+1 if the
+/// distance exceeds `bound` (bound < 0 means unbounded).
+size_t EditDistance(std::string_view a, std::string_view b, int bound = -1);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dcer
+
+#endif  // DCER_COMMON_STRING_UTIL_H_

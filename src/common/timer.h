@@ -1,0 +1,28 @@
+#ifndef DCER_COMMON_TIMER_H_
+#define DCER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dcer {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_COMMON_TIMER_H_

@@ -1,0 +1,79 @@
+#include "common/union_find.h"
+
+#include <numeric>
+
+namespace dcer {
+
+void UnionFind::Reset(size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), 0);
+  size_.assign(n, 1);
+  next_.resize(n);
+  std::iota(next_.begin(), next_.end(), 0);
+}
+
+void UnionFind::Grow(size_t n) {
+  if (n <= parent_.size()) return;
+  size_t old = parent_.size();
+  parent_.resize(n);
+  size_.resize(n, 1);
+  next_.resize(n);
+  for (size_t i = old; i < n; ++i) {
+    parent_[i] = static_cast<uint32_t>(i);
+    next_[i] = static_cast<uint32_t>(i);
+  }
+}
+
+uint32_t UnionFind::Find(uint32_t x) const {
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    uint32_t up = parent_[x];
+    parent_[x] = root;
+    x = up;
+  }
+  return root;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  std::swap(next_[ra], next_[rb]);
+  return true;
+}
+
+std::vector<uint32_t> UnionFind::ClassMembers(uint32_t x) const {
+  std::vector<uint32_t> out;
+  out.reserve(ClassSize(x));
+  uint32_t cur = x;
+  do {
+    out.push_back(cur);
+    cur = next_[cur];
+  } while (cur != x);
+  return out;
+}
+
+size_t UnionFind::NumNonTrivialClasses() const {
+  size_t count = 0;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    if (Find(i) == i && size_[i] >= 2) ++count;
+  }
+  return count;
+}
+
+uint64_t UnionFind::NumMatchedPairs() const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    if (Find(i) == i) {
+      uint64_t s = size_[i];
+      total += s * (s - 1) / 2;
+    }
+  }
+  return total;
+}
+
+}  // namespace dcer

@@ -1,0 +1,305 @@
+#include "datagen/ecommerce.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "datagen/noise.h"
+#include "rules/parser.h"
+
+namespace dcer {
+
+namespace {
+
+const char* kFirstNames[] = {"Ford",  "Tony",  "Alice", "Maria", "John",
+                             "Wei",   "Priya", "Carlos", "Anna",  "Yuki",
+                             "Omar",  "Lena",  "Igor",  "Sara",  "Paul"};
+const char* kLastNames[] = {"Smith",  "Brown",  "Garcia", "Chen",  "Patel",
+                            "Müller", "Rossi",  "Kim",    "Novak", "Silva",
+                            "Dubois", "Ivanov", "Sato",   "Okafor", "Haug"};
+const char* kStreets[] = {"1st Ave", "9 Ave", "Main St", "Oak Rd", "Elm St",
+                          "Pine Blvd", "Lake Dr", "Hill Way"};
+const char* kCities[] = {"LA", "NY", "SF", "Austin", "Boston", "Seattle"};
+const char* kBrands[] = {"ThinkPad", "MacBook", "Aspire", "Pavilion",
+                         "ZenBook", "Inspiron", "Gram", "Swift"};
+const char* kSpecs[] = {"8GB RAM",  "16GB RAM", "512GB SSD", "256GB SSD",
+                        "14-Inch",  "13-inch",  "Backlit Keyboard",
+                        "7th Gen",  "OLED",     "Touchscreen"};
+const char* kPrefs[] = {"clothing", "makeup", "sports", "electronics",
+                        "dress", "books", "garden"};
+
+std::string MakePhone(Rng* rng) {
+  return StringPrintf("(%03d) %03d-%04d",
+                      static_cast<int>(rng->Uniform(900) + 100),
+                      static_cast<int>(rng->Uniform(900) + 100),
+                      static_cast<int>(rng->Uniform(10000)));
+}
+
+std::string MakeIp(Rng* rng) {
+  return StringPrintf("%d.%d.%d.%d", static_cast<int>(rng->Uniform(224) + 1),
+                      static_cast<int>(rng->Uniform(256)),
+                      static_cast<int>(rng->Uniform(256)),
+                      static_cast<int>(rng->Uniform(256)));
+}
+
+std::string MakeDesc(Rng* rng, const std::string& brand) {
+  // Distinct model token + serial word keep unrelated products apart in
+  // n-gram space even within a brand.
+  std::string desc = brand + " " + rng->RandomWord(5, 8) + " X" +
+                     std::to_string(rng->Uniform(900) + 100);
+  size_t nspecs = 2 + rng->Uniform(2);
+  for (size_t i = 0; i < nspecs; ++i) {
+    desc += ", ";
+    desc += kSpecs[rng->Uniform(std::size(kSpecs))];
+  }
+  desc += ", sku " + rng->RandomWord(6, 9);
+  return desc;
+}
+
+}  // namespace
+
+std::unique_ptr<GenDataset> MakeEcommerce(const EcommerceOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "ecommerce";
+  Rng rng(options.seed);
+  Noiser noiser(&rng);
+  Dataset& d = gd->dataset;
+
+  size_t customers =
+      d.AddRelation(Schema("Customers", {{"cno", ValueType::kString},
+                                         {"name", ValueType::kString},
+                                         {"phone", ValueType::kString},
+                                         {"addr", ValueType::kString},
+                                         {"pref", ValueType::kString}}));
+  size_t shops = d.AddRelation(Schema("Shops", {{"sno", ValueType::kString},
+                                                {"sname", ValueType::kString},
+                                                {"owner", ValueType::kString},
+                                                {"email", ValueType::kString},
+                                                {"loc", ValueType::kString}}));
+  size_t products =
+      d.AddRelation(Schema("Products", {{"pno", ValueType::kString},
+                                        {"pname", ValueType::kString},
+                                        {"price", ValueType::kInt},
+                                        {"desc", ValueType::kString}}));
+  size_t orders = d.AddRelation(Schema("Orders", {{"ono", ValueType::kString},
+                                                  {"buyer", ValueType::kString},
+                                                  {"seller", ValueType::kString},
+                                                  {"item", ValueType::kString},
+                                                  {"IP", ValueType::kString}}));
+
+  uint64_t next_entity = 0;
+  std::vector<uint64_t> entity_of;  // parallel to gids
+  auto append = [&](size_t rel, Row row, uint64_t entity) {
+    Gid g = d.AppendTuple(rel, std::move(row));
+    entity_of.resize(g + 1, GroundTruth::kNoEntity);
+    entity_of[g] = entity;
+    return g;
+  };
+  int next_key = 0;
+  auto key = [&](const char* prefix) {
+    return std::string(prefix) + std::to_string(next_key++);
+  };
+
+  auto make_name = [&] {
+    return std::string(kFirstNames[rng.Uniform(std::size(kFirstNames))]) +
+           " " + kLastNames[rng.Uniform(std::size(kLastNames))];
+  };
+  auto make_addr = [&] {
+    return std::string(kStreets[rng.Uniform(std::size(kStreets))]) + ", " +
+           kCities[rng.Uniform(std::size(kCities))];
+  };
+
+  for (size_t i = 0; i < options.num_customers; ++i) {
+    std::string name = make_name();
+    std::string phone = MakePhone(&rng);
+    std::string addr = make_addr();
+    std::string pref = kPrefs[rng.Uniform(std::size(kPrefs))];
+    std::string cno = key("c");
+    uint64_t entity = next_entity++;
+    Gid base = append(customers,
+                      {Value(cno), Value(name), Value(phone), Value(addr),
+                       Value(pref)},
+                      entity);
+    (void)base;
+
+    if (!rng.Bernoulli(options.dup_rate)) continue;
+    double which = rng.NextDouble();
+    std::string dup_cno = key("c");
+    if (which < options.deep_fraction) {
+      // Deep tier: different phone, same address, perturbed name. Only rule
+      // φ4 (orders from the same IP for the same matched product/shop) can
+      // certify this duplicate.
+      std::string dup_name = noiser.Perturb(name, options.noise * 0.5);
+      append(customers,
+             {Value(dup_cno), Value(dup_name), Value(MakePhone(&rng)),
+              Value(addr), Value(pref)},
+             entity);
+
+      // Build the certifying chain: a duplicated product, a duplicated shop
+      // (whose two owners share a phone), and two same-IP orders.
+      std::string brand = kBrands[rng.Uniform(std::size(kBrands))];
+      std::string desc = MakeDesc(&rng, brand);
+      int64_t price = 300 + static_cast<int64_t>(rng.Uniform(2000));
+      uint64_t pe = next_entity++;
+      std::string p1 = key("p");
+      std::string p2 = key("p");
+      append(products, {Value(p1), Value(brand), Value(price), Value(desc)},
+             pe);
+      append(products,
+             {Value(p2), Value(brand), Value(price - 50),
+              Value(noiser.Perturb(desc, options.noise))},
+             pe);
+
+      uint64_t oe = next_entity++;  // shop-owner customer entity
+      std::string owner_phone = MakePhone(&rng);
+      std::string owner_name = make_name();
+      std::string oc1 = key("c");
+      std::string oc2 = key("c");
+      append(customers,
+             {Value(oc1), Value(owner_name), Value(owner_phone),
+              Value(make_addr()), Value(kPrefs[rng.Uniform(std::size(kPrefs))])},
+             oe);
+      append(customers,
+             {Value(oc2), Value(noiser.Abbreviate(owner_name)),
+              Value(owner_phone), Value::Null(),
+              Value(kPrefs[rng.Uniform(std::size(kPrefs))])},
+             oe);
+
+      uint64_t se = next_entity++;
+      std::string email = ToLower(owner_name.substr(0, 3)) +
+                          std::to_string(rng.Uniform(100)) + "@shop.com";
+      std::string sname = owner_name + "'s Store";
+      std::string s1 = key("s");
+      std::string s2 = key("s");
+      append(shops,
+             {Value(s1), Value(sname), Value(oc1), Value(email),
+              Value(make_addr())},
+             se);
+      append(shops,
+             {Value(s2), Value(noiser.Perturb(sname, options.noise * 0.4)),
+              Value(oc2), Value(email), Value::Null()},
+             se);
+
+      std::string ip = MakeIp(&rng);
+      append(orders,
+             {Value(key("o")), Value(cno), Value(s1), Value(p1), Value(ip)},
+             GroundTruth::kNoEntity);
+      append(orders,
+             {Value(key("o")), Value(dup_cno), Value(s2), Value(p2),
+              Value(ip)},
+             GroundTruth::kNoEntity);
+
+      // Half of the deep duplicates are part of a mutual-purchase fraud
+      // ring (Example 1): the duplicated customer owns a shop of their own,
+      // and the owner of the s1/s2 pair buys from it — so after ER the two
+      // shops provably buy the same product from each other.
+      if (rng.Bernoulli(0.5)) {
+        std::string cshop = key("s");
+        append(shops,
+               {Value(cshop), Value(name + "'s Shop"), Value(cno),
+                Value(ToLower(name.substr(0, 3)) +
+                      std::to_string(rng.Uniform(100)) + "@shop.com"),
+                Value(addr)},
+               next_entity++);
+        append(orders,
+               {Value(key("o")), Value(oc2), Value(cshop), Value(p1),
+                Value(MakeIp(&rng))},
+               GroundTruth::kNoEntity);
+      }
+    } else if (which < options.deep_fraction + options.ml_fraction) {
+      // ML tier: same phone, perturbed name, address dropped.
+      append(customers,
+             {Value(dup_cno), Value(noiser.Perturb(name, options.noise)),
+              Value(phone), Value::Null(), Value(pref)},
+             entity);
+    } else {
+      // Easy tier: exact duplicate.
+      append(customers,
+             {Value(dup_cno), Value(name), Value(phone), Value(addr),
+              Value(pref)},
+             entity);
+    }
+  }
+
+  // Precision hazards: customers sharing an address but denoting different
+  // people (names and phones unrelated).
+  for (size_t i = 0; i < options.num_customers / 10; ++i) {
+    std::string addr = make_addr();
+    for (int k = 0; k < 2; ++k) {
+      append(customers,
+             {Value(key("c")), Value(make_name()), Value(MakePhone(&rng)),
+              Value(addr), Value(kPrefs[rng.Uniform(std::size(kPrefs))])},
+             next_entity++);
+    }
+  }
+  // Unique filler products and orders.
+  for (size_t i = 0; i < options.num_customers / 2; ++i) {
+    std::string brand = kBrands[rng.Uniform(std::size(kBrands))];
+    append(products,
+           {Value(key("p")), Value(brand),
+            Value(static_cast<int64_t>(300 + rng.Uniform(2000))),
+            Value(MakeDesc(&rng, brand))},
+           next_entity++);
+  }
+
+  gd->truth.Resize(d.num_tuples());
+  for (Gid g = 0; g < entity_of.size(); ++g) {
+    if (entity_of[g] != GroundTruth::kNoEntity) {
+      gd->truth.SetEntity(g, entity_of[g]);
+    }
+  }
+
+  // Classifiers (the ecommerce analogues of M1-M4 in the paper).
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("M1", 0.80));
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("M2", 0.55));
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("M3", 0.55));
+  gd->registry.Register(std::make_unique<TokenJaccardClassifier>("M4", 0.30));
+
+  const char* kRules =
+      "phi1: Customers(tc) ^ Customers(tc2) ^ tc.name = tc2.name ^ "
+      "tc.phone = tc2.phone ^ tc.addr = tc2.addr -> tc.id = tc2.id\n"
+      "phi1b: Customers(tc) ^ Customers(tc2) ^ tc.phone = tc2.phone ^ "
+      "M3(tc.name, tc2.name) -> tc.id = tc2.id\n"
+      "phi2: Products(tp) ^ Products(tp2) ^ tp.pname = tp2.pname ^ "
+      "M1(tp.desc, tp2.desc) -> tp.id = tp2.id\n"
+      "phi3: Customers(tc) ^ Customers(tc2) ^ Shops(ts) ^ Shops(ts2) ^ "
+      "M2(ts.sname, ts2.sname) ^ ts.email = ts2.email ^ ts.owner = tc.cno ^ "
+      "ts2.owner = tc2.cno ^ tc.phone = tc2.phone -> ts.id = ts2.id\n"
+      "phi4: Customers(tc) ^ Customers(tc2) ^ Orders(to) ^ Orders(to2) ^ "
+      "Products(tp) ^ Products(tp2) ^ Shops(ts) ^ Shops(ts2) ^ "
+      "tc.cno = to.buyer ^ tc2.cno = to2.buyer ^ to.item = tp.pno ^ "
+      "to2.item = tp2.pno ^ to.seller = ts.sno ^ to2.seller = ts2.sno ^ "
+      "M3(tc.name, tc2.name) ^ tc.addr = tc2.addr ^ to.IP = to2.IP ^ "
+      "tp.id = tp2.id ^ ts.id = ts2.id -> tc.id = tc2.id\n"
+      "phi5: Customers(tc) ^ Customers(tc2) ^ Orders(to) ^ Orders(to2) ^ "
+      "tc.cno = to.buyer ^ tc2.cno = to2.buyer ^ to.item = to2.item "
+      "-> M4(tc.pref, tc2.pref)\n"
+      "phi6: Shops(ts) ^ Shops(ts2) ^ Customers(tc) ^ Customers(tc2) ^ "
+      "ts.owner = tc.cno ^ ts2.owner = tc2.cno ^ ts.id = ts2.id "
+      "-> tc.id = tc2.id\n";
+  Status st = ParseRuleSet(kRules, d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+
+  RelationHint hint;
+  hint.relation = customers;
+  hint.compare_attrs = {1, 2, 3};  // name, phone, addr
+  hint.block_attr = 2;             // phone
+  hint.sort_attr = 1;              // name
+  gd->hints.push_back(hint);
+  RelationHint phint;
+  phint.relation = products;
+  phint.compare_attrs = {3};  // desc is the discriminative attribute
+  phint.block_attr = 1;
+  phint.sort_attr = 3;
+  gd->hints.push_back(phint);
+  RelationHint shint;
+  shint.relation = shops;
+  shint.compare_attrs = {1};  // sname (email is the blocking key)
+  shint.block_attr = 3;
+  shint.sort_attr = 1;
+  gd->hints.push_back(shint);
+  (void)orders;
+  return gd;
+}
+
+}  // namespace dcer

@@ -1,0 +1,30 @@
+#ifndef DCER_DATAGEN_ECOMMERCE_H_
+#define DCER_DATAGEN_ECOMMERCE_H_
+
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// Generator for the paper's motivating e-commerce workload (Example 1
+/// schemas: Customers, Shops, Products, Orders). Duplicates come in three
+/// tiers that exercise increasingly deep machinery:
+///   - easy: exact copies (any baseline catches them);
+///   - ml:   perturbed names, shared phone (needs an ML predicate);
+///   - deep: different phone, shared address, detectable only through the
+///           recursive order/shop/product chain of rule φ4.
+/// Ground truth marks all duplicate pairs; precision hazards (near-miss
+/// non-duplicates) are injected too.
+struct EcommerceOptions {
+  size_t num_customers = 300;  // base customer entities
+  double dup_rate = 0.3;       // fraction of customers duplicated
+  double deep_fraction = 0.4;  // of the duplicates: deep tier
+  double ml_fraction = 0.3;    // of the duplicates: ml tier (rest: easy)
+  double noise = 0.3;          // perturbation severity
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<GenDataset> MakeEcommerce(const EcommerceOptions& options);
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_ECOMMERCE_H_

@@ -1,0 +1,40 @@
+#ifndef DCER_DATAGEN_GEN_DATASET_H_
+#define DCER_DATAGEN_GEN_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "eval/metrics.h"
+#include "ml/registry.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// What the single-pass baselines need to run on a generated dataset:
+/// which relation(s) to deduplicate and which attributes to block / sort /
+/// compare on. Mirrors how the paper configures Dedoop/SparkER/DisDedup per
+/// dataset.
+struct RelationHint {
+  size_t relation = 0;
+  std::vector<size_t> compare_attrs;  // feature attributes for classifiers
+  size_t block_attr = 0;              // blocking key attribute
+  size_t sort_attr = 0;               // sorted-neighborhood key
+  /// For two-source tasks (ACM-DBLP): the second relation, or -1.
+  int pair_relation = -1;
+};
+
+/// A generated workload: the dataset, its ML classifiers, the MRLs
+/// discovered/authored for it, entity-cluster ground truth, and baseline
+/// configuration hints. Produced by the generators in this directory.
+struct GenDataset {
+  std::string name;
+  Dataset dataset;
+  MlRegistry registry;
+  RuleSet rules;
+  GroundTruth truth;
+  std::vector<RelationHint> hints;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_GEN_DATASET_H_

@@ -1,0 +1,356 @@
+#include "datagen/magellan.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "datagen/noise.h"
+#include "rules/parser.h"
+
+namespace dcer {
+
+namespace {
+
+const char* kTitleWords[] = {"dark",   "silent", "last",   "first",  "broken",
+                             "golden", "hidden", "lost",   "final",  "crimson",
+                             "winter", "summer", "night",  "city",   "river",
+                             "empire", "garden", "shadow", "storm",  "echo"};
+const char* kGenres[] = {"drama", "comedy", "thriller", "sci-fi", "romance",
+                         "action"};
+const char* kVenues[] = {"SIGMOD", "VLDB", "ICDE", "KDD", "WWW"};
+
+std::string MakeTitle(Rng* rng, size_t words) {
+  std::string t;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) t += " ";
+    t += kTitleWords[rng->Uniform(std::size(kTitleWords))];
+  }
+  return t;
+}
+
+std::string MakePerson(Rng* rng) {
+  std::string first = rng->RandomWord(4, 7);
+  std::string last = rng->RandomWord(5, 8);
+  first[0] = static_cast<char>(std::toupper(first[0]));
+  last[0] = static_cast<char>(std::toupper(last[0]));
+  return first + " " + last;
+}
+
+// Shared bookkeeping for the four generators.
+struct Builder {
+  explicit Builder(uint64_t seed) : rng(seed), noiser(&rng) {}
+  Rng rng;
+  Noiser noiser;
+  uint64_t next_entity = 0;
+  int next_key = 0;
+  std::vector<uint64_t> entity_of;
+
+  Gid Append(Dataset* d, size_t rel, Row row, uint64_t entity) {
+    Gid g = d->AppendTuple(rel, std::move(row));
+    entity_of.resize(g + 1, GroundTruth::kNoEntity);
+    entity_of[g] = entity;
+    return g;
+  }
+  std::string Key(const char* prefix) {
+    return std::string(prefix) + std::to_string(next_key++);
+  }
+  void FillTruth(GenDataset* gd) {
+    gd->truth.Resize(gd->dataset.num_tuples());
+    for (Gid g = 0; g < entity_of.size(); ++g) {
+      if (entity_of[g] != GroundTruth::kNoEntity) {
+        gd->truth.SetEntity(g, entity_of[g]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GenDataset> MakeImdb(const MagellanOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "imdb";
+  Builder b(options.seed);
+  Dataset& d = gd->dataset;
+  size_t movies =
+      d.AddRelation(Schema("Movies", {{"mkey", ValueType::kString},
+                                      {"title", ValueType::kString},
+                                      {"year", ValueType::kInt},
+                                      {"director", ValueType::kString},
+                                      {"genre", ValueType::kString}}));
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    std::string title = MakeTitle(&b.rng, 2 + b.rng.Uniform(3));
+    int64_t year = 1960 + static_cast<int64_t>(b.rng.Uniform(60));
+    std::string director = MakePerson(&b.rng);
+    std::string genre = kGenres[b.rng.Uniform(std::size(kGenres))];
+    uint64_t e = b.next_entity++;
+    b.Append(&d, movies,
+             {Value(b.Key("m")), Value(title), Value(year), Value(director),
+              Value(genre)},
+             e);
+    if (b.rng.Bernoulli(options.dup_rate)) {
+      // Half the duplicates perturb the title (needs the ML predicate),
+      // half perturb the director (defeats director-key blocking).
+      if (b.rng.Bernoulli(0.5)) {
+        b.Append(&d, movies,
+                 {Value(b.Key("m")),
+                  Value(b.noiser.Perturb(title, options.noise)), Value(year),
+                  Value(director), Value(genre)},
+                 e);
+      } else {
+        b.Append(&d, movies,
+                 {Value(b.Key("m")), Value(title), Value(year),
+                  Value(b.noiser.Abbreviate(director)), Value(genre)},
+                 e);
+      }
+    }
+    // Precision hazard: a "sequel" two years later shares the director and
+    // most of the title but is a different movie.
+    if (b.rng.Bernoulli(0.15)) {
+      b.Append(&d, movies,
+               {Value(b.Key("m")), Value(title + " ii"), Value(year + 2),
+                Value(director), Value(genre)},
+               b.next_entity++);
+    }
+  }
+  b.FillTruth(gd.get());
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("MT", 0.7));
+  Status st = ParseRuleSet(
+      "im1: Movies(m1) ^ Movies(m2) ^ m1.year = m2.year ^ "
+      "m1.director = m2.director ^ MT(m1.title, m2.title) -> m1.id = m2.id\n"
+      "im2: Movies(m1) ^ Movies(m2) ^ m1.title = m2.title ^ "
+      "m1.year = m2.year -> m1.id = m2.id\n",
+      d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+  RelationHint hint;
+  hint.relation = movies;
+  hint.compare_attrs = {1, 2, 3};
+  hint.block_attr = 3;  // director
+  hint.sort_attr = 1;   // title
+  gd->hints.push_back(hint);
+  return gd;
+}
+
+std::unique_ptr<GenDataset> MakeAcmDblp(const MagellanOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "acm-dblp";
+  Builder b(options.seed);
+  Dataset& d = gd->dataset;
+  auto paper_schema = [](const char* name) {
+    return Schema(name, {{"key", ValueType::kString},
+                         {"title", ValueType::kString},
+                         {"authors", ValueType::kString},
+                         {"venue", ValueType::kString},
+                         {"year", ValueType::kInt}});
+  };
+  size_t acm = d.AddRelation(paper_schema("Acm"));
+  size_t dblp = d.AddRelation(paper_schema("Dblp"));
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    std::string title = MakeTitle(&b.rng, 4 + b.rng.Uniform(4));
+    std::string authors = MakePerson(&b.rng) + ", " + MakePerson(&b.rng);
+    std::string venue = kVenues[b.rng.Uniform(std::size(kVenues))];
+    int64_t year = 1995 + static_cast<int64_t>(b.rng.Uniform(25));
+    uint64_t e = b.next_entity++;
+    b.Append(&d, acm,
+             {Value(b.Key("a")), Value(title), Value(authors), Value(venue),
+              Value(year)},
+             e);
+    // dup_rate of papers also appear in DBLP, with reformatted title and
+    // abbreviated author list.
+    if (b.rng.Bernoulli(options.dup_rate)) {
+      b.Append(&d, dblp,
+               {Value(b.Key("d")),
+                Value(b.noiser.Perturb(title, options.noise)),
+                Value(b.noiser.Abbreviate(authors)), Value(venue),
+                Value(year)},
+               e);
+    } else if (b.rng.Bernoulli(0.5)) {
+      // DBLP-only paper (unmatched filler on the other side).
+      b.Append(&d, dblp,
+               {Value(b.Key("d")), Value(MakeTitle(&b.rng, 5)),
+                Value(MakePerson(&b.rng)), Value(venue),
+                Value(1995 + static_cast<int64_t>(b.rng.Uniform(25)))},
+               b.next_entity++);
+    }
+    // Precision hazard: a *different* paper in the same venue/year whose
+    // title shares most words (follow-up work by other authors).
+    if (b.rng.Bernoulli(0.15)) {
+      b.Append(&d, dblp,
+               {Value(b.Key("d")),
+                Value(title + " " + kTitleWords[b.rng.Uniform(
+                                        std::size(kTitleWords))]),
+                Value(MakePerson(&b.rng) + ", " + MakePerson(&b.rng)),
+                Value(venue), Value(year)},
+               b.next_entity++);
+    }
+  }
+  b.FillTruth(gd.get());
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("MT", 0.72));
+  gd->registry.Register(std::make_unique<TokenJaccardClassifier>("MA", 0.25));
+  Status st = ParseRuleSet(
+      "ad1: Acm(a) ^ Dblp(b) ^ a.year = b.year ^ a.venue = b.venue ^ "
+      "MT(a.title, b.title) ^ MA(a.authors, b.authors) -> a.id = b.id\n",
+      d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+  RelationHint hint;
+  hint.relation = acm;
+  hint.pair_relation = static_cast<int>(dblp);
+  hint.compare_attrs = {1, 2, 4};
+  hint.block_attr = 4;  // year
+  hint.sort_attr = 1;
+  gd->hints.push_back(hint);
+  return gd;
+}
+
+std::unique_ptr<GenDataset> MakeMovie(const MagellanOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "movie";
+  Builder b(options.seed);
+  Dataset& d = gd->dataset;
+  size_t movies = d.AddRelation(Schema("Movies", {{"mkey", ValueType::kString},
+                                                  {"title", ValueType::kString},
+                                                  {"year", ValueType::kInt}}));
+  size_t directors =
+      d.AddRelation(Schema("Directors", {{"dkey", ValueType::kString},
+                                         {"name", ValueType::kString},
+                                         {"byear", ValueType::kInt}}));
+  size_t directed =
+      d.AddRelation(Schema("DirectedBy", {{"movie", ValueType::kString},
+                                          {"director", ValueType::kString}}));
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    std::string dname = MakePerson(&b.rng);
+    int64_t byear = 1930 + static_cast<int64_t>(b.rng.Uniform(60));
+    uint64_t de = b.next_entity++;
+    std::string dk = b.Key("d");
+    b.Append(&d, directors, {Value(dk), Value(dname), Value(byear)}, de);
+    std::string dup_dk;
+    if (b.rng.Bernoulli(options.dup_rate)) {
+      dup_dk = b.Key("d");
+      b.Append(&d, directors,
+               {Value(dup_dk), Value(b.noiser.Abbreviate(dname)),
+                Value(byear)},
+               de);
+    }
+    std::string title = MakeTitle(&b.rng, 2 + b.rng.Uniform(3));
+    int64_t year = 1960 + static_cast<int64_t>(b.rng.Uniform(60));
+    uint64_t me = b.next_entity++;
+    std::string mk = b.Key("m");
+    b.Append(&d, movies, {Value(mk), Value(title), Value(year)}, me);
+    b.Append(&d, directed, {Value(mk), Value(dk)}, GroundTruth::kNoEntity);
+    if (!dup_dk.empty() && b.rng.Bernoulli(0.8)) {
+      // The duplicate movie row credits the duplicate director row, so the
+      // movie match requires the director match first (collective).
+      std::string mk2 = b.Key("m");
+      b.Append(&d, movies,
+               {Value(mk2), Value(b.noiser.Perturb(title, options.noise)),
+                Value(year)},
+               me);
+      b.Append(&d, directed, {Value(mk2), Value(dup_dk)},
+               GroundTruth::kNoEntity);
+    }
+  }
+  b.FillTruth(gd.get());
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("MT", 0.7));
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("MN", 0.55));
+  Status st = ParseRuleSet(
+      "mv1: Directors(d1) ^ Directors(d2) ^ d1.byear = d2.byear ^ "
+      "MN(d1.name, d2.name) -> d1.id = d2.id\n"
+      "mv2: Movies(m1) ^ Movies(m2) ^ DirectedBy(x1) ^ DirectedBy(x2) ^ "
+      "Directors(d1) ^ Directors(d2) ^ x1.movie = m1.mkey ^ "
+      "x2.movie = m2.mkey ^ x1.director = d1.dkey ^ x2.director = d2.dkey ^ "
+      "d1.id = d2.id ^ m1.year = m2.year ^ MT(m1.title, m2.title) -> "
+      "m1.id = m2.id\n",
+      d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+  RelationHint mhint;
+  mhint.relation = movies;
+  mhint.compare_attrs = {1, 2};
+  mhint.block_attr = 2;  // year
+  mhint.sort_attr = 1;
+  gd->hints.push_back(mhint);
+  RelationHint dhint;
+  dhint.relation = directors;
+  dhint.compare_attrs = {1, 2};
+  dhint.block_attr = 2;
+  dhint.sort_attr = 1;
+  gd->hints.push_back(dhint);
+  (void)directed;
+  return gd;
+}
+
+std::unique_ptr<GenDataset> MakeSongs(const MagellanOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "songs";
+  Builder b(options.seed);
+  Dataset& d = gd->dataset;
+  size_t songs = d.AddRelation(Schema("Songs", {{"skey", ValueType::kString},
+                                                {"title", ValueType::kString},
+                                                {"artist", ValueType::kString},
+                                                {"album", ValueType::kString},
+                                                {"year", ValueType::kInt},
+                                                {"duration", ValueType::kInt}}));
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    std::string title = MakeTitle(&b.rng, 2 + b.rng.Uniform(3));
+    std::string artist = MakePerson(&b.rng);
+    std::string album = MakeTitle(&b.rng, 2);
+    int64_t year = 1970 + static_cast<int64_t>(b.rng.Uniform(50));
+    int64_t duration = 120 + static_cast<int64_t>(b.rng.Uniform(300));
+    uint64_t e = b.next_entity++;
+    b.Append(&d, songs,
+             {Value(b.Key("s")), Value(title), Value(artist), Value(album),
+              Value(year), Value(duration)},
+             e);
+    if (b.rng.Bernoulli(options.dup_rate)) {
+      // Re-released track: either the title is reformatted (ML on titles)
+      // or the artist credit is abbreviated (defeats artist-key blocking);
+      // duration drifts a second or two.
+      if (b.rng.Bernoulli(0.5)) {
+        b.Append(&d, songs,
+                 {Value(b.Key("s")),
+                  Value(b.noiser.Perturb(title, options.noise)), Value(artist),
+                  Value(b.rng.Bernoulli(0.5) ? album : MakeTitle(&b.rng, 2)),
+                  Value(year), Value(duration + b.rng.UniformRange(-2, 2))},
+                 e);
+      } else {
+        b.Append(&d, songs,
+                 {Value(b.Key("s")), Value(title),
+                  Value(b.noiser.Abbreviate(artist)), Value(album),
+                  Value(year), Value(duration + b.rng.UniformRange(-2, 2))},
+                 e);
+      }
+    }
+    // Precision hazard: a cover of the same song by an unrelated artist.
+    if (b.rng.Bernoulli(0.15)) {
+      b.Append(&d, songs,
+               {Value(b.Key("s")), Value(title), Value(MakePerson(&b.rng)),
+                Value(MakeTitle(&b.rng, 2)), Value(year),
+                Value(duration + b.rng.UniformRange(-10, 10))},
+               b.next_entity++);
+    }
+  }
+  b.FillTruth(gd.get());
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("MT", 0.7));
+  gd->registry.Register(
+      std::make_unique<NumericToleranceClassifier>("MDur", 0.02, 0.99));
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("MA", 0.6));
+  Status st = ParseRuleSet(
+      "sg1: Songs(s1) ^ Songs(s2) ^ s1.artist = s2.artist ^ "
+      "s1.year = s2.year ^ MT(s1.title, s2.title) ^ "
+      "MDur(s1.duration, s2.duration) -> s1.id = s2.id\n"
+      "sg2: Songs(s1) ^ Songs(s2) ^ s1.title = s2.title ^ "
+      "s1.year = s2.year ^ MA(s1.artist, s2.artist) ^ "
+      "MDur(s1.duration, s2.duration) -> s1.id = s2.id\n",
+      d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+  RelationHint hint;
+  hint.relation = songs;
+  hint.compare_attrs = {1, 2, 3, 5};
+  hint.block_attr = 2;  // artist
+  hint.sort_attr = 1;
+  gd->hints.push_back(hint);
+  return gd;
+}
+
+}  // namespace dcer

@@ -1,0 +1,37 @@
+#ifndef DCER_DATAGEN_MAGELLAN_H_
+#define DCER_DATAGEN_MAGELLAN_H_
+
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// Generators for the Magellan-style benchmark analogues of Table V
+/// (DESIGN.md §4 documents the substitution): same schema shapes and
+/// matching difficulties as IMDB, ACM-DBLP, Movie and Songs, with entity
+/// ground truth and per-dataset rule sets.
+struct MagellanOptions {
+  size_t num_entities = 400;
+  double dup_rate = 0.4;
+  double noise = 0.3;
+  uint64_t seed = 42;
+};
+
+/// Single-table movie records; duplicates have noisy titles (ML needed)
+/// with matching year/director.
+std::unique_ptr<GenDataset> MakeImdb(const MagellanOptions& options);
+
+/// Two-source citation matching (cross-relation ER): the same paper appears
+/// in both sources with different formatting.
+std::unique_ptr<GenDataset> MakeAcmDblp(const MagellanOptions& options);
+
+/// Three relations (movies, directors, directed-by): movie matches need the
+/// director match first — collective ER.
+std::unique_ptr<GenDataset> MakeMovie(const MagellanOptions& options);
+
+/// Songs with titles/artists/albums and durations; duration agreement uses
+/// a numeric-tolerance ML predicate.
+std::unique_ptr<GenDataset> MakeSongs(const MagellanOptions& options);
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_MAGELLAN_H_

@@ -1,0 +1,90 @@
+#include "datagen/noise.h"
+
+#include "common/string_util.h"
+
+namespace dcer {
+
+std::string Noiser::Typo(const std::string& s) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = rng_->Uniform(out.size());
+  switch (rng_->Uniform(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng_->Uniform(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, static_cast<char>('a' + rng_->Uniform(26)));
+      break;
+    default:  // transpose
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string Noiser::Abbreviate(const std::string& s) {
+  std::vector<std::string> tokens = SplitWhitespace(s);
+  if (tokens.empty() || tokens[0].size() < 2) return s;
+  tokens[0] = std::string(1, tokens[0][0]) + ".";
+  return Join(tokens, " ");
+}
+
+std::string Noiser::DropToken(const std::string& s) {
+  std::vector<std::string> tokens = SplitWhitespace(s);
+  if (tokens.size() < 2) return s;
+  tokens.erase(tokens.begin() + rng_->Uniform(tokens.size()));
+  return Join(tokens, " ");
+}
+
+std::string Noiser::SwapTokens(const std::string& s) {
+  std::vector<std::string> tokens = SplitWhitespace(s);
+  if (tokens.size() < 2) return s;
+  size_t i = rng_->Uniform(tokens.size() - 1);
+  std::swap(tokens[i], tokens[i + 1]);
+  return Join(tokens, " ");
+}
+
+std::string Noiser::Reformat(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == ' ' && rng_->Bernoulli(0.5)) {
+      out += '-';
+    } else if ((c == ',' || c == '.') && rng_->Bernoulli(0.5)) {
+      continue;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Noiser::Perturb(const std::string& s, double severity) {
+  std::string out = s;
+  size_t ops = 1 + static_cast<size_t>(severity * 3);
+  for (size_t i = 0; i < ops; ++i) {
+    switch (rng_->Uniform(5)) {
+      case 0:
+        out = Typo(out);
+        break;
+      case 1:
+        out = Abbreviate(out);
+        break;
+      case 2:
+        out = DropToken(out);
+        break;
+      case 3:
+        out = SwapTokens(out);
+        break;
+      default:
+        out = Reformat(out);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,43 @@
+#ifndef DCER_DATAGEN_NOISE_H_
+#define DCER_DATAGEN_NOISE_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace dcer {
+
+/// The dirtiness model for generated duplicates (DESIGN.md §4): the edit
+/// operations real dirty data exhibits — typos, initials/abbreviations,
+/// dropped or swapped tokens, separator reformatting. Severity controls how
+/// many operations stack, letting generators create "easy" (near-exact)
+/// through "hard" (ML-needed) duplicates.
+class Noiser {
+ public:
+  explicit Noiser(Rng* rng) : rng_(rng) {}
+
+  /// One random character edit (substitute / delete / insert / transpose).
+  std::string Typo(const std::string& s);
+
+  /// Abbreviates the first token to its initial: "Ford Smith" -> "F. Smith".
+  std::string Abbreviate(const std::string& s);
+
+  /// Drops a random token (no-op for single-token strings).
+  std::string DropToken(const std::string& s);
+
+  /// Swaps two adjacent tokens.
+  std::string SwapTokens(const std::string& s);
+
+  /// Rewrites separators: spaces <-> dashes, removes punctuation.
+  std::string Reformat(const std::string& s);
+
+  /// Applies 1 + floor(severity * 3) random operations.
+  std::string Perturb(const std::string& s, double severity);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_NOISE_H_

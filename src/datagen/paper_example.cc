@@ -1,0 +1,139 @@
+#include "datagen/paper_example.h"
+
+#include <cassert>
+
+#include "rules/parser.h"
+
+namespace dcer {
+
+std::unique_ptr<PaperExample> MakePaperExample() {
+  auto ex = std::make_unique<PaperExample>();
+  Dataset& d = ex->dataset;
+
+  size_t customers =
+      d.AddRelation(Schema("Customers", {{"cno", ValueType::kString},
+                                         {"name", ValueType::kString},
+                                         {"phone", ValueType::kString},
+                                         {"addr", ValueType::kString},
+                                         {"pref", ValueType::kString}}));
+  size_t shops = d.AddRelation(Schema("Shops", {{"sno", ValueType::kString},
+                                                {"sname", ValueType::kString},
+                                                {"owner", ValueType::kString},
+                                                {"email", ValueType::kString},
+                                                {"loc", ValueType::kString}}));
+  size_t products =
+      d.AddRelation(Schema("Products", {{"pno", ValueType::kString},
+                                        {"pname", ValueType::kString},
+                                        {"price", ValueType::kInt},
+                                        {"desc", ValueType::kString}}));
+  size_t orders = d.AddRelation(Schema("Orders", {{"ono", ValueType::kString},
+                                                  {"buyer", ValueType::kString},
+                                                  {"seller", ValueType::kString},
+                                                  {"item", ValueType::kString},
+                                                  {"IP", ValueType::kString}}));
+
+  auto S = [](const char* s) { return Value(s); };
+  auto I = [](int64_t i) { return Value(i); };
+  const Value N = Value::Null();
+
+  // Table I: instance D1 of Customers.
+  ex->t[1] = d.AppendTuple(customers, {S("c1"), S("Ford Smith"),
+                                       S("(213) 243-9856"), S("1st Ave, LA"),
+                                       S("clothing, makeup")});
+  ex->t[2] = d.AppendTuple(customers, {S("c2"), S("F. Smith"),
+                                       S("(213) 333-0001"), S("1st Ave, LA"),
+                                       S("clothing")});
+  ex->t[3] = d.AppendTuple(customers, {S("c3"), S("F. Smith"),
+                                       S("(213) 333-0001"), S("1st Ave, LA"),
+                                       S("dress")});
+  ex->t[4] = d.AppendTuple(customers, {S("c4"), S("Tony Brown"),
+                                       S("(347) 981-3452"), S("9 Ave, NY"),
+                                       S("sports")});
+  ex->t[5] = d.AppendTuple(customers, {S("c5"), S("T. Brown"),
+                                       S("(347) 981-3452"), N, S("sports")});
+
+  // Table II: instance D2 of Shops.
+  ex->t[6] = d.AppendTuple(shops, {S("s1"), S("Comp. World"), S("c1"),
+                                   S("FSm@g.com"), S("1st Ave, LA")});
+  ex->t[7] = d.AppendTuple(shops, {S("s2"), S("Smith's Tech shop"), S("c2"),
+                                   S("F_Sm@g.com"), S("1st Ave, LA")});
+  ex->t[8] = d.AppendTuple(shops, {S("s3"), S("Lap. store"), S("c3"),
+                                   S("jp@youp.com"), S("1st Ave, LA")});
+  ex->t[9] = d.AppendTuple(shops, {S("s4"), S("T's Store"), S("c4"),
+                                   S("T.Brown@ga.com"), S("9 Ave, NY")});
+  ex->t[10] = d.AppendTuple(shops, {S("s5"), S("Tony's Store"), S("c5"),
+                                    S("T.Brown@ga.com"), N});
+
+  // Table III: instance D3 of Products.
+  ex->t[11] = d.AppendTuple(
+      products, {S("p1"), S("Apple MacBook"), I(1000),
+                 S("Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)")});
+  ex->t[12] = d.AppendTuple(
+      products,
+      {S("p2"), S("ThinkPad"), I(2000),
+       S("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD")});
+  ex->t[13] = d.AppendTuple(
+      products, {S("p3"), S("ThinkPad"), I(1800),
+                 S("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD")});
+  ex->t[14] = d.AppendTuple(
+      products, {S("p4"), S("Acer Laptop"), I(500),
+                 S("Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB "
+                   "SSD, Backlit Keyboard")});
+
+  // Table IV: instance D4 of Orders.
+  ex->t[15] = d.AppendTuple(
+      orders, {S("o1"), S("c4"), S("s2"), S("p2"), S("156.33.14.7")});
+  ex->t[16] = d.AppendTuple(
+      orders, {S("o2"), S("c3"), S("s4"), S("p2"), S("113.55.126.9")});
+  ex->t[17] = d.AppendTuple(
+      orders, {S("o3"), S("c1"), S("s5"), S("p3"), S("113.55.126.9")});
+  ex->t[18] = d.AppendTuple(
+      orders, {S("o4"), S("c1"), S("s4"), S("p2"), S("143.32.11.2")});
+
+  // ML predicates: M1 checks long-text similarity of product descriptions,
+  // M2/M3 check short-name similarity, M4 is the preference model whose
+  // predictions φ5 validates.
+  ex->registry.Register(
+      std::make_unique<EmbeddingCosineClassifier>("M1", 0.70));
+  ex->registry.Register(std::make_unique<EditSimilarityClassifier>("M2", 0.60));
+  ex->registry.Register(std::make_unique<EditSimilarityClassifier>("M3", 0.55));
+  ex->registry.Register(std::make_unique<TokenJaccardClassifier>("M4", 0.30));
+
+  // The MRLs of Example 2.
+  const char* kRules =
+      "phi1: Customers(tc) ^ Customers(tc2) ^ tc.name = tc2.name ^ "
+      "tc.phone = tc2.phone ^ tc.addr = tc2.addr -> tc.id = tc2.id\n"
+
+      "phi2: Products(tp) ^ Products(tp2) ^ tp.pname = tp2.pname ^ "
+      "M1(tp.desc, tp2.desc) -> tp.id = tp2.id\n"
+
+      "phi3: Customers(tc) ^ Customers(tc2) ^ Shops(ts) ^ Shops(ts2) ^ "
+      "M2(ts.sname, ts2.sname) ^ ts.email = ts2.email ^ ts.owner = tc.cno ^ "
+      "ts2.owner = tc2.cno ^ tc.phone = tc2.phone -> ts.id = ts2.id\n"
+
+      "phi4: Customers(tc) ^ Customers(tc2) ^ Orders(to) ^ Orders(to2) ^ "
+      "Products(tp) ^ Products(tp2) ^ Shops(ts) ^ Shops(ts2) ^ "
+      "tc.cno = to.buyer ^ tc2.cno = to2.buyer ^ to.item = tp.pno ^ "
+      "to2.item = tp2.pno ^ to.seller = ts.sno ^ to2.seller = ts2.sno ^ "
+      "M3(tc.name, tc2.name) ^ tc.addr = tc2.addr ^ to.IP = to2.IP ^ "
+      "tp.id = tp2.id ^ ts.id = ts2.id -> tc.id = tc2.id\n"
+
+      "phi5: Customers(tc) ^ Customers(tc2) ^ Orders(to) ^ Orders(to2) ^ "
+      "tc.cno = to.buyer ^ tc2.cno = to2.buyer ^ to.item = to2.item "
+      "-> M4(tc.pref, tc2.pref)\n"
+
+      // Example 3 of the paper also lists (t4.id, t5.id) in Γ, which φ1-φ5
+      // alone cannot derive (c5 has no orders and a NULL address). φ6 is the
+      // natural deep rule that closes the gap: if two shop tuples denote the
+      // same shop, their owners denote the same customer.
+      "phi6: Shops(ts) ^ Shops(ts2) ^ Customers(tc) ^ Customers(tc2) ^ "
+      "ts.owner = tc.cno ^ ts2.owner = tc2.cno ^ ts.id = ts2.id "
+      "-> tc.id = tc2.id\n";
+
+  Status s = ParseRuleSet(kRules, d, ex->registry, &ex->rules);
+  assert(s.ok() && "paper example rules must parse");
+  (void)s;
+  return ex;
+}
+
+}  // namespace dcer

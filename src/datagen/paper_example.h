@@ -1,0 +1,28 @@
+#ifndef DCER_DATAGEN_PAPER_EXAMPLE_H_
+#define DCER_DATAGEN_PAPER_EXAMPLE_H_
+
+#include <memory>
+
+#include "ml/registry.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// The running example of the paper (Example 1, Tables I-IV): the
+/// e-commerce dataset with customers/shops/products/orders tuples t1..t18,
+/// classifiers M1-M4, and the MRLs φ1-φ5 of Example 2. Chasing it must
+/// deduce exactly the matches of Example 3:
+///   {t1,t2,t3}, {t4,t5}, {t9,t10}, {t12,t13}
+/// plus the validated M4 predictions. Used by tests and the quickstart.
+struct PaperExample {
+  Dataset dataset;
+  MlRegistry registry;
+  RuleSet rules;  // φ1..φ5 in order, plus φ6 (see paper_example.cc)
+  Gid t[19];      // t[1]..t[18] follow the paper's tuple numbering
+};
+
+std::unique_ptr<PaperExample> MakePaperExample();
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,225 @@
+#include "datagen/rulesets.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "rules/parser.h"
+
+namespace dcer {
+
+namespace {
+
+// A rule template: tuple-variable atoms plus an ordered predicate list
+// (connectivity-critical join predicates first, so any prefix of length >=
+// min_preds forms a connected, evaluable rule). Each predicate lists the
+// variables it needs; a generated rule declares only the atoms its chosen
+// predicates touch.
+struct Template {
+  struct Pred {
+    const char* text;
+    std::vector<int> vars;  // indices into `atoms`
+  };
+  std::vector<const char*> atoms;  // "Customer(c1)" etc., by var index
+  std::vector<Pred> preds;
+  const char* consequence;
+  std::vector<int> consequence_vars;
+  size_t min_preds;  // shortest valid prefix
+};
+
+std::vector<Template> TpchTemplates() {
+  std::vector<Template> out;
+
+  // Customers, optionally joined with nations.
+  out.push_back(Template{
+      {"Customer(c1)", "Customer(c2)", "Nation(n1)", "Nation(n2)"},
+      {
+          {"c1.cname = c2.cname", {0, 1}},
+          {"c1.phone = c2.phone", {0, 1}},
+          {"MC(c1.addr, c2.addr)", {0, 1}},
+          {"c1.nation = n1.nkey", {0, 2}},
+          {"c2.nation = n2.nkey", {1, 3}},
+          {"n1.region = n2.region", {2, 3}},
+          {"MN(n1.nname, n2.nname)", {2, 3}},
+          {"n1.id = n2.id", {2, 3}},
+          {"c1.nation = c2.nation", {0, 1}},
+      },
+      "c1.id = c2.id",
+      {0, 1},
+      1});
+
+  // Suppliers.
+  out.push_back(Template{
+      {"Supplier(s1)", "Supplier(s2)", "Nation(n1)", "Nation(n2)"},
+      {
+          {"s1.phone = s2.phone", {0, 1}},
+          {"MS(s1.sname, s2.sname)", {0, 1}},
+          {"s1.nation = n1.nkey", {0, 2}},
+          {"s2.nation = n2.nkey", {1, 3}},
+          {"n1.region = n2.region", {2, 3}},
+          {"n1.id = n2.id", {2, 3}},
+      },
+      "s1.id = s2.id",
+      {0, 1},
+      1});
+
+  // Parts, optionally via partsupp/supplier.
+  out.push_back(Template{
+      {"Part(p1)", "Part(p2)", "Partsupp(ps1)", "Partsupp(ps2)",
+       "Supplier(s1)", "Supplier(s2)"},
+      {
+          {"p1.pname = p2.pname", {0, 1}},
+          {"p1.brand = p2.brand", {0, 1}},
+          {"MP(p1.descr, p2.descr)", {0, 1}},
+          {"ps1.partkey = p1.pkey", {0, 2}},
+          {"ps2.partkey = p2.pkey", {1, 3}},
+          {"ps1.supplycost = ps2.supplycost", {2, 3}},
+          {"ps1.suppkey = s1.skey", {2, 4}},
+          {"ps2.suppkey = s2.skey", {3, 5}},
+          {"s1.id = s2.id", {4, 5}},
+      },
+      "p1.id = p2.id",
+      {0, 1},
+      1});
+
+  // Orders, optionally via customers and lineitems.
+  out.push_back(Template{
+      {"Orders(o1)", "Orders(o2)", "Customer(c1)", "Customer(c2)",
+       "Lineitem(l1)", "Lineitem(l2)"},
+      {
+          {"o1.orderdate = o2.orderdate", {0, 1}},
+          {"o1.totalprice = o2.totalprice", {0, 1}},
+          {"MO(o1.clerk, o2.clerk)", {0, 1}},
+          {"o1.custkey = c1.ckey", {0, 2}},
+          {"o2.custkey = c2.ckey", {1, 3}},
+          {"c1.id = c2.id", {2, 3}},
+          {"o1.okey = l1.orderkey", {0, 4}},
+          {"o2.okey = l2.orderkey", {1, 5}},
+          {"l1.partkey = l2.partkey", {4, 5}},
+      },
+      "o1.id = o2.id",
+      {0, 1},
+      2});
+
+  // Nations.
+  out.push_back(Template{
+      {"Nation(n1)", "Nation(n2)"},
+      {
+          {"MN(n1.nname, n2.nname)", {0, 1}},
+          {"n1.region = n2.region", {0, 1}},
+      },
+      "n1.id = n2.id",
+      {0, 1},
+      1});
+  return out;
+}
+
+std::string RenderRule(const Template& t, size_t num_preds,
+                       const std::string& name) {
+  num_preds = std::max(num_preds, t.min_preds);
+  num_preds = std::min(num_preds, t.preds.size());
+  // Which atoms do the chosen predicates (and consequence) need?
+  std::vector<bool> used(t.atoms.size(), false);
+  for (int v : t.consequence_vars) used[v] = true;
+  for (size_t i = 0; i < num_preds; ++i) {
+    for (int v : t.preds[i].vars) used[v] = true;
+  }
+  std::string out = name + ": ";
+  bool first = true;
+  for (size_t v = 0; v < t.atoms.size(); ++v) {
+    if (!used[v]) continue;
+    if (!first) out += " ^ ";
+    out += t.atoms[v];
+    first = false;
+  }
+  for (size_t i = 0; i < num_preds; ++i) {
+    out += " ^ ";
+    out += t.preds[i].text;
+  }
+  out += " -> ";
+  out += t.consequence;
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+RuleSet BuildSweep(const GenDataset& gd, const std::vector<Template>& templates,
+                   size_t num_rules, size_t avg_preds) {
+  RuleSet rules;
+  for (size_t i = 0; i < num_rules; ++i) {
+    const Template& t = templates[i % templates.size()];
+    // Vary the prefix length around avg_preds so the average is close to
+    // the requested |φ| while successive rules from the same template still
+    // share predicate prefixes (MQO sharing).
+    size_t target = avg_preds > 1 ? avg_preds - 1 : 1;  // consequence counts
+    size_t len = target + (i / templates.size()) % 2;   // alternate ±1
+    std::string text = RenderRule(t, len, StringPrintf("sw%zu", i));
+    Rule rule;
+    Status st = ParseRule(text, gd.dataset, gd.registry, &rule);
+    if (!st.ok()) {
+      DCER_LOG(Error) << "sweep rule failed to parse: " << st.ToString();
+      continue;
+    }
+    rules.Add(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<Template> TfaccTemplates() {
+  std::vector<Template> out;
+  out.push_back(Template{
+      {"Vehicle(v1)", "Vehicle(v2)"},
+      {
+          {"MR(v1.reg, v2.reg)", {0, 1}},
+          {"v1.make = v2.make", {0, 1}},
+          {"v1.year = v2.year", {0, 1}},
+          {"v1.model = v2.model", {0, 1}},
+      },
+      "v1.id = v2.id",
+      {0, 1},
+      2});
+  out.push_back(Template{
+      {"Test(t1)", "Test(t2)", "Vehicle(v1)", "Vehicle(v2)"},
+      {
+          {"t1.testdate = t2.testdate", {0, 1}},
+          {"t1.station = t2.station", {0, 1}},
+          {"MM(t1.mileage, t2.mileage)", {0, 1}},
+          {"t1.vehicle = v1.vkey", {0, 2}},
+          {"t2.vehicle = v2.vkey", {1, 3}},
+          {"v1.id = v2.id", {2, 3}},
+          {"t1.result = t2.result", {0, 1}},
+      },
+      "t1.id = t2.id",
+      {0, 1},
+      2});
+  out.push_back(Template{
+      {"Defect(d1)", "Defect(d2)", "Test(t1)", "Test(t2)"},
+      {
+          {"d1.category = d2.category", {0, 1}},
+          {"MD(d1.note, d2.note)", {0, 1}},
+          {"d1.test = t1.tkey", {0, 2}},
+          {"d2.test = t2.tkey", {1, 3}},
+          {"t1.id = t2.id", {2, 3}},
+          {"t1.station = t2.station", {2, 3}},
+      },
+      "d1.id = d2.id",
+      {0, 1},
+      2});
+  return out;
+}
+
+}  // namespace
+
+RuleSet MakeTpchSweepRules(const GenDataset& tpch, size_t num_rules,
+                           size_t avg_preds) {
+  return BuildSweep(tpch, TpchTemplates(), num_rules, avg_preds);
+}
+
+RuleSet MakeTfaccSweepRules(const GenDataset& tfacc, size_t num_rules,
+                            size_t avg_preds) {
+  return BuildSweep(tfacc, TfaccTemplates(), num_rules, avg_preds);
+}
+
+}  // namespace dcer

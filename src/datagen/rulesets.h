@@ -1,0 +1,26 @@
+#ifndef DCER_DATAGEN_RULESETS_H_
+#define DCER_DATAGEN_RULESETS_H_
+
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// Builds parameterized rule sets over the tpch-lite schema for the
+/// efficiency sweeps of Fig. 6(e)-(h): `num_rules` MRLs (‖Σ‖) whose average
+/// predicate count approaches `avg_preds` (|φ|). Rules are drawn from
+/// per-relation templates whose predicates are ordered join-predicates
+/// first, so every prefix is a connected (evaluable) rule; successive rules
+/// reuse template predicates, giving MQO sharing opportunities exactly as
+/// the paper describes. Must be called with the GenDataset returned by
+/// MakeTpch (schemas and classifier names are resolved against it).
+RuleSet MakeTpchSweepRules(const GenDataset& tpch, size_t num_rules,
+                           size_t avg_preds);
+
+/// Same, over the tfacc-lite schema (vehicles/tests/defects), for the
+/// TFACC-side sweeps of Fig. 6(f)(h).
+RuleSet MakeTfaccSweepRules(const GenDataset& tfacc, size_t num_rules,
+                            size_t avg_preds);
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_RULESETS_H_

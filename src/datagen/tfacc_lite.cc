@@ -1,0 +1,180 @@
+#include "datagen/tfacc_lite.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "datagen/noise.h"
+#include "rules/parser.h"
+
+namespace dcer {
+
+namespace {
+const char* kMakes[] = {"Ford", "Toyota", "Vauxhall", "BMW", "Audi",
+                        "Nissan", "Honda", "Kia"};
+const char* kModels[] = {"Fiesta", "Corolla", "Astra", "Golf", "Focus",
+                         "Civic", "Qashqai", "Ceed"};
+const char* kStations[] = {"Leeds-01", "York-03", "Bath-02", "Hull-07",
+                           "Kent-04"};
+const char* kDefectCats[] = {"brakes", "lights", "tyres", "steering",
+                             "exhaust", "suspension"};
+}  // namespace
+
+std::unique_ptr<GenDataset> MakeTfacc(const TfaccOptions& options) {
+  auto gd = std::make_unique<GenDataset>();
+  gd->name = "tfacc";
+  Rng rng(options.seed);
+  Noiser noiser(&rng);
+  Dataset& d = gd->dataset;
+
+  size_t vehicle =
+      d.AddRelation(Schema("Vehicle", {{"vkey", ValueType::kString},
+                                       {"make", ValueType::kString},
+                                       {"model", ValueType::kString},
+                                       {"reg", ValueType::kString},
+                                       {"year", ValueType::kInt}}));
+  size_t test = d.AddRelation(Schema("Test", {{"tkey", ValueType::kString},
+                                              {"vehicle", ValueType::kString},
+                                              {"testdate", ValueType::kString},
+                                              {"mileage", ValueType::kInt},
+                                              {"result", ValueType::kString},
+                                              {"station", ValueType::kString}}));
+  size_t defect =
+      d.AddRelation(Schema("Defect", {{"dkey", ValueType::kString},
+                                      {"test", ValueType::kString},
+                                      {"category", ValueType::kString},
+                                      {"note", ValueType::kString}}));
+
+  uint64_t next_entity = 0;
+  std::vector<uint64_t> entity_of;
+  auto append = [&](size_t rel, Row row, uint64_t entity) {
+    Gid g = d.AppendTuple(rel, std::move(row));
+    entity_of.resize(g + 1, GroundTruth::kNoEntity);
+    entity_of[g] = entity;
+    return g;
+  };
+  int next_key = 0;
+  auto key = [&](const char* prefix) {
+    return std::string(prefix) + std::to_string(next_key++);
+  };
+
+  const size_t num_vehicles = static_cast<size_t>(500 * options.scale) + 2;
+
+  for (size_t i = 0; i < num_vehicles; ++i) {
+    std::string make = kMakes[rng.Uniform(std::size(kMakes))];
+    std::string model = kModels[rng.Uniform(std::size(kModels))];
+    std::string reg = StringPrintf("%c%c%02d %c%c%c",
+                                   static_cast<char>('A' + rng.Uniform(26)),
+                                   static_cast<char>('A' + rng.Uniform(26)),
+                                   static_cast<int>(rng.Uniform(70)),
+                                   static_cast<char>('A' + rng.Uniform(26)),
+                                   static_cast<char>('A' + rng.Uniform(26)),
+                                   static_cast<char>('A' + rng.Uniform(26)));
+    int64_t year = 1998 + static_cast<int64_t>(rng.Uniform(22));
+    uint64_t ve = next_entity++;
+    std::string vk = key("v");
+    append(vehicle, {Value(vk), Value(make), Value(model), Value(reg),
+                     Value(year)},
+           ve);
+    std::string dup_vk;
+    if (rng.Bernoulli(options.dup_rate)) {
+      dup_vk = key("v");
+      append(vehicle,
+             {Value(dup_vk), Value(make),
+              Value(noiser.Perturb(model, options.noise * 0.4)),
+              Value(noiser.Typo(reg)), Value(year)},
+             ve);
+    }
+
+    // 1-3 tests per vehicle; tests of a duplicated vehicle may themselves be
+    // duplicated against the duplicate vehicle tuple (level-2 chain).
+    size_t ntests = 1 + rng.Uniform(3);
+    for (size_t t = 0; t < ntests; ++t) {
+      std::string date = StringPrintf("20%02d-%02d-%02d",
+                                      static_cast<int>(rng.Uniform(20)),
+                                      static_cast<int>(rng.Uniform(12) + 1),
+                                      static_cast<int>(rng.Uniform(28) + 1));
+      int64_t mileage = 5000 + static_cast<int64_t>(rng.Uniform(150000));
+      std::string result = rng.Bernoulli(0.7) ? "PASS" : "FAIL";
+      std::string station = kStations[rng.Uniform(std::size(kStations))];
+      std::string tk = key("t");
+      uint64_t te = next_entity++;
+      append(test, {Value(tk), Value(vk), Value(date), Value(mileage),
+                    Value(result), Value(station)},
+             te);
+      std::string dup_tk;
+      if (!dup_vk.empty() && rng.Bernoulli(options.dup_rate)) {
+        dup_tk = key("t");
+        // Mileage re-read with rounding noise (the numeric ML predicate).
+        int64_t mileage2 = mileage + rng.UniformRange(-40, 40);
+        append(test, {Value(dup_tk), Value(dup_vk), Value(date),
+                      Value(mileage2), Value(result), Value(station)},
+               te);
+      }
+      // Failed tests record defects; duplicated tests duplicate them too
+      // (level-3 chain).
+      if (result == "FAIL") {
+        std::string cat = kDefectCats[rng.Uniform(std::size(kDefectCats))];
+        std::string note = cat + " " + rng.RandomWord(5, 9) + " defect: " +
+                           rng.RandomWord(4, 8) + " " + rng.RandomWord(4, 8) +
+                           " beyond limit";
+        uint64_t de = next_entity++;
+        append(defect, {Value(key("d")), Value(tk), Value(cat), Value(note)},
+               de);
+        if (!dup_tk.empty()) {
+          append(defect,
+                 {Value(key("d")), Value(dup_tk), Value(cat),
+                  Value(noiser.Perturb(note, options.noise))},
+                 de);
+        }
+      }
+    }
+  }
+
+  gd->truth.Resize(d.num_tuples());
+  for (Gid g = 0; g < entity_of.size(); ++g) {
+    if (entity_of[g] != GroundTruth::kNoEntity) {
+      gd->truth.SetEntity(g, entity_of[g]);
+    }
+  }
+
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("MR", 0.8));
+  gd->registry.Register(
+      std::make_unique<NumericToleranceClassifier>("MM", 0.01, 0.99));
+  gd->registry.Register(std::make_unique<EmbeddingCosineClassifier>("MD", 0.7));
+
+  const char* kRules =
+      "rv: Vehicle(v1) ^ Vehicle(v2) ^ MR(v1.reg, v2.reg) ^ "
+      "v1.make = v2.make ^ v1.year = v2.year -> v1.id = v2.id\n"
+      "rt: Test(t1) ^ Test(t2) ^ Vehicle(v1) ^ Vehicle(v2) ^ "
+      "t1.vehicle = v1.vkey ^ t2.vehicle = v2.vkey ^ v1.id = v2.id ^ "
+      "t1.testdate = t2.testdate ^ t1.station = t2.station ^ "
+      "MM(t1.mileage, t2.mileage) -> t1.id = t2.id\n"
+      "rd: Defect(d1) ^ Defect(d2) ^ Test(t1) ^ Test(t2) ^ d1.test = t1.tkey "
+      "^ d2.test = t2.tkey ^ t1.id = t2.id ^ d1.category = d2.category ^ "
+      "MD(d1.note, d2.note) -> d1.id = d2.id\n";
+  Status st = ParseRuleSet(kRules, d, gd->registry, &gd->rules);
+  assert(st.ok());
+  (void)st;
+
+  RelationHint vhint;
+  vhint.relation = vehicle;
+  vhint.compare_attrs = {3};  // registration plate (the discriminative key)
+  vhint.block_attr = 2;       // block by model
+  vhint.sort_attr = 3;
+  gd->hints.push_back(vhint);
+  RelationHint thint;
+  thint.relation = test;
+  thint.compare_attrs = {2, 3, 5};  // testdate, mileage, station
+  thint.block_attr = 2;
+  thint.sort_attr = 2;
+  gd->hints.push_back(thint);
+  RelationHint dhint;
+  dhint.relation = defect;
+  dhint.compare_attrs = {3};  // note text
+  dhint.block_attr = 2;       // block by category
+  dhint.sort_attr = 3;
+  gd->hints.push_back(dhint);
+  return gd;
+}
+
+}  // namespace dcer

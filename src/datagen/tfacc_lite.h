@@ -1,0 +1,25 @@
+#ifndef DCER_DATAGEN_TFACC_LITE_H_
+#define DCER_DATAGEN_TFACC_LITE_H_
+
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// MOT-style vehicle-test workload standing in for the paper's TFACC
+/// dataset (the real one is 480M tuples of UK Ministry of Transport data):
+/// vehicles, their periodic tests, and recorded defects. Duplicate chains
+/// are three levels deep: vehicle registrations with typos (level 1), test
+/// records of matched vehicles (level 2, same date/station, close mileage),
+/// and defects of matched tests (level 3).
+struct TfaccOptions {
+  double scale = 1.0;     // ~4k tuples at 1.0
+  double dup_rate = 0.3;  // the Dup knob
+  double noise = 0.3;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<GenDataset> MakeTfacc(const TfaccOptions& options);
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_TFACC_LITE_H_

@@ -1,0 +1,28 @@
+#ifndef DCER_DATAGEN_TPCH_LITE_H_
+#define DCER_DATAGEN_TPCH_LITE_H_
+
+#include "datagen/gen_dataset.h"
+
+namespace dcer {
+
+/// TPC-H-like generator: the same 8-relation join graph (region, nation,
+/// supplier, part, partsupp, customer, orders, lineitem) with trimmed
+/// attributes, a `dup_rate` duplication knob (the paper's Dup), and seeded
+/// recursion chains reproducing Exp-1(5): a nation-name typo must be matched
+/// first (level 1), then the customers referencing the two spellings
+/// (level 2), then their orders (level 3). The rule set includes analogues
+/// of the case-study rules φa (parts via suppliers) and φb (orders via
+/// customers and lineitems).
+struct TpchOptions {
+  double scale = 1.0;              // multiplies base row counts (~5.5k at 1.0)
+  double dup_rate = 0.3;           // fraction of entities duplicated
+  double recursion_fraction = 0.6; // of dup customers: via dup nations
+  double noise = 0.3;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<GenDataset> MakeTpch(const TpchOptions& options);
+
+}  // namespace dcer
+
+#endif  // DCER_DATAGEN_TPCH_LITE_H_

@@ -1,0 +1,78 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "relational/dataset.h"
+
+namespace dcer {
+
+uint64_t GroundTruth::NumTruePairs() const {
+  std::unordered_map<uint64_t, uint64_t> cluster_size;
+  for (uint64_t e : entity_) {
+    if (e != kNoEntity) ++cluster_size[e];
+  }
+  uint64_t pairs = 0;
+  for (const auto& [_, s] : cluster_size) pairs += s * (s - 1) / 2;
+  return pairs;
+}
+
+PrecisionRecall GroundTruth::Evaluate(
+    const std::vector<std::pair<Gid, Gid>>& deduced) const {
+  PrecisionRecall pr;
+  for (auto [a, b] : deduced) {
+    if (IsMatch(a, b)) {
+      ++pr.tp;
+    } else {
+      ++pr.fp;
+    }
+  }
+  uint64_t truth = NumTruePairs();
+  pr.fn = truth > pr.tp ? truth - pr.tp : 0;
+  pr.precision = (pr.tp + pr.fp) == 0
+                     ? 0
+                     : static_cast<double>(pr.tp) / (pr.tp + pr.fp);
+  pr.recall = truth == 0 ? 0 : static_cast<double>(pr.tp) / truth;
+  pr.f1 = (pr.precision + pr.recall) == 0
+              ? 0
+              : 2 * pr.precision * pr.recall / (pr.precision + pr.recall);
+  return pr;
+}
+
+std::vector<std::pair<std::pair<Gid, Gid>, bool>>
+GroundTruth::SampleLabeledPairs(const Dataset& dataset, size_t num_pos,
+                                size_t num_neg, uint64_t seed) const {
+  std::vector<std::pair<std::pair<Gid, Gid>, bool>> out;
+  // Positives: enumerate clusters.
+  std::unordered_map<uint64_t, std::vector<Gid>> clusters;
+  for (Gid g = 0; g < entity_.size(); ++g) {
+    if (entity_[g] != kNoEntity) clusters[entity_[g]].push_back(g);
+  }
+  Rng rng(seed);
+  std::vector<std::pair<Gid, Gid>> pos;
+  for (const auto& [_, members] : clusters) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        pos.push_back({members[i], members[j]});
+      }
+    }
+  }
+  for (size_t k = 0; k < num_pos && !pos.empty(); ++k) {
+    out.push_back({pos[rng.Uniform(pos.size())], true});
+  }
+  // Negatives: random same-relation non-matching pairs.
+  size_t tries = 0;
+  size_t found = 0;
+  while (found < num_neg && tries < num_neg * 50) {
+    ++tries;
+    Gid a = static_cast<Gid>(rng.Uniform(entity_.size()));
+    Gid b = static_cast<Gid>(rng.Uniform(entity_.size()));
+    if (a == b || IsMatch(a, b)) continue;
+    if (dataset.relation_of(a) != dataset.relation_of(b)) continue;
+    out.push_back({{a, b}, false});
+    ++found;
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,65 @@
+#ifndef DCER_EVAL_METRICS_H_
+#define DCER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace dcer {
+
+/// Pairwise accuracy counters (Sec. VI "Measurements"): precision is the
+/// fraction of deduced matches that are true, recall the fraction of true
+/// matches deduced, F the harmonic mean.
+struct PrecisionRecall {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Entity-cluster ground truth: every tuple carries the id of the
+/// real-world entity it denotes (assigned by the data generators); two
+/// tuples are a true match iff they share it. kNoEntity tuples (never
+/// duplicated) match only themselves.
+class GroundTruth {
+ public:
+  static constexpr uint64_t kNoEntity = ~uint64_t{0};
+
+  GroundTruth() = default;
+  explicit GroundTruth(size_t num_tuples)
+      : entity_(num_tuples, kNoEntity) {}
+
+  void Resize(size_t num_tuples) { entity_.resize(num_tuples, kNoEntity); }
+  void SetEntity(Gid gid, uint64_t entity_id) { entity_[gid] = entity_id; }
+  uint64_t entity(Gid gid) const { return entity_[gid]; }
+  size_t size() const { return entity_.size(); }
+
+  bool IsMatch(Gid a, Gid b) const {
+    return a != b && entity_[a] != kNoEntity && entity_[a] == entity_[b];
+  }
+
+  /// Number of true (unordered, non-reflexive) match pairs.
+  uint64_t NumTruePairs() const;
+
+  /// Scores a set of deduced pairs (e.g., MatchContext::MatchedPairs()).
+  PrecisionRecall Evaluate(
+      const std::vector<std::pair<Gid, Gid>>& deduced) const;
+
+  /// Deterministic sample of labeled pairs for training learned baselines:
+  /// `num_pos` true-match pairs and `num_neg` non-match pairs (within the
+  /// same relation), using `seed`. Returns {pair, label}.
+  std::vector<std::pair<std::pair<Gid, Gid>, bool>> SampleLabeledPairs(
+      const class Dataset& dataset, size_t num_pos, size_t num_neg,
+      uint64_t seed) const;
+
+ private:
+  std::vector<uint64_t> entity_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_EVAL_METRICS_H_

@@ -1,0 +1,115 @@
+#include "eval/runner.h"
+
+#include "baselines/matchers.h"
+#include "baselines/variants.h"
+#include "chase/match.h"
+#include "common/timer.h"
+#include "parallel/dmatch.h"
+
+namespace dcer {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kDMatch:
+      return "DMatch";
+    case Method::kDMatchNoMqo:
+      return "DMatch_noMQO";
+    case Method::kDMatchC:
+      return "DMatch_C";
+    case Method::kDMatchD:
+      return "DMatch_D";
+    case Method::kMatchSeq:
+      return "Match(seq)";
+    case Method::kBlocking:
+      return "Blocking(Dedoop-like)";
+    case Method::kWindowing:
+      return "Windowing";
+    case Method::kMlMatcher:
+      return "ML(DeepER-like)";
+    case Method::kMetaBlocking:
+      return "MetaBlock(SparkER-like)";
+    case Method::kDistDedup:
+      return "DistDedup-like";
+    case Method::kHybrid:
+      return "Hybrid(ERBlox-like)";
+  }
+  return "?";
+}
+
+RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
+                    uint64_t seed) {
+  RunResult result;
+  MatchContext ctx(gd.dataset);
+  Timer timer;
+
+  auto run_dmatch = [&](const RuleSet& rules, bool use_mqo) {
+    DMatchOptions options;
+    options.num_workers = num_workers;
+    options.use_mqo = use_mqo;
+    DMatchReport report = DMatch(gd.dataset, rules, gd.registry, options, &ctx);
+    result.partition_seconds = report.partition_seconds;
+    result.work = report.chase.valuations;
+    result.supersteps = report.supersteps;
+    result.messages = report.messages;
+  };
+
+  switch (method) {
+    case Method::kDMatch:
+      run_dmatch(gd.rules, true);
+      break;
+    case Method::kDMatchNoMqo:
+      run_dmatch(gd.rules, false);
+      break;
+    case Method::kDMatchC:
+      run_dmatch(CollectiveOnlyRules(gd.rules), true);
+      break;
+    case Method::kDMatchD:
+      run_dmatch(DeepOnlyRules(gd.rules), true);
+      break;
+    case Method::kMatchSeq: {
+      DatasetView view = DatasetView::Full(gd.dataset);
+      MatchReport report = Match(view, gd.rules, gd.registry, {}, &ctx);
+      result.work = report.chase.valuations;
+      break;
+    }
+    case Method::kBlocking: {
+      BaselineReport r = RunBlocking(gd.dataset, gd.hints, {}, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+    case Method::kWindowing: {
+      BaselineReport r = RunWindowing(gd.dataset, gd.hints, {}, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+    case Method::kMlMatcher: {
+      BaselineReport r =
+          RunMlMatcher(gd.dataset, gd.hints, {}, gd.truth, seed, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+    case Method::kMetaBlocking: {
+      BaselineReport r = RunMetaBlocking(gd.dataset, gd.hints, {}, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+    case Method::kDistDedup: {
+      BaselineConfig config;
+      config.num_workers = num_workers;
+      BaselineReport r = RunDistDedup(gd.dataset, gd.hints, config, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+    case Method::kHybrid: {
+      BaselineReport r =
+          RunHybrid(gd.dataset, gd.hints, {}, gd.truth, seed, &ctx);
+      result.work = r.comparisons;
+      break;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.accuracy = gd.truth.Evaluate(ctx.MatchedPairs());
+  return result;
+}
+
+}  // namespace dcer

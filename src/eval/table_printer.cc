@@ -1,0 +1,53 @@
+#include "eval/table_printer.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dcer {
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FmtF(double f) { return StringPrintf("%.3f", f); }
+
+std::string FmtSecs(double s) {
+  if (s < 1.0) return StringPrintf("%.0fms", s * 1e3);
+  return StringPrintf("%.2fs", s);
+}
+
+std::string FmtCount(uint64_t n) {
+  if (n >= 1000000) return StringPrintf("%.1fM", n / 1e6);
+  if (n >= 1000) return StringPrintf("%.1fk", n / 1e3);
+  return std::to_string(n);
+}
+
+}  // namespace dcer

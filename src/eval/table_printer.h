@@ -1,0 +1,37 @@
+#ifndef DCER_EVAL_TABLE_PRINTER_H_
+#define DCER_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dcer {
+
+/// Fixed-width text tables for the benchmark harness: each bench binary
+/// prints the same rows/series its paper table or figure reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string ToString() const;
+
+  /// Writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with 2 (times) or 3-4 (F-measures) significant digits.
+std::string FmtF(double f);       // "0.953"
+std::string FmtSecs(double s);    // "12.34s" / "870ms"
+std::string FmtCount(uint64_t n);
+
+}  // namespace dcer
+
+#endif  // DCER_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,221 @@
+#include "mining/miner.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "rules/parser.h"
+
+namespace dcer {
+
+namespace {
+
+// Evidence: per labeled pair, the bitmask of candidate predicates that hold.
+std::vector<uint64_t> BuildEvidence(
+    const Dataset& dataset, const MlRegistry& registry,
+    const std::vector<CandidatePredicate>& space,
+    const std::vector<std::pair<std::pair<Gid, Gid>, bool>>& labeled) {
+  assert(space.size() <= 64 && "predicate space must fit one word");
+  std::vector<uint64_t> out;
+  out.reserve(labeled.size());
+  for (const auto& [pair, _] : labeled) {
+    uint64_t mask = 0;
+    for (size_t p = 0; p < space.size(); ++p) {
+      if (space[p].Holds(dataset, registry, pair.first, pair.second)) {
+        mask |= uint64_t{1} << p;
+      }
+    }
+    out.push_back(mask);
+  }
+  return out;
+}
+
+}  // namespace
+
+RuleSet MineRules(
+    const Dataset& dataset, const MlRegistry& registry, size_t rel,
+    int pair_rel,
+    const std::vector<std::pair<std::pair<Gid, Gid>, bool>>& labeled,
+    const MinerOptions& options) {
+  RuleSet rules;
+  std::vector<CandidatePredicate> space =
+      BuildPredicateSpace(dataset, registry, rel, pair_rel);
+  if (space.size() > 64) space.resize(64);
+  std::vector<uint64_t> evidence =
+      BuildEvidence(dataset, registry, space, labeled);
+
+  // Score one predicate set: support = positives covered, confidence =
+  // positives / all pairs covered.
+  auto score = [&](uint64_t mask, size_t* support, double* confidence) {
+    size_t pos = 0;
+    size_t all = 0;
+    for (size_t i = 0; i < labeled.size(); ++i) {
+      if ((evidence[i] & mask) == mask) {
+        ++all;
+        if (labeled[i].second) ++pos;
+      }
+    }
+    *support = pos;
+    *confidence = all == 0 ? 0 : static_cast<double>(pos) / all;
+  };
+
+  // Breadth-first over set sizes so accepted rules are minimal: once a set
+  // qualifies, its supersets are skipped.
+  std::vector<uint64_t> accepted;
+  auto subsumed = [&](uint64_t mask) {
+    for (uint64_t acc : accepted) {
+      if ((mask & acc) == acc) return true;
+    }
+    return false;
+  };
+
+  std::vector<uint64_t> frontier = {0};
+  for (size_t depth = 1; depth <= options.max_predicates; ++depth) {
+    std::vector<uint64_t> next;
+    for (uint64_t base : frontier) {
+      // Highest predicate already in `base` (extend upward only: canonical).
+      size_t start = 0;
+      if (base != 0) {
+        start = 64 - static_cast<size_t>(__builtin_clzll(base));
+      }
+      for (size_t p = start; p < space.size(); ++p) {
+        uint64_t mask = base | (uint64_t{1} << p);
+        if (subsumed(mask)) continue;
+        size_t support = 0;
+        double confidence = 0;
+        score(mask, &support, &confidence);
+        if (support < options.min_support) continue;  // prune: monotone
+        if (confidence >= options.min_confidence) {
+          accepted.push_back(mask);
+        } else {
+          next.push_back(mask);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Render accepted predicate sets as MRLs and parse them back.
+  const Schema& lhs = dataset.relation(rel).schema();
+  size_t rrel = pair_rel < 0 ? rel : static_cast<size_t>(pair_rel);
+  const Schema& rhs = dataset.relation(rrel).schema();
+  int idx = 0;
+  for (uint64_t mask : accepted) {
+    std::string text = "mined" + std::to_string(idx++) + ": " + lhs.name() +
+                       "(t) ^ " + rhs.name() + "(s)";
+    for (size_t p = 0; p < space.size(); ++p) {
+      if (mask & (uint64_t{1} << p)) {
+        text += " ^ " + space[p].ToText(lhs, rhs, registry);
+      }
+    }
+    text += " -> t.id = s.id";
+    Rule rule;
+    Status st = ParseRule(text, dataset, registry, &rule);
+    if (!st.ok()) {
+      DCER_LOG(Error) << "mined rule failed to parse: " << st.ToString();
+      continue;
+    }
+    rules.Add(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<std::pair<std::pair<Gid, Gid>, bool>> BuildDiscoverySample(
+    const Dataset& dataset, const GroundTruth& truth, size_t rel,
+    int pair_rel, size_t num_random_neg, uint64_t seed) {
+  std::vector<std::pair<std::pair<Gid, Gid>, bool>> out;
+  const Relation& lrel = dataset.relation(rel);
+  const Relation& rrel =
+      dataset.relation(pair_rel < 0 ? rel : static_cast<size_t>(pair_rel));
+  const bool cross = pair_rel >= 0;
+
+  auto in_scope = [&](Gid a, Gid b) {
+    uint32_t ra = dataset.relation_of(a);
+    uint32_t rb = dataset.relation_of(b);
+    if (cross) {
+      return (ra == rel && rb == static_cast<uint32_t>(pair_rel)) ||
+             (rb == rel && ra == static_cast<uint32_t>(pair_rel));
+    }
+    return ra == rel && rb == rel;
+  };
+
+  std::set<std::pair<Gid, Gid>> seen;
+  auto add = [&](Gid a, Gid b, bool label) {
+    if (a > b) std::swap(a, b);
+    if (a == b || !seen.insert({a, b}).second) return;
+    out.push_back({{a, b}, label});
+  };
+
+  // All in-scope positive pairs.
+  std::unordered_map<uint64_t, std::vector<Gid>> clusters;
+  for (Gid g = 0; g < truth.size(); ++g) {
+    if (truth.entity(g) != GroundTruth::kNoEntity) {
+      clusters[truth.entity(g)].push_back(g);
+    }
+  }
+  for (const auto& [_, members] : clusters) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (in_scope(members[i], members[j])) {
+          add(members[i], members[j], true);
+        }
+      }
+    }
+  }
+
+  // Hard negatives: non-matching pairs agreeing on a non-key attribute.
+  constexpr size_t kPerBlockCap = 50;
+  constexpr size_t kHardCap = 20000;
+  size_t hard = 0;
+  size_t n = std::min(lrel.schema().num_attrs(), rrel.schema().num_attrs());
+  for (size_t attr = 0; attr < n && hard < kHardCap; ++attr) {
+    if (lrel.schema().attr(attr).type != rrel.schema().attr(attr).type) {
+      continue;
+    }
+    struct ValueHasher {
+      size_t operator()(const Value& v) const {
+        return static_cast<size_t>(v.Hash());
+      }
+    };
+    std::unordered_map<Value, std::vector<Gid>, ValueHasher> blocks;
+    auto index_rel = [&](const Relation& r) {
+      for (size_t row = 0; row < r.num_rows(); ++row) {
+        const Value& v = r.at(row, attr);
+        if (!v.is_null()) blocks[v].push_back(r.gid(row));
+      }
+    };
+    index_rel(lrel);
+    if (cross) index_rel(rrel);
+    for (const auto& [_, gids] : blocks) {
+      size_t emitted = 0;
+      for (size_t i = 0; i < gids.size() && emitted < kPerBlockCap; ++i) {
+        for (size_t j = i + 1; j < gids.size() && emitted < kPerBlockCap;
+             ++j) {
+          if (!in_scope(gids[i], gids[j])) continue;
+          if (truth.IsMatch(gids[i], gids[j])) continue;
+          add(gids[i], gids[j], false);
+          ++emitted;
+          if (++hard >= kHardCap) break;
+        }
+      }
+    }
+  }
+
+  // Random negatives.
+  Rng rng(seed);
+  size_t tries = 0;
+  size_t found = 0;
+  while (found < num_random_neg && tries < num_random_neg * 50) {
+    ++tries;
+    Gid a = lrel.gid(rng.Uniform(lrel.num_rows()));
+    Gid b = rrel.gid(rng.Uniform(rrel.num_rows()));
+    if (a == b || truth.IsMatch(a, b) || !in_scope(a, b)) continue;
+    add(a, b, false);
+    ++found;
+  }
+  return out;
+}
+
+}  // namespace dcer

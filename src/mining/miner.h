@@ -1,0 +1,42 @@
+#ifndef DCER_MINING_MINER_H_
+#define DCER_MINING_MINER_H_
+
+#include "eval/metrics.h"
+#include "mining/predicate_space.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Configuration of the MRL discovery search (Sec. VI "MRLs": the DC
+/// discovery algorithm of Chu et al. extended with ML predicates).
+struct MinerOptions {
+  size_t max_predicates = 3;    // precondition size bound
+  double min_confidence = 0.9;  // P(match | X holds) over the labeled pairs
+  size_t min_support = 3;       // #positive pairs satisfying X
+};
+
+/// Discovers two-variable MRLs `R(t) ^ R'(s) ^ X -> t.id = s.id` from
+/// labeled pairs: builds the predicate space, computes evidence sets
+/// (which candidate predicates hold on each labeled pair), then searches
+/// minimal predicate sets meeting support/confidence. Returned rules parse
+/// against `dataset`/`registry` and plug straight into Match/DMatch.
+RuleSet MineRules(
+    const Dataset& dataset, const MlRegistry& registry, size_t rel,
+    int pair_rel,
+    const std::vector<std::pair<std::pair<Gid, Gid>, bool>>& labeled,
+    const MinerOptions& options);
+
+/// Builds the labeled-pair sample the discovery runs on: every positive pair
+/// of the ground truth (within `rel`, or across (rel, pair_rel)), every
+/// "hard negative" — a non-matching pair that agrees on some non-key
+/// attribute (enumerated blocking-style, capped) — plus `num_random_neg`
+/// random negatives. Hard negatives approximate the paper's full evidence
+/// set over all tuple pairs at tractable size; without them, sampled random
+/// negatives make almost any predicate look precise.
+std::vector<std::pair<std::pair<Gid, Gid>, bool>> BuildDiscoverySample(
+    const Dataset& dataset, const GroundTruth& truth, size_t rel,
+    int pair_rel, size_t num_random_neg, uint64_t seed);
+
+}  // namespace dcer
+
+#endif  // DCER_MINING_MINER_H_

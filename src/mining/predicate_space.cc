@@ -1,0 +1,102 @@
+#include "mining/predicate_space.h"
+
+#include <unordered_set>
+
+#include "chase/fact.h"
+
+namespace dcer {
+
+bool CandidatePredicate::Holds(const Dataset& dataset,
+                               const MlRegistry& registry, Gid a,
+                               Gid b) const {
+  const Row& ra = dataset.tuple(a);
+  const Row& rb = dataset.tuple(b);
+  if (kind == Kind::kEq) {
+    return EqJoinable(ra[lhs_attr], rb[rhs_attr]);
+  }
+  uint64_t key =
+      HashCombine(HashInt(lhs_attr * 131 + rhs_attr),
+                  HashUnorderedPair(HashInt(a), HashInt(b)));
+  return registry.Predict(ml_id, key, {ra[lhs_attr]}, {rb[rhs_attr]});
+}
+
+std::string CandidatePredicate::ToText(const Schema& lhs, const Schema& rhs,
+                                       const MlRegistry& registry) const {
+  if (kind == Kind::kEq) {
+    return "t." + lhs.attr(lhs_attr).name + " = s." + rhs.attr(rhs_attr).name;
+  }
+  return registry.classifier(ml_id).name() + "(t." + lhs.attr(lhs_attr).name +
+         ", s." + rhs.attr(rhs_attr).name + ")";
+}
+
+namespace {
+
+// Profile of one attribute over a relation: fraction of distinct values and
+// average string length. Key-like attributes (nearly all distinct, short)
+// are excluded from the search space, as DC-discovery systems do — equality
+// on an identifier is vacuous and similarity on synthetic keys is noise.
+struct AttrProfile {
+  double distinct_ratio = 0;
+  double avg_len = 0;
+};
+
+AttrProfile ProfileAttr(const Relation& relation, size_t attr) {
+  AttrProfile p;
+  if (relation.num_rows() == 0) return p;
+  std::unordered_set<uint64_t> distinct;
+  double total_len = 0;
+  for (size_t row = 0; row < relation.num_rows(); ++row) {
+    const Value& v = relation.at(row, attr);
+    distinct.insert(v.Hash());
+    if (v.type() == ValueType::kString) {
+      total_len += static_cast<double>(v.AsString().size());
+    }
+  }
+  p.distinct_ratio = static_cast<double>(distinct.size()) /
+                     static_cast<double>(relation.num_rows());
+  p.avg_len = total_len / static_cast<double>(relation.num_rows());
+  return p;
+}
+
+}  // namespace
+
+std::vector<CandidatePredicate> BuildPredicateSpace(const Dataset& dataset,
+                                                    const MlRegistry& registry,
+                                                    size_t rel, int pair_rel) {
+  const Relation& lrel = dataset.relation(rel);
+  const Schema& lhs = lrel.schema();
+  const Schema& rhs =
+      dataset.relation(pair_rel < 0 ? rel : static_cast<size_t>(pair_rel))
+          .schema();
+  std::vector<CandidatePredicate> out;
+  size_t n = std::min(lhs.num_attrs(), rhs.num_attrs());
+  for (size_t a = 0; a < n; ++a) {
+    if (lhs.attr(a).type != rhs.attr(a).type) continue;
+    AttrProfile profile = ProfileAttr(lrel, a);
+    bool key_like = profile.distinct_ratio > 0.9;
+    // Equality on a key-like attribute never generalizes.
+    if (!key_like) {
+      CandidatePredicate eq;
+      eq.kind = CandidatePredicate::Kind::kEq;
+      eq.lhs_attr = a;
+      eq.rhs_attr = a;
+      out.push_back(eq);
+    }
+    if (lhs.attr(a).type == ValueType::kString) {
+      // ML similarity is meaningful for textual content (long values),
+      // even when distinct, but not for short synthetic identifiers.
+      if (key_like && profile.avg_len < 10) continue;
+      for (size_t m = 0; m < registry.size(); ++m) {
+        CandidatePredicate ml;
+        ml.kind = CandidatePredicate::Kind::kMl;
+        ml.lhs_attr = a;
+        ml.rhs_attr = a;
+        ml.ml_id = static_cast<int>(m);
+        out.push_back(ml);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,41 @@
+#ifndef DCER_MINING_PREDICATE_SPACE_H_
+#define DCER_MINING_PREDICATE_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/registry.h"
+#include "relational/dataset.h"
+
+namespace dcer {
+
+/// One candidate predicate of the discovery search space (Sec. VI "MRLs"):
+/// equality or an ML predicate over an aligned attribute of a tuple pair.
+/// Following the paper's extension of DC discovery, ML predicates enter the
+/// evidence set exactly like equality predicates.
+struct CandidatePredicate {
+  enum class Kind { kEq, kMl };
+  Kind kind = Kind::kEq;
+  size_t lhs_attr = 0;
+  size_t rhs_attr = 0;  // == lhs_attr unless two-source with differing schema
+  int ml_id = -1;
+
+  /// Truth value on a concrete tuple pair.
+  bool Holds(const Dataset& dataset, const MlRegistry& registry, Gid a,
+             Gid b) const;
+
+  /// DSL rendering, e.g. "t.name = s.name" or "M1(t.desc, s.desc)".
+  std::string ToText(const Schema& lhs, const Schema& rhs,
+                     const MlRegistry& registry) const;
+};
+
+/// Builds the predicate space for pairs of relation `rel` (or cross pairs
+/// (rel, pair_rel)): equality per aligned attribute plus every registered
+/// classifier applied to every string attribute.
+std::vector<CandidatePredicate> BuildPredicateSpace(const Dataset& dataset,
+                                                    const MlRegistry& registry,
+                                                    size_t rel, int pair_rel);
+
+}  // namespace dcer
+
+#endif  // DCER_MINING_PREDICATE_SPACE_H_

@@ -1,0 +1,157 @@
+#include "ml/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/embedding.h"
+#include "ml/similarity.h"
+
+namespace dcer {
+
+namespace {
+std::string ConcatValues(const std::vector<Value>& vals) {
+  std::string out;
+  for (const Value& v : vals) {
+    if (!out.empty()) out += ' ';
+    if (!v.is_null()) out += v.ToString();
+  }
+  return out;
+}
+}  // namespace
+
+EmbeddingCosineClassifier::EmbeddingCosineClassifier(std::string name,
+                                                     double threshold,
+                                                     size_t dim)
+    : MlClassifier(std::move(name), threshold), dim_(dim) {}
+
+double EmbeddingCosineClassifier::Score(const std::vector<Value>& a,
+                                        const std::vector<Value>& b) const {
+  Embedding ea = EmbedText(ConcatValues(a), dim_);
+  Embedding eb = EmbedText(ConcatValues(b), dim_);
+  double c = Cosine(ea, eb);
+  return c < 0 ? 0 : c;
+}
+
+TokenJaccardClassifier::TokenJaccardClassifier(std::string name,
+                                               double threshold)
+    : MlClassifier(std::move(name), threshold) {}
+
+double TokenJaccardClassifier::Score(const std::vector<Value>& a,
+                                     const std::vector<Value>& b) const {
+  return TokenJaccard(ConcatValues(a), ConcatValues(b));
+}
+
+EditSimilarityClassifier::EditSimilarityClassifier(std::string name,
+                                                   double threshold)
+    : MlClassifier(std::move(name), threshold) {}
+
+double EditSimilarityClassifier::Score(const std::vector<Value>& a,
+                                       const std::vector<Value>& b) const {
+  return EditSimilarity(ConcatValues(a), ConcatValues(b));
+}
+
+NumericToleranceClassifier::NumericToleranceClassifier(std::string name,
+                                                       double tolerance,
+                                                       double threshold)
+    : MlClassifier(std::move(name), threshold), tolerance_(tolerance) {}
+
+double NumericToleranceClassifier::Score(const std::vector<Value>& a,
+                                         const std::vector<Value>& b) const {
+  double sa = 0;
+  double sb = 0;
+  size_t na = 0;
+  size_t nb = 0;
+  for (const Value& v : a) {
+    if (!v.is_null() && v.type() != ValueType::kString) {
+      sa += v.AsDouble();
+      ++na;
+    }
+  }
+  for (const Value& v : b) {
+    if (!v.is_null() && v.type() != ValueType::kString) {
+      sb += v.AsDouble();
+      ++nb;
+    }
+  }
+  if (na == 0 || nb == 0) return 0;
+  return NumericSimilarity(sa / na, sb / nb, tolerance_);
+}
+
+LearnedPairClassifier::LearnedPairClassifier(std::string name,
+                                             double threshold)
+    : MlClassifier(std::move(name), threshold) {}
+
+std::vector<double> LearnedPairClassifier::Features(
+    const std::vector<Value>& a, const std::vector<Value>& b) {
+  std::string sa = ConcatValues(a);
+  std::string sb = ConcatValues(b);
+  std::vector<double> f;
+  f.push_back(Cosine(EmbedText(sa), EmbedText(sb)));
+  f.push_back(TokenJaccard(sa, sb));
+  f.push_back(EditSimilarity(sa, sb));
+  // Length agreement.
+  double la = static_cast<double>(sa.size());
+  double lb = static_cast<double>(sb.size());
+  f.push_back(1.0 - std::fabs(la - lb) / std::max({la, lb, 1.0}));
+  // Numeric agreement over aligned numeric attributes.
+  double num_sim = 0;
+  size_t num_count = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    bool na = a[i].type() == ValueType::kInt || a[i].type() == ValueType::kDouble;
+    bool nb = b[i].type() == ValueType::kInt || b[i].type() == ValueType::kDouble;
+    if (na && nb) {
+      num_sim += NumericSimilarity(a[i].AsDouble(), b[i].AsDouble(), 0.15);
+      ++num_count;
+    }
+  }
+  f.push_back(num_count == 0 ? 0.5 : num_sim / num_count);
+  return f;
+}
+
+double LearnedPairClassifier::Score(const std::vector<Value>& a,
+                                    const std::vector<Value>& b) const {
+  std::vector<double> f = Features(a, b);
+  if (!trained_) {
+    double mean = 0;
+    for (double v : f) mean += v;
+    return mean / f.size();
+  }
+  double z = bias_;
+  for (size_t i = 0; i < f.size() && i < weights_.size(); ++i) {
+    z += weights_[i] * f[i];
+  }
+  return 1.0 / (1.0 + std::exp(-z));  // squash margin to [0,1]
+}
+
+void LearnedPairClassifier::Train(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<bool>& labels, size_t epochs) {
+  if (features.empty()) return;
+  size_t dim = features[0].size();
+  std::vector<double> w(dim, 0.0);
+  double b = 0;
+  std::vector<double> w_sum(dim, 0.0);
+  double b_sum = 0;
+  size_t updates = 1;
+  for (size_t e = 0; e < epochs; ++e) {
+    for (size_t i = 0; i < features.size(); ++i) {
+      double z = b;
+      for (size_t j = 0; j < dim; ++j) z += w[j] * features[i][j];
+      int y = labels[i] ? 1 : -1;
+      if (y * z <= 0) {
+        for (size_t j = 0; j < dim; ++j) w[j] += y * features[i][j];
+        b += y;
+      }
+      for (size_t j = 0; j < dim; ++j) w_sum[j] += w[j];
+      b_sum += b;
+      ++updates;
+    }
+  }
+  weights_.assign(dim, 0.0);
+  for (size_t j = 0; j < dim; ++j) weights_[j] = w_sum[j] / updates;
+  bias_ = b_sum / updates;
+  trained_ = true;
+}
+
+}  // namespace dcer

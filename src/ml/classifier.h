@@ -1,0 +1,119 @@
+#ifndef DCER_ML_CLASSIFIER_H_
+#define DCER_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace dcer {
+
+/// The boolean ML oracle M(t[Ā], s[B̄]) of Sec. II: a well-trained classifier
+/// applied to two attribute-value vectors, returning true iff it predicts a
+/// match. Implementations must be deterministic and thread-safe (Predict is
+/// called concurrently from BSP workers). Probabilistic models are exposed
+/// through Score() plus a threshold, matching the paper's Remark (2).
+class MlClassifier {
+ public:
+  explicit MlClassifier(std::string name, double threshold = 0.5)
+      : name_(std::move(name)), threshold_(threshold) {}
+  virtual ~MlClassifier() = default;
+
+  MlClassifier(const MlClassifier&) = delete;
+  MlClassifier& operator=(const MlClassifier&) = delete;
+
+  const std::string& name() const { return name_; }
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  /// Match probability/score in [0, 1].
+  virtual double Score(const std::vector<Value>& a,
+                       const std::vector<Value>& b) const = 0;
+
+  /// Boolean prediction (the predicate's truth value).
+  bool Predict(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    return Score(a, b) >= threshold_;
+  }
+
+ private:
+  std::string name_;
+  double threshold_;
+};
+
+/// "fasttext-like": concatenates the string renderings of all attributes,
+/// embeds with hashed char n-grams, scores by cosine. Good at typos,
+/// abbreviations and token reorderings in long text (product descriptions).
+class EmbeddingCosineClassifier : public MlClassifier {
+ public:
+  EmbeddingCosineClassifier(std::string name, double threshold = 0.8,
+                            size_t dim = 64);
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+
+ private:
+  size_t dim_;
+};
+
+/// Token-set Jaccard over concatenated attributes (schema-agnostic matcher
+/// building block, also used by the SparkER-like baseline).
+class TokenJaccardClassifier : public MlClassifier {
+ public:
+  explicit TokenJaccardClassifier(std::string name, double threshold = 0.5);
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+};
+
+/// Normalized edit similarity over concatenated attributes (short strings:
+/// names, emails).
+class EditSimilarityClassifier : public MlClassifier {
+ public:
+  explicit EditSimilarityClassifier(std::string name, double threshold = 0.75);
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+};
+
+/// Numeric agreement within a relative tolerance (e.g., song durations,
+/// odometer readings). Score is NumericSimilarity of the attribute means.
+class NumericToleranceClassifier : public MlClassifier {
+ public:
+  NumericToleranceClassifier(std::string name, double tolerance,
+                             double threshold = 0.99);
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// "DeepER-like": a trainable linear model over per-attribute similarity
+/// features (cosine, jaccard, edit, numeric agreement). Train() fits weights
+/// by averaged perceptron on labeled pairs; before training it behaves as an
+/// unweighted mean of features. See DESIGN.md §4 for why this substitution
+/// preserves the experiments' behaviour.
+class LearnedPairClassifier : public MlClassifier {
+ public:
+  explicit LearnedPairClassifier(std::string name, double threshold = 0.5);
+
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+
+  /// Per-pair feature vector; exposed for training and for the baselines.
+  static std::vector<double> Features(const std::vector<Value>& a,
+                                      const std::vector<Value>& b);
+
+  /// Fits weights with averaged perceptron over `epochs` passes.
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<bool>& labels, size_t epochs = 10);
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;  // empty until trained
+  double bias_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_ML_CLASSIFIER_H_

@@ -1,0 +1,61 @@
+#include "ml/embedding.h"
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "common/hash.h"
+
+namespace dcer {
+
+Embedding EmbedText(std::string_view text, size_t dim, size_t min_n,
+                    size_t max_n) {
+  Embedding vec(dim, 0.0f);
+  // Normalize: lowercase, collapse non-alphanumerics to a single boundary
+  // marker so "X1 Carbon" and "X1-Carbon" share n-grams.
+  std::string norm;
+  norm.reserve(text.size() + 2);
+  norm += '^';
+  bool last_sep = false;
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      norm += static_cast<char>(std::tolower(u));
+      last_sep = false;
+    } else if (!last_sep) {
+      norm += ' ';
+      last_sep = true;
+    }
+  }
+  norm += '$';
+
+  for (size_t n = min_n; n <= max_n; ++n) {
+    if (norm.size() < n) break;
+    for (size_t i = 0; i + n <= norm.size(); ++i) {
+      uint64_t h = Fnv1a64(norm.data() + i, n, n);
+      size_t bucket = h % dim;
+      // Signed hashing reduces collision bias (feature-hashing trick).
+      float sign = ((h >> 63) & 1) ? 1.0f : -1.0f;
+      vec[bucket] += sign;
+    }
+  }
+
+  double norm2 = 0;
+  for (float v : vec) norm2 += static_cast<double>(v) * v;
+  if (norm2 > 0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (float& v : vec) v *= inv;
+  }
+  return vec;
+}
+
+double Cosine(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size()) return 0.0;
+  double dot = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;
+}
+
+}  // namespace dcer

@@ -1,0 +1,26 @@
+#ifndef DCER_ML_EMBEDDING_H_
+#define DCER_ML_EMBEDDING_H_
+
+#include <string_view>
+#include <vector>
+
+namespace dcer {
+
+/// A dense text embedding. This is the repo's stand-in for fasttext-style
+/// subword embeddings (see DESIGN.md §4): hashed character n-gram counts,
+/// L2-normalized. Texts that share many subwords (typos, abbreviations,
+/// reorderings) land close in cosine space, which is exactly the property
+/// the paper's ML predicates rely on for "semantically similar" text.
+using Embedding = std::vector<float>;
+
+/// Embeds text using hashed character n-grams (n in [min_n, max_n]) into a
+/// `dim`-dimensional L2-normalized vector. Case-insensitive.
+Embedding EmbedText(std::string_view text, size_t dim = 64, size_t min_n = 2,
+                    size_t max_n = 4);
+
+/// Cosine similarity of two embeddings (0 if either is all-zero).
+double Cosine(const Embedding& a, const Embedding& b);
+
+}  // namespace dcer
+
+#endif  // DCER_ML_EMBEDDING_H_

@@ -1,0 +1,56 @@
+#include "ml/registry.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace dcer {
+
+int MlRegistry::Register(std::unique_ptr<MlClassifier> classifier) {
+  assert(by_name_.find(classifier->name()) == by_name_.end());
+  int id = static_cast<int>(classifiers_.size());
+  by_name_[classifier->name()] = id;
+  classifiers_.push_back(std::move(classifier));
+  return id;
+}
+
+int MlRegistry::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+bool MlRegistry::Predict(int id, uint64_t pair_key,
+                         const std::vector<Value>& a,
+                         const std::vector<Value>& b) const {
+  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
+  Shard& shard = shards_[key % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.cache.find(key);
+    if (it != shard.cache.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  bool result = classifiers_[id]->Predict(a, b);
+  num_predictions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.emplace(key, result);
+  }
+  return result;
+}
+
+void MlRegistry::ResetStats() {
+  num_predictions_.store(0);
+  num_cache_hits_.store(0);
+}
+
+void MlRegistry::ClearCache() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.clear();
+  }
+}
+
+}  // namespace dcer

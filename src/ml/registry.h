@@ -1,0 +1,70 @@
+#ifndef DCER_ML_REGISTRY_H_
+#define DCER_ML_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace dcer {
+
+/// Holds the named ML classifiers referenced by MRLs (M1, M2, ...) and
+/// memoizes their predictions. ML predicates are pure functions of their
+/// attribute vectors, so the chase may ask about the same pair many times
+/// (once per rule and superstep); the sharded cache makes repeats O(1) and
+/// keeps parallel workers from serializing on one mutex.
+class MlRegistry {
+ public:
+  MlRegistry() = default;
+
+  MlRegistry(const MlRegistry&) = delete;
+  MlRegistry& operator=(const MlRegistry&) = delete;
+
+  /// Registers a classifier; returns its dense id. Names must be unique.
+  int Register(std::unique_ptr<MlClassifier> classifier);
+
+  /// Id of the classifier with this name, or -1.
+  int Lookup(const std::string& name) const;
+
+  size_t size() const { return classifiers_.size(); }
+  const MlClassifier& classifier(int id) const { return *classifiers_[id]; }
+
+  /// Cached boolean prediction of classifier `id` on (a, b).
+  /// `pair_key` must uniquely identify (predicate instance, tuple pair);
+  /// the chase passes hash(pred-signature, gid_a, gid_b).
+  bool Predict(int id, uint64_t pair_key, const std::vector<Value>& a,
+               const std::vector<Value>& b) const;
+
+  /// Uncached score (for baselines and diagnostics).
+  double Score(int id, const std::vector<Value>& a,
+               const std::vector<Value>& b) const {
+    return classifiers_[id]->Score(a, b);
+  }
+
+  uint64_t num_predictions() const { return num_predictions_.load(); }
+  uint64_t num_cache_hits() const { return num_cache_hits_.load(); }
+  void ResetStats();
+  void ClearCache();
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  std::vector<std::unique_ptr<MlClassifier>> classifiers_;
+  std::unordered_map<std::string, int> by_name_;
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<uint64_t, bool> cache;
+  };
+  mutable Shard shards_[kShards];
+  mutable std::atomic<uint64_t> num_predictions_{0};
+  mutable std::atomic<uint64_t> num_cache_hits_{0};
+};
+
+}  // namespace dcer
+
+#endif  // DCER_ML_REGISTRY_H_

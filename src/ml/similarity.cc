@@ -1,0 +1,42 @@
+#include "ml/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dcer {
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = SplitWhitespace(ToLower(a));
+  std::vector<std::string> tb = SplitWhitespace(ToLower(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = EditDistance(a, b);
+  size_t m = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(m);
+}
+
+double NumericSimilarity(double a, double b, double tol) {
+  double denom = std::max({std::fabs(a), std::fabs(b), 1e-12});
+  double rel = std::fabs(a - b) / denom;
+  if (rel <= tol) return 1.0;
+  if (rel >= 2 * tol) return 0.0;
+  return (2 * tol - rel) / tol;
+}
+
+}  // namespace dcer

@@ -1,0 +1,19 @@
+#ifndef DCER_ML_SIMILARITY_H_
+#define DCER_ML_SIMILARITY_H_
+
+#include <string_view>
+
+namespace dcer {
+
+/// Token-level Jaccard similarity (case-insensitive, whitespace tokens).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity: 1 - dist / max(|a|, |b|); 1.0 for two empties.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// 1 if relative difference <= tol, decaying linearly to 0 at 2*tol.
+double NumericSimilarity(double a, double b, double tol);
+
+}  // namespace dcer
+
+#endif  // DCER_ML_SIMILARITY_H_

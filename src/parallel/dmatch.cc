@@ -1,0 +1,105 @@
+#include "parallel/dmatch.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "common/timer.h"
+#include "parallel/master.h"
+#include "parallel/worker.h"
+
+namespace dcer {
+
+namespace {
+
+// Runs one superstep across all workers (threads or sequentially) and
+// returns the slowest worker's time.
+double RunSuperstep(std::vector<std::unique_ptr<Worker>>& workers,
+                    const std::vector<std::vector<Fact>>* inboxes,
+                    bool run_parallel) {
+  auto run_one = [&](size_t w) {
+    if (inboxes == nullptr) {
+      workers[w]->RunPartial();
+    } else {
+      workers[w]->RunIncremental((*inboxes)[w]);
+    }
+  };
+  if (run_parallel) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (size_t w = 0; w < workers.size(); ++w) {
+      threads.emplace_back(run_one, w);
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (size_t w = 0; w < workers.size(); ++w) run_one(w);
+  }
+  double slowest = 0;
+  for (const auto& w : workers) {
+    slowest = std::max(slowest, w->last_step_seconds());
+  }
+  return slowest;
+}
+
+}  // namespace
+
+DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
+                    const MlRegistry& registry, const DMatchOptions& options,
+                    MatchContext* result) {
+  DMatchReport report;
+
+  // Step 1: partition D with HyPart (in place of blocking).
+  HyPartOptions part_options;
+  part_options.num_workers = options.num_workers;
+  part_options.use_mqo = options.use_mqo;
+  part_options.use_virtual_blocks = options.use_virtual_blocks;
+  Partition partition = HyPart(dataset, rules, part_options);
+  report.partition = partition.stats;
+  report.partition_seconds = partition.stats.seconds;
+
+  // Step 2: the BSP fixpoint.
+  Timer er_timer;
+  ChaseEngine::Options engine_options;
+  engine_options.dependency_capacity = options.dependency_capacity;
+  engine_options.share_indices = options.use_mqo;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(options.num_workers);
+  for (int w = 0; w < options.num_workers; ++w) {
+    workers.push_back(std::make_unique<Worker>(
+        w, dataset, std::move(partition.fragments[w]),
+        std::move(partition.rule_views[w]), &rules, &registry,
+        engine_options));
+  }
+  Master master(&partition.hosts, options.num_workers, dataset.num_tuples());
+
+  // Superstep 0: partial evaluation A on every worker in parallel.
+  report.simulated_seconds +=
+      RunSuperstep(workers, nullptr, options.run_parallel);
+  report.supersteps = 1;
+  for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
+
+  // Supersteps r > 0: incremental A_Δ until no messages flow (ΔΓ = ∅).
+  std::vector<std::vector<Fact>> inboxes;
+  while (master.Dispatch(&inboxes)) {
+    report.simulated_seconds +=
+        RunSuperstep(workers, &inboxes, options.run_parallel);
+    ++report.supersteps;
+    for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
+  }
+
+  // Γ = ∪_i Γ_i: union the locally derived facts into the result context.
+  for (const auto& w : workers) {
+    for (const Fact& f : w->derived_facts()) result->Apply(f, nullptr);
+    report.chase += w->stats();
+  }
+
+  report.er_seconds = er_timer.ElapsedSeconds();
+  report.messages = master.messages_routed();
+  report.bytes = master.bytes_routed();
+  report.matched_pairs = result->num_matched_pairs();
+  report.validated_ml = result->num_validated_ml();
+  return report;
+}
+
+}  // namespace dcer

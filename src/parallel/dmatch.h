@@ -1,0 +1,49 @@
+#ifndef DCER_PARALLEL_DMATCH_H_
+#define DCER_PARALLEL_DMATCH_H_
+
+#include "chase/deduce.h"
+#include "partition/hypart.h"
+
+namespace dcer {
+
+/// Configuration of parallel algorithm DMatch (Sec. V-B).
+struct DMatchOptions {
+  int num_workers = 4;
+  /// MQO on/off: shared hash functions in HyPart and shared indices in the
+  /// workers' engines. Off = DMatch_noMQO.
+  bool use_mqo = true;
+  /// Virtual blocks + LPT skew reduction in HyPart.
+  bool use_virtual_blocks = true;
+  /// Dependency-store capacity K per worker.
+  size_t dependency_capacity = size_t{1} << 20;
+  /// Run workers on real threads. false = run them sequentially (results
+  /// are identical; per-superstep max worker time still yields the
+  /// simulated parallel time, useful when workers outnumber cores).
+  bool run_parallel = true;
+};
+
+/// Metrics of one DMatch run.
+struct DMatchReport {
+  PartitionStats partition;
+  ChaseStats chase;  // summed over workers
+  int supersteps = 0;
+  uint64_t messages = 0;  // facts routed worker-to-worker (via master)
+  uint64_t bytes = 0;
+  double partition_seconds = 0;
+  double er_seconds = 0;         // wall clock of the BSP phase
+  double simulated_seconds = 0;  // Σ_steps max_i t_i: n dedicated machines
+  uint64_t matched_pairs = 0;
+  uint64_t validated_ml = 0;
+};
+
+/// Parallel deep and collective ER: HyPart-partitions the dataset, runs the
+/// BSP fixpoint (partial evaluation, then incremental supersteps routed
+/// through the master) and leaves Γ = ∪ Γ_i in *result. By Prop. 4/8 the
+/// result equals the sequential Match's Γ, which the tests verify.
+DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
+                    const MlRegistry& registry, const DMatchOptions& options,
+                    MatchContext* result);
+
+}  // namespace dcer
+
+#endif  // DCER_PARALLEL_DMATCH_H_

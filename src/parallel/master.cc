@@ -1,0 +1,58 @@
+#include "parallel/master.h"
+
+namespace dcer {
+
+Master::Master(const std::vector<std::vector<uint32_t>>* hosts,
+               int num_workers, size_t num_tuples)
+    : hosts_(hosts),
+      num_workers_(num_workers),
+      eid_(num_tuples),
+      pending_(num_workers),
+      seen_(num_workers) {}
+
+void Master::Route(const Fact& f) {
+  uint64_t key = f.Key();
+  auto route_to = [&](Gid gid) {
+    if (gid >= hosts_->size()) return;
+    for (uint32_t w : (*hosts_)[gid]) {
+      if (!seen_[w].insert(key).second) continue;  // already delivered
+      pending_[w].push_back(f);
+      ++messages_routed_;
+    }
+  };
+  route_to(f.a);
+  if (f.b != f.a) route_to(f.b);
+}
+
+void Master::Collect(int from, std::vector<Fact> facts) {
+  for (const Fact& f : facts) {
+    // The sender already knows this exact fact.
+    seen_[from].insert(f.Key());
+    if (f.kind == Fact::Kind::kMl) {
+      if (validated_ml_.insert(f.Key()).second) Route(f);
+      continue;
+    }
+    if (eid_.Same(f.a, f.b)) continue;
+    // Route every newly-equivalent concrete pair so each hosting worker can
+    // update its local E_id, even if it hosts none of the intermediates.
+    std::vector<uint32_t> ca = eid_.ClassMembers(f.a);
+    std::vector<uint32_t> cb = eid_.ClassMembers(f.b);
+    eid_.Union(f.a, f.b);
+    for (uint32_t x : ca) {
+      for (uint32_t y : cb) Route(Fact::IdMatch(x, y));
+    }
+  }
+}
+
+bool Master::Dispatch(std::vector<std::vector<Fact>>* inboxes) {
+  inboxes->assign(num_workers_, {});
+  bool any = false;
+  for (int w = 0; w < num_workers_; ++w) {
+    if (!pending_[w].empty()) any = true;
+    (*inboxes)[w] = std::move(pending_[w]);
+    pending_[w].clear();
+  }
+  return any;
+}
+
+}  // namespace dcer

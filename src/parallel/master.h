@@ -1,0 +1,56 @@
+#ifndef DCER_PARALLEL_MASTER_H_
+#define DCER_PARALLEL_MASTER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/union_find.h"
+#include "parallel/message.h"
+
+namespace dcer {
+
+/// The coordinator P_0 of the fixpoint model (Sec. III-B): collects the new
+/// matches each worker deduced in a superstep and routes them to the workers
+/// hosting the matched tuples.
+///
+/// P_0 maintains the global equivalence relation: when a received match
+/// merges two classes, every newly-equivalent concrete pair (x, y) is routed
+/// to the workers hosting x or y. This closes the transitivity gap — a
+/// worker may host x and y but none of the intermediate tuples whose matches
+/// made them equivalent — and keeps total communication within the paper's
+/// O(‖Σ‖(|Σ|+1)|D|²) bound, since each concrete pair is routed at most once
+/// per worker.
+class Master {
+ public:
+  /// `hosts` maps gid -> sorted worker ids hosting that tuple (from HyPart).
+  Master(const std::vector<std::vector<uint32_t>>* hosts, int num_workers,
+         size_t num_tuples);
+
+  /// Accepts the outbox of worker `from` at the end of a superstep.
+  void Collect(int from, std::vector<Fact> facts);
+
+  /// Moves the routed per-worker inboxes into *inboxes (resized to
+  /// num_workers). Returns true if any inbox is non-empty, i.e., another
+  /// superstep is needed.
+  bool Dispatch(std::vector<std::vector<Fact>>* inboxes);
+
+  uint64_t messages_routed() const { return messages_routed_; }
+  uint64_t bytes_routed() const { return WireBytes(messages_routed_); }
+  const UnionFind& global_eid() const { return eid_; }
+
+ private:
+  void Route(const Fact& f);
+
+  const std::vector<std::vector<uint32_t>>* hosts_;
+  int num_workers_;
+  UnionFind eid_;  // global equivalence over all tuple ids
+  std::unordered_set<uint64_t> validated_ml_;
+  std::vector<std::vector<Fact>> pending_;
+  // Per-worker fact keys already delivered.
+  std::vector<std::unordered_set<uint64_t>> seen_;
+  uint64_t messages_routed_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_PARALLEL_MASTER_H_

@@ -1,0 +1,3 @@
+#include "parallel/message.h"
+
+// Message is a plain struct; this TU anchors the header in the build.

@@ -1,0 +1,27 @@
+#ifndef DCER_PARALLEL_MESSAGE_H_
+#define DCER_PARALLEL_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chase/fact.h"
+
+namespace dcer {
+
+/// The BSP message payload: only deduced facts — (t.id, s.id) matches and
+/// validated ML predictions — ever travel between workers. No raw tuples are
+/// shuffled after partitioning, which is the fixpoint model's communication
+/// advantage over MapReduce-style ER (Sec. III-B).
+struct Message {
+  int from = -1;
+  std::vector<Fact> facts;
+};
+
+/// Wire size of a fact batch (bytes), for communication-cost accounting.
+inline uint64_t WireBytes(size_t num_facts) {
+  return static_cast<uint64_t>(num_facts) * sizeof(Fact);
+}
+
+}  // namespace dcer
+
+#endif  // DCER_PARALLEL_MESSAGE_H_

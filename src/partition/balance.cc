@@ -1,0 +1,46 @@
+#include "partition/balance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace dcer {
+
+std::vector<int> BalanceBlocks(const std::vector<uint64_t>& block_sizes,
+                               int num_workers) {
+  std::vector<size_t> order(block_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return block_sizes[a] > block_sizes[b];
+  });
+
+  // Min-heap of (load, worker).
+  using Entry = std::pair<uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int w = 0; w < num_workers; ++w) heap.push({0, w});
+
+  std::vector<int> assignment(block_sizes.size(), 0);
+  for (size_t b : order) {
+    auto [load, w] = heap.top();
+    heap.pop();
+    assignment[b] = w;
+    heap.push({load + block_sizes[b], w});
+  }
+  return assignment;
+}
+
+double LoadSkew(const std::vector<uint64_t>& block_sizes,
+                const std::vector<int>& assignment, int num_workers) {
+  std::vector<uint64_t> load(num_workers, 0);
+  uint64_t total = 0;
+  for (size_t b = 0; b < block_sizes.size(); ++b) {
+    load[assignment[b]] += block_sizes[b];
+    total += block_sizes[b];
+  }
+  if (total == 0) return 1.0;
+  uint64_t max_load = *std::max_element(load.begin(), load.end());
+  double avg = static_cast<double>(total) / num_workers;
+  return static_cast<double>(max_load) / avg;
+}
+
+}  // namespace dcer

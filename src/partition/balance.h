@@ -1,0 +1,24 @@
+#ifndef DCER_PARTITION_BALANCE_H_
+#define DCER_PARTITION_BALANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcer {
+
+/// Assigns virtual blocks (hypercube cells) to `num_workers` fragments using
+/// the LPT (longest processing time) heuristic for minimum makespan — the
+/// paper's skewness-reduction step (Sec. IV Remarks (2)). Returns the worker
+/// index per block. Blocks keep their cells intact, so co-location (Lemma 6)
+/// is preserved.
+std::vector<int> BalanceBlocks(const std::vector<uint64_t>& block_sizes,
+                               int num_workers);
+
+/// Load skew of an assignment: max load / average load (1.0 = perfect).
+double LoadSkew(const std::vector<uint64_t>& block_sizes,
+                const std::vector<int>& assignment, int num_workers);
+
+}  // namespace dcer
+
+#endif  // DCER_PARTITION_BALANCE_H_

@@ -1,0 +1,140 @@
+#include "partition/distinct_vars.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.h"
+#include "common/union_find.h"
+
+namespace dcer {
+
+uint64_t Occurrence::ShareKey(const std::vector<int>& var_relation) const {
+  uint64_t rel = HashInt(static_cast<uint64_t>(var_relation[var]) + 7);
+  switch (kind) {
+    case Kind::kAttr:
+      return HashCombine(rel, HashInt(static_cast<uint64_t>(attr) + 11));
+    case Kind::kId:
+      return HashCombine(rel, HashInt(0x1dd));
+    case Kind::kMlSide: {
+      uint64_t h = HashCombine(rel, HashInt(0x311));
+      for (int a : ml_attrs) h = HashCombine(h, HashInt(static_cast<uint64_t>(a)));
+      return h;
+    }
+  }
+  return 0;
+}
+
+bool DistinctVar::Touches(int var) const {
+  for (const Occurrence& o : occs) {
+    if (o.var == var) return true;
+  }
+  return false;
+}
+
+namespace {
+// Dense key for union-find: occurrence identity within the rule.
+struct OccId {
+  int var;
+  int attr;  // attr index, -1 for id, -(2 + pred_index*2 + side) for ML sides
+  bool operator<(const OccId& o) const {
+    return var != o.var ? var < o.var : attr < o.attr;
+  }
+  bool operator==(const OccId&) const = default;
+};
+}  // namespace
+
+std::vector<DistinctVar> ComputeDistinctVars(const Rule& rule) {
+  // Gather occurrence ids with their payloads.
+  std::map<OccId, Occurrence> occs;
+  auto add_attr = [&](int var, int attr) {
+    Occurrence o;
+    o.kind = Occurrence::Kind::kAttr;
+    o.var = var;
+    o.attr = attr;
+    occs.emplace(OccId{var, attr}, std::move(o));
+  };
+  auto add_id = [&](int var) {
+    Occurrence o;
+    o.kind = Occurrence::Kind::kId;
+    o.var = var;
+    occs.emplace(OccId{var, -1}, std::move(o));
+  };
+  auto add_ml = [&](int var, const std::vector<int>& attrs, int pred,
+                    int side) {
+    Occurrence o;
+    o.kind = Occurrence::Kind::kMlSide;
+    o.var = var;
+    o.ml_attrs = attrs;
+    occs.emplace(OccId{var, -(2 + pred * 2 + side)}, std::move(o));
+  };
+
+  // The consequence's id/ML sides are also hashed (an id consequence means
+  // the two tuples must meet on a worker to be matched there... they already
+  // do via the precondition joins, but the id attributes are still distinct
+  // variables per the paper's Remark (1)).
+  std::vector<const Predicate*> preds;
+  for (const Predicate& p : rule.preconditions()) preds.push_back(&p);
+  preds.push_back(&rule.consequence());
+
+  int pred_idx = 0;
+  for (const Predicate* p : preds) {
+    switch (p->kind) {
+      case PredicateKind::kConstEq:
+        break;  // local filter, no co-location requirement
+      case PredicateKind::kAttrEq:
+        add_attr(p->lhs.var, p->lhs.attr);
+        add_attr(p->rhs.var, p->rhs.attr);
+        break;
+      case PredicateKind::kIdEq:
+        add_id(p->lhs.var);
+        add_id(p->rhs.var);
+        break;
+      case PredicateKind::kMl:
+        add_ml(p->lhs.var, p->lhs_ml_attrs, pred_idx, 0);
+        add_ml(p->rhs.var, p->rhs_ml_attrs, pred_idx, 1);
+        break;
+    }
+    ++pred_idx;
+  }
+
+  // Index the occurrences densely.
+  std::vector<OccId> ids;
+  ids.reserve(occs.size());
+  for (const auto& [id, _] : occs) ids.push_back(id);
+  auto index_of = [&ids](const OccId& id) {
+    return static_cast<uint32_t>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+  };
+
+  // Merge by equality predicates: joined attributes are one distinct
+  // variable (they must share a hash function so joinable tuples collide).
+  //
+  // Id occurrences and ML sides are deliberately NOT merged: t.id = s.id in
+  // a precondition holds between tuples with different gids (equivalence,
+  // not value equality), and M(t[Ā], s[B̄]) needs all-pairs comparison — so
+  // each side keeps its own dimension, and the Hypercube's broadcast (*)
+  // guarantees at least one worker hosts both tuples (the paper's Lemma 6
+  // remark).
+  UnionFind uf(ids.size());
+  for (const Predicate& p : rule.preconditions()) {
+    if (p.kind == PredicateKind::kAttrEq) {
+      uf.Union(index_of({p.lhs.var, p.lhs.attr}),
+               index_of({p.rhs.var, p.rhs.attr}));
+    }
+  }
+
+  // Collect classes in a deterministic order (by smallest member).
+  std::vector<DistinctVar> out;
+  std::vector<int> class_of(ids.size(), -1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    uint32_t root = uf.Find(static_cast<uint32_t>(i));
+    if (class_of[root] < 0) {
+      class_of[root] = static_cast<int>(out.size());
+      out.emplace_back();
+    }
+    out[class_of[root]].occs.push_back(occs[ids[i]]);
+  }
+  return out;
+}
+
+}  // namespace dcer

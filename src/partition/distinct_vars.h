@@ -1,0 +1,49 @@
+#ifndef DCER_PARTITION_DISTINCT_VARS_H_
+#define DCER_PARTITION_DISTINCT_VARS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// An attribute occurrence inside a rule, in the extended sense of Sec. IV:
+/// plain attributes, the designated id attribute, and whole ML-predicate
+/// sides (treated as distinct variables because M(t[Ā], s[B̄]) must compare
+/// all pairs; the Hypercube gives each side its own dimension).
+struct Occurrence {
+  enum class Kind : uint8_t { kAttr, kId, kMlSide };
+  Kind kind = Kind::kAttr;
+  int var = -1;               // tuple variable
+  int attr = -1;              // kAttr
+  std::vector<int> ml_attrs;  // kMlSide: the Ā vector
+
+  /// Stable identity of what this occurrence hashes, independent of the
+  /// variable name: (relation, attribute) / (relation, id) / (relation, Ā).
+  /// Two rules sharing a predicate produce occurrences with equal keys,
+  /// which is how AssignHash shares hash functions across rules.
+  uint64_t ShareKey(const std::vector<int>& var_relation) const;
+};
+
+/// One distinct variable of a rule (Sec. IV): an equivalence class of
+/// occurrences merged by the rule's equality predicates. All occurrences of
+/// a class must be hashed by the same function so that joinable tuples
+/// collide (the core of Lemma 6).
+struct DistinctVar {
+  std::vector<Occurrence> occs;
+  int hash_fn = -1;  // assigned by AssignHash (mqo.h)
+
+  /// True if some occurrence involves tuple variable `var`.
+  bool Touches(int var) const;
+};
+
+/// Computes the distinct variables of `rule`: occurrences from every
+/// precondition (plus the consequence's id/ML sides), quotiented by the
+/// equality predicates. Constant predicates do not produce occurrences
+/// (they filter locally and need no co-location).
+std::vector<DistinctVar> ComputeDistinctVars(const Rule& rule);
+
+}  // namespace dcer
+
+#endif  // DCER_PARTITION_DISTINCT_VARS_H_

@@ -1,0 +1,130 @@
+#include "partition/hypart.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "partition/balance.h"
+
+namespace dcer {
+
+Partition HyPart(const Dataset& dataset, const RuleSet& rules,
+                 const HyPartOptions& options) {
+  Timer timer;
+  const int n = options.num_workers;
+  // Virtual blocks: n² cells (capped), LPT-balanced onto n workers. Each
+  // cell of each rule's grid stays intact, preserving Lemma 6.
+  const int m = options.use_virtual_blocks ? std::min(n * n, 4096) : n;
+
+  Partition out;
+  MqoPlan plan = AssignHash(rules, options.use_mqo);
+  HashEvaluator hasher;
+
+  // Pass 1: distribute each rule into its own cell array (the per-rule
+  // Hypercube); cells with the same index across rules form one virtual
+  // block. With MQO-shared hash functions, rules sharing predicates send
+  // tuples to the same cells, so blocks (and later indices) overlap.
+  std::vector<std::vector<std::vector<Gid>>> rule_cells(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    rule_cells[ri].assign(m, {});
+    HypercubeGrid grid =
+        HypercubeGrid::Build(dataset, rules.rule(ri), plan.rules[ri], m);
+    out.stats.generated_tuples +=
+        DistributeRule(dataset, rules.rule(ri), plan.rules[ri], grid, &hasher,
+                       &rule_cells[ri]);
+    for (int c = 0; c < m; ++c) {
+      auto& cell = rule_cells[ri][c];
+      std::sort(cell.begin(), cell.end());
+      cell.erase(std::unique(cell.begin(), cell.end()), cell.end());
+    }
+  }
+
+  // Relations no rule mentions cannot join anything: spread them evenly.
+  // They ride along in block `gid % m` outside any rule view.
+  std::vector<std::vector<Gid>> stray(m);
+  std::vector<bool> covered(dataset.num_relations(), false);
+  for (const Rule& r : rules.rules()) {
+    for (int rel : r.var_relations()) covered[rel] = true;
+  }
+  for (size_t rel = 0; rel < dataset.num_relations(); ++rel) {
+    if (covered[rel]) continue;
+    const Relation& relation = dataset.relation(rel);
+    for (size_t row = 0; row < relation.num_rows(); ++row) {
+      stray[relation.gid(row) % m].push_back(relation.gid(row));
+    }
+  }
+
+  // Block sizes (pre-dedup across rules: a block's load is the join work of
+  // every rule's cell in it).
+  std::vector<uint64_t> block_sizes(m, 0);
+  for (int c = 0; c < m; ++c) {
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      block_sizes[c] += rule_cells[ri][c].size();
+    }
+    block_sizes[c] += stray[c].size();
+  }
+
+  // Assign blocks to workers (LPT when balancing; round-robin otherwise).
+  std::vector<int> assignment;
+  if (options.use_virtual_blocks) {
+    assignment = BalanceBlocks(block_sizes, n);
+  } else {
+    assignment.resize(m);
+    for (int c = 0; c < m; ++c) assignment[c] = c % n;
+  }
+  out.stats.skew = LoadSkew(block_sizes, assignment, n);
+
+  // Pass 2: materialize per-(worker, rule) block views plus the union
+  // fragment. Each non-empty cell of each rule becomes one evaluation scope
+  // on the worker its block was assigned to.
+  out.rule_views.assign(n, {});
+  std::vector<std::vector<Gid>> union_gids(n);
+  for (int w = 0; w < n; ++w) out.rule_views[w].resize(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    for (int c = 0; c < m; ++c) {
+      auto& cell = rule_cells[ri][c];
+      if (cell.empty()) continue;
+      int w = assignment[c];
+      std::vector<std::vector<uint32_t>> rows(dataset.num_relations());
+      for (Gid gid : cell) {
+        rows[dataset.loc(gid).relation].push_back(dataset.loc(gid).row);
+      }
+      out.rule_views[w][ri].emplace_back(&dataset, std::move(rows));
+      union_gids[w].insert(union_gids[w].end(), cell.begin(), cell.end());
+    }
+    rule_cells[ri].clear();
+    rule_cells[ri].shrink_to_fit();
+  }
+  for (int c = 0; c < m; ++c) {
+    auto& dst = union_gids[assignment[c]];
+    dst.insert(dst.end(), stray[c].begin(), stray[c].end());
+  }
+
+  out.hosts.assign(dataset.num_tuples(), {});
+  out.fragments.reserve(n);
+  for (int w = 0; w < n; ++w) {
+    std::sort(union_gids[w].begin(), union_gids[w].end());
+    union_gids[w].erase(
+        std::unique(union_gids[w].begin(), union_gids[w].end()),
+        union_gids[w].end());
+    std::vector<std::vector<uint32_t>> rows(dataset.num_relations());
+    for (Gid gid : union_gids[w]) {
+      rows[dataset.loc(gid).relation].push_back(dataset.loc(gid).row);
+      out.hosts[gid].push_back(static_cast<uint32_t>(w));
+    }
+    out.stats.fragment_tuples += union_gids[w].size();
+    out.fragments.emplace_back(&dataset, std::move(rows));
+  }
+
+  out.stats.hash_computations = hasher.num_computations();
+  out.stats.hash_cache_hits = hasher.num_hits();
+  out.stats.num_hash_functions = plan.num_hash_functions;
+  out.stats.replication_factor =
+      dataset.num_tuples() == 0
+          ? 0
+          : static_cast<double>(out.stats.fragment_tuples) /
+                static_cast<double>(dataset.num_tuples());
+  out.stats.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,154 @@
+#include "partition/mqo.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace dcer {
+
+namespace {
+
+// For each predicate signature, the set of rules containing it.
+std::unordered_map<uint64_t, std::set<size_t>> SignatureRules(
+    const RuleSet& rules) {
+  std::unordered_map<uint64_t, std::set<size_t>> out;
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule& r = rules.rule(ri);
+    for (const Predicate& p : r.preconditions()) {
+      out[p.Signature(r.var_relations())].insert(ri);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MqoPlan AssignHash(const RuleSet& rules, bool use_mqo) {
+  MqoPlan plan;
+  plan.rules.resize(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    plan.rules[ri].dims = ComputeDistinctVars(rules.rule(ri));
+  }
+
+  auto sig_rules = SignatureRules(rules);
+
+  // O_r: rules in descending order of |N_phi| (rules sharing a predicate).
+  std::vector<size_t> order(rules.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> score(rules.size(), 0);
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    std::set<size_t> neighbors;
+    for (const Predicate& p : rules.rule(ri).preconditions()) {
+      for (size_t other : sig_rules[p.Signature(rules.rule(ri).var_relations())]) {
+        if (other != ri) neighbors.insert(other);
+      }
+    }
+    score[ri] = neighbors.size();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score[a] > score[b]; });
+  plan.rule_order = order;
+
+  // Global registry: occurrence share-key -> hash function id.
+  std::unordered_map<uint64_t, int> fn_of_key;
+  int next_fn = 0;
+
+  auto assign_class = [&](const Rule& rule, DistinctVar& dv) {
+    if (dv.hash_fn >= 0) return;
+    int fn = -1;
+    if (use_mqo) {
+      for (const Occurrence& o : dv.occs) {
+        auto it = fn_of_key.find(o.ShareKey(rule.var_relations()));
+        if (it != fn_of_key.end() && (fn < 0 || it->second < fn)) {
+          fn = it->second;
+        }
+      }
+      if (fn >= 0) ++plan.shared_classes;
+    }
+    if (fn < 0) fn = next_fn++;
+    dv.hash_fn = fn;
+    if (use_mqo) {
+      for (const Occurrence& o : dv.occs) {
+        fn_of_key.emplace(o.ShareKey(rule.var_relations()), fn);
+      }
+    }
+  };
+
+  for (size_t ri : order) {
+    const Rule& rule = rules.rule(ri);
+    RulePlan& rp = plan.rules[ri];
+
+    // O_p: predicates by descending sharing count.
+    std::vector<const Predicate*> preds;
+    for (const Predicate& p : rule.preconditions()) preds.push_back(&p);
+    std::stable_sort(preds.begin(), preds.end(),
+                     [&](const Predicate* a, const Predicate* b) {
+                       return sig_rules[a->Signature(rule.var_relations())]
+                                  .size() >
+                              sig_rules[b->Signature(rule.var_relations())]
+                                  .size();
+                     });
+
+    // Assign functions to the classes touched by each predicate in O_p.
+    auto class_with_occ = [&rp](int var, Occurrence::Kind kind,
+                                int attr) -> DistinctVar* {
+      for (DistinctVar& dv : rp.dims) {
+        for (const Occurrence& o : dv.occs) {
+          if (o.var == var && o.kind == kind &&
+              (kind != Occurrence::Kind::kAttr || o.attr == attr)) {
+            return &dv;
+          }
+        }
+      }
+      return nullptr;
+    };
+    for (const Predicate* p : preds) {
+      switch (p->kind) {
+        case PredicateKind::kAttrEq: {
+          if (DistinctVar* dv = class_with_occ(p->lhs.var,
+                                               Occurrence::Kind::kAttr,
+                                               p->lhs.attr)) {
+            assign_class(rule, *dv);
+          }
+          break;
+        }
+        case PredicateKind::kIdEq:
+          if (DistinctVar* dv =
+                  class_with_occ(p->lhs.var, Occurrence::Kind::kId, -1)) {
+            assign_class(rule, *dv);
+          }
+          if (DistinctVar* dv =
+                  class_with_occ(p->rhs.var, Occurrence::Kind::kId, -1)) {
+            assign_class(rule, *dv);
+          }
+          break;
+        case PredicateKind::kMl:
+          if (DistinctVar* dv =
+                  class_with_occ(p->lhs.var, Occurrence::Kind::kMlSide, -1)) {
+            assign_class(rule, *dv);
+          }
+          if (DistinctVar* dv =
+                  class_with_occ(p->rhs.var, Occurrence::Kind::kMlSide, -1)) {
+            assign_class(rule, *dv);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // Remaining classes (e.g., consequence ids) in declaration order.
+    for (DistinctVar& dv : rp.dims) assign_class(rule, dv);
+
+    // O_h: sort dimensions by hash function id (stable for ties).
+    std::stable_sort(rp.dims.begin(), rp.dims.end(),
+                     [](const DistinctVar& a, const DistinctVar& b) {
+                       return a.hash_fn < b.hash_fn;
+                     });
+  }
+  plan.num_hash_functions = next_fn;
+  return plan;
+}
+
+}  // namespace dcer

@@ -1,0 +1,38 @@
+#ifndef DCER_PARTITION_MQO_H_
+#define DCER_PARTITION_MQO_H_
+
+#include "partition/distinct_vars.h"
+
+namespace dcer {
+
+/// The hash-function assignment for one rule: its distinct variables with
+/// assigned hash-function ids, sorted by the global order O_h (ascending
+/// function id), which is what makes tuples hashed by shared functions land
+/// on the same workers across rules (Sec. IV, Example 4).
+struct RulePlan {
+  std::vector<DistinctVar> dims;
+};
+
+/// The full multi-query plan: one RulePlan per rule plus sharing metrics.
+struct MqoPlan {
+  std::vector<RulePlan> rules;
+  int num_hash_functions = 0;
+  size_t shared_classes = 0;  // distinct-var classes that reused a function
+  std::vector<size_t> rule_order;  // O_r (most-sharing first)
+};
+
+/// Implements SortQuery + AssignHash of algorithm HyPart (Fig. 2):
+/// (1) orders rules by how many other rules they share predicates with
+///     (O_r, via Predicate::Signature);
+/// (2) within a rule, assigns hash functions to distinct variables in
+///     descending predicate-sharing order (O_p), reusing the function of any
+///     occurrence already assigned in an earlier rule;
+/// (3) sorts each rule's dimensions by function id (O_h).
+/// With use_mqo=false every class gets a fresh function (the noMQO
+/// ablation) — minimizing |H(Σ,D)| exactly is NP-complete (Thm. 5), so this
+/// is the paper's heuristic.
+MqoPlan AssignHash(const RuleSet& rules, bool use_mqo);
+
+}  // namespace dcer
+
+#endif  // DCER_PARTITION_MQO_H_

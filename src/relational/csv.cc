@@ -1,0 +1,105 @@
+#include "relational/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dcer {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+Status LoadCsv(const std::string& path, Dataset* dataset, size_t rel) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::Corruption("empty CSV: " + path);
+
+  const Schema& schema = dataset->relation(rel).schema();
+  std::vector<std::string> header = ParseCsvLine(line);
+  // column j of the file -> attribute index, or -1 to ignore.
+  std::vector<int> col_to_attr(header.size());
+  for (size_t j = 0; j < header.size(); ++j) {
+    col_to_attr[j] = schema.AttrIndex(std::string(Trim(header[j])));
+  }
+
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    Row row(schema.num_attrs(), Value::Null());
+    for (size_t j = 0; j < fields.size() && j < col_to_attr.size(); ++j) {
+      int a = col_to_attr[j];
+      if (a < 0) continue;
+      row[a] = Value::Parse(fields[j], schema.attr(a).type);
+    }
+    dataset->AppendTuple(rel, std::move(row));
+  }
+  return Status::OK();
+}
+
+Status SaveCsv(const std::string& path, const Dataset& dataset, size_t rel) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const Relation& r = dataset.relation(rel);
+  const Schema& schema = r.schema();
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (a > 0) out << ',';
+    out << EscapeCsvField(schema.attr(a).name);
+  }
+  out << '\n';
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    for (size_t a = 0; a < schema.num_attrs(); ++a) {
+      if (a > 0) out << ',';
+      const Value& v = r.at(i, a);
+      out << EscapeCsvField(v.is_null() ? "" : v.ToString());
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dcer

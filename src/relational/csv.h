@@ -1,0 +1,25 @@
+#ifndef DCER_RELATIONAL_CSV_H_
+#define DCER_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/dataset.h"
+
+namespace dcer {
+
+/// Loads rows from a CSV file (with a header line naming the columns) into
+/// relation `rel` of `dataset`. Columns are matched to schema attributes by
+/// header name; missing attributes become NULL; extra columns are ignored.
+/// Supports RFC-4180 quoting ("" escapes a quote inside a quoted field).
+Status LoadCsv(const std::string& path, Dataset* dataset, size_t rel);
+
+/// Writes relation `rel` of `dataset` to `path` as CSV with a header line.
+Status SaveCsv(const std::string& path, const Dataset& dataset, size_t rel);
+
+/// Parses a single CSV line into fields (exposed for testing).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_CSV_H_

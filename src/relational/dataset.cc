@@ -1,0 +1,46 @@
+#include "relational/dataset.h"
+
+#include <cassert>
+
+namespace dcer {
+
+size_t Dataset::AddRelation(Schema schema) {
+  assert(name_to_index_.find(schema.name()) == name_to_index_.end());
+  name_to_index_[schema.name()] = relations_.size();
+  relations_.emplace_back(std::move(schema));
+  return relations_.size() - 1;
+}
+
+int Dataset::RelationIndex(std::string_view name) const {
+  auto it = name_to_index_.find(std::string(name));
+  return it == name_to_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+size_t Dataset::RelationIndexOrDie(std::string_view name) const {
+  int idx = RelationIndex(name);
+  assert(idx >= 0 && "unknown relation");
+  return static_cast<size_t>(idx);
+}
+
+Gid Dataset::AppendTuple(size_t rel, Row row) {
+  assert(rel < relations_.size());
+  Gid gid = static_cast<Gid>(gid_to_loc_.size());
+  size_t row_idx = relations_[rel].Append(std::move(row), gid);
+  gid_to_loc_.push_back(
+      {static_cast<uint32_t>(rel), static_cast<uint32_t>(row_idx)});
+  return gid;
+}
+
+std::string Dataset::ToString() const {
+  std::string out = "D(";
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += relations_[i].schema().name();
+    out += ":";
+    out += std::to_string(relations_[i].num_rows());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dcer

@@ -1,0 +1,71 @@
+#ifndef DCER_RELATIONAL_DATASET_H_
+#define DCER_RELATIONAL_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace dcer {
+
+/// Location of a tuple inside a dataset: (relation index, row index).
+struct TupleLoc {
+  uint32_t relation;
+  uint32_t row;
+  bool operator==(const TupleLoc&) const = default;
+};
+
+/// A dataset D = (D1, ..., Dm) of schema R = (R1, ..., Rm) (Sec. II).
+/// Owns all relations and assigns dense global tuple ids, which the chase,
+/// the partitioner, and the parallel runtime all key on.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Movable but not copyable: datasets can be large.
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Adds an empty relation with the given schema; returns its index.
+  /// Schema names must be unique.
+  size_t AddRelation(Schema schema);
+
+  size_t num_relations() const { return relations_.size(); }
+  const Relation& relation(size_t i) const { return relations_[i]; }
+  const Relation& relation_by_name(std::string_view name) const {
+    return relations_[RelationIndexOrDie(name)];
+  }
+
+  /// Index of the relation with this schema name, or -1 if absent.
+  int RelationIndex(std::string_view name) const;
+  size_t RelationIndexOrDie(std::string_view name) const;
+
+  /// Appends a tuple to relation `rel`; returns its global id.
+  Gid AppendTuple(size_t rel, Row row);
+
+  /// Total number of tuples across all relations (|D|).
+  size_t num_tuples() const { return gid_to_loc_.size(); }
+
+  TupleLoc loc(Gid gid) const { return gid_to_loc_[gid]; }
+  const Row& tuple(Gid gid) const {
+    TupleLoc l = gid_to_loc_[gid];
+    return relations_[l.relation].row(l.row);
+  }
+  uint32_t relation_of(Gid gid) const { return gid_to_loc_[gid].relation; }
+
+  /// Pretty one-line description: "D(customers:5, shops:5, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, size_t> name_to_index_;
+  std::vector<TupleLoc> gid_to_loc_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_DATASET_H_

@@ -1,0 +1,14 @@
+#include "relational/relation.h"
+
+#include <cassert>
+
+namespace dcer {
+
+size_t Relation::Append(Row row, Gid gid) {
+  assert(row.size() == schema_.num_attrs());
+  rows_.push_back(std::move(row));
+  gids_.push_back(gid);
+  return rows_.size() - 1;
+}
+
+}  // namespace dcer

@@ -1,0 +1,54 @@
+#ifndef DCER_RELATIONAL_RELATION_H_
+#define DCER_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace dcer {
+
+/// A tuple is a row of typed values; its arity matches its schema.
+using Row = std::vector<Value>;
+
+/// Global tuple id: dense index across all relations of a Dataset. The
+/// paper's `t.id` predicates and the match set Γ operate on these.
+using Gid = uint32_t;
+inline constexpr Gid kInvalidGid = static_cast<Gid>(-1);
+
+/// An instance of a relation schema. Rows carry their global ids so that
+/// fragments produced by partitioning can refer back to the original tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Gid gid(size_t i) const { return gids_[i]; }
+  const std::vector<Gid>& gids() const { return gids_; }
+
+  const Value& at(size_t row, size_t attr) const { return rows_[row][attr]; }
+
+  /// Appends a row; the caller (normally Dataset) supplies the global id.
+  /// Returns the local row index.
+  size_t Append(Row row, Gid gid);
+
+  /// Reserves storage for n more rows.
+  void Reserve(size_t n) {
+    rows_.reserve(rows_.size() + n);
+    gids_.reserve(gids_.size() + n);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<Gid> gids_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_RELATION_H_

@@ -1,0 +1,24 @@
+#include "relational/schema.h"
+
+namespace dcer {
+
+int Schema::AttrIndex(std::string_view attr_name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == attr_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += ValueTypeName(attrs_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dcer

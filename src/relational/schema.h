@@ -1,0 +1,50 @@
+#ifndef DCER_RELATIONAL_SCHEMA_H_
+#define DCER_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace dcer {
+
+/// One attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type;
+};
+
+/// Relation schema R(A1:τ1, ..., An:τn). Every relation additionally has a
+/// designated entity identity (the paper's `id` attribute); we model it as
+/// the tuple's global id rather than a stored column, so `t.id = s.id`
+/// predicates operate on tuple identity.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<Attribute> attrs)
+      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_attrs() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute with this name, or -1 if absent.
+  int AttrIndex(std::string_view attr_name) const;
+
+  /// True if attributes i of this schema and j of `other` have the same type
+  /// (the compatibility requirement on t.A = s.B predicates).
+  bool Compatible(size_t i, const Schema& other, size_t j) const {
+    return attrs_[i].type == other.attrs_[j].type;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_SCHEMA_H_

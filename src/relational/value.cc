@@ -1,0 +1,84 @@
+#include "relational/value.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dcer {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+uint64_t Value::Hash(uint64_t seed) const {
+  switch (v_.index()) {
+    case 0:
+      return HashInt(0x6e756c6cULL, seed);  // "null"
+    case 1:
+      return HashInt(static_cast<uint64_t>(std::get<int64_t>(v_)), seed + 1);
+    case 2: {
+      double d = std::get<double>(v_);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt(bits, seed + 2);
+    }
+    default:
+      return HashString(std::get<std::string>(v_), seed + 3);
+  }
+}
+
+std::string Value::ToString() const {
+  switch (v_.index()) {
+    case 0:
+      return "-";
+    case 1:
+      return std::to_string(std::get<int64_t>(v_));
+    case 2: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+      return buf;
+    }
+    default:
+      return std::get<std::string>(v_);
+  }
+}
+
+Value Value::Parse(std::string_view text, ValueType type) {
+  if (text.empty() || text == "-") return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Value::Null();
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      // std::from_chars for double is available in GCC 11+.
+      double v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Value::Null();
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(std::string(text));
+  }
+  return Value::Null();
+}
+
+}  // namespace dcer

@@ -1,0 +1,77 @@
+#ifndef DCER_RELATIONAL_VALUE_H_
+#define DCER_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace dcer {
+
+/// Attribute domains (Sec. II "Datasets": each attribute has a type).
+enum class ValueType { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+const char* ValueTypeName(ValueType type);
+
+/// A typed cell value. Small, copyable, hashable. operator== is structural
+/// (NULL == NULL is true); join predicates in rules use EqJoinable() below,
+/// which is SQL-like: NULL never satisfies an equality predicate.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    if (v_.index() == 1) return static_cast<double>(std::get<int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  /// Deterministic 64-bit hash, stable across runs (used by Hypercube).
+  uint64_t Hash(uint64_t seed = 0) const;
+
+  /// Display rendering; NULL renders as "-" like the paper's tables.
+  std::string ToString() const;
+
+  /// Parses `text` as the given type. Empty or "-" parses to NULL.
+  static Value Parse(std::string_view text, ValueType type);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Equality as used by rule predicates t.A = s.B and t.A = c: false whenever
+/// either side is NULL (missing data never certifies a match).
+inline bool EqJoinable(const Value& a, const Value& b) {
+  return !a.is_null() && !b.is_null() && a == b;
+}
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_VALUE_H_

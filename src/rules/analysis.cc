@@ -1,0 +1,181 @@
+#include "rules/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/union_find.h"
+
+namespace dcer {
+
+const char* ErFragmentName(ErFragment f) {
+  switch (f) {
+    case ErFragment::kBasic:
+      return "basic";
+    case ErFragment::kDeep:
+      return "deep";
+    case ErFragment::kCollective:
+      return "collective";
+    case ErFragment::kDeepCollective:
+      return "deep+collective";
+  }
+  return "?";
+}
+
+ErFragment ClassifyRuleSet(const RuleSet& rules, size_t var_bound) {
+  bool deep = false;
+  bool collective = false;
+  for (const Rule& r : rules.rules()) {
+    if (r.HasIdPrecondition()) deep = true;
+    if (r.num_vars() > var_bound) collective = true;
+  }
+  if (deep && collective) return ErFragment::kDeepCollective;
+  if (deep) return ErFragment::kDeep;
+  if (collective) return ErFragment::kCollective;
+  return ErFragment::kBasic;
+}
+
+namespace {
+
+// Attribute occurrence (var, attr); attr = -1 denotes the id attribute and
+// attr = -2 - i denotes the i-th ML slot of a predicate side.
+struct Occ {
+  int var;
+  int attr;
+  bool operator<(const Occ& o) const {
+    return var != o.var ? var < o.var : attr < o.attr;
+  }
+  bool operator==(const Occ&) const = default;
+};
+
+}  // namespace
+
+bool IsAcyclic(const Rule& rule) {
+  // Collect attribute occurrences mentioned by the precondition.
+  std::vector<Occ> occs;
+  auto add_occ = [&occs](int var, int attr) {
+    occs.push_back({var, attr});
+  };
+  for (const Predicate& p : rule.preconditions()) {
+    switch (p.kind) {
+      case PredicateKind::kConstEq:
+        add_occ(p.lhs.var, p.lhs.attr);
+        break;
+      case PredicateKind::kAttrEq:
+        add_occ(p.lhs.var, p.lhs.attr);
+        add_occ(p.rhs.var, p.rhs.attr);
+        break;
+      case PredicateKind::kIdEq:
+        add_occ(p.lhs.var, -1);
+        add_occ(p.rhs.var, -1);
+        break;
+      case PredicateKind::kMl:
+        for (int a : p.lhs_ml_attrs) add_occ(p.lhs.var, a);
+        for (int a : p.rhs_ml_attrs) add_occ(p.rhs.var, a);
+        break;
+    }
+  }
+  std::sort(occs.begin(), occs.end());
+  occs.erase(std::unique(occs.begin(), occs.end()), occs.end());
+
+  auto occ_index = [&occs](int var, int attr) -> uint32_t {
+    Occ key{var, attr};
+    return static_cast<uint32_t>(
+        std::lower_bound(occs.begin(), occs.end(), key) - occs.begin());
+  };
+
+  // Merge occurrences related by join predicates: the joined attributes are
+  // one vertex of the hypergraph.
+  UnionFind uf(occs.size());
+  for (const Predicate& p : rule.preconditions()) {
+    switch (p.kind) {
+      case PredicateKind::kAttrEq:
+        uf.Union(occ_index(p.lhs.var, p.lhs.attr),
+                 occ_index(p.rhs.var, p.rhs.attr));
+        break;
+      case PredicateKind::kIdEq:
+        uf.Union(occ_index(p.lhs.var, -1), occ_index(p.rhs.var, -1));
+        break;
+      case PredicateKind::kMl:
+        // An ML predicate associates aligned attribute pairs of its two
+        // sides; for cycle analysis it behaves like an equality join on
+        // each aligned pair (the paper's Hypercube extension likewise treats
+        // ML attribute vectors as join-relevant distinct variables).
+        for (size_t i = 0; i < p.lhs_ml_attrs.size(); ++i) {
+          uf.Union(occ_index(p.lhs.var, p.lhs_ml_attrs[i]),
+                   occ_index(p.rhs.var, p.rhs_ml_attrs[i]));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Hyperedges: one per tuple variable, over the vertex classes it touches.
+  std::vector<std::set<uint32_t>> edges(rule.num_vars());
+  for (size_t i = 0; i < occs.size(); ++i) {
+    edges[occs[i].var].insert(uf.Find(static_cast<uint32_t>(i)));
+  }
+
+  // GYO reduction: repeatedly (a) drop vertices that occur in exactly one
+  // edge ("ear" vertices), (b) drop edges contained in another edge.
+  bool changed = true;
+  std::vector<bool> alive(edges.size(), true);
+  while (changed) {
+    changed = false;
+    // (a) vertex occurrence counts.
+    std::map<uint32_t, int> count;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      for (uint32_t v : edges[e]) ++count[v];
+    }
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      for (auto it = edges[e].begin(); it != edges[e].end();) {
+        if (count[*it] == 1) {
+          it = edges[e].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // (b) subset containment (including empty edges).
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      if (edges[e].empty()) {
+        alive[e] = false;
+        changed = true;
+        continue;
+      }
+      for (size_t f = 0; f < edges.size(); ++f) {
+        if (e == f || !alive[f]) continue;
+        if (std::includes(edges[f].begin(), edges[f].end(), edges[e].begin(),
+                          edges[e].end())) {
+          alive[e] = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (bool a : alive) {
+    if (a) return false;
+  }
+  return true;
+}
+
+bool AllAcyclic(const RuleSet& rules) {
+  for (const Rule& r : rules.rules()) {
+    if (!IsAcyclic(r)) return false;
+  }
+  return true;
+}
+
+uint64_t MaxMatchesBound(const RuleSet& rules, size_t num_tuples) {
+  uint64_t d = num_tuples;
+  return static_cast<uint64_t>(rules.size()) * (rules.MaxVars() + 1) * d * d;
+}
+
+}  // namespace dcer

@@ -1,0 +1,45 @@
+#ifndef DCER_RULES_ANALYSIS_H_
+#define DCER_RULES_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Fragments of the deep-and-collective ER problem (Sec. III-A). The paper's
+/// complexity results attach to these: deep ER (bounded tuple variables,
+/// id preconditions allowed) is PTIME; collective ER (unbounded variables,
+/// no id preconditions) is NP-complete; the combination is NP-complete;
+/// acyclic rules are PTIME (Thm. 3).
+enum class ErFragment {
+  kBasic,           // bounded vars, no id preconditions (plain MD-style ER)
+  kDeep,            // id preconditions, bounded vars
+  kCollective,      // unbounded vars, no id preconditions
+  kDeepCollective,  // both
+};
+
+const char* ErFragmentName(ErFragment f);
+
+/// Classifies a rule set. `var_bound` is the paper's constant k bounding
+/// tuple variables for the "deep" fragment (the experiments use 4).
+ErFragment ClassifyRuleSet(const RuleSet& rules, size_t var_bound = 4);
+
+/// Whether the precondition hypergraph of `rule` is acyclic (GYO reduction).
+/// Vertices are equivalence classes of attribute occurrences (merged by the
+/// rule's equality, id and aligned ML attribute pairs); each tuple variable
+/// contributes one hyperedge over the vertices it mentions. Acyclic rules
+/// fall in the PTIME fragment of Thm. 3.
+bool IsAcyclic(const Rule& rule);
+
+/// True if every rule in the set is acyclic.
+bool AllAcyclic(const RuleSet& rules);
+
+/// Upper bound ‖Σ‖(|Σ|+1)|D|² on |Γ| from the proof of Thm. 2 — used by
+/// tests as a sanity invariant and by the chase to pre-size structures.
+uint64_t MaxMatchesBound(const RuleSet& rules, size_t num_tuples);
+
+}  // namespace dcer
+
+#endif  // DCER_RULES_ANALYSIS_H_

@@ -1,0 +1,36 @@
+#ifndef DCER_RULES_PARSER_H_
+#define DCER_RULES_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ml/registry.h"
+#include "rules/rule.h"
+
+namespace dcer {
+
+/// Parses one MRL from the text DSL, e.g.
+///
+///   phi1: Customers(t) ^ Customers(s) ^ t.name = s.name ^
+///         t.phone = s.phone ^ t.addr = s.addr -> t.id = s.id
+///
+///   phi2: Products(t) ^ Products(s) ^ t.pname = s.pname ^
+///         M1(t.desc, s.desc) -> t.id = s.id
+///
+/// Conjuncts are separated by `^` or `&`; `.id` denotes the designated id
+/// predicate; ML predicates use a registered classifier name and either a
+/// single attribute per side (`M1(t.desc, s.desc)`) or vectors
+/// (`M1(t[pname,desc], s[pname,desc])`); constants are double-quoted strings
+/// or numeric literals. Relation and attribute names resolve against
+/// `dataset`, ML names against `registry`.
+Status ParseRule(const std::string& text, const Dataset& dataset,
+                 const MlRegistry& registry, Rule* rule);
+
+/// Parses a newline-separated list of rules; blank lines and lines starting
+/// with `#` are skipped.
+Status ParseRuleSet(const std::string& text, const Dataset& dataset,
+                    const MlRegistry& registry, RuleSet* rules);
+
+}  // namespace dcer
+
+#endif  // DCER_RULES_PARSER_H_

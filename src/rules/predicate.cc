@@ -1,0 +1,81 @@
+#include "rules/predicate.h"
+
+#include "common/hash.h"
+
+namespace dcer {
+
+namespace {
+uint64_t SideSig(int relation, int attr) {
+  return HashCombine(HashInt(static_cast<uint64_t>(relation) + 1),
+                     HashInt(static_cast<uint64_t>(attr) + 2));
+}
+
+uint64_t MlSideSig(int relation, const std::vector<int>& attrs) {
+  uint64_t h = HashInt(static_cast<uint64_t>(relation) + 3);
+  for (int a : attrs) h = HashCombine(h, HashInt(static_cast<uint64_t>(a)));
+  return h;
+}
+
+// Symmetric combine so that t.A = s.B and s.B = t.A share a signature.
+uint64_t SymmetricCombine(uint64_t kind_tag, uint64_t a, uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return HashCombine(HashInt(kind_tag), HashCombine(a, b));
+}
+}  // namespace
+
+uint64_t Predicate::Signature(const std::vector<int>& var_relation) const {
+  switch (kind) {
+    case PredicateKind::kConstEq:
+      return HashCombine(HashInt(11),
+                         HashCombine(SideSig(var_relation[lhs.var], lhs.attr),
+                                     constant.Hash()));
+    case PredicateKind::kAttrEq:
+      return SymmetricCombine(12, SideSig(var_relation[lhs.var], lhs.attr),
+                              SideSig(var_relation[rhs.var], rhs.attr));
+    case PredicateKind::kIdEq:
+      return SymmetricCombine(13, SideSig(var_relation[lhs.var], -1),
+                              SideSig(var_relation[rhs.var], -1));
+    case PredicateKind::kMl:
+      return HashCombine(
+          HashInt(14 + static_cast<uint64_t>(ml_id)),
+          SymmetricCombine(15, MlSideSig(var_relation[lhs.var], lhs_ml_attrs),
+                           MlSideSig(var_relation[rhs.var], rhs_ml_attrs)));
+  }
+  return 0;
+}
+
+std::string Predicate::ToString(
+    const Dataset& dataset, const std::vector<int>& var_relation,
+    const std::vector<std::string>& var_names) const {
+  auto attr_name = [&](const AttrRef& ref, int attr) {
+    const Schema& s = dataset.relation(var_relation[ref.var]).schema();
+    return var_names[ref.var] + "." + s.attr(attr).name;
+  };
+  switch (kind) {
+    case PredicateKind::kConstEq:
+      return attr_name(lhs, lhs.attr) + " = " +
+             (constant.type() == ValueType::kString
+                  ? "\"" + constant.ToString() + "\""
+                  : constant.ToString());
+    case PredicateKind::kAttrEq:
+      return attr_name(lhs, lhs.attr) + " = " + attr_name(rhs, rhs.attr);
+    case PredicateKind::kIdEq:
+      return var_names[lhs.var] + ".id = " + var_names[rhs.var] + ".id";
+    case PredicateKind::kMl: {
+      auto side = [&](const AttrRef& ref, const std::vector<int>& attrs) {
+        const Schema& s = dataset.relation(var_relation[ref.var]).schema();
+        std::string out = var_names[ref.var] + "[";
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          if (i > 0) out += ",";
+          out += s.attr(attrs[i]).name;
+        }
+        return out + "]";
+      };
+      return ml_name + "(" + side(lhs, lhs_ml_attrs) + ", " +
+             side(rhs, rhs_ml_attrs) + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace dcer

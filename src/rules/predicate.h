@@ -1,0 +1,60 @@
+#ifndef DCER_RULES_PREDICATE_H_
+#define DCER_RULES_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/dataset.h"
+
+namespace dcer {
+
+/// Reference to attribute `attr` of tuple variable `var` (both dense
+/// indices; `var` indexes into the owning rule's variable list).
+struct AttrRef {
+  int var = -1;
+  int attr = -1;
+  bool operator==(const AttrRef&) const = default;
+};
+
+/// Predicate kinds of Sec. II (relation atoms R(t) are kept separately on
+/// the rule as the variable->relation binding):
+///   kConstEq : t.A = c
+///   kAttrEq  : t.A = s.B
+///   kIdEq    : t.id = s.id          (the id predicate)
+///   kMl      : M(t[Ā], s[B̄])       (embedded ML classifier)
+enum class PredicateKind { kConstEq, kAttrEq, kIdEq, kMl };
+
+/// One predicate over a rule's tuple variables.
+struct Predicate {
+  PredicateKind kind = PredicateKind::kAttrEq;
+
+  AttrRef lhs;  // kConstEq/kAttrEq: t.A; kIdEq/kMl: .var is t, .attr unused
+  AttrRef rhs;  // kAttrEq: s.B;          kIdEq/kMl: .var is s, .attr unused
+
+  Value constant;  // kConstEq only
+
+  int ml_id = -1;                 // kMl: id in the MlRegistry
+  std::string ml_name;            // kMl: display name
+  std::vector<int> lhs_ml_attrs;  // kMl: Ā (attr indices of lhs.var)
+  std::vector<int> rhs_ml_attrs;  // kMl: B̄ (attr indices of rhs.var)
+
+  bool is_id_or_ml() const {
+    return kind == PredicateKind::kIdEq || kind == PredicateKind::kMl;
+  }
+
+  /// Canonical signature used for MQO sharing (Sec. IV): two predicates in
+  /// different rules share work iff their signatures match. The signature
+  /// abstracts away variable names, keeping relations/attributes/constants.
+  /// `var_relation` maps this rule's variable indices to relation indices.
+  uint64_t Signature(const std::vector<int>& var_relation) const;
+
+  /// Rendering like "t0.name = t1.name" using the rule's variable names.
+  std::string ToString(const Dataset& dataset,
+                       const std::vector<int>& var_relation,
+                       const std::vector<std::string>& var_names) const;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RULES_PREDICATE_H_

@@ -1,0 +1,70 @@
+#include "rules/rule.h"
+
+namespace dcer {
+
+int Rule::AddVariable(std::string var_name, int relation) {
+  var_names_.push_back(std::move(var_name));
+  var_relation_.push_back(relation);
+  return static_cast<int>(var_relation_.size()) - 1;
+}
+
+int Rule::VarIndex(std::string_view name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Rule::HasIdPrecondition() const {
+  for (const Predicate& p : preconditions_) {
+    if (p.kind == PredicateKind::kIdEq) return true;
+  }
+  return false;
+}
+
+bool Rule::HasMlPredicate() const {
+  if (consequence_.kind == PredicateKind::kMl) return true;
+  for (const Predicate& p : preconditions_) {
+    if (p.kind == PredicateKind::kMl) return true;
+  }
+  return false;
+}
+
+std::string Rule::ToString(const Dataset& dataset) const {
+  std::string out;
+  if (!name_.empty()) out += name_ + ": ";
+  for (size_t v = 0; v < var_relation_.size(); ++v) {
+    if (v > 0) out += " ^ ";
+    out += dataset.relation(var_relation_[v]).schema().name() + "(" +
+           var_names_[v] + ")";
+  }
+  for (const Predicate& p : preconditions_) {
+    out += " ^ " + p.ToString(dataset, var_relation_, var_names_);
+  }
+  out += " -> " + consequence_.ToString(dataset, var_relation_, var_names_);
+  return out;
+}
+
+size_t RuleSet::MaxVars() const {
+  size_t m = 0;
+  for (const Rule& r : rules_) m = std::max(m, r.num_vars());
+  return m;
+}
+
+double RuleSet::AvgPredicates() const {
+  if (rules_.empty()) return 0;
+  double total = 0;
+  for (const Rule& r : rules_) total += static_cast<double>(r.num_predicates());
+  return total / static_cast<double>(rules_.size());
+}
+
+std::string RuleSet::ToString(const Dataset& dataset) const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += r.ToString(dataset);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dcer

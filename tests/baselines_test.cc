@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "baselines/matchers.h"
+#include "baselines/variants.h"
+#include "datagen/ecommerce.h"
+#include "datagen/magellan.h"
+#include "datagen/paper_example.h"
+#include "datagen/tpch_lite.h"
+#include "eval/runner.h"
+
+namespace dcer {
+namespace {
+
+TEST(PairClassifierTest, AttrSimilarityBasics) {
+  EXPECT_DOUBLE_EQ(AttrSimilarity(Value("abc"), Value("abc")), 1.0);
+  EXPECT_LT(AttrSimilarity(Value("abc"), Value("xyz")), 0.1);
+  EXPECT_DOUBLE_EQ(AttrSimilarity(Value::Null(), Value("abc")), 0.0);
+  EXPECT_DOUBLE_EQ(AttrSimilarity(Value(int64_t{100}), Value(int64_t{100})),
+                   1.0);
+  EXPECT_DOUBLE_EQ(AttrSimilarity(Value(int64_t{100}), Value(int64_t{500})),
+                   0.0);
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EcommerceOptions options;
+    options.num_customers = 120;
+    gd_ = MakeEcommerce(options);
+  }
+  std::unique_ptr<GenDataset> gd_;
+};
+
+TEST_F(BaselineFixture, BlockingCatchesEasyTierWithHighPrecision) {
+  MatchContext ctx(gd_->dataset);
+  BaselineReport report = RunBlocking(gd_->dataset, gd_->hints, {}, &ctx);
+  EXPECT_GT(report.comparisons, 0u);
+  PrecisionRecall pr = gd_->truth.Evaluate(ctx.MatchedPairs());
+  EXPECT_GT(pr.precision, 0.7);
+  EXPECT_GT(pr.recall, 0.2);
+  EXPECT_LT(pr.recall, 0.9);  // cannot see deep-tier duplicates
+}
+
+TEST_F(BaselineFixture, WindowingRespectsWindowBudget) {
+  BaselineConfig config;
+  config.window = 2;
+  MatchContext small_ctx(gd_->dataset);
+  BaselineReport small = RunWindowing(gd_->dataset, gd_->hints, config,
+                                      &small_ctx);
+  config.window = 10;
+  MatchContext big_ctx(gd_->dataset);
+  BaselineReport big = RunWindowing(gd_->dataset, gd_->hints, config,
+                                    &big_ctx);
+  EXPECT_LT(small.comparisons, big.comparisons);
+  // A wider window can only find more (or equal) matches.
+  EXPECT_LE(small_ctx.num_matched_pairs(), big_ctx.num_matched_pairs());
+}
+
+TEST_F(BaselineFixture, DistDedupEqualsBlockingResult) {
+  // Same comparator, distributed execution: identical matches.
+  MatchContext seq(gd_->dataset);
+  RunBlocking(gd_->dataset, gd_->hints, {}, &seq);
+  BaselineConfig config;
+  config.num_workers = 4;
+  MatchContext par(gd_->dataset);
+  RunDistDedup(gd_->dataset, gd_->hints, config, &par);
+  EXPECT_EQ(seq.MatchedPairs(), par.MatchedPairs());
+}
+
+TEST_F(BaselineFixture, MlAndHybridMatchersRun) {
+  MatchContext c1(gd_->dataset);
+  BaselineReport r1 =
+      RunMlMatcher(gd_->dataset, gd_->hints, {}, gd_->truth, 3, &c1);
+  EXPECT_GT(r1.comparisons, 0u);
+  MatchContext c2(gd_->dataset);
+  BaselineReport r2 =
+      RunHybrid(gd_->dataset, gd_->hints, {}, gd_->truth, 3, &c2);
+  EXPECT_GT(r2.comparisons, 0u);
+  // Hybrid restricts candidates by blocking keys: fewer comparisons.
+  EXPECT_LT(r2.comparisons, r1.comparisons);
+}
+
+TEST_F(BaselineFixture, MetaBlockingPrunesCandidates) {
+  MatchContext ctx(gd_->dataset);
+  BaselineReport report = RunMetaBlocking(gd_->dataset, gd_->hints, {}, &ctx);
+  EXPECT_GT(report.comparisons, 0u);
+  PrecisionRecall pr = gd_->truth.Evaluate(ctx.MatchedPairs());
+  EXPECT_GT(pr.f1, 0.0);
+}
+
+TEST(VariantsTest, CollectiveOnlyDropsIdPreconditionRules) {
+  auto ex = MakePaperExample();
+  RuleSet collective = CollectiveOnlyRules(ex->rules);
+  EXPECT_LT(collective.size(), ex->rules.size());
+  for (const Rule& r : collective.rules()) {
+    EXPECT_FALSE(r.HasIdPrecondition());
+  }
+}
+
+TEST(VariantsTest, DeepOnlyBoundsTupleVariables) {
+  auto ex = MakePaperExample();
+  RuleSet deep = DeepOnlyRules(ex->rules, 4);
+  EXPECT_LT(deep.size(), ex->rules.size());  // φ4 (8 vars) dropped
+  for (const Rule& r : deep.rules()) {
+    EXPECT_LE(r.num_vars(), 4u);
+  }
+}
+
+// The paper's headline ordering (Exp-1): full deep+collective ER beats both
+// restricted variants and every single-pass baseline.
+TEST(AccuracyOrderingTest, DMatchBeatsVariantsAndBaselines) {
+  EcommerceOptions options;
+  options.num_customers = 200;
+  auto gd = MakeEcommerce(options);
+  double dmatch = RunMethod(Method::kDMatch, *gd, 4).accuracy.f1;
+  EXPECT_GT(dmatch, 0.8);
+  EXPECT_GT(dmatch, RunMethod(Method::kDMatchC, *gd, 4).accuracy.f1);
+  EXPECT_GE(dmatch, RunMethod(Method::kDMatchD, *gd, 4).accuracy.f1);
+  for (Method m : {Method::kBlocking, Method::kWindowing, Method::kMlMatcher,
+                   Method::kMetaBlocking, Method::kDistDedup,
+                   Method::kHybrid}) {
+    EXPECT_GT(dmatch, RunMethod(m, *gd, 4).accuracy.f1) << MethodName(m);
+  }
+}
+
+TEST(AccuracyOrderingTest, DeepVariantLosesRecursiveMatchesOnTpch) {
+  TpchOptions options;
+  options.scale = 0.3;
+  auto gd = MakeTpch(options);
+  double dmatch = RunMethod(Method::kDMatch, *gd, 4).accuracy.f1;
+  double deep_only = RunMethod(Method::kDMatchD, *gd, 4).accuracy.f1;
+  double collective_only = RunMethod(Method::kDMatchC, *gd, 4).accuracy.f1;
+  EXPECT_GT(dmatch, deep_only);
+  EXPECT_GT(dmatch, collective_only);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/union_find.h"
+
+namespace dcer {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::Corruption("x").ToString(), "Corruption: x");
+  EXPECT_EQ(Status::IOError("x").ToString(), "IOError: x");
+  EXPECT_EQ(Status::NotSupported("x").ToString(), "NotSupported: x");
+}
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString("hello", 1), HashString("hello", 2));
+  EXPECT_EQ(HashInt(42), HashInt(42));
+  EXPECT_NE(HashInt(42), HashInt(43));
+}
+
+TEST(HashTest, UnorderedPairIsSymmetric) {
+  EXPECT_EQ(HashUnorderedPair(3, 9), HashUnorderedPair(9, 3));
+  EXPECT_NE(HashUnorderedPair(3, 9), HashUnorderedPair(3, 10));
+}
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.ClassSize(i), 1u);
+  }
+  EXPECT_EQ(uf.NumNonTrivialClasses(), 0u);
+  EXPECT_EQ(uf.NumMatchedPairs(), 0u);
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Same(0, 2));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_TRUE(uf.Same(1, 2));
+  EXPECT_EQ(uf.ClassSize(0), 4u);
+  EXPECT_EQ(uf.NumMatchedPairs(), 6u);  // C(4,2)
+}
+
+TEST(UnionFindTest, ClassMembersEnumeratesWholeClass) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  std::vector<uint32_t> members = uf.ClassMembers(4);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<uint32_t>{0, 2, 4}));
+  // Untouched element enumerates only itself.
+  EXPECT_EQ(uf.ClassMembers(5), std::vector<uint32_t>{5});
+}
+
+TEST(UnionFindTest, TransitivityProperty) {
+  // Property: after random unions, Same() agrees with reachability.
+  Rng rng(7);
+  constexpr int kN = 200;
+  UnionFind uf(kN);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 150; ++i) {
+    int a = static_cast<int>(rng.Uniform(kN));
+    int b = static_cast<int>(rng.Uniform(kN));
+    uf.Union(a, b);
+    edges.push_back({a, b});
+  }
+  // Brute-force closure.
+  std::vector<int> comp(kN);
+  for (int i = 0; i < kN; ++i) comp[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [a, b] : edges) {
+      int m = std::min(comp[a], comp[b]);
+      if (comp[a] != m || comp[b] != m) {
+        // Relabel everything in the larger class.
+        int from = std::max(comp[a], comp[b]);
+        for (int i = 0; i < kN; ++i) {
+          if (comp[i] == from) comp[i] = m;
+        }
+        changed = true;
+      }
+    }
+  }
+  for (int a = 0; a < kN; ++a) {
+    for (int b = a + 1; b < kN; ++b) {
+      EXPECT_EQ(uf.Same(a, b), comp[a] == comp[b])
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallValues) {
+  Rng rng(2);
+  int small = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(1000, 1.5) < 10) ++small;
+  }
+  // With skew 1.5, a large fraction of mass is on the first few ranks.
+  EXPECT_GT(small, kTrials / 4);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimAndLowerAndStartsWith) {
+  EXPECT_EQ(Trim("  abc \t"), "abc");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+}
+
+TEST(StringUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+}
+
+TEST(StringUtilTest, EditDistanceBoundEarlyExit) {
+  EXPECT_EQ(EditDistance("aaaaaaaa", "bbbbbbbb", 2), 3u);  // bound+1
+  EXPECT_EQ(EditDistance("abcd", "abed", 2), 1u);
+}
+
+TEST(StringUtilTest, EditDistanceSymmetryProperty) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = rng.RandomWord(0, 12);
+    std::string b = rng.RandomWord(0, 12);
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    // Triangle-ish sanity: distance bounded by max length.
+    EXPECT_LE(EditDistance(a, b), std::max(a.size(), b.size()));
+  }
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace dcer

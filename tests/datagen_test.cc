@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "chase/match.h"
+#include "common/string_util.h"
+#include "datagen/ecommerce.h"
+#include "datagen/magellan.h"
+#include "datagen/noise.h"
+#include "datagen/paper_example.h"
+#include "datagen/rulesets.h"
+#include "datagen/tfacc_lite.h"
+#include "datagen/tpch_lite.h"
+#include "rules/analysis.h"
+
+namespace dcer {
+namespace {
+
+TEST(NoiserTest, TypoChangesAtMostTwoEditOps) {
+  Rng rng(5);
+  Noiser n(&rng);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = rng.RandomWord(5, 12);
+    std::string t = n.Typo(s);
+    EXPECT_LE(EditDistance(s, t), 2u);  // transpose counts as 2 edits
+  }
+}
+
+TEST(NoiserTest, AbbreviateKeepsInitial) {
+  Rng rng(6);
+  Noiser n(&rng);
+  EXPECT_EQ(n.Abbreviate("Ford Smith"), "F. Smith");
+  EXPECT_EQ(n.Abbreviate("X Y"), "X Y");  // 1-char token untouched
+}
+
+TEST(NoiserTest, TokenOpsPreserveTokenMultisetSize) {
+  Rng rng(7);
+  Noiser n(&rng);
+  EXPECT_EQ(SplitWhitespace(n.SwapTokens("a b c")).size(), 3u);
+  EXPECT_EQ(SplitWhitespace(n.DropToken("a b c")).size(), 2u);
+  EXPECT_EQ(n.DropToken("single"), "single");
+}
+
+TEST(NoiserTest, PerturbIsDeterministicPerSeed) {
+  Rng r1(9);
+  Rng r2(9);
+  Noiser n1(&r1);
+  Noiser n2(&r2);
+  EXPECT_EQ(n1.Perturb("hello world example", 0.5),
+            n2.Perturb("hello world example", 0.5));
+}
+
+// Generators share these structural invariants.
+void CheckGenerated(const GenDataset& gd) {
+  SCOPED_TRACE(gd.name);
+  EXPECT_GT(gd.dataset.num_tuples(), 0u);
+  EXPECT_GT(gd.rules.size(), 0u);
+  EXPECT_GT(gd.truth.NumTruePairs(), 0u);
+  EXPECT_EQ(gd.truth.size(), gd.dataset.num_tuples());
+  EXPECT_FALSE(gd.hints.empty());
+  for (const RelationHint& h : gd.hints) {
+    EXPECT_LT(h.relation, gd.dataset.num_relations());
+    const Schema& schema = gd.dataset.relation(h.relation).schema();
+    EXPECT_LT(h.block_attr, schema.num_attrs());
+    for (size_t attr : h.compare_attrs) EXPECT_LT(attr, schema.num_attrs());
+  }
+}
+
+// End-to-end accuracy: the rules must reach a high F on their own dataset.
+double MatchF1(const GenDataset& gd) {
+  DatasetView view = DatasetView::Full(gd.dataset);
+  MatchContext ctx(gd.dataset);
+  Match(view, gd.rules, gd.registry, {}, &ctx);
+  return gd.truth.Evaluate(ctx.MatchedPairs()).f1;
+}
+
+TEST(EcommerceTest, StructureAndAccuracy) {
+  EcommerceOptions options;
+  options.num_customers = 150;
+  auto gd = MakeEcommerce(options);
+  CheckGenerated(*gd);
+  EXPECT_EQ(gd->dataset.num_relations(), 4u);
+  EXPECT_EQ(ClassifyRuleSet(gd->rules), ErFragment::kDeepCollective);
+  EXPECT_GT(MatchF1(*gd), 0.8);
+}
+
+TEST(EcommerceTest, DeterministicPerSeed) {
+  EcommerceOptions options;
+  options.num_customers = 50;
+  auto a = MakeEcommerce(options);
+  auto b = MakeEcommerce(options);
+  ASSERT_EQ(a->dataset.num_tuples(), b->dataset.num_tuples());
+  for (Gid g = 0; g < a->dataset.num_tuples(); ++g) {
+    EXPECT_EQ(a->dataset.tuple(g), b->dataset.tuple(g));
+  }
+  options.seed = 43;
+  auto c = MakeEcommerce(options);
+  // A different seed produces different data (sizes or contents).
+  bool same = a->dataset.num_tuples() == c->dataset.num_tuples();
+  if (same) {
+    bool all_equal = true;
+    for (Gid g = 0; g < a->dataset.num_tuples() && all_equal; ++g) {
+      all_equal = a->dataset.tuple(g) == c->dataset.tuple(g);
+    }
+    same = all_equal;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(EcommerceTest, DupRateControlsTruePairs) {
+  EcommerceOptions lo;
+  lo.num_customers = 200;
+  lo.dup_rate = 0.1;
+  EcommerceOptions hi = lo;
+  hi.dup_rate = 0.5;
+  EXPECT_LT(MakeEcommerce(lo)->truth.NumTruePairs(),
+            MakeEcommerce(hi)->truth.NumTruePairs());
+}
+
+TEST(TpchTest, StructureAndAccuracy) {
+  TpchOptions options;
+  options.scale = 0.3;
+  auto gd = MakeTpch(options);
+  CheckGenerated(*gd);
+  EXPECT_EQ(gd->dataset.num_relations(), 8u);  // full TPC-H join graph
+  EXPECT_EQ(ClassifyRuleSet(gd->rules), ErFragment::kDeepCollective);
+  EXPECT_GT(MatchF1(*gd), 0.8);
+}
+
+TEST(TpchTest, RecursionChainRequiresThreeLevels) {
+  // Dropping the nation rule must lose recursive customers AND their orders
+  // (the Exp-1(5) chain), not just nations.
+  TpchOptions options;
+  options.scale = 0.3;
+  options.dup_rate = 0.4;
+  options.recursion_fraction = 1.0;  // all dup customers via dup nations
+  auto gd = MakeTpch(options);
+  double full = MatchF1(*gd);
+  RuleSet without_rn;
+  for (const Rule& r : gd->rules.rules()) {
+    if (r.name() != "rn") without_rn.Add(r);
+  }
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  Match(view, without_rn, gd->registry, {}, &ctx);
+  double crippled = gd->truth.Evaluate(ctx.MatchedPairs()).f1;
+  EXPECT_GT(full, crippled + 0.1);
+}
+
+TEST(TpchTest, ScaleGrowsTupleCount) {
+  TpchOptions s1;
+  s1.scale = 0.2;
+  TpchOptions s2;
+  s2.scale = 0.6;
+  EXPECT_LT(MakeTpch(s1)->dataset.num_tuples(),
+            MakeTpch(s2)->dataset.num_tuples());
+}
+
+TEST(TfaccTest, StructureAndAccuracy) {
+  TfaccOptions options;
+  options.scale = 0.3;
+  auto gd = MakeTfacc(options);
+  CheckGenerated(*gd);
+  EXPECT_EQ(gd->dataset.num_relations(), 3u);
+  EXPECT_GT(MatchF1(*gd), 0.8);
+}
+
+TEST(MagellanTest, AllFourDatasetsGenerateAndMatchWell) {
+  MagellanOptions options;
+  options.num_entities = 150;
+  for (auto make : {MakeImdb, MakeAcmDblp, MakeMovie, MakeSongs}) {
+    auto gd = make(options);
+    CheckGenerated(*gd);
+    EXPECT_GT(MatchF1(*gd), 0.8) << gd->name;
+  }
+}
+
+TEST(MagellanTest, AcmDblpMatchesAreCrossRelation) {
+  MagellanOptions options;
+  options.num_entities = 100;
+  auto gd = MakeAcmDblp(options);
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  Match(view, gd->rules, gd->registry, {}, &ctx);
+  for (auto [a, b] : ctx.MatchedPairs()) {
+    EXPECT_NE(gd->dataset.relation_of(a), gd->dataset.relation_of(b));
+  }
+}
+
+TEST(SweepRulesTest, CountsAndPredicateKnob) {
+  TpchOptions options;
+  options.scale = 0.1;
+  auto gd = MakeTpch(options);
+  RuleSet r10 = MakeTpchSweepRules(*gd, 10, 4);
+  EXPECT_EQ(r10.size(), 10u);
+  RuleSet wide = MakeTpchSweepRules(*gd, 10, 8);
+  EXPECT_GT(wide.AvgPredicates(), r10.AvgPredicates());
+  RuleSet r30 = MakeTpchSweepRules(*gd, 30, 4);
+  EXPECT_EQ(r30.size(), 30u);
+  // Generated rules must actually run.
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  Match(view, r10, gd->registry, {}, &ctx);
+  SUCCEED();
+}
+
+TEST(PaperExampleTest, RuleSetIsDeepAndCollective) {
+  auto ex = MakePaperExample();
+  EXPECT_EQ(ClassifyRuleSet(ex->rules), ErFragment::kDeepCollective);
+  EXPECT_EQ(ex->dataset.num_tuples(), 18u);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "datagen/ecommerce.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table_printer.h"
+
+namespace dcer {
+namespace {
+
+TEST(GroundTruthTest, PairCountingAndMatching) {
+  GroundTruth truth(6);
+  truth.SetEntity(0, 1);
+  truth.SetEntity(1, 1);
+  truth.SetEntity(2, 1);
+  truth.SetEntity(3, 2);
+  truth.SetEntity(4, 2);
+  // gid 5 has no entity: never a match.
+  EXPECT_EQ(truth.NumTruePairs(), 4u);  // C(3,2) + C(2,2)
+  EXPECT_TRUE(truth.IsMatch(0, 1));
+  EXPECT_FALSE(truth.IsMatch(0, 3));
+  EXPECT_FALSE(truth.IsMatch(5, 5));
+  EXPECT_FALSE(truth.IsMatch(0, 0));  // reflexive pairs are not counted
+}
+
+TEST(GroundTruthTest, EvaluateComputesPrf) {
+  GroundTruth truth(5);
+  truth.SetEntity(0, 1);
+  truth.SetEntity(1, 1);
+  truth.SetEntity(2, 2);
+  truth.SetEntity(3, 2);
+  // Deduced: one true pair (0,1), one false pair (0,2).
+  PrecisionRecall pr = truth.Evaluate({{0, 1}, {0, 2}});
+  EXPECT_EQ(pr.tp, 1u);
+  EXPECT_EQ(pr.fp, 1u);
+  EXPECT_EQ(pr.fn, 1u);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_DOUBLE_EQ(pr.f1, 0.5);
+}
+
+TEST(GroundTruthTest, EvaluateEdgeCases) {
+  GroundTruth truth(3);
+  PrecisionRecall pr = truth.Evaluate({});
+  EXPECT_DOUBLE_EQ(pr.f1, 0.0);
+  truth.SetEntity(0, 1);
+  truth.SetEntity(1, 1);
+  pr = truth.Evaluate({{0, 1}});
+  EXPECT_DOUBLE_EQ(pr.f1, 1.0);
+}
+
+TEST(GroundTruthTest, SampleLabeledPairsAreValid) {
+  EcommerceOptions options;
+  options.num_customers = 80;
+  auto gd = MakeEcommerce(options);
+  auto labeled = gd->truth.SampleLabeledPairs(gd->dataset, 30, 60, 11);
+  EXPECT_FALSE(labeled.empty());
+  size_t pos = 0;
+  for (const auto& [pair, label] : labeled) {
+    EXPECT_EQ(gd->truth.IsMatch(pair.first, pair.second), label);
+    EXPECT_EQ(gd->dataset.relation_of(pair.first),
+              gd->dataset.relation_of(pair.second));
+    if (label) ++pos;
+  }
+  EXPECT_GT(pos, 0u);
+  EXPECT_LT(pos, labeled.size());
+  // Deterministic per seed.
+  EXPECT_EQ(labeled, gd->truth.SampleLabeledPairs(gd->dataset, 30, 60, 11));
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"method", "F"});
+  t.AddRow({"DMatch", "0.95"});
+  t.AddRow({"Longer name method", "0.5"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| method             | F    |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| DMatch             | 0.95 |"), std::string::npos) << s;
+  // 4 separator lines + header + 2 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(FmtF(0.9534), "0.953");
+  EXPECT_EQ(FmtSecs(0.5), "500ms");
+  EXPECT_EQ(FmtSecs(12.345), "12.35s");
+  EXPECT_EQ(FmtCount(999), "999");
+  EXPECT_EQ(FmtCount(12'500), "12.5k");
+  EXPECT_EQ(FmtCount(3'000'000), "3.0M");
+}
+
+TEST(RunnerTest, AllMethodsProduceSaneResults) {
+  EcommerceOptions options;
+  options.num_customers = 60;
+  auto gd = MakeEcommerce(options);
+  for (Method m : {Method::kDMatch, Method::kDMatchNoMqo, Method::kDMatchC,
+                   Method::kDMatchD, Method::kMatchSeq, Method::kBlocking,
+                   Method::kWindowing, Method::kMlMatcher,
+                   Method::kMetaBlocking, Method::kDistDedup,
+                   Method::kHybrid}) {
+    RunResult r = RunMethod(m, *gd, 2);
+    EXPECT_GE(r.accuracy.f1, 0.0) << MethodName(m);
+    EXPECT_LE(r.accuracy.f1, 1.0) << MethodName(m);
+    EXPECT_GE(r.seconds, 0.0) << MethodName(m);
+    EXPECT_GT(r.work, 0u) << MethodName(m);
+  }
+}
+
+TEST(RunnerTest, NoMqoMatchesMqoAccuracy) {
+  EcommerceOptions options;
+  options.num_customers = 60;
+  auto gd = MakeEcommerce(options);
+  RunResult with = RunMethod(Method::kDMatch, *gd, 3);
+  RunResult without = RunMethod(Method::kDMatchNoMqo, *gd, 3);
+  EXPECT_DOUBLE_EQ(with.accuracy.f1, without.accuracy.f1);
+}
+
+TEST(RunnerTest, SequentialMatchAgreesWithDMatchAccuracy) {
+  EcommerceOptions options;
+  options.num_customers = 60;
+  auto gd = MakeEcommerce(options);
+  RunResult seq = RunMethod(Method::kMatchSeq, *gd, 1);
+  RunResult par = RunMethod(Method::kDMatch, *gd, 4);
+  EXPECT_DOUBLE_EQ(seq.accuracy.f1, par.accuracy.f1);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "chase/match.h"
+#include "datagen/magellan.h"
+#include "mining/miner.h"
+
+namespace dcer {
+namespace {
+
+TEST(PredicateSpaceTest, EqualityPlusMlPerStringAttribute) {
+  MagellanOptions options;
+  options.num_entities = 40;
+  auto gd = MakeSongs(options);
+  size_t songs = gd->dataset.RelationIndexOrDie("Songs");
+  auto space =
+      BuildPredicateSpace(gd->dataset, gd->registry, songs, /*pair_rel=*/-1);
+  // skey is key-like (excluded entirely); titles may be near-distinct too
+  // (equality excluded, ML kept since they are long text). At minimum the
+  // year/duration equalities and the ML predicates on artist/album/title
+  // must be present.
+  EXPECT_GE(space.size(), 2u + 2u * gd->registry.size());
+  for (const auto& p : space) {
+    EXPECT_NE(p.lhs_attr, 0u) << "key attribute must be excluded";
+  }
+  // Every candidate must evaluate without crashing.
+  Gid a = gd->dataset.relation(songs).gid(0);
+  Gid b = gd->dataset.relation(songs).gid(1);
+  for (const auto& p : space) {
+    (void)p.Holds(gd->dataset, gd->registry, a, b);
+    EXPECT_FALSE(
+        p.ToText(gd->dataset.relation(songs).schema(),
+                 gd->dataset.relation(songs).schema(), gd->registry)
+            .empty());
+  }
+}
+
+TEST(MinerTest, DiscoversAccurateRulesOnSongs) {
+  MagellanOptions options;
+  options.num_entities = 250;
+  auto gd = MakeSongs(options);
+  size_t songs = gd->dataset.RelationIndexOrDie("Songs");
+  auto labeled =
+      BuildDiscoverySample(gd->dataset, gd->truth, songs, -1, 2000, 5);
+  MinerOptions mopts;
+  mopts.max_predicates = 3;
+  mopts.min_confidence = 0.95;
+  mopts.min_support = 5;
+  RuleSet mined = MineRules(gd->dataset, gd->registry, songs, -1, labeled,
+                            mopts);
+  ASSERT_GT(mined.size(), 0u);
+
+  // Minimality: no accepted rule's precondition set contains another's.
+  for (size_t i = 0; i < mined.size(); ++i) {
+    for (size_t j = 0; j < mined.size(); ++j) {
+      if (i == j) continue;
+      const auto& pi = mined.rule(i).preconditions();
+      const auto& pj = mined.rule(j).preconditions();
+      if (pi.size() >= pj.size()) continue;
+      size_t contained = 0;
+      for (const Predicate& a : pi) {
+        for (const Predicate& b : pj) {
+          if (a.Signature(mined.rule(i).var_relations()) ==
+              b.Signature(mined.rule(j).var_relations())) {
+            ++contained;
+            break;
+          }
+        }
+      }
+      EXPECT_LT(contained, pi.size())
+          << "rule " << j << " subsumes rule " << i;
+    }
+  }
+
+  // The mined rules, chased on the dataset, must reach a reasonable F.
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  Match(view, mined, gd->registry, {}, &ctx);
+  PrecisionRecall pr = gd->truth.Evaluate(ctx.MatchedPairs());
+  EXPECT_GT(pr.f1, 0.6) << "P=" << pr.precision << " R=" << pr.recall;
+}
+
+TEST(MinerTest, ConfidenceBoundFiltersBadRules) {
+  MagellanOptions options;
+  options.num_entities = 150;
+  auto gd = MakeSongs(options);
+  size_t songs = gd->dataset.RelationIndexOrDie("Songs");
+  auto labeled =
+      BuildDiscoverySample(gd->dataset, gd->truth, songs, -1, 1500, 5);
+  MinerOptions strict;
+  strict.min_confidence = 0.99;
+  MinerOptions loose;
+  loose.min_confidence = 0.5;
+  RuleSet strict_rules =
+      MineRules(gd->dataset, gd->registry, songs, -1, labeled, strict);
+  RuleSet loose_rules =
+      MineRules(gd->dataset, gd->registry, songs, -1, labeled, loose);
+  // A looser confidence bound accepts more general rules (subsumption may
+  // shrink the rule *count*, so compare what they derive, not how many).
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext strict_ctx(gd->dataset);
+  Match(view, strict_rules, gd->registry, {}, &strict_ctx);
+  MatchContext loose_ctx(gd->dataset);
+  Match(view, loose_rules, gd->registry, {}, &loose_ctx);
+  EXPECT_GE(loose_ctx.num_matched_pairs(), strict_ctx.num_matched_pairs());
+  EXPECT_GE(gd->truth.Evaluate(loose_ctx.MatchedPairs()).recall,
+            gd->truth.Evaluate(strict_ctx.MatchedPairs()).recall);
+}
+
+TEST(MinerTest, CrossRelationMining) {
+  MagellanOptions options;
+  options.num_entities = 200;
+  auto gd = MakeAcmDblp(options);
+  size_t acm = gd->dataset.RelationIndexOrDie("Acm");
+  size_t dblp = gd->dataset.RelationIndexOrDie("Dblp");
+  // All positives, blocking-style hard negatives, plus random negatives.
+  auto cross = BuildDiscoverySample(gd->dataset, gd->truth, acm,
+                                    static_cast<int>(dblp), 2000, 5);
+  RuleSet mined =
+      MineRules(gd->dataset, gd->registry, acm, static_cast<int>(dblp), cross,
+                {});
+  EXPECT_GT(mined.size(), 0u);
+  DatasetView view = DatasetView::Full(gd->dataset);
+  MatchContext ctx(gd->dataset);
+  Match(view, mined, gd->registry, {}, &ctx);
+  EXPECT_GT(gd->truth.Evaluate(ctx.MatchedPairs()).f1, 0.5);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/hash.h"
+#include "ml/classifier.h"
+#include "ml/embedding.h"
+#include "ml/registry.h"
+#include "ml/similarity.h"
+
+namespace dcer {
+namespace {
+
+TEST(EmbeddingTest, NormalizedAndDeterministic) {
+  Embedding e1 = EmbedText("ThinkPad X1 Carbon");
+  Embedding e2 = EmbedText("ThinkPad X1 Carbon");
+  EXPECT_EQ(e1, e2);
+  double norm = 0;
+  for (float v : e1) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, SimilarTextsScoreHigherThanDissimilar) {
+  Embedding base = EmbedText(
+      "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD");
+  Embedding close = EmbedText(
+      "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD");
+  Embedding far = EmbedText(
+      "Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD");
+  EXPECT_GT(Cosine(base, close), Cosine(base, far));
+  EXPECT_GT(Cosine(base, close), 0.7);
+  EXPECT_LT(Cosine(base, far), 0.6);
+}
+
+TEST(EmbeddingTest, CaseAndPunctuationInsensitive) {
+  // The apostrophe becomes a token boundary, so the two differ slightly in
+  // n-gram space but still score far above unrelated text.
+  EXPECT_GT(Cosine(EmbedText("Tony's Store"), EmbedText("tonys store")), 0.75);
+  EXPECT_GT(Cosine(EmbedText("T's Store"), EmbedText("t s store")), 0.9);
+}
+
+TEST(EmbeddingTest, EmptyTextYieldsZeroSimilarityToNothing) {
+  Embedding e = EmbedText("");
+  Embedding f = EmbedText("something");
+  // "" still embeds boundary markers; just require a well-defined value.
+  double c = Cosine(e, f);
+  EXPECT_GE(c, -1.0);
+  EXPECT_LE(c, 1.0);
+}
+
+TEST(SimilarityTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_NEAR(TokenJaccard("a b c", "b c d"), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("A b", "a B"), 1.0);  // case-insensitive
+}
+
+TEST(SimilarityTest, EditSimilarity) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_NEAR(EditSimilarity("F. Smith", "Ford Smith"), 0.7, 1e-9);
+  EXPECT_LT(EditSimilarity("abcdef", "zzzzzz"), 0.1);
+}
+
+TEST(SimilarityTest, NumericSimilarity) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(100, 100, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(100, 109, 0.1), 1.0);   // within tol
+  EXPECT_DOUBLE_EQ(NumericSimilarity(100, 150, 0.1), 0.0);   // beyond 2*tol
+  double mid = NumericSimilarity(100, 115, 0.1);             // between
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(ClassifierTest, EmbeddingCosineClassifierMatchesParaphrase) {
+  EmbeddingCosineClassifier m("M1", 0.7);
+  std::vector<Value> a = {Value("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB "
+                                "RAM, 512GB Nvme SSD")};
+  std::vector<Value> b = {Value("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM "
+                                "- 512 GB SSD")};
+  std::vector<Value> c = {Value("Apple MacBook Air (13-inch, 8GB RAM)")};
+  EXPECT_TRUE(m.Predict(a, b));
+  EXPECT_FALSE(m.Predict(a, c));
+}
+
+TEST(ClassifierTest, NullValuesContributeNothing) {
+  EmbeddingCosineClassifier m("M1", 0.7);
+  std::vector<Value> a = {Value("Tony Brown"), Value::Null()};
+  std::vector<Value> b = {Value("Tony Brown"), Value::Null()};
+  EXPECT_TRUE(m.Predict(a, b));
+}
+
+TEST(ClassifierTest, ThresholdIsAdjustable) {
+  TokenJaccardClassifier m("MJ", 0.9);
+  std::vector<Value> a = {Value("a b c")};
+  std::vector<Value> b = {Value("b c d")};
+  EXPECT_FALSE(m.Predict(a, b));  // jaccard 0.5 < 0.9
+  m.set_threshold(0.4);
+  EXPECT_TRUE(m.Predict(a, b));
+}
+
+TEST(ClassifierTest, LearnedClassifierImprovesWithTraining) {
+  LearnedPairClassifier m("ML", 0.5);
+  // Labeled pairs: matches are near-duplicates; non-matches unrelated.
+  std::vector<std::pair<std::string, std::string>> pos = {
+      {"Ford Smith", "F. Smith"},
+      {"Tony Brown", "T. Brown"},
+      {"Comp. World", "Computer World"},
+      {"Laptop store", "Lap. store"},
+  };
+  std::vector<std::pair<std::string, std::string>> neg = {
+      {"Ford Smith", "Alice Wong"},
+      {"Tony Brown", "Maria Garcia"},
+      {"Comp. World", "Burger Palace"},
+      {"Laptop store", "Flower shop"},
+  };
+  std::vector<std::vector<double>> feats;
+  std::vector<bool> labels;
+  for (const auto& [a, b] : pos) {
+    feats.push_back(LearnedPairClassifier::Features({Value(a)}, {Value(b)}));
+    labels.push_back(true);
+  }
+  for (const auto& [a, b] : neg) {
+    feats.push_back(LearnedPairClassifier::Features({Value(a)}, {Value(b)}));
+    labels.push_back(false);
+  }
+  m.Train(feats, labels, 20);
+  int correct = 0;
+  for (const auto& [a, b] : pos) {
+    if (m.Predict({Value(a)}, {Value(b)})) ++correct;
+  }
+  for (const auto& [a, b] : neg) {
+    if (!m.Predict({Value(a)}, {Value(b)})) ++correct;
+  }
+  EXPECT_GE(correct, 7);  // at least 7/8 on training data
+}
+
+TEST(RegistryTest, RegisterAndLookup) {
+  MlRegistry reg;
+  int id = reg.Register(std::make_unique<TokenJaccardClassifier>("MJ", 0.5));
+  EXPECT_EQ(reg.Lookup("MJ"), id);
+  EXPECT_EQ(reg.Lookup("missing"), -1);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.classifier(id).name(), "MJ");
+}
+
+TEST(RegistryTest, PredictionCacheHits) {
+  MlRegistry reg;
+  int id = reg.Register(std::make_unique<TokenJaccardClassifier>("MJ", 0.5));
+  std::vector<Value> a = {Value("a b c")};
+  std::vector<Value> b = {Value("a b d")};
+  uint64_t key = HashUnorderedPair(1, 2);
+  bool r1 = reg.Predict(id, key, a, b);
+  bool r2 = reg.Predict(id, key, a, b);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(reg.num_predictions(), 1u);
+  EXPECT_EQ(reg.num_cache_hits(), 1u);
+  reg.ClearCache();
+  reg.ResetStats();
+  reg.Predict(id, key, a, b);
+  EXPECT_EQ(reg.num_predictions(), 1u);
+  EXPECT_EQ(reg.num_cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace dcer

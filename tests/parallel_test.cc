@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chase/match.h"
+#include "chase/naive_chase.h"
+#include "common/rng.h"
+#include "datagen/paper_example.h"
+#include "parallel/dmatch.h"
+#include "parallel/master.h"
+#include "rules/parser.h"
+
+namespace dcer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Master routing.
+
+TEST(MasterTest, RoutesToHostsAndDeduplicates) {
+  std::vector<std::vector<uint32_t>> hosts = {
+      {0, 1},  // gid 0 on workers 0,1
+      {1},     // gid 1 on worker 1
+      {2},     // gid 2 on worker 2
+  };
+  Master master(&hosts, 3, 3);
+  master.Collect(0, {Fact::IdMatch(0, 1)});
+  std::vector<std::vector<Fact>> inboxes;
+  ASSERT_TRUE(master.Dispatch(&inboxes));
+  // Pair (0,1): hosts of 0 are {0,1}, hosts of 1 are {1}. Worker 0 sent it.
+  EXPECT_TRUE(inboxes[0].empty());
+  ASSERT_EQ(inboxes[1].size(), 1u);
+  EXPECT_TRUE(inboxes[2].empty());
+  // Re-collecting the same fact routes nothing new.
+  master.Collect(2, {Fact::IdMatch(0, 1)});
+  EXPECT_FALSE(master.Dispatch(&inboxes));
+}
+
+TEST(MasterTest, RoutesTransitiveClosurePairs) {
+  // Worker layout: w0 hosts {0,3}; the chain 0~1, 1~2, 2~3 is derived by
+  // other workers. w0 must still learn (0,3).
+  std::vector<std::vector<uint32_t>> hosts = {{0}, {1}, {1}, {0}};
+  Master master(&hosts, 2, 4);
+  master.Collect(1, {Fact::IdMatch(0, 1)});
+  master.Collect(1, {Fact::IdMatch(1, 2)});
+  master.Collect(1, {Fact::IdMatch(2, 3)});
+  std::vector<std::vector<Fact>> inboxes;
+  ASSERT_TRUE(master.Dispatch(&inboxes));
+  bool saw_0_3 = false;
+  for (const Fact& f : inboxes[0]) {
+    if ((f.a == 0 && f.b == 3) || (f.a == 3 && f.b == 0)) saw_0_3 = true;
+  }
+  EXPECT_TRUE(saw_0_3);
+  EXPECT_TRUE(master.global_eid().Same(0, 3));
+}
+
+TEST(MasterTest, MlFactsRouteOnce) {
+  std::vector<std::vector<uint32_t>> hosts = {{0, 1}, {1}};
+  Master master(&hosts, 2, 2);
+  Fact ml = Fact::MlValidated(0, 0, 7, 1, 7);
+  master.Collect(0, {ml});
+  std::vector<std::vector<Fact>> inboxes;
+  ASSERT_TRUE(master.Dispatch(&inboxes));
+  ASSERT_EQ(inboxes[1].size(), 1u);
+  EXPECT_EQ(inboxes[1][0].Key(), ml.Key());
+  master.Collect(1, {ml});
+  EXPECT_FALSE(master.Dispatch(&inboxes));
+}
+
+// ---------------------------------------------------------------------------
+// DMatch == Match (Prop. 4 & 8).
+
+class DMatchWorkersTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DMatchWorkersTest, PaperExampleMatchesSequentialResult) {
+  auto ex = MakePaperExample();
+  DatasetView view = DatasetView::Full(ex->dataset);
+  MatchContext sequential(ex->dataset);
+  Match(view, ex->rules, ex->registry, {}, &sequential);
+
+  DMatchOptions options;
+  options.num_workers = GetParam();
+  MatchContext parallel(ex->dataset);
+  DMatchReport report =
+      DMatch(ex->dataset, ex->rules, ex->registry, options, &parallel);
+
+  EXPECT_EQ(parallel.MatchedPairs(), sequential.MatchedPairs());
+  EXPECT_EQ(parallel.num_validated_ml(), sequential.num_validated_ml());
+  EXPECT_GE(report.supersteps, 1);
+  EXPECT_EQ(report.matched_pairs, sequential.num_matched_pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DMatchWorkersTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DMatchTest, DeepChainCrossesFragmentBoundaries) {
+  // Two duplicate chains of depth 10: matches must propagate through
+  // supersteps when the chain's levels land on different workers.
+  Dataset d;
+  size_t rel = d.AddRelation(Schema("Node", {{"tag", ValueType::kString},
+                                             {"lvl", ValueType::kInt},
+                                             {"key", ValueType::kString},
+                                             {"pkey", ValueType::kString}}));
+  constexpr int kDepth = 10;
+  std::vector<Gid> a;
+  std::vector<Gid> b;
+  for (int side = 0; side < 2; ++side) {
+    std::string prefix = side == 0 ? "a" : "b";
+    for (int i = 0; i < kDepth; ++i) {
+      Gid g = d.AppendTuple(
+          rel, {Value("tag" + std::to_string(i)), Value(int64_t{i}),
+                Value(prefix + std::to_string(i)),
+                i == 0 ? Value::Null() : Value(prefix + std::to_string(i - 1))});
+      (side == 0 ? a : b).push_back(g);
+    }
+  }
+  MlRegistry registry;
+  RuleSet rules;
+  ASSERT_TRUE(ParseRuleSet(
+                  "base: Node(t) ^ Node(s) ^ t.lvl = 0 ^ s.lvl = 0 ^ "
+                  "t.tag = s.tag -> t.id = s.id\n"
+                  "step: Node(t) ^ Node(s) ^ Node(pt) ^ Node(ps) ^ "
+                  "t.pkey = pt.key ^ s.pkey = ps.key ^ t.tag = s.tag ^ "
+                  "pt.id = ps.id -> t.id = s.id\n",
+                  d, registry, &rules)
+                  .ok());
+  DMatchOptions options;
+  options.num_workers = 4;
+  MatchContext ctx(d);
+  DMatchReport report = DMatch(d, rules, registry, options, &ctx);
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_TRUE(ctx.Matched(a[i], b[i])) << "level " << i;
+  }
+  EXPECT_EQ(ctx.num_matched_pairs(), static_cast<uint64_t>(kDepth));
+  EXPECT_GE(report.supersteps, 1);
+}
+
+TEST(DMatchTest, SequentialExecutionModeGivesSameResult) {
+  auto ex = MakePaperExample();
+  DMatchOptions threaded;
+  threaded.num_workers = 4;
+  threaded.run_parallel = true;
+  MatchContext c1(ex->dataset);
+  DMatch(ex->dataset, ex->rules, ex->registry, threaded, &c1);
+
+  DMatchOptions sequential = threaded;
+  sequential.run_parallel = false;
+  MatchContext c2(ex->dataset);
+  DMatchReport r2 =
+      DMatch(ex->dataset, ex->rules, ex->registry, sequential, &c2);
+  EXPECT_EQ(c1.MatchedPairs(), c2.MatchedPairs());
+  EXPECT_GT(r2.simulated_seconds, 0.0);
+}
+
+TEST(DMatchTest, MqoAndBalancingTogglesPreserveResult) {
+  auto ex = MakePaperExample();
+  std::vector<std::pair<Gid, Gid>> expected;
+  for (bool mqo : {true, false}) {
+    for (bool vb : {true, false}) {
+      DMatchOptions options;
+      options.num_workers = 3;
+      options.use_mqo = mqo;
+      options.use_virtual_blocks = vb;
+      MatchContext ctx(ex->dataset);
+      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+      if (expected.empty()) {
+        expected = ctx.MatchedPairs();
+        EXPECT_EQ(expected.size(), 6u);
+      } else {
+        EXPECT_EQ(ctx.MatchedPairs(), expected)
+            << "mqo=" << mqo << " vb=" << vb;
+      }
+    }
+  }
+}
+
+TEST(DMatchTest, RandomInstancesAgreeWithNaiveChase) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 31);
+    Dataset d;
+    size_t people = d.AddRelation(Schema("P", {{"name", ValueType::kString},
+                                               {"city", ValueType::kString},
+                                               {"ref", ValueType::kString}}));
+    size_t events = d.AddRelation(Schema("E", {{"who", ValueType::kString},
+                                               {"what", ValueType::kString}}));
+    for (int i = 0; i < 14; ++i) {
+      d.AppendTuple(people, {Value("n" + std::to_string(rng.Uniform(4))),
+                             Value("c" + std::to_string(rng.Uniform(3))),
+                             Value("r" + std::to_string(rng.Uniform(5)))});
+    }
+    for (int i = 0; i < 10; ++i) {
+      d.AppendTuple(events, {Value("r" + std::to_string(rng.Uniform(5))),
+                             Value("w" + std::to_string(rng.Uniform(3)))});
+    }
+    MlRegistry registry;
+    registry.Register(std::make_unique<EditSimilarityClassifier>("MS", 0.5));
+    RuleSet rules;
+    ASSERT_TRUE(ParseRuleSet(
+                    "r1: P(t) ^ P(s) ^ t.name = s.name ^ t.city = s.city -> "
+                    "t.id = s.id\n"
+                    "r2: P(t) ^ P(s) ^ E(u) ^ E(v) ^ t.ref = u.who ^ "
+                    "s.ref = v.who ^ u.what = v.what ^ MS(t.name, s.name) -> "
+                    "t.id = s.id\n"
+                    "r3: P(t) ^ P(s) ^ P(w) ^ t.id = w.id ^ s.id = w.id -> "
+                    "t.id = s.id\n",
+                    d, registry, &rules)
+                    .ok());
+
+    MatchContext naive(d);
+    NaiveChase(DatasetView::Full(d), rules, registry, &naive);
+
+    DMatchOptions options;
+    options.num_workers = 3;
+    MatchContext parallel(d);
+    DMatch(d, rules, registry, options, &parallel);
+    EXPECT_EQ(parallel.MatchedPairs(), naive.MatchedPairs())
+        << "seed " << seed;
+    EXPECT_EQ(parallel.num_validated_ml(), naive.num_validated_ml())
+        << "seed " << seed;
+  }
+}
+
+TEST(DMatchTest, ReportAccountsForWorkAndCommunication) {
+  auto ex = MakePaperExample();
+  DMatchOptions options;
+  options.num_workers = 4;
+  MatchContext ctx(ex->dataset);
+  DMatchReport report =
+      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+  EXPECT_GT(report.chase.valuations, 0u);
+  EXPECT_GT(report.partition.fragment_tuples, 0u);
+  EXPECT_EQ(report.bytes, WireBytes(report.messages));
+  EXPECT_GE(report.er_seconds, 0.0);
+  EXPECT_EQ(report.validated_ml, ctx.num_validated_ml());
+}
+
+}  // namespace
+}  // namespace dcer

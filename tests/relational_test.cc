@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "relational/csv.h"
+#include "relational/dataset.h"
+
+namespace dcer {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);  // int widens
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, EqualitySemantics) {
+  EXPECT_EQ(Value::Null(), Value::Null());  // reflexive for the chase
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_NE(Value("x"), Value("y"));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // distinct types stay distinct
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+  EXPECT_NE(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  // Seed changes the hash (independent hash functions for Hypercube dims).
+  EXPECT_NE(Value("abc").Hash(1), Value("abc").Hash(2));
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  EXPECT_EQ(Value::Parse("42", ValueType::kInt), Value(int64_t{42}));
+  EXPECT_EQ(Value::Parse("-3", ValueType::kInt), Value(int64_t{-3}));
+  EXPECT_EQ(Value::Parse("2.5", ValueType::kDouble), Value(2.5));
+  EXPECT_EQ(Value::Parse("hi", ValueType::kString), Value("hi"));
+  EXPECT_TRUE(Value::Parse("", ValueType::kString).is_null());
+  EXPECT_TRUE(Value::Parse("-", ValueType::kString).is_null());
+  EXPECT_TRUE(Value::Parse("xyz", ValueType::kInt).is_null());  // bad int
+}
+
+TEST(ValueTest, ToStringRendersNullAsDash) {
+  EXPECT_EQ(Value::Null().ToString(), "-");
+  EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Value("a b").ToString(), "a b");
+}
+
+Schema CustomerSchema() {
+  return Schema("customers", {{"cno", ValueType::kString},
+                              {"name", ValueType::kString},
+                              {"phone", ValueType::kString},
+                              {"age", ValueType::kInt}});
+}
+
+TEST(SchemaTest, AttrLookupAndCompat) {
+  Schema s = CustomerSchema();
+  EXPECT_EQ(s.AttrIndex("phone"), 2);
+  EXPECT_EQ(s.AttrIndex("nope"), -1);
+  EXPECT_TRUE(s.Compatible(0, s, 1));   // string vs string
+  EXPECT_FALSE(s.Compatible(0, s, 3));  // string vs int
+  EXPECT_EQ(s.ToString(),
+            "customers(cno:string, name:string, phone:string, age:int)");
+}
+
+TEST(DatasetTest, GlobalIdsAreDenseAcrossRelations) {
+  Dataset d;
+  size_t r0 = d.AddRelation(CustomerSchema());
+  size_t r1 = d.AddRelation(Schema("orders", {{"ono", ValueType::kString},
+                                              {"buyer", ValueType::kString}}));
+  Gid g0 = d.AppendTuple(r0, {Value("c1"), Value("Ann"), Value("555"),
+                              Value(int64_t{30})});
+  Gid g1 = d.AppendTuple(r1, {Value("o1"), Value("c1")});
+  Gid g2 = d.AppendTuple(r0, {Value("c2"), Value("Bob"), Value("556"),
+                              Value(int64_t{31})});
+  EXPECT_EQ(g0, 0u);
+  EXPECT_EQ(g1, 1u);
+  EXPECT_EQ(g2, 2u);
+  EXPECT_EQ(d.num_tuples(), 3u);
+  EXPECT_EQ(d.relation_of(g1), 1u);
+  EXPECT_EQ(d.loc(g2).row, 1u);
+  EXPECT_EQ(d.tuple(g2)[1], Value("Bob"));
+  EXPECT_EQ(d.relation(r0).gid(1), g2);
+  EXPECT_EQ(d.RelationIndex("orders"), 1);
+  EXPECT_EQ(d.RelationIndex("none"), -1);
+  EXPECT_EQ(d.ToString(), "D(customers:2, orders:1)");
+}
+
+TEST(CsvTest, ParseLineHandlesQuoting) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(ParseCsvLine("a,"), (std::vector<std::string>{"a", ""}));
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dcer_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, SaveThenLoadRoundTrips) {
+  Dataset d;
+  size_t r = d.AddRelation(CustomerSchema());
+  d.AppendTuple(r, {Value("c1"), Value("Ann, Jr."), Value("555"),
+                    Value(int64_t{30})});
+  d.AppendTuple(r, {Value("c2"), Value("Bob \"B\""), Value::Null(),
+                    Value(int64_t{41})});
+  ASSERT_TRUE(SaveCsv(path_.string(), d, r).ok());
+
+  Dataset d2;
+  size_t r2 = d2.AddRelation(CustomerSchema());
+  ASSERT_TRUE(LoadCsv(path_.string(), &d2, r2).ok());
+  ASSERT_EQ(d2.relation(r2).num_rows(), 2u);
+  EXPECT_EQ(d2.relation(r2).at(0, 1), Value("Ann, Jr."));
+  EXPECT_EQ(d2.relation(r2).at(1, 1), Value("Bob \"B\""));
+  EXPECT_TRUE(d2.relation(r2).at(1, 2).is_null());
+  EXPECT_EQ(d2.relation(r2).at(1, 3), Value(int64_t{41}));
+}
+
+TEST_F(CsvFileTest, LoadMatchesColumnsByHeaderName) {
+  {
+    std::ofstream out(path_);
+    out << "phone,extra,name\n555,zzz,Ann\n";
+  }
+  Dataset d;
+  size_t r = d.AddRelation(CustomerSchema());
+  ASSERT_TRUE(LoadCsv(path_.string(), &d, r).ok());
+  ASSERT_EQ(d.relation(r).num_rows(), 1u);
+  EXPECT_TRUE(d.relation(r).at(0, 0).is_null());  // cno absent
+  EXPECT_EQ(d.relation(r).at(0, 1), Value("Ann"));
+  EXPECT_EQ(d.relation(r).at(0, 2), Value("555"));
+}
+
+TEST_F(CsvFileTest, MissingFileIsIOError) {
+  Dataset d;
+  size_t r = d.AddRelation(CustomerSchema());
+  Status s = LoadCsv("/nonexistent/nope.csv", &d, r);
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_partitioning.dir/exp2_partitioning.cc.o"
+  "CMakeFiles/exp2_partitioning.dir/exp2_partitioning.cc.o.d"
+  "exp2_partitioning"
+  "exp2_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

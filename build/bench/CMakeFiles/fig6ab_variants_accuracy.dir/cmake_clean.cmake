@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6ab_variants_accuracy.dir/fig6ab_variants_accuracy.cc.o"
+  "CMakeFiles/fig6ab_variants_accuracy.dir/fig6ab_variants_accuracy.cc.o.d"
+  "fig6ab_variants_accuracy"
+  "fig6ab_variants_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6ab_variants_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6cd_time_vs_dup.dir/fig6cd_time_vs_dup.cc.o"
+  "CMakeFiles/fig6cd_time_vs_dup.dir/fig6cd_time_vs_dup.cc.o.d"
+  "fig6cd_time_vs_dup"
+  "fig6cd_time_vs_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6cd_time_vs_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6cd_time_vs_dup.
+# This may be replaced when dependencies are built.

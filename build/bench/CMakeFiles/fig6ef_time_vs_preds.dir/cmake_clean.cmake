@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6ef_time_vs_preds.dir/fig6ef_time_vs_preds.cc.o"
+  "CMakeFiles/fig6ef_time_vs_preds.dir/fig6ef_time_vs_preds.cc.o.d"
+  "fig6ef_time_vs_preds"
+  "fig6ef_time_vs_preds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6ef_time_vs_preds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

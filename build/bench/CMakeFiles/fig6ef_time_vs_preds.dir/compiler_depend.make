@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6ef_time_vs_preds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6ef_time_vs_preds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6gh_time_vs_rules.dir/fig6gh_time_vs_rules.cc.o"
+  "CMakeFiles/fig6gh_time_vs_rules.dir/fig6gh_time_vs_rules.cc.o.d"
+  "fig6gh_time_vs_rules"
+  "fig6gh_time_vs_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6gh_time_vs_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

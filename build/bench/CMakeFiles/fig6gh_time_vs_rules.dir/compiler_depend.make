@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6gh_time_vs_rules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6ij_scalability.dir/fig6ij_scalability.cc.o"
+  "CMakeFiles/fig6ij_scalability.dir/fig6ij_scalability.cc.o.d"
+  "fig6ij_scalability"
+  "fig6ij_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6ij_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6kl_scale_factor.dir/fig6kl_scale_factor.cc.o"
+  "CMakeFiles/fig6kl_scale_factor.dir/fig6kl_scale_factor.cc.o.d"
+  "fig6kl_scale_factor"
+  "fig6kl_scale_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6kl_scale_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_dup_accuracy.dir/table6_dup_accuracy.cc.o"
+  "CMakeFiles/table6_dup_accuracy.dir/table6_dup_accuracy.cc.o.d"
+  "table6_dup_accuracy"
+  "table6_dup_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_dup_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_cli.dir/dcer_cli.cpp.o"
+  "CMakeFiles/dcer_cli.dir/dcer_cli.cpp.o.d"
+  "dcer_cli"
+  "dcer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

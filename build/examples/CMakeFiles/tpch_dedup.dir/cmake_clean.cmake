@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dedup.dir/tpch_dedup.cpp.o"
+  "CMakeFiles/tpch_dedup.dir/tpch_dedup.cpp.o.d"
+  "tpch_dedup"
+  "tpch_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

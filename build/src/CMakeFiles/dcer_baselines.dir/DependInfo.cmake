@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/blocking.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/blocking.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/blocking.cc.o.d"
+  "/root/repo/src/baselines/dist_dedup.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/dist_dedup.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/dist_dedup.cc.o.d"
+  "/root/repo/src/baselines/meta_blocking.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/meta_blocking.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/meta_blocking.cc.o.d"
+  "/root/repo/src/baselines/ml_matcher.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/ml_matcher.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/ml_matcher.cc.o.d"
+  "/root/repo/src/baselines/pair_classifier.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/pair_classifier.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/pair_classifier.cc.o.d"
+  "/root/repo/src/baselines/variants.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/variants.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/variants.cc.o.d"
+  "/root/repo/src/baselines/windowing.cc" "src/CMakeFiles/dcer_baselines.dir/baselines/windowing.cc.o" "gcc" "src/CMakeFiles/dcer_baselines.dir/baselines/windowing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_eval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

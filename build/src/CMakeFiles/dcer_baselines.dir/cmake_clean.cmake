@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_baselines.dir/baselines/blocking.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/blocking.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/dist_dedup.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/dist_dedup.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/meta_blocking.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/meta_blocking.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/ml_matcher.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/ml_matcher.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/pair_classifier.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/pair_classifier.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/variants.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/variants.cc.o.d"
+  "CMakeFiles/dcer_baselines.dir/baselines/windowing.cc.o"
+  "CMakeFiles/dcer_baselines.dir/baselines/windowing.cc.o.d"
+  "libdcer_baselines.a"
+  "libdcer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

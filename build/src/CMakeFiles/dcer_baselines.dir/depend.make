@@ -1,0 +1,2 @@
+# Empty dependencies file for dcer_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/deduce.cc" "src/CMakeFiles/dcer_chase.dir/chase/deduce.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/deduce.cc.o.d"
+  "/root/repo/src/chase/dependency_store.cc" "src/CMakeFiles/dcer_chase.dir/chase/dependency_store.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/dependency_store.cc.o.d"
+  "/root/repo/src/chase/incremental.cc" "src/CMakeFiles/dcer_chase.dir/chase/incremental.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/incremental.cc.o.d"
+  "/root/repo/src/chase/inverted_index.cc" "src/CMakeFiles/dcer_chase.dir/chase/inverted_index.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/inverted_index.cc.o.d"
+  "/root/repo/src/chase/join.cc" "src/CMakeFiles/dcer_chase.dir/chase/join.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/join.cc.o.d"
+  "/root/repo/src/chase/match.cc" "src/CMakeFiles/dcer_chase.dir/chase/match.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/match.cc.o.d"
+  "/root/repo/src/chase/match_context.cc" "src/CMakeFiles/dcer_chase.dir/chase/match_context.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/match_context.cc.o.d"
+  "/root/repo/src/chase/naive_chase.cc" "src/CMakeFiles/dcer_chase.dir/chase/naive_chase.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/naive_chase.cc.o.d"
+  "/root/repo/src/chase/provenance.cc" "src/CMakeFiles/dcer_chase.dir/chase/provenance.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/provenance.cc.o.d"
+  "/root/repo/src/chase/soft_match.cc" "src/CMakeFiles/dcer_chase.dir/chase/soft_match.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/soft_match.cc.o.d"
+  "/root/repo/src/chase/view.cc" "src/CMakeFiles/dcer_chase.dir/chase/view.cc.o" "gcc" "src/CMakeFiles/dcer_chase.dir/chase/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

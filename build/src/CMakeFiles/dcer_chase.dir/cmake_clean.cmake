@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_chase.dir/chase/deduce.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/deduce.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/dependency_store.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/dependency_store.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/incremental.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/incremental.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/inverted_index.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/inverted_index.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/join.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/join.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/match.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/match.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/match_context.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/match_context.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/naive_chase.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/naive_chase.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/provenance.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/provenance.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/soft_match.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/soft_match.cc.o.d"
+  "CMakeFiles/dcer_chase.dir/chase/view.cc.o"
+  "CMakeFiles/dcer_chase.dir/chase/view.cc.o.d"
+  "libdcer_chase.a"
+  "libdcer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_common.dir/common/logging.cc.o"
+  "CMakeFiles/dcer_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/dcer_common.dir/common/rng.cc.o"
+  "CMakeFiles/dcer_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dcer_common.dir/common/status.cc.o"
+  "CMakeFiles/dcer_common.dir/common/status.cc.o.d"
+  "CMakeFiles/dcer_common.dir/common/string_util.cc.o"
+  "CMakeFiles/dcer_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/dcer_common.dir/common/union_find.cc.o"
+  "CMakeFiles/dcer_common.dir/common/union_find.cc.o.d"
+  "libdcer_common.a"
+  "libdcer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

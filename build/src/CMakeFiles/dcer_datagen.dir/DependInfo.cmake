@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/ecommerce.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/ecommerce.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/ecommerce.cc.o.d"
+  "/root/repo/src/datagen/magellan.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/magellan.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/magellan.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/noise.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/noise.cc.o.d"
+  "/root/repo/src/datagen/paper_example.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/paper_example.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/paper_example.cc.o.d"
+  "/root/repo/src/datagen/rulesets.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/rulesets.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/rulesets.cc.o.d"
+  "/root/repo/src/datagen/tfacc_lite.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/tfacc_lite.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/tfacc_lite.cc.o.d"
+  "/root/repo/src/datagen/tpch_lite.cc" "src/CMakeFiles/dcer_datagen.dir/datagen/tpch_lite.cc.o" "gcc" "src/CMakeFiles/dcer_datagen.dir/datagen/tpch_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_eval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

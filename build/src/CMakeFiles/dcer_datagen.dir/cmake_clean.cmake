@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_datagen.dir/datagen/ecommerce.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/ecommerce.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/magellan.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/magellan.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/noise.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/noise.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/paper_example.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/paper_example.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/rulesets.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/rulesets.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/tfacc_lite.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/tfacc_lite.cc.o.d"
+  "CMakeFiles/dcer_datagen.dir/datagen/tpch_lite.cc.o"
+  "CMakeFiles/dcer_datagen.dir/datagen/tpch_lite.cc.o.d"
+  "libdcer_datagen.a"
+  "libdcer_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

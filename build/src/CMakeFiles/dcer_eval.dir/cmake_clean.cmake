@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_eval.dir/eval/runner.cc.o"
+  "CMakeFiles/dcer_eval.dir/eval/runner.cc.o.d"
+  "libdcer_eval.a"
+  "libdcer_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcer_eval.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/dcer_eval_metrics.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/dcer_eval_metrics.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/dcer_eval_metrics.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/dcer_eval_metrics.dir/eval/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_eval_metrics.dir/eval/metrics.cc.o"
+  "CMakeFiles/dcer_eval_metrics.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/dcer_eval_metrics.dir/eval/table_printer.cc.o"
+  "CMakeFiles/dcer_eval_metrics.dir/eval/table_printer.cc.o.d"
+  "libdcer_eval_metrics.a"
+  "libdcer_eval_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_eval_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_mining.dir/mining/miner.cc.o"
+  "CMakeFiles/dcer_mining.dir/mining/miner.cc.o.d"
+  "CMakeFiles/dcer_mining.dir/mining/predicate_space.cc.o"
+  "CMakeFiles/dcer_mining.dir/mining/predicate_space.cc.o.d"
+  "libdcer_mining.a"
+  "libdcer_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/dcer_ml.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/dcer_ml.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/embedding.cc" "src/CMakeFiles/dcer_ml.dir/ml/embedding.cc.o" "gcc" "src/CMakeFiles/dcer_ml.dir/ml/embedding.cc.o.d"
+  "/root/repo/src/ml/registry.cc" "src/CMakeFiles/dcer_ml.dir/ml/registry.cc.o" "gcc" "src/CMakeFiles/dcer_ml.dir/ml/registry.cc.o.d"
+  "/root/repo/src/ml/similarity.cc" "src/CMakeFiles/dcer_ml.dir/ml/similarity.cc.o" "gcc" "src/CMakeFiles/dcer_ml.dir/ml/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

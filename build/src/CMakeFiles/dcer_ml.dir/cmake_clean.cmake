@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_ml.dir/ml/classifier.cc.o"
+  "CMakeFiles/dcer_ml.dir/ml/classifier.cc.o.d"
+  "CMakeFiles/dcer_ml.dir/ml/embedding.cc.o"
+  "CMakeFiles/dcer_ml.dir/ml/embedding.cc.o.d"
+  "CMakeFiles/dcer_ml.dir/ml/registry.cc.o"
+  "CMakeFiles/dcer_ml.dir/ml/registry.cc.o.d"
+  "CMakeFiles/dcer_ml.dir/ml/similarity.cc.o"
+  "CMakeFiles/dcer_ml.dir/ml/similarity.cc.o.d"
+  "libdcer_ml.a"
+  "libdcer_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_parallel.dir/parallel/dmatch.cc.o"
+  "CMakeFiles/dcer_parallel.dir/parallel/dmatch.cc.o.d"
+  "CMakeFiles/dcer_parallel.dir/parallel/master.cc.o"
+  "CMakeFiles/dcer_parallel.dir/parallel/master.cc.o.d"
+  "CMakeFiles/dcer_parallel.dir/parallel/message.cc.o"
+  "CMakeFiles/dcer_parallel.dir/parallel/message.cc.o.d"
+  "CMakeFiles/dcer_parallel.dir/parallel/worker.cc.o"
+  "CMakeFiles/dcer_parallel.dir/parallel/worker.cc.o.d"
+  "libdcer_parallel.a"
+  "libdcer_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/balance.cc" "src/CMakeFiles/dcer_partition.dir/partition/balance.cc.o" "gcc" "src/CMakeFiles/dcer_partition.dir/partition/balance.cc.o.d"
+  "/root/repo/src/partition/distinct_vars.cc" "src/CMakeFiles/dcer_partition.dir/partition/distinct_vars.cc.o" "gcc" "src/CMakeFiles/dcer_partition.dir/partition/distinct_vars.cc.o.d"
+  "/root/repo/src/partition/hypart.cc" "src/CMakeFiles/dcer_partition.dir/partition/hypart.cc.o" "gcc" "src/CMakeFiles/dcer_partition.dir/partition/hypart.cc.o.d"
+  "/root/repo/src/partition/hypercube.cc" "src/CMakeFiles/dcer_partition.dir/partition/hypercube.cc.o" "gcc" "src/CMakeFiles/dcer_partition.dir/partition/hypercube.cc.o.d"
+  "/root/repo/src/partition/mqo.cc" "src/CMakeFiles/dcer_partition.dir/partition/mqo.cc.o" "gcc" "src/CMakeFiles/dcer_partition.dir/partition/mqo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

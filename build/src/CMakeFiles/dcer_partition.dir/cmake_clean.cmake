@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_partition.dir/partition/balance.cc.o"
+  "CMakeFiles/dcer_partition.dir/partition/balance.cc.o.d"
+  "CMakeFiles/dcer_partition.dir/partition/distinct_vars.cc.o"
+  "CMakeFiles/dcer_partition.dir/partition/distinct_vars.cc.o.d"
+  "CMakeFiles/dcer_partition.dir/partition/hypart.cc.o"
+  "CMakeFiles/dcer_partition.dir/partition/hypart.cc.o.d"
+  "CMakeFiles/dcer_partition.dir/partition/hypercube.cc.o"
+  "CMakeFiles/dcer_partition.dir/partition/hypercube.cc.o.d"
+  "CMakeFiles/dcer_partition.dir/partition/mqo.cc.o"
+  "CMakeFiles/dcer_partition.dir/partition/mqo.cc.o.d"
+  "libdcer_partition.a"
+  "libdcer_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

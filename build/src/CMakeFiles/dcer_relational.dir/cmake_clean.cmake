@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_relational.dir/relational/csv.cc.o"
+  "CMakeFiles/dcer_relational.dir/relational/csv.cc.o.d"
+  "CMakeFiles/dcer_relational.dir/relational/dataset.cc.o"
+  "CMakeFiles/dcer_relational.dir/relational/dataset.cc.o.d"
+  "CMakeFiles/dcer_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/dcer_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/dcer_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/dcer_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/dcer_relational.dir/relational/value.cc.o"
+  "CMakeFiles/dcer_relational.dir/relational/value.cc.o.d"
+  "libdcer_relational.a"
+  "libdcer_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

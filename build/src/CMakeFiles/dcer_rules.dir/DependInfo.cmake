@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/analysis.cc" "src/CMakeFiles/dcer_rules.dir/rules/analysis.cc.o" "gcc" "src/CMakeFiles/dcer_rules.dir/rules/analysis.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/CMakeFiles/dcer_rules.dir/rules/parser.cc.o" "gcc" "src/CMakeFiles/dcer_rules.dir/rules/parser.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/CMakeFiles/dcer_rules.dir/rules/predicate.cc.o" "gcc" "src/CMakeFiles/dcer_rules.dir/rules/predicate.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/dcer_rules.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/dcer_rules.dir/rules/rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

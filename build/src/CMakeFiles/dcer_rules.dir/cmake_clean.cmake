@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcer_rules.dir/rules/analysis.cc.o"
+  "CMakeFiles/dcer_rules.dir/rules/analysis.cc.o.d"
+  "CMakeFiles/dcer_rules.dir/rules/parser.cc.o"
+  "CMakeFiles/dcer_rules.dir/rules/parser.cc.o.d"
+  "CMakeFiles/dcer_rules.dir/rules/predicate.cc.o"
+  "CMakeFiles/dcer_rules.dir/rules/predicate.cc.o.d"
+  "CMakeFiles/dcer_rules.dir/rules/rule.cc.o"
+  "CMakeFiles/dcer_rules.dir/rules/rule.cc.o.d"
+  "libdcer_rules.a"
+  "libdcer_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcer_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

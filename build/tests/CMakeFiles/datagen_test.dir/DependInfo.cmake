@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcer_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_eval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

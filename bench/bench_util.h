@@ -31,20 +31,24 @@ inline int ArgI(int argc, char** argv, const char* name, int def) {
   return static_cast<int>(ArgD(argc, argv, name, def));
 }
 
-/// Runs DMatch with workers executed sequentially, so `simulated_seconds`
-/// (Σ per-superstep max over workers) models n dedicated machines — the
-/// meaningful metric when the bench host has fewer cores than workers.
-/// Clears the ML prediction cache first so back-to-back comparison runs
-/// (MQO vs noMQO, worker sweeps) don't ride each other's warm cache.
+/// Runs DMatch with workers executed sequentially by default, so
+/// `simulated_seconds` (Σ per-superstep max over workers) models n dedicated
+/// machines — the meaningful metric when the bench host has fewer cores than
+/// workers. Pass run_parallel=true / threads_per_worker>1 to measure the
+/// real pooled execution instead. Clears the ML prediction cache first so
+/// back-to-back comparison runs (MQO vs noMQO, worker sweeps) don't ride
+/// each other's warm cache.
 inline DMatchReport TimedDMatch(GenDataset& gd, const RuleSet& rules,
-                                int workers, bool use_mqo,
-                                MatchContext* ctx) {
+                                int workers, bool use_mqo, MatchContext* ctx,
+                                int threads_per_worker = 1,
+                                bool run_parallel = false) {
   gd.registry.ClearCache();
   gd.registry.ResetStats();
   DMatchOptions options;
   options.num_workers = workers;
   options.use_mqo = use_mqo;
-  options.run_parallel = false;
+  options.run_parallel = run_parallel;
+  options.threads_per_worker = threads_per_worker;
   return DMatch(gd.dataset, rules, gd.registry, options, ctx);
 }
 

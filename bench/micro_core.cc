@@ -1,14 +1,29 @@
 // Micro-benchmarks (google-benchmark) for the core data structures: the
 // union-find behind E_id, text embeddings, inverted-index construction,
 // rule-join enumeration, and Hypercube distribution.
+//
+// After the registered benchmarks run, main() measures the executor-level
+// numbers the thread-pool work targets — sequential vs pooled DMatch wall
+// clock (with a bit-identity check on the outputs) and the ML prediction
+// cache's hit latency — and writes them to BENCH_core.json in the working
+// directory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+
 #include "chase/join.h"
+#include "ml/registry.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "common/union_find.h"
 #include "datagen/ecommerce.h"
 #include "ml/embedding.h"
+#include "parallel/dmatch.h"
 #include "partition/hypercube.h"
 
 namespace dcer {
@@ -83,6 +98,21 @@ void BM_RuleJoinEnumerate(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleJoinEnumerate)->Arg(200)->Arg(1000);
 
+void BM_MlCacheHit(benchmark::State& state) {
+  PredictionCache cache;
+  Rng rng(11);
+  std::vector<uint64_t> keys(1024);
+  for (auto& k : keys) {
+    k = rng.Next();
+    cache.Insert(k, (k & 2) != 0);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MlCacheHit);
+
 void BM_HypercubeDistribute(benchmark::State& state) {
   EcommerceOptions options;
   options.num_customers = 500;
@@ -101,7 +131,110 @@ void BM_HypercubeDistribute(benchmark::State& state) {
 }
 BENCHMARK(BM_HypercubeDistribute)->Arg(16)->Arg(256);
 
+// --- BENCH_core.json: executor-level numbers -------------------------------
+
+double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
+                         int threads_per_worker,
+                         std::unique_ptr<MatchContext>* last_ctx) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    gd.registry.ClearCache();
+    gd.registry.ResetStats();
+    auto ctx = std::make_unique<MatchContext>(gd.dataset);
+    DMatchOptions options;
+    options.num_workers = 4;
+    options.run_parallel = run_parallel;
+    options.threads_per_worker = threads_per_worker;
+    DMatchReport r =
+        DMatch(gd.dataset, gd.rules, gd.registry, options, ctx.get());
+    if (rep == 0 || r.er_seconds < best) best = r.er_seconds;
+    if (rep == 2) *last_ctx = std::move(ctx);
+  }
+  return best;
+}
+
+double MlCacheHitNs() {
+  PredictionCache cache;
+  Rng rng(11);
+  std::vector<uint64_t> keys(1024);
+  for (auto& k : keys) {
+    k = rng.Next();
+    cache.Insert(k, (k & 2) != 0);
+  }
+  constexpr int kReps = 2'000'000;
+  int sink = 0;
+  Timer timer;
+  for (int i = 0; i < kReps; ++i) sink += cache.Lookup(keys[i & 1023]);
+  double ns = timer.ElapsedSeconds() * 1e9 / kReps;
+  if (sink == -kReps) std::printf("unreachable\n");  // keep the loop live
+  return ns;
+}
+
+void WriteBenchCoreJson() {
+  EcommerceOptions options;
+  options.num_customers = 800;
+  auto gd = MakeEcommerce(options);
+
+  std::unique_ptr<MatchContext> seq_ctx;
+  std::unique_ptr<MatchContext> pooled_ctx;
+  // Seed sequential path: workers executed one after another, chase
+  // single-threaded. Pooled path: workers as pool tasks, each splitting its
+  // join enumeration over threads_per_worker=2.
+  double seq = BestOf3DMatchWall(*gd, /*run_parallel=*/false,
+                                 /*threads_per_worker=*/1, &seq_ctx);
+  double pooled = BestOf3DMatchWall(*gd, /*run_parallel=*/true,
+                                    /*threads_per_worker=*/2, &pooled_ctx);
+  bool pairs_equal =
+      seq_ctx->MatchedPairs() == pooled_ctx->MatchedPairs() &&
+      seq_ctx->ValidatedMlKeys() == pooled_ctx->ValidatedMlKeys();
+  double hit_ns = MlCacheHitNs();
+
+  FILE* f = std::fopen("BENCH_core.json", "w");
+  if (f == nullptr) {
+    std::printf("cannot write BENCH_core.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"ecommerce num_customers=%zu\",\n",
+               options.num_customers);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"workers\": 4,\n");
+  std::fprintf(f, "  \"threads_per_worker\": 2,\n");
+  std::fprintf(f, "  \"dmatch_seq_wall_seconds\": %.6f,\n", seq);
+  std::fprintf(f, "  \"dmatch_pooled_wall_seconds\": %.6f,\n", pooled);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", pooled > 0 ? seq / pooled : 0.0);
+  // Same workload timed at the pre-thread-pool commit, measured out-of-band
+  // (a checkout of the previous HEAD can't run inside this binary). Lets the
+  // JSON carry the cross-commit speedup this PR claims.
+  if (const char* env = std::getenv("DCER_SEED_SEQ_SECONDS")) {
+    double seed_seq = std::atof(env);
+    if (seed_seq > 0) {
+      std::fprintf(f, "  \"seed_seq_wall_seconds\": %.6f,\n", seed_seq);
+      std::fprintf(f, "  \"speedup_vs_seed\": %.3f,\n",
+                   pooled > 0 ? seed_seq / pooled : 0.0);
+    }
+  }
+  std::fprintf(f, "  \"pairs_equal\": %s,\n", pairs_equal ? "true" : "false");
+  std::fprintf(f, "  \"matched_pairs\": %llu,\n",
+               static_cast<unsigned long long>(seq_ctx->num_matched_pairs()));
+  std::fprintf(f, "  \"ml_cache_hit_ns\": %.2f\n", hit_ns);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nBENCH_core.json: seq=%.4fs pooled=%.4fs speedup=%.2fx "
+              "pairs_equal=%d ml_cache_hit=%.1fns (host threads: %u)\n",
+              seq, pooled, pooled > 0 ? seq / pooled : 0.0, pairs_equal,
+              hit_ns, std::thread::hardware_concurrency());
+}
+
 }  // namespace
 }  // namespace dcer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dcer::WriteBenchCoreJson();
+  return 0;
+}

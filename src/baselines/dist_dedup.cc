@@ -1,8 +1,10 @@
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "baselines/candidates.h"
 #include "baselines/matchers.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace dcer {
@@ -26,25 +28,32 @@ BaselineReport RunDistDedup(const Dataset& dataset,
   }
   report.comparisons = candidates.size();
 
-  std::mutex mutex;
-  auto work = [&](int worker) {
-    std::vector<std::pair<Gid, Gid>> local_matches;
-    for (size_t i = worker; i < candidates.size();
-         i += static_cast<size_t>(config.num_workers)) {
-      auto [a, b] = candidates[i];
-      if (TupleSimilarity(dataset, a, b, pair_hint[i]->compare_attrs) >=
-          config.threshold) {
-        local_matches.push_back({a, b});
-      }
-    }
-    std::lock_guard<std::mutex> lock(mutex);
-    for (auto [a, b] : local_matches) {
+  // Contiguous chunks on the shared pool, 4 per worker so stealing can
+  // rebalance blocks of uneven similarity cost. Each chunk fills a private
+  // match buffer; a single ordered pass applies them afterwards, so the
+  // result (and the first-writer-wins Apply semantics) is deterministic and
+  // the sweep itself runs mutex-free.
+  const size_t grain = std::max<size_t>(
+      1, candidates.size() /
+             (static_cast<size_t>(std::max(config.num_workers, 1)) * 4));
+  const size_t num_chunks = (candidates.size() + grain - 1) / grain;
+  std::vector<std::vector<std::pair<Gid, Gid>>> chunk_matches(num_chunks);
+  ThreadPool::Global().ParallelFor(
+      0, candidates.size(), grain, [&](size_t lo, size_t hi) {
+        std::vector<std::pair<Gid, Gid>>& local = chunk_matches[lo / grain];
+        for (size_t i = lo; i < hi; ++i) {
+          auto [a, b] = candidates[i];
+          if (TupleSimilarity(dataset, a, b, pair_hint[i]->compare_attrs) >=
+              config.threshold) {
+            local.push_back({a, b});
+          }
+        }
+      });
+  for (const auto& chunk : chunk_matches) {
+    for (auto [a, b] : chunk) {
       if (out->Apply(Fact::IdMatch(a, b), nullptr)) ++report.matches;
     }
-  };
-  std::vector<std::thread> threads;
-  for (int w = 0; w < config.num_workers; ++w) threads.emplace_back(work, w);
-  for (auto& t : threads) t.join();
+  }
 
   report.seconds = timer.ElapsedSeconds();
   return report;

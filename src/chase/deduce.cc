@@ -1,6 +1,9 @@
 #include "chase/deduce.h"
 
+#include <algorithm>
 #include <deque>
+
+#include "common/thread_pool.h"
 
 namespace dcer {
 
@@ -193,6 +196,82 @@ void ChaseEngine::HandleValuation(size_t rule_idx, RuleJoiner* joiner,
   }
 }
 
+bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
+                                    Delta* delta) {
+  if (options_.pool == nullptr || options_.enumeration_shards <= 1) {
+    return false;
+  }
+  RuleJoiner* joiner = scope.joiner.get();
+  const size_t num_roots = joiner->RootCandidateCount();
+  if (num_roots < options_.min_parallel_root) return false;
+
+  // After prewarming, shard tasks only ever read the shared DatasetIndex.
+  joiner->PrewarmIndexes();
+  const size_t shards =
+      std::min<size_t>(static_cast<size_t>(options_.enumeration_shards),
+                       num_roots);
+
+  // Shards enumerate against the context frozen at this point (the merge
+  // below is the only writer, and it runs strictly after Wait). They record
+  // every leaf valuation; `unsat` is computed against the snapshot, so it is
+  // a superset of what sequential Deduce would have seen at that valuation —
+  // the merge re-checks and drops entries satisfied by earlier merged facts,
+  // restoring the sequential unsat exactly. Shard tasks also warm the ML
+  // prediction cache, which is where the leaf-evaluation time goes.
+  // Flat per-shard buffers (fixed row stride, length-prefixed unsat runs):
+  // recording a leaf valuation is two memcpy-style appends, no per-leaf
+  // allocation.
+  const size_t stride = rules_->rule(rule_idx).num_vars();
+  struct ShardOut {
+    std::vector<uint32_t> rows;  // stride-sized groups
+    std::vector<int> unsat;      // [len, idx...] per recorded valuation
+    uint64_t checked = 0;
+  };
+  std::vector<ShardOut> found(shards);
+  {
+    TaskGroup group(options_.pool);
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t lo = num_roots * s / shards;
+      const size_t hi = num_roots * (s + 1) / shards;
+      ShardOut* out = &found[s];
+      group.Run([this, rule_idx, &scope, out, lo, hi] {
+        RuleJoiner shard_joiner(scope.index, &rules_->rule(rule_idx),
+                                registry_, ctx_);
+        shard_joiner.set_shared_context_reads(true);
+        shard_joiner.EnumerateRange(
+            lo, hi,
+            [out](const std::vector<uint32_t>& rows,
+                  const std::vector<int>& unsat) {
+              out->rows.insert(out->rows.end(), rows.begin(), rows.end());
+              out->unsat.push_back(static_cast<int>(unsat.size()));
+              out->unsat.insert(out->unsat.end(), unsat.begin(), unsat.end());
+              return true;
+            });
+        out->checked = shard_joiner.valuations_checked();
+      });
+    }
+    group.Wait();
+  }
+
+  std::vector<uint32_t> rows(stride);
+  std::vector<int> still_unsat;
+  for (const ShardOut& out : found) {
+    size_t u = 0;
+    for (size_t r = 0; r + stride <= out.rows.size(); r += stride) {
+      rows.assign(out.rows.begin() + r, out.rows.begin() + r + stride);
+      const int len = out.unsat[u++];
+      still_unsat.clear();
+      for (int k = 0; k < len; ++k) {
+        const int i = out.unsat[u++];
+        if (!joiner->LeafHolds(i, rows)) still_unsat.push_back(i);
+      }
+      HandleValuation(rule_idx, joiner, rows, still_unsat, delta);
+    }
+    stats_.valuations += out.checked;
+  }
+  return true;
+}
+
 void ChaseEngine::Deduce(Delta* delta) {
   for (size_t ri = 0; ri < rules_->size(); ++ri) {
     const Rule& rule = rules_->rule(ri);
@@ -206,6 +285,7 @@ void ChaseEngine::Deduce(Delta* delta) {
                         .empty();
       }
       if (!feasible) continue;
+      if (ParallelEnumerate(ri, scope, delta)) continue;
       RuleJoiner* joiner = scope.joiner.get();
       uint64_t before = joiner->valuations_checked();
       joiner->Enumerate([&](const std::vector<uint32_t>& rows,

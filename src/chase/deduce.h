@@ -9,6 +9,8 @@
 
 namespace dcer {
 
+class ThreadPool;
+
 /// Counters exposed by the chase (computation-cost metrics of Sec. VI).
 struct ChaseStats {
   uint64_t valuations = 0;      // leaf valuations inspected
@@ -39,6 +41,17 @@ class ChaseEngine {
     /// ablation (Fig. 6(e)-(h)) sets this false and pays per-rule index
     /// construction.
     bool share_indices = true;
+    /// Intra-engine parallel enumeration. When `pool` is set and a scope's
+    /// root-candidate list has at least `min_parallel_root` entries, Deduce
+    /// splits the list into `enumeration_shards` contiguous slices, each
+    /// enumerated by a pool task with a private RuleJoiner against a frozen
+    /// context snapshot, and merges the recorded valuations sequentially in
+    /// (shard, discovery-order) — bit-identical to sequential Deduce (the
+    /// valuation set is context-independent; stale unsat entries are
+    /// re-checked at merge). nullptr keeps Deduce fully sequential.
+    ThreadPool* pool = nullptr;
+    int enumeration_shards = 1;
+    size_t min_parallel_root = 64;
   };
 
   /// Evaluates every rule over `view`. Sequential Match uses this with the
@@ -108,6 +121,11 @@ class ChaseEngine {
   void HandleValuation(size_t rule_idx, RuleJoiner* joiner,
                        const std::vector<uint32_t>& rows,
                        const std::vector<int>& unsat, Delta* delta);
+
+  // Parallel enumeration of one scope (see Options::pool). Returns false
+  // when the scope should fall back to the sequential path (no pool, or the
+  // root candidate list is too small to be worth forking).
+  bool ParallelEnumerate(size_t rule_idx, Scope& scope, Delta* delta);
 
   std::vector<Gid> GidsOf(size_t rule_idx,
                           const std::vector<uint32_t>& rows) const;

@@ -23,8 +23,8 @@ bool DependencyStore::Add(Fact target, std::vector<uint64_t> required_keys,
   dep.valuation = std::move(valuation);
   dep.remaining = static_cast<uint32_t>(required_keys.size());
   dep.required_keys = std::move(required_keys);
-  for (uint64_t key : dep.required_keys) by_requirement_.emplace(key, idx);
-  by_target_.emplace(target.Key(), idx);
+  for (uint64_t key : dep.required_keys) by_requirement_.Add(key, idx);
+  by_target_.Add(target.Key(), idx);
   deps_.push_back(std::move(dep));
   ++alive_;
   return true;
@@ -33,30 +33,26 @@ bool DependencyStore::Add(Fact target, std::vector<uint64_t> required_keys,
 void DependencyStore::OnKeyTrue(uint64_t key,
                                 std::vector<Dependency>* fired) {
   // Requirements satisfied by this key.
-  auto [rb, re] = by_requirement_.equal_range(key);
-  for (auto it = rb; it != re; ++it) {
-    Dependency& dep = deps_[it->second];
-    if (dep.dead) continue;
+  by_requirement_.Drain(key, [&](uint32_t i) {
+    Dependency& dep = deps_[i];
+    if (dep.dead) return;
     if (--dep.remaining == 0) {
       --alive_;
-      fired->push_back(dep);  // copy out, then tombstone in place
+      fired->push_back(std::move(dep));  // move out, then tombstone in place
       dep.dead = true;
       dep.required_keys.clear();
       dep.valuation.clear();
     }
-  }
-  by_requirement_.erase(rb, re);
+  });
 
   // Dependencies whose target just became true are obsolete.
-  auto [tb, te] = by_target_.equal_range(key);
-  for (auto it = tb; it != te; ++it) {
-    Dependency& dep = deps_[it->second];
+  by_target_.Drain(key, [&](uint32_t i) {
+    Dependency& dep = deps_[i];
     if (!dep.dead) {
       dep.dead = true;
       --alive_;
     }
-  }
-  by_target_.erase(tb, te);
+  });
 }
 
 }  // namespace dcer

@@ -2,7 +2,6 @@
 #define DCER_CHASE_DEPENDENCY_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "chase/fact.h"
@@ -43,14 +42,124 @@ class DependencyStore {
   uint64_t num_dropped() const { return dropped_; }
 
  private:
+  // key -> chain of uint32 values, stored as one table slot per distinct
+  // key plus an index-linked pool. Inserting under an already-seen key is a
+  // vector push_back — no node allocation. The head table is flat
+  // open-addressing (linear probing, backward-shift erase) because H sees
+  // ~2 inserts per recorded valuation and std::unordered_map's per-node
+  // allocation dominated the chase profile.
+  class KeyChains {
+   public:
+    KeyChains() : slots_(kInitialSlots) {}
+
+    void Add(uint64_t key, uint32_t value) {
+      if ((count_ + 1) * 4 >= slots_.size() * 3) Grow();
+      size_t mask = slots_.size() - 1;
+      size_t i = Mix(key) & mask;
+      while (true) {
+        Slot& s = slots_[i];
+        if (s.head == kEmpty) {
+          s.key = key;
+          links_.push_back({value, kNil});
+          s.head = static_cast<uint32_t>(links_.size() - 1);
+          ++count_;
+          return;
+        }
+        if (s.key == key) {
+          links_.push_back({value, s.head});
+          s.head = static_cast<uint32_t>(links_.size() - 1);
+          return;
+        }
+        i = (i + 1) & mask;
+      }
+    }
+
+    /// Calls fn(value) for every value chained under key (most recent
+    /// first), then removes the key. Pool slots are abandoned in place;
+    /// they are reclaimed when the store is destroyed, matching deps_'s
+    /// own append-only tombstone scheme.
+    template <typename Fn>
+    void Drain(uint64_t key, Fn&& fn) {
+      size_t mask = slots_.size() - 1;
+      size_t i = Mix(key) & mask;
+      while (true) {
+        const Slot& s = slots_[i];
+        if (s.head == kEmpty) return;
+        if (s.key == key) break;
+        i = (i + 1) & mask;
+      }
+      for (uint32_t l = slots_[i].head; l != kNil; l = links_[l].next) {
+        fn(links_[l].value);
+      }
+      EraseSlot(i);
+    }
+
+   private:
+    static constexpr uint32_t kNil = 0xffffffffu;
+    // Sentinel for an unoccupied slot; a real head is always a valid index
+    // into links_ (an Add pushes the link before publishing the head).
+    static constexpr uint32_t kEmpty = 0xffffffffu;
+    static constexpr size_t kInitialSlots = 1024;  // power of two
+
+    struct Slot {
+      uint64_t key = 0;
+      uint32_t head = kEmpty;
+    };
+    struct Link {
+      uint32_t value;
+      uint32_t next;
+    };
+
+    static size_t Mix(uint64_t key) {
+      key *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing spreads low bits
+      return static_cast<size_t>(key ^ (key >> 32));
+    }
+
+    void Grow() {
+      std::vector<Slot> old = std::move(slots_);
+      slots_.assign(old.size() * 2, Slot{});
+      size_t mask = slots_.size() - 1;
+      for (const Slot& s : old) {
+        if (s.head == kEmpty) continue;
+        size_t i = Mix(s.key) & mask;
+        while (slots_[i].head != kEmpty) i = (i + 1) & mask;
+        slots_[i] = s;
+      }
+    }
+
+    // Removes slot i, shifting later probe-chain entries back so lookups
+    // never cross a spurious hole (no tombstones).
+    void EraseSlot(size_t i) {
+      --count_;
+      size_t mask = slots_.size() - 1;
+      size_t j = i;
+      while (true) {
+        slots_[i].head = kEmpty;
+        while (true) {
+          j = (j + 1) & mask;
+          if (slots_[j].head == kEmpty) return;
+          size_t ideal = Mix(slots_[j].key) & mask;
+          // Relocate j into the hole unless its probe chain starts after i.
+          if (((j - ideal) & mask) >= ((j - i) & mask)) break;
+        }
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+
+    std::vector<Slot> slots_;
+    size_t count_ = 0;
+    std::vector<Link> links_;
+  };
+
   size_t capacity_;
   size_t alive_ = 0;
   uint64_t dropped_ = 0;
   std::vector<Dependency> deps_;
   // requirement key -> dependency indices waiting on it.
-  std::unordered_multimap<uint64_t, uint32_t> by_requirement_;
+  KeyChains by_requirement_;
   // target key -> dependency indices producing it.
-  std::unordered_multimap<uint64_t, uint32_t> by_target_;
+  KeyChains by_target_;
 };
 
 }  // namespace dcer

@@ -1,6 +1,7 @@
 #include "chase/join.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace dcer {
@@ -9,6 +10,7 @@ RuleJoiner::RuleJoiner(DatasetIndex* index, const Rule* rule,
                        const MlRegistry* registry, const MatchContext* ctx)
     : index_(index), rule_(rule), registry_(registry), ctx_(ctx) {
   size_t n = rule_->num_vars();
+  assert(n <= 64 && "binding plans are keyed by a 64-bit variable mask");
   const_preds_.resize(n);
   self_eqs_.resize(n);
   const auto& pre = rule_->preconditions();
@@ -33,19 +35,27 @@ RuleJoiner::RuleJoiner(DatasetIndex* index, const Rule* rule,
   }
   binding_.assign(n, kInvalidGid);
   bound_.assign(n, false);
+  constraint_scratch_.resize(n);
+  root_plan_ = PlanFor(0);
 }
 
 Gid RuleJoiner::GidOf(int var, uint32_t row) const {
   return index_->view().dataset().relation(rule_->var_relation(var)).gid(row);
 }
 
-std::vector<Value> RuleJoiner::MlValues(int var, const std::vector<int>& attrs,
-                                        uint32_t row) const {
+void RuleJoiner::FillMlValues(int var, const std::vector<int>& attrs,
+                              uint32_t row, std::vector<Value>* out) const {
   const Relation& rel =
       index_->view().dataset().relation(rule_->var_relation(var));
+  out->clear();
+  out->reserve(attrs.size());
+  for (int a : attrs) out->push_back(rel.at(row, a));
+}
+
+std::vector<Value> RuleJoiner::MlValues(int var, const std::vector<int>& attrs,
+                                        uint32_t row) const {
   std::vector<Value> out;
-  out.reserve(attrs.size());
-  for (int a : attrs) out.push_back(rel.at(row, a));
+  FillMlValues(var, attrs, row, &out);
   return out;
 }
 
@@ -59,18 +69,42 @@ Fact RuleJoiner::MlFactFor(const Predicate& p,
                            GidOf(p.rhs.var, rows[p.rhs.var]), b_sig);
 }
 
-bool RuleJoiner::EvalIdOrMl(const Predicate& p) const {
+bool RuleJoiner::EvalIdOrMl(const Predicate& p,
+                            const std::vector<uint32_t>& rows) const {
   if (p.kind == PredicateKind::kIdEq) {
-    return ctx_->Matched(GidOf(p.lhs.var, binding_[p.lhs.var]),
-                         GidOf(p.rhs.var, binding_[p.rhs.var]));
+    Gid a = GidOf(p.lhs.var, rows[p.lhs.var]);
+    Gid b = GidOf(p.rhs.var, rows[p.rhs.var]);
+    return shared_context_reads_ ? ctx_->MatchedShared(a, b)
+                                 : ctx_->Matched(a, b);
   }
-  Fact f = MlFactFor(p, binding_);
+  Fact f = MlFactFor(p, rows);
   if (ctx_->IsValidatedMl(f.Key())) return true;
-  std::vector<Value> va = MlValues(p.lhs.var, p.lhs_ml_attrs,
-                                   binding_[p.lhs.var]);
-  std::vector<Value> vb = MlValues(p.rhs.var, p.rhs_ml_attrs,
-                                   binding_[p.rhs.var]);
-  return registry_->Predict(p.ml_id, f.Key(), va, vb);
+  // Probe the prediction cache before materializing the attribute vectors:
+  // hits (the common case once the chase is warm) never touch the tuples.
+  int cached = registry_->CachedPrediction(p.ml_id, f.Key());
+  if (cached >= 0) return cached != 0;
+  FillMlValues(p.lhs.var, p.lhs_ml_attrs, rows[p.lhs.var], &ml_scratch_a_);
+  FillMlValues(p.rhs.var, p.rhs_ml_attrs, rows[p.rhs.var], &ml_scratch_b_);
+  return registry_->PredictAndCache(p.ml_id, f.Key(), ml_scratch_a_,
+                                    ml_scratch_b_);
+}
+
+bool RuleJoiner::LeafHolds(int pred_index,
+                           const std::vector<uint32_t>& rows) {
+  return EvalIdOrMl(rule_->preconditions()[pred_index], rows);
+}
+
+void RuleJoiner::PrewarmIndexes() {
+  for (const Predicate* p : cross_eqs_) {
+    index_->EnsureBuilt(rule_->var_relation(p->lhs.var), p->lhs.attr);
+    index_->EnsureBuilt(rule_->var_relation(p->rhs.var), p->rhs.attr);
+  }
+  for (size_t v = 0; v < const_preds_.size(); ++v) {
+    for (const Predicate* p : const_preds_[v]) {
+      index_->EnsureBuilt(rule_->var_relation(static_cast<int>(v)),
+                          p->lhs.attr);
+    }
+  }
 }
 
 bool RuleJoiner::RowSatisfiesLocalPreds(int var, uint32_t row) const {
@@ -87,16 +121,18 @@ bool RuleJoiner::RowSatisfiesLocalPreds(int var, uint32_t row) const {
   return true;
 }
 
-int RuleJoiner::PickNextVar() const {
+int RuleJoiner::PickNextVar(uint64_t bound_mask) const {
   int best = -1;
   int best_links = -1;
   size_t best_size = 0;
   for (size_t v = 0; v < rule_->num_vars(); ++v) {
-    if (bound_[v]) continue;
+    if (bound_mask & (uint64_t{1} << v)) continue;
     int links = 0;
     for (const Predicate* p : cross_eqs_) {
-      if ((p->lhs.var == static_cast<int>(v) && bound_[p->rhs.var]) ||
-          (p->rhs.var == static_cast<int>(v) && bound_[p->lhs.var])) {
+      if ((p->lhs.var == static_cast<int>(v) &&
+           (bound_mask & (uint64_t{1} << p->rhs.var))) ||
+          (p->rhs.var == static_cast<int>(v) &&
+           (bound_mask & (uint64_t{1} << p->lhs.var)))) {
         ++links;
       }
     }
@@ -112,77 +148,93 @@ int RuleJoiner::PickNextVar() const {
   return best;
 }
 
-bool RuleJoiner::CheckLeaf(const Callback& cb) {
-  ++valuations_checked_;
-  std::vector<int> unsat;
-  for (int i : leaf_preds_) {
-    if (!EvalIdOrMl(rule_->preconditions()[i])) unsat.push_back(i);
+const RuleJoiner::BindPlan& RuleJoiner::PlanFor(uint64_t seeded_mask) {
+  auto it = plan_cache_.find(seeded_mask);
+  if (it != plan_cache_.end()) return it->second;
+  BindPlan plan;
+  uint64_t mask = seeded_mask;
+  size_t n = rule_->num_vars();
+  while (static_cast<size_t>(std::popcount(mask)) < n) {
+    BindStep step;
+    step.var = PickNextVar(mask);
+    for (const Predicate* p : cross_eqs_) {
+      if (p->lhs.var == step.var && (mask & (uint64_t{1} << p->rhs.var))) {
+        step.deps.push_back({p->lhs.attr, p->rhs.var, p->rhs.attr});
+      } else if (p->rhs.var == step.var &&
+                 (mask & (uint64_t{1} << p->lhs.var))) {
+        step.deps.push_back({p->rhs.attr, p->lhs.var, p->lhs.attr});
+      }
+    }
+    mask |= uint64_t{1} << step.var;
+    plan.push_back(std::move(step));
   }
-  return cb(binding_, unsat);
+  return plan_cache_.emplace(seeded_mask, std::move(plan)).first->second;
 }
 
-void RuleJoiner::Backtrack(const Callback& cb, bool* stop) {
-  if (*stop) return;
-  if (num_bound_ == rule_->num_vars()) {
-    if (!CheckLeaf(cb)) *stop = true;
-    return;
-  }
-  int var = PickNextVar();
-  const int rel = rule_->var_relation(var);
-  const Relation& relation = index_->view().dataset().relation(rel);
-
-  // Gather equality constraints on `var` from bound variables and constants.
-  std::vector<Constraint> constraints;
-  for (const Predicate* p : cross_eqs_) {
-    int other = -1;
-    int my_attr = -1;
-    int other_attr = -1;
-    if (p->lhs.var == var && bound_[p->rhs.var]) {
-      other = p->rhs.var;
-      my_attr = p->lhs.attr;
-      other_attr = p->rhs.attr;
-    } else if (p->rhs.var == var && bound_[p->lhs.var]) {
-      other = p->lhs.var;
-      my_attr = p->rhs.attr;
-      other_attr = p->lhs.attr;
-    } else {
-      continue;
+bool RuleJoiner::CheckLeaf(const Callback& cb) {
+  ++valuations_checked_;
+  unsat_scratch_.clear();
+  for (int i : leaf_preds_) {
+    if (!EvalIdOrMl(rule_->preconditions()[i], binding_)) {
+      unsat_scratch_.push_back(i);
     }
+  }
+  return cb(binding_, unsat_scratch_);
+}
+
+const std::vector<uint32_t>* RuleJoiner::CandidatesFor(
+    const BindStep& step, size_t depth, std::vector<Constraint>** out,
+    size_t* lookup_used) {
+  const int var = step.var;
+  const int rel = rule_->var_relation(var);
+  const Dataset& dataset = index_->view().dataset();
+
+  std::vector<Constraint>& constraints = constraint_scratch_[depth];
+  constraints.clear();
+  for (const BindStep::CrossDep& dep : step.deps) {
     const Relation& other_rel =
-        index_->view().dataset().relation(rule_->var_relation(other));
+        dataset.relation(rule_->var_relation(dep.other_var));
     constraints.push_back(
-        {my_attr, &other_rel.at(binding_[other], other_attr)});
+        {dep.my_attr, &other_rel.at(binding_[dep.other_var], dep.other_attr)});
   }
   for (const Predicate* p : const_preds_[var]) {
     constraints.push_back({p->lhs.attr, &p->constant});
   }
+  *out = &constraints;
 
   // Candidate rows: the shortest index posting list, or a full scan.
   const std::vector<uint32_t>* candidates = nullptr;
-  size_t lookup_used = constraints.size();  // sentinel: none
+  *lookup_used = constraints.size();  // sentinel: none
   if (!constraints.empty()) {
     size_t best_len = SIZE_MAX;
     for (size_t c = 0; c < constraints.size(); ++c) {
       if (constraints[c].value->is_null()) {
         // NULL joins nothing through equality: no candidates at all.
-        return;
+        return nullptr;
       }
       const std::vector<uint32_t>& list =
           index_->Lookup(rel, constraints[c].attr, *constraints[c].value);
       if (list.size() < best_len) {
         best_len = list.size();
         candidates = &list;
-        lookup_used = c;
+        *lookup_used = c;
       }
       if (best_len == 0) break;
     }
   } else {
     candidates = &index_->view().rows(rel);
   }
+  return candidates;
+}
 
-  bound_[var] = true;
-  ++num_bound_;
-  for (uint32_t row : *candidates) {
+void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
+                         size_t hi, int var,
+                         const std::vector<Constraint>& constraints,
+                         size_t lookup_used, const Callback& cb, bool* stop) {
+  const Relation& relation =
+      index_->view().dataset().relation(rule_->var_relation(var));
+  for (size_t i = lo; i < hi; ++i) {
+    uint32_t row = candidates[i];
     // Verify remaining constraints (the lookup enforced only one).
     bool ok = true;
     for (size_t c = 0; c < constraints.size(); ++c) {
@@ -194,34 +246,81 @@ void RuleJoiner::Backtrack(const Callback& cb, bool* stop) {
       }
     }
     if (!ok) continue;
-    if (!self_eqs_[var].empty() || constraints.empty()) {
-      // Self-equalities (and const preds on full scans, already covered by
-      // `constraints`) still need checking.
-      bool self_ok = true;
-      for (const Predicate* p : self_eqs_[var]) {
-        if (!EqJoinable(relation.at(row, p->lhs.attr),
-                        relation.at(row, p->rhs.attr))) {
-          self_ok = false;
-          break;
-        }
+    // Self-equalities still need checking: no posting list enforces them.
+    for (const Predicate* p : self_eqs_[var]) {
+      if (!EqJoinable(relation.at(row, p->lhs.attr),
+                      relation.at(row, p->rhs.attr))) {
+        ok = false;
+        break;
       }
-      if (!self_ok) continue;
     }
+    if (!ok) continue;
     binding_[var] = row;
     Backtrack(cb, stop);
     if (*stop) break;
   }
-  binding_[var] = kInvalidGid;
-  bound_[var] = false;
+}
+
+void RuleJoiner::Backtrack(const Callback& cb, bool* stop) {
+  if (*stop) return;
+  if (num_bound_ == rule_->num_vars()) {
+    if (!CheckLeaf(cb)) *stop = true;
+    return;
+  }
+  const size_t depth = num_bound_ - plan_base_;
+  const BindStep& step = (*active_plan_)[depth];
+  std::vector<Constraint>* constraints = nullptr;
+  size_t lookup_used = 0;
+  const std::vector<uint32_t>* candidates =
+      CandidatesFor(step, depth, &constraints, &lookup_used);
+  if (candidates == nullptr) return;
+
+  bound_[step.var] = true;
+  ++num_bound_;
+  ForRows(*candidates, 0, candidates->size(), step.var, *constraints,
+          lookup_used, cb, stop);
+  binding_[step.var] = kInvalidGid;
+  bound_[step.var] = false;
   --num_bound_;
 }
 
 void RuleJoiner::Enumerate(const Callback& cb) {
+  EnumerateRange(0, SIZE_MAX, cb);
+}
+
+size_t RuleJoiner::RootCandidateCount() {
+  if (root_plan_.empty()) return 0;
+  std::vector<Constraint>* constraints = nullptr;
+  size_t lookup_used = 0;
+  const std::vector<uint32_t>* candidates =
+      CandidatesFor(root_plan_[0], 0, &constraints, &lookup_used);
+  return candidates == nullptr ? 0 : candidates->size();
+}
+
+void RuleJoiner::EnumerateRange(size_t begin, size_t end, const Callback& cb) {
+  if (root_plan_.empty()) return;
   std::fill(bound_.begin(), bound_.end(), false);
   std::fill(binding_.begin(), binding_.end(), kInvalidGid);
   num_bound_ = 0;
+  active_plan_ = &root_plan_;
+  plan_base_ = 0;
+
+  const BindStep& step = root_plan_[0];
+  std::vector<Constraint>* constraints = nullptr;
+  size_t lookup_used = 0;
+  const std::vector<uint32_t>* candidates =
+      CandidatesFor(step, 0, &constraints, &lookup_used);
+  if (candidates == nullptr) return;
+  size_t hi = std::min(end, candidates->size());
+  size_t lo = std::min(begin, hi);
+
+  bound_[step.var] = true;
+  num_bound_ = 1;
   bool stop = false;
-  Backtrack(cb, &stop);
+  ForRows(*candidates, lo, hi, step.var, *constraints, lookup_used, cb, &stop);
+  binding_[step.var] = kInvalidGid;
+  bound_[step.var] = false;
+  num_bound_ = 0;
 }
 
 void RuleJoiner::EnumerateSeeded(
@@ -229,6 +328,7 @@ void RuleJoiner::EnumerateSeeded(
   std::fill(bound_.begin(), bound_.end(), false);
   std::fill(binding_.begin(), binding_.end(), kInvalidGid);
   num_bound_ = 0;
+  uint64_t seeded_mask = 0;
   for (auto [var, row] : seeds) {
     if (bound_[var]) {
       if (binding_[var] != row) return;  // conflicting seeds
@@ -237,6 +337,7 @@ void RuleJoiner::EnumerateSeeded(
     if (!RowSatisfiesLocalPreds(var, row)) return;
     binding_[var] = row;
     bound_[var] = true;
+    seeded_mask |= uint64_t{1} << var;
     ++num_bound_;
   }
   // Cross equalities among seeded variables must hold.
@@ -250,6 +351,8 @@ void RuleJoiner::EnumerateSeeded(
       if (!EqJoinable(lv, rv)) return;
     }
   }
+  active_plan_ = &PlanFor(seeded_mask);
+  plan_base_ = num_bound_;
   bool stop = false;
   Backtrack(cb, &stop);
 }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "chase/inverted_index.h"
@@ -18,6 +19,12 @@ namespace dcer {
 /// evaluated at the leaves against the current Γ (id: equivalence check;
 /// ML: validated-set lookup, then the cached classifier).
 ///
+/// The variable binding order is a pure function of which variables are
+/// already bound (most constrained first, smallest relation as tie-break),
+/// so it is precomputed per seeded-variable set — once in the constructor
+/// for plain Enumerate — into a BindPlan that also carries each step's
+/// cross-equality constraints. Backtracking then does no per-node scans.
+///
 /// The callback receives the complete binding (one row per tuple variable)
 /// and the indices of the precondition id/ML predicates that do NOT yet
 /// hold; an empty list means h ⊨ X. Returning false stops enumeration.
@@ -32,12 +39,41 @@ class RuleJoiner {
   /// Enumerates all valuations.
   void Enumerate(const Callback& cb);
 
+  /// Number of candidate rows of the root variable (the first in the
+  /// precomputed binding order) after its constant-predicate index lookups.
+  /// Pure function of the rule and view; used to size parallel shards.
+  size_t RootCandidateCount();
+
+  /// Enumerates only the valuations that extend root candidates with index
+  /// in [begin, end): shard `s` of a partition of [0, RootCandidateCount())
+  /// sees exactly the contiguous slice Enumerate would visit `s`-th, so
+  /// concatenating shard outputs in shard order reproduces Enumerate's
+  /// sequence. Used by the parallel Deduce, one private joiner per shard.
+  void EnumerateRange(size_t begin, size_t end, const Callback& cb);
+
   /// Enumerates valuations with the given variables pre-bound (update-driven
   /// re-joins of IncDeduce). Seed rows must be rows of the view's relations;
   /// seeds violating the rule's constant/self-equality predicates yield
   /// nothing.
   void EnumerateSeeded(std::span<const std::pair<int, uint32_t>> seeds,
                        const Callback& cb);
+
+  /// Re-evaluates leaf precondition `pred_index` (an id/ML predicate of this
+  /// rule) under explicit rows against the *current* context. The parallel
+  /// Deduce merge uses this to drop unsat entries that earlier merged facts
+  /// have satisfied since the shard snapshot.
+  bool LeafHolds(int pred_index, const std::vector<uint32_t>& rows);
+
+  /// Builds every inverted index this rule's enumeration can touch, so that
+  /// concurrent shard enumerations only ever read the shared DatasetIndex.
+  void PrewarmIndexes();
+
+  /// Switches leaf id-checks to the compression-free MatchContext read path,
+  /// which is safe for concurrent readers of a frozen context. Set on the
+  /// private per-shard joiners of the parallel Deduce.
+  void set_shared_context_reads(bool shared) {
+    shared_context_reads_ = shared;
+  }
 
   /// Leaf valuations inspected (the paper's computation-cost metric).
   uint64_t valuations_checked() const { return valuations_checked_; }
@@ -57,11 +93,41 @@ class RuleJoiner {
     const Value* value;
   };
 
+  // One step of a binding order: the variable bound at this depth and the
+  // cross-equalities linking it to variables bound earlier (or seeded).
+  struct BindStep {
+    int var;
+    struct CrossDep {
+      int my_attr;
+      int other_var;
+      int other_attr;
+    };
+    std::vector<CrossDep> deps;
+  };
+  using BindPlan = std::vector<BindStep>;
+
   void Backtrack(const Callback& cb, bool* stop);
-  int PickNextVar() const;
+  // Iterates rows [lo, hi) of `candidates` for `var` (already marked bound),
+  // checking the non-lookup constraints and self-equalities, and recurses.
+  void ForRows(const std::vector<uint32_t>& candidates, size_t lo, size_t hi,
+               int var, const std::vector<Constraint>& constraints,
+               size_t lookup_used, const Callback& cb, bool* stop);
+  // Candidate rows for binding `var` at `depth`: the shortest posting list
+  // among its constraints, or a full scan. nullptr when a NULL-valued
+  // constraint empties the candidate set. Fills *constraints (backed by
+  // per-depth scratch) and *lookup_used (index of the constraint the chosen
+  // posting list already enforces; constraints.size() if none).
+  const std::vector<uint32_t>* CandidatesFor(const BindStep& step,
+                                             size_t depth,
+                                             std::vector<Constraint>** out,
+                                             size_t* lookup_used);
+  int PickNextVar(uint64_t bound_mask) const;
+  const BindPlan& PlanFor(uint64_t seeded_mask);
   bool RowSatisfiesLocalPreds(int var, uint32_t row) const;
   bool CheckLeaf(const Callback& cb);
-  bool EvalIdOrMl(const Predicate& p) const;
+  bool EvalIdOrMl(const Predicate& p, const std::vector<uint32_t>& rows) const;
+  void FillMlValues(int var, const std::vector<int>& attrs, uint32_t row,
+                    std::vector<Value>* out) const;
   Gid GidOf(int var, uint32_t row) const;
 
   DatasetIndex* index_;
@@ -75,11 +141,25 @@ class RuleJoiner {
   std::vector<const Predicate*> cross_eqs_;                  // t.A = s.B
   std::vector<int> leaf_preds_;  // indices of id/ML preconditions
 
+  // Binding plans: root_plan_ serves Enumerate; seeded enumerations memoize
+  // per seeded-variable bitmask (rules have ≤ 64 variables).
+  BindPlan root_plan_;
+  std::unordered_map<uint64_t, BindPlan> plan_cache_;
+  const BindPlan* active_plan_ = nullptr;
+  size_t plan_base_ = 0;  // variables pre-bound before the plan's steps
+
   // Backtracking state.
   std::vector<uint32_t> binding_;
   std::vector<bool> bound_;
   size_t num_bound_ = 0;
   uint64_t valuations_checked_ = 0;
+  bool shared_context_reads_ = false;
+
+  // Hot-path scratch, reused across nodes/leaves to avoid allocation.
+  std::vector<std::vector<Constraint>> constraint_scratch_;  // per depth
+  std::vector<int> unsat_scratch_;
+  mutable std::vector<Value> ml_scratch_a_;
+  mutable std::vector<Value> ml_scratch_b_;
 };
 
 }  // namespace dcer

@@ -1,5 +1,6 @@
 #include "chase/match.h"
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace dcer {
@@ -13,6 +14,10 @@ MatchReport Match(const DatasetView& view, const RuleSet& rules,
   ChaseEngine::Options engine_options;
   engine_options.dependency_capacity = options.dependency_capacity;
   engine_options.share_indices = options.use_mqo;
+  if (options.threads > 1) {
+    engine_options.pool = &ThreadPool::Global();
+    engine_options.enumeration_shards = options.threads * 2;
+  }
   ChaseEngine engine(&view, &rules, &registry, ctx, engine_options);
 
   MatchReport report;

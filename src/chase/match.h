@@ -13,6 +13,10 @@ struct MatchOptions {
   bool use_mqo = true;
   /// Record rule/valuation provenance for Explain().
   bool enable_provenance = false;
+  /// Pool threads used to split each rule scope's join enumeration. 1 =
+  /// fully single-threaded chase. Any value yields bit-identical results;
+  /// see DESIGN.md "Parallel execution model".
+  int threads = 1;
 };
 
 /// Outcome counters of one Match run.

@@ -1,6 +1,7 @@
 #ifndef DCER_CHASE_MATCH_CONTEXT_H_
 #define DCER_CHASE_MATCH_CONTEXT_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +30,11 @@ class MatchContext {
   /// True iff (a.id, b.id) ∈ Γ (reflexive and transitive by construction).
   bool Matched(Gid a, Gid b) const { return eid_.Same(a, b); }
 
+  /// Matched() without path compression: performs no writes, so concurrent
+  /// readers are safe while the context is frozen (no Apply in flight).
+  /// Parallel enumeration shards use this.
+  bool MatchedShared(Gid a, Gid b) const { return eid_.SameNoCompress(a, b); }
+
   /// True iff this ML prediction was validated by some rule's consequence.
   bool IsValidatedMl(uint64_t ml_key) const {
     return validated_ml_.count(ml_key) > 0;
@@ -50,6 +56,14 @@ class MatchContext {
 
   uint64_t num_matched_pairs() const { return eid_.NumMatchedPairs(); }
   size_t num_validated_ml() const { return validated_ml_.size(); }
+
+  /// Sorted keys of every validated ML fact — a canonical form of the ML
+  /// half of Γ, which determinism tests compare across execution modes.
+  std::vector<uint64_t> ValidatedMlKeys() const {
+    std::vector<uint64_t> keys(validated_ml_.begin(), validated_ml_.end());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
 
   void EnableProvenance() {
     if (!provenance_) provenance_ = std::make_unique<ProvenanceLog>();

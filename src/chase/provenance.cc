@@ -27,8 +27,9 @@ std::string RenderTuple(const Dataset& dataset, Gid gid) {
 void ProvenanceLog::Record(const Fact& fact, int rule,
                            std::vector<Gid> valuation) {
   uint64_t key = fact.Key();
-  if (derivations_.count(key)) return;
-  derivations_.emplace(key, Derivation{rule, std::move(valuation)});
+  auto [it, fresh] = derivations_.try_emplace(key);
+  if (!fresh) return;  // first derivation wins
+  it->second = Derivation{rule, std::move(valuation)};
   if (fact.kind == Fact::Kind::kId && fact.a != fact.b) {
     edges_[fact.a].push_back(fact.b);
     edges_[fact.b].push_back(fact.a);

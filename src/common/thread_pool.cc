@@ -1,0 +1,259 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dcer {
+
+thread_local ThreadPool* ThreadPool::current_pool_ = nullptr;
+thread_local int ThreadPool::worker_index_ = -1;
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque.
+
+namespace {
+constexpr size_t kInitialDequeCapacity = 256;  // power of two
+}  // namespace
+
+ThreadPool::Deque::Deque() : buffer_(new Buffer(kInitialDequeCapacity)) {}
+
+ThreadPool::Deque::~Deque() { delete buffer_.load(std::memory_order_relaxed); }
+
+ThreadPool::Deque::Buffer* ThreadPool::Deque::Grow(Buffer* old, int64_t top,
+                                                   int64_t bottom) {
+  auto* grown = new Buffer(old->capacity() * 2);
+  for (int64_t i = top; i < bottom; ++i) grown->Put(i, old->Get(i));
+  buffer_.store(grown, std::memory_order_release);
+  // Thieves may still hold the old pointer; retire it instead of freeing.
+  retired_.emplace_back(old);
+  return grown;
+}
+
+void ThreadPool::Deque::Push(Task* task) {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<int64_t>(buf->capacity()) - 1) {
+    buf = Grow(buf, t, b);
+  }
+  buf->Put(b, task);
+  // seq_cst publishes the slot before the new bottom becomes visible.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+ThreadPool::Task* ThreadPool::Deque::Pop() {
+  int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // empty: restore
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return nullptr;
+  }
+  Task* task = buf->Get(b);
+  if (t == b) {
+    // Last element: race the thieves for it.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      task = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+  return task;
+}
+
+ThreadPool::Task* ThreadPool::Deque::Steal() {
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  Task* task = buf->Get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race to the owner or another thief
+  }
+  return task;
+}
+
+// ---------------------------------------------------------------------------
+// Pool.
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  deques_.reserve(n);
+  for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_seq_cst);
+    ++signal_;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Orphaned tasks (group never waited — a caller bug) are freed, not run.
+  for (auto& deque : deques_) {
+    while (Task* task = deque->Pop()) delete task;
+  }
+  for (Task* task : inject_) delete task;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));
+  return *pool;  // leaked deliberately: outlives static-destruction order
+}
+
+void ThreadPool::Submit(Task* task) {
+  if (current_pool_ == this && worker_index_ >= 0) {
+    deques_[worker_index_]->Push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_.push_back(task);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++signal_;
+  }
+  wake_cv_.notify_one();
+}
+
+ThreadPool::Task* ThreadPool::TryAcquire(int self) {
+  if (self >= 0) {
+    if (Task* task = deques_[self]->Pop()) return task;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!inject_.empty()) {
+      Task* task = inject_.front();
+      inject_.pop_front();
+      return task;
+    }
+  }
+  int n = static_cast<int>(deques_.size());
+  int start = self >= 0 ? self + 1 : 0;
+  for (int i = 0; i < n; ++i) {
+    if (Task* task = deques_[(start + i) % n]->Steal()) return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::Execute(Task* task) {
+  std::exception_ptr exception;
+  try {
+    task->fn();
+  } catch (...) {
+    exception = std::current_exception();
+  }
+  TaskGroup* group = task->group;
+  delete task;
+  group->OnTaskDone(exception);
+}
+
+bool ThreadPool::RunOneTask(int self) {
+  Task* task = TryAcquire(self);
+  if (task == nullptr) return false;
+  Execute(task);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  current_pool_ = this;
+  worker_index_ = self;
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      seen = signal_;
+    }
+    while (RunOneTask(self)) {
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_.load(std::memory_order_seq_cst)) break;
+    // If a submit landed after the snapshot, rescan instead of sleeping.
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_seq_cst) || signal_ != seen;
+    });
+    if (stop_.load(std::memory_order_seq_cst)) break;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  size_t n = end - begin;
+  if (grain == 0) {
+    grain = std::max<size_t>(1, n / (static_cast<size_t>(num_threads()) * 4));
+  }
+  if (n <= grain) {
+    body(begin, end);
+    return;
+  }
+  TaskGroup group(this);
+  for (size_t lo = begin; lo < end; lo += grain) {
+    size_t hi = std::min(end, lo + grain);
+    group.Run([&body, lo, hi] { body(lo, hi); });
+  }
+  group.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup.
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Global()) {}
+
+TaskGroup::~TaskGroup() {
+  if (pending_.load(std::memory_order_acquire) > 0) {
+    try {
+      Wait();
+    } catch (...) {
+    }
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  pool_->Submit(new ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::OnTaskDone(std::exception_ptr exception) {
+  if (exception != nullptr) {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    if (exception_ == nullptr) exception_ = exception;
+  }
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TaskGroup::Wait() {
+  // Help-first join: drain pool tasks (not necessarily ours) while our own
+  // are outstanding. Helping guarantees progress from any thread, including
+  // external ones, so nested waits cannot deadlock.
+  int self =
+      ThreadPool::current_pool_ == pool_ ? ThreadPool::worker_index_ : -1;
+  int idle_spins = 0;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool_->RunOneTask(self)) {
+      idle_spins = 0;
+    } else if (++idle_spins < 64) {
+      // Our tasks are running on other threads; nothing left to help with.
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  std::exception_ptr exception;
+  {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    exception = std::exchange(exception_, nullptr);
+  }
+  if (exception != nullptr) std::rethrow_exception(exception);
+}
+
+}  // namespace dcer

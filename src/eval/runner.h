@@ -36,9 +36,11 @@ struct RunResult {
 };
 
 /// Runs `method` on the workload and scores it against the ground truth.
-/// `num_workers` applies to the parallel methods.
+/// `num_workers` applies to the parallel methods; `threads_per_worker`
+/// additionally splits each DMatch worker's join enumeration over the
+/// shared thread pool (results are identical for every value).
 RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
-                    uint64_t seed = 7);
+                    uint64_t seed = 7, int threads_per_worker = 1);
 
 }  // namespace dcer
 

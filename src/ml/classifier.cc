@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "ml/embedding.h"
 #include "ml/similarity.h"
@@ -24,11 +25,28 @@ EmbeddingCosineClassifier::EmbeddingCosineClassifier(std::string name,
                                                      size_t dim)
     : MlClassifier(std::move(name), threshold), dim_(dim) {}
 
+const Embedding& EmbeddingCosineClassifier::CachedEmbed(
+    std::string text) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    auto it = memo_.find(text);
+    if (it != memo_.end()) return it->second;
+  }
+  Embedding e = EmbedText(text, dim_);
+  std::unique_lock<std::shared_mutex> lock(memo_mutex_);
+  // emplace is a no-op if a racing thread inserted first; either way the
+  // returned reference stays valid (node-based map, values never erased).
+  return memo_.emplace(std::move(text), std::move(e)).first->second;
+}
+
+void EmbeddingCosineClassifier::ClearMemo() const {
+  std::unique_lock<std::shared_mutex> lock(memo_mutex_);
+  memo_.clear();
+}
+
 double EmbeddingCosineClassifier::Score(const std::vector<Value>& a,
                                         const std::vector<Value>& b) const {
-  Embedding ea = EmbedText(ConcatValues(a), dim_);
-  Embedding eb = EmbedText(ConcatValues(b), dim_);
-  double c = Cosine(ea, eb);
+  double c = Cosine(CachedEmbed(ConcatValues(a)), CachedEmbed(ConcatValues(b)));
   return c < 0 ? 0 : c;
 }
 

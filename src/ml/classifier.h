@@ -2,9 +2,12 @@
 #define DCER_ML_CLASSIFIER_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "ml/embedding.h"
 #include "relational/value.h"
 
 namespace dcer {
@@ -36,6 +39,10 @@ class MlClassifier {
     return Score(a, b) >= threshold_;
   }
 
+  /// Drops any internal memoization (e.g. per-text embeddings). Called by
+  /// MlRegistry::ClearCache so benchmark repetitions start cold.
+  virtual void ClearMemo() const {}
+
  private:
   std::string name_;
   double threshold_;
@@ -44,15 +51,27 @@ class MlClassifier {
 /// "fasttext-like": concatenates the string renderings of all attributes,
 /// embeds with hashed char n-grams, scores by cosine. Good at typos,
 /// abbreviations and token reorderings in long text (product descriptions).
+///
+/// Embeddings are memoized per concatenated text: the chase scores each
+/// tuple against many candidates, and hashing the n-grams of the same text
+/// over and over dominated cold-prediction time. The memo is shared-lock
+/// protected (concurrent Score calls from BSP workers / enumeration shards).
 class EmbeddingCosineClassifier : public MlClassifier {
  public:
   EmbeddingCosineClassifier(std::string name, double threshold = 0.8,
                             size_t dim = 64);
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
+  void ClearMemo() const override;
 
  private:
+  const Embedding& CachedEmbed(std::string text) const;
+
   size_t dim_;
+  mutable std::shared_mutex memo_mutex_;
+  // node-based map: rehash never invalidates the references CachedEmbed
+  // hands out.
+  mutable std::unordered_map<std::string, Embedding> memo_;
 };
 
 /// Token-set Jaccard over concatenated attributes (schema-agnostic matcher

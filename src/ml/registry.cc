@@ -6,6 +6,61 @@
 
 namespace dcer {
 
+PredictionCache::PredictionCache(int slots_per_stripe_log2) {
+  size_t slots = size_t{1} << slots_per_stripe_log2;
+  mask_ = slots - 1;
+  for (Stripe& stripe : stripes_) {
+    stripe.slots = std::make_unique<std::atomic<uint64_t>[]>(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      stripe.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int PredictionCache::Lookup(uint64_t key) const {
+  const Stripe& stripe = stripes_[key % kStripes];
+  const uint64_t packed_key = Pack(key, false) & ~uint64_t{1};
+  size_t slot = (key / kStripes) & mask_;
+  for (size_t probe = 0; probe < kProbeWindow; ++probe) {
+    uint64_t word =
+        stripe.slots[(slot + probe) & mask_].load(std::memory_order_relaxed);
+    // Slots are never vacated while readers run, so the first empty slot
+    // proves the key was absent when every earlier probe was inserted.
+    if (word == 0) return -1;
+    if ((word & ~uint64_t{1}) == packed_key) {
+      return static_cast<int>(word & 1);
+    }
+  }
+  return -1;
+}
+
+void PredictionCache::Insert(uint64_t key, bool value) {
+  Stripe& stripe = stripes_[key % kStripes];
+  const uint64_t packed = Pack(key, value);
+  size_t slot = (key / kStripes) & mask_;
+  for (size_t probe = 0; probe < kProbeWindow; ++probe) {
+    std::atomic<uint64_t>& cell = stripe.slots[(slot + probe) & mask_];
+    uint64_t expected = 0;
+    if (cell.compare_exchange_strong(expected, packed,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    // Lost the CAS or occupied: if it is (now) our key, we are done — the
+    // winner wrote the identical word (predictions are pure).
+    if ((expected & ~uint64_t{1}) == (packed & ~uint64_t{1})) return;
+  }
+  // Probe window full: drop the insert; the prediction recomputes next time.
+}
+
+void PredictionCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      stripe.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
 int MlRegistry::Register(std::unique_ptr<MlClassifier> classifier) {
   assert(by_name_.find(classifier->name()) == by_name_.end());
   int id = static_cast<int>(classifiers_.size());
@@ -19,26 +74,29 @@ int MlRegistry::Lookup(const std::string& name) const {
   return it == by_name_.end() ? -1 : it->second;
 }
 
+int MlRegistry::CachedPrediction(int id, uint64_t pair_key) const {
+  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
+  int cached = cache_.Lookup(key);
+  if (cached >= 0) num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return cached;
+}
+
+bool MlRegistry::PredictAndCache(int id, uint64_t pair_key,
+                                 const std::vector<Value>& a,
+                                 const std::vector<Value>& b) const {
+  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
+  bool result = classifiers_[id]->Predict(a, b);
+  num_predictions_.fetch_add(1, std::memory_order_relaxed);
+  cache_.Insert(key, result);
+  return result;
+}
+
 bool MlRegistry::Predict(int id, uint64_t pair_key,
                          const std::vector<Value>& a,
                          const std::vector<Value>& b) const {
-  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
-  Shard& shard = shards_[key % kShards];
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.cache.find(key);
-    if (it != shard.cache.end()) {
-      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
-  bool result = classifiers_[id]->Predict(a, b);
-  num_predictions_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.cache.emplace(key, result);
-  }
-  return result;
+  int cached = CachedPrediction(id, pair_key);
+  if (cached >= 0) return cached != 0;
+  return PredictAndCache(id, pair_key, a, b);
 }
 
 void MlRegistry::ResetStats() {
@@ -47,10 +105,8 @@ void MlRegistry::ResetStats() {
 }
 
 void MlRegistry::ClearCache() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.cache.clear();
-  }
+  cache_.Clear();
+  for (const auto& c : classifiers_) c->ClearMemo();
 }
 
 }  // namespace dcer

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <thread>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "parallel/master.h"
 #include "parallel/worker.h"
@@ -12,11 +12,13 @@ namespace dcer {
 
 namespace {
 
-// Runs one superstep across all workers (threads or sequentially) and
-// returns the slowest worker's time.
+// Runs one superstep across all workers (pool tasks or sequentially) and
+// returns the slowest worker's time. The pool is persistent: it outlives
+// every superstep and every DMatch call, so a superstep is a fork/join on
+// already-running threads rather than a spawn/join of fresh ones.
 double RunSuperstep(std::vector<std::unique_ptr<Worker>>& workers,
                     const std::vector<std::vector<Fact>>* inboxes,
-                    bool run_parallel) {
+                    bool run_parallel, ThreadPool* pool) {
   auto run_one = [&](size_t w) {
     if (inboxes == nullptr) {
       workers[w]->RunPartial();
@@ -25,12 +27,11 @@ double RunSuperstep(std::vector<std::unique_ptr<Worker>>& workers,
     }
   };
   if (run_parallel) {
-    std::vector<std::thread> threads;
-    threads.reserve(workers.size());
+    TaskGroup group(pool);
     for (size_t w = 0; w < workers.size(); ++w) {
-      threads.emplace_back(run_one, w);
+      group.Run([&run_one, w] { run_one(w); });
     }
-    for (auto& t : threads) t.join();
+    group.Wait();
   } else {
     for (size_t w = 0; w < workers.size(); ++w) run_one(w);
   }
@@ -57,11 +58,17 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   report.partition = partition.stats;
   report.partition_seconds = partition.stats.seconds;
 
-  // Step 2: the BSP fixpoint.
+  // Step 2: the BSP fixpoint, executed on the process-wide persistent pool.
+  ThreadPool& pool = ThreadPool::Global();
   Timer er_timer;
   ChaseEngine::Options engine_options;
   engine_options.dependency_capacity = options.dependency_capacity;
   engine_options.share_indices = options.use_mqo;
+  if (options.threads_per_worker > 1) {
+    engine_options.pool = &pool;
+    // Oversplit 2x so stealing can rebalance skewed shards.
+    engine_options.enumeration_shards = options.threads_per_worker * 2;
+  }
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(options.num_workers);
@@ -75,7 +82,7 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
 
   // Superstep 0: partial evaluation A on every worker in parallel.
   report.simulated_seconds +=
-      RunSuperstep(workers, nullptr, options.run_parallel);
+      RunSuperstep(workers, nullptr, options.run_parallel, &pool);
   report.supersteps = 1;
   for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
 
@@ -83,7 +90,7 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   std::vector<std::vector<Fact>> inboxes;
   while (master.Dispatch(&inboxes)) {
     report.simulated_seconds +=
-        RunSuperstep(workers, &inboxes, options.run_parallel);
+        RunSuperstep(workers, &inboxes, options.run_parallel, &pool);
     ++report.supersteps;
     for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
   }

@@ -16,10 +16,19 @@ struct DMatchOptions {
   bool use_virtual_blocks = true;
   /// Dependency-store capacity K per worker.
   size_t dependency_capacity = size_t{1} << 20;
-  /// Run workers on real threads. false = run them sequentially (results
-  /// are identical; per-superstep max worker time still yields the
-  /// simulated parallel time, useful when workers outnumber cores).
+  /// Run workers on the persistent thread pool. false = run them
+  /// sequentially (results are identical; per-superstep max worker time
+  /// still yields the simulated parallel time, useful when workers
+  /// outnumber cores).
   bool run_parallel = true;
+  /// Intra-worker parallelism: each worker's partial evaluation splits a
+  /// rule scope's root-candidate list into 2 × threads_per_worker pool
+  /// tasks (see ChaseEngine::Options::pool). 1 = each worker's chase is
+  /// single-threaded, as in the paper's BSP model. Results are bit-identical
+  /// for every value. Total hardware-thread demand is roughly
+  /// num_workers × threads_per_worker when run_parallel is set, or
+  /// threads_per_worker when workers are simulated sequentially.
+  int threads_per_worker = 1;
 };
 
 /// Metrics of one DMatch run.

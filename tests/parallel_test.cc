@@ -5,6 +5,7 @@
 #include "chase/match.h"
 #include "chase/naive_chase.h"
 #include "common/rng.h"
+#include "datagen/ecommerce.h"
 #include "datagen/paper_example.h"
 #include "parallel/dmatch.h"
 #include "parallel/master.h"
@@ -217,6 +218,65 @@ TEST(DMatchTest, RandomInstancesAgreeWithNaiveChase) {
     EXPECT_EQ(parallel.num_validated_ml(), naive.num_validated_ml())
         << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-worker parallel enumeration is bit-identical to sequential.
+
+TEST(IntraWorkerParallelismTest, PaperExampleDeterministicAcrossThreadCounts) {
+  auto ex = MakePaperExample();
+  DatasetView view = DatasetView::Full(ex->dataset);
+  MatchContext reference(ex->dataset);
+  Match(view, ex->rules, ex->registry, {}, &reference);
+
+  for (int tpw : {1, 3}) {
+    for (bool run_parallel : {false, true}) {
+      DMatchOptions options;
+      options.num_workers = 4;
+      options.threads_per_worker = tpw;
+      options.run_parallel = run_parallel;
+      MatchContext ctx(ex->dataset);
+      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+      EXPECT_EQ(ctx.MatchedPairs(), reference.MatchedPairs())
+          << "tpw=" << tpw << " run_parallel=" << run_parallel;
+      EXPECT_EQ(ctx.ValidatedMlKeys(), reference.ValidatedMlKeys())
+          << "tpw=" << tpw << " run_parallel=" << run_parallel;
+    }
+  }
+}
+
+TEST(IntraWorkerParallelismTest, EcommerceDeterministicAndSameWork) {
+  EcommerceOptions gen;
+  gen.num_customers = 400;
+  auto gd = MakeEcommerce(gen);
+  DatasetView view = DatasetView::Full(gd->dataset);
+
+  // Sequential chase: the byte-for-byte reference. enumeration_shards only
+  // kicks in past min_parallel_root, which the forced shard count exercises.
+  MatchContext reference(gd->dataset);
+  MatchOptions seq;
+  MatchReport seq_report = Match(view, gd->rules, gd->registry, seq, &reference);
+
+  MatchContext pooled(gd->dataset);
+  MatchOptions par;
+  par.threads = 4;
+  MatchReport par_report = Match(view, gd->rules, gd->registry, par, &pooled);
+
+  EXPECT_EQ(pooled.MatchedPairs(), reference.MatchedPairs());
+  EXPECT_EQ(pooled.ValidatedMlKeys(), reference.ValidatedMlKeys());
+  EXPECT_EQ(pooled.num_matched_pairs(), reference.num_matched_pairs());
+  // The parallel path enumerates the same valuation space (Prop. 4: the
+  // result and the work are execution-order independent).
+  EXPECT_EQ(par_report.chase.valuations, seq_report.chase.valuations);
+  EXPECT_EQ(par_report.rounds, seq_report.rounds);
+
+  MatchContext dmatch_ctx(gd->dataset);
+  DMatchOptions dopt;
+  dopt.num_workers = 4;
+  dopt.threads_per_worker = 2;
+  DMatch(gd->dataset, gd->rules, gd->registry, dopt, &dmatch_ctx);
+  EXPECT_EQ(dmatch_ctx.MatchedPairs(), reference.MatchedPairs());
+  EXPECT_EQ(dmatch_ctx.ValidatedMlKeys(), reference.ValidatedMlKeys());
 }
 
 TEST(DMatchTest, ReportAccountsForWorkAndCommunication) {

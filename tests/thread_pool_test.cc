@@ -1,0 +1,181 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dcer {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, 37, [&](size_t lo, size_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi, kN);
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 10, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(7, 8, 0, [&](size_t lo, size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkBoundariesAreDeterministic) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(0, 100, 32, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.insert({lo, hi});
+  });
+  std::set<std::pair<size_t, size_t>> expected = {
+      {0, 32}, {32, 64}, {64, 96}, {96, 100}};
+  EXPECT_EQ(chunks, expected);
+}
+
+TEST(ThreadPoolTest, StealingSpreadsSkewedWorkAcrossThreads) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::mutex mu;
+  std::set<std::thread::id> executors;
+  // One long task followed by many short ones: the long task pins its
+  // executor, so the remaining tasks must be drained by thieves.
+  group.Run([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::lock_guard<std::mutex> lock(mu);
+      executors.insert(std::this_thread::get_id());
+    });
+  }
+  group.Wait();
+  EXPECT_GE(executors.size(), 2u);
+}
+
+TEST(ThreadPoolTest, NestedTaskGroupsComputeRecursiveSum) {
+  ThreadPool pool(4);
+  // Recursive fork/join sum of 0..n-1; exercises tasks that wait on their
+  // own child groups (help-first join keeps this deadlock-free).
+  std::function<uint64_t(ThreadPool*, uint64_t, uint64_t)> sum =
+      [&sum](ThreadPool* p, uint64_t lo, uint64_t hi) -> uint64_t {
+    if (hi - lo <= 64) {
+      uint64_t s = 0;
+      for (uint64_t i = lo; i < hi; ++i) s += i;
+      return s;
+    }
+    uint64_t mid = lo + (hi - lo) / 2;
+    uint64_t left = 0;
+    TaskGroup g(p);
+    g.Run([&] { left = sum(p, lo, mid); });
+    uint64_t right = sum(p, mid, hi);
+    g.Wait();
+    return left + right;
+  };
+  constexpr uint64_t kN = 10'000;
+  EXPECT_EQ(sum(&pool, 0, kN), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, NestedGroupsWorkOnSingleThreadPool) {
+  // A 1-thread pool forces every join to help: any blocking wait would
+  // deadlock here.
+  ThreadPool pool(1);
+  std::function<int(int)> fib = [&](int n) -> int {
+    if (n < 2) return n;
+    int a = 0;
+    TaskGroup g(&pool);
+    g.Run([&] { a = fib(n - 1); });
+    int b = fib(n - 2);
+    g.Wait();
+    return a + b;
+  };
+  EXPECT_EQ(fib(12), 144);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToWaitAndPoolSurvives) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    group.Run([&completed, i] {
+      if (i == 3) throw std::runtime_error("boom");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);
+
+  // The group and the pool both stay usable after a failed Wait.
+  group.Run([&completed] { completed.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(completed.load(), 8);
+  std::atomic<size_t> covered{0};
+  pool.ParallelFor(0, 100, 9, [&](size_t lo, size_t hi) {
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 50, 5,
+                                [&](size_t lo, size_t) {
+                                  if (lo == 25) throw std::logic_error("bad");
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ExternalThreadsCanShareOnePool) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> total{0};
+  // Several external threads drive ParallelFor on the same pool at once;
+  // waiters help execute, so this finishes even with only 2 pool threads.
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&] {
+      pool.ParallelFor(0, 1000, 50, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) total.fetch_add(i);
+      });
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 4u * (999u * 1000u / 2));
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSharedAndAlive) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 2);
+  std::atomic<int> ran{0};
+  TaskGroup group;  // defaults to the global pool
+  group.Run([&] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace dcer

@@ -1,0 +1,149 @@
+// Guardrail against silent executor regressions: re-runs the pooled DMatch
+// configuration that BENCH_core.json records (ecommerce num_customers=800,
+// 4 workers, threads_per_worker=2, best of 3) and fails when the fresh wall
+// clock regresses more than the tolerance over the recorded baseline.
+//
+// Usage: check_regression <path/to/BENCH_core.json> [tolerance]
+//   tolerance — allowed relative slowdown, default 0.25 (25%).
+//
+// A missing baseline file or field is reported and *passes*: a fresh
+// checkout (or a baseline regenerated on different hardware mid-rebase)
+// should not fail CI; committing the regenerated BENCH_core.json re-arms
+// the check. The bit-identity of the outputs is asserted unconditionally.
+//
+// Shared or 1-core hosts add wall-clock noise that is not a code
+// regression, so the absolute comparison is cross-checked against a
+// noise-normalized one: the fresh pooled/sequential ratio vs the
+// baseline's pooled/sequential ratio. Host-wide slowness moves both paths
+// together and passes the normalized check; a real regression in the
+// pooled executor moves only the pooled number and fails both.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "chase/match_context.h"
+#include "datagen/ecommerce.h"
+#include "parallel/dmatch.h"
+
+namespace dcer {
+namespace {
+
+// Minimal scan for "key": <number> in a flat JSON object; returns -1 when
+// the key is absent. Good enough for the file this repo writes itself.
+double JsonNumber(const std::string& text, const char* key) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  pos += needle.size();
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  return std::atof(text.c_str() + pos);
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: check_regression <BENCH_core.json> [tolerance]\n");
+    return 1;
+  }
+  double tolerance = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  double baseline = -1;
+  double baseline_seq = -1;
+  {
+    FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::printf("no baseline at %s; skipping regression check (PASS)\n",
+                  argv[1]);
+      return 0;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    baseline = JsonNumber(text, "dmatch_pooled_wall_seconds");
+    baseline_seq = JsonNumber(text, "dmatch_seq_wall_seconds");
+  }
+  if (baseline <= 0) {
+    std::printf("baseline lacks dmatch_pooled_wall_seconds; skipping "
+                "regression check (PASS)\n");
+    return 0;
+  }
+
+  // The exact configuration micro_core records as dmatch_pooled_wall_seconds.
+  EcommerceOptions options;
+  options.num_customers = 800;
+  auto gd = MakeEcommerce(options);
+
+  double best = 0;
+  std::unique_ptr<MatchContext> pooled_ctx;
+  std::unique_ptr<MatchContext> seq_ctx;
+  for (int rep = 0; rep < 3; ++rep) {
+    gd->registry.ClearCache();
+    gd->registry.ResetStats();
+    auto ctx = std::make_unique<MatchContext>(gd->dataset);
+    DMatchOptions dm;
+    dm.num_workers = 4;
+    dm.run_parallel = true;
+    dm.threads_per_worker = 2;
+    DMatchReport r = DMatch(gd->dataset, gd->rules, gd->registry, dm,
+                            ctx.get());
+    if (rep == 0 || r.er_seconds < best) best = r.er_seconds;
+    if (rep == 2) pooled_ctx = std::move(ctx);
+  }
+  double seq_best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Sequential runs: bit-identity reference and noise normalizer.
+    gd->registry.ClearCache();
+    gd->registry.ResetStats();
+    seq_ctx = std::make_unique<MatchContext>(gd->dataset);
+    DMatchOptions dm;
+    dm.num_workers = 4;
+    dm.run_parallel = false;
+    dm.threads_per_worker = 1;
+    DMatchReport r = DMatch(gd->dataset, gd->rules, gd->registry, dm,
+                            seq_ctx.get());
+    if (rep == 0 || r.er_seconds < seq_best) seq_best = r.er_seconds;
+  }
+  if (pooled_ctx->MatchedPairs() != seq_ctx->MatchedPairs() ||
+      pooled_ctx->ValidatedMlKeys() != seq_ctx->ValidatedMlKeys()) {
+    std::printf("FAIL: pooled DMatch output differs from sequential\n");
+    return 1;
+  }
+
+  double ratio = best / baseline;
+  std::printf("pooled DMatch wall: fresh=%.4fs baseline=%.4fs ratio=%.3f "
+              "(tolerance %.0f%%)\n",
+              best, baseline, ratio, tolerance * 100);
+  if (ratio > 1.0 + tolerance) {
+    // Absolute regression — confirm it is the pooled path and not a slow
+    // host before failing, via the pooled/sequential overhead ratio.
+    if (baseline_seq > 0 && seq_best > 0) {
+      double fresh_norm = best / seq_best;
+      double base_norm = baseline / baseline_seq;
+      double norm_ratio = fresh_norm / base_norm;
+      std::printf("normalized pooled/seq: fresh=%.3f baseline=%.3f "
+                  "ratio=%.3f\n",
+                  fresh_norm, base_norm, norm_ratio);
+      if (norm_ratio <= 1.0 + tolerance) {
+        std::printf("PASS: absolute slowdown tracks the sequential path "
+                    "(host noise), pooled executor overhead unchanged\n");
+        return 0;
+      }
+    }
+    std::printf("FAIL: pooled DMatch regressed %.1f%% over baseline\n",
+                (ratio - 1.0) * 100);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcer
+
+int main(int argc, char** argv) { return dcer::Run(argc, argv); }

@@ -1,30 +1,41 @@
 // Micro-benchmarks (google-benchmark) for the core data structures: the
-// union-find behind E_id, text embeddings, inverted-index construction,
-// rule-join enumeration, and Hypercube distribution.
+// union-find behind E_id, text embeddings, similarity kernels, candidate
+// indices, inverted-index construction, rule-join enumeration, and Hypercube
+// distribution.
 //
 // After the registered benchmarks run, main() measures the executor-level
-// numbers the thread-pool work targets — sequential vs pooled DMatch wall
-// clock (with a bit-identity check on the outputs) and the ML prediction
-// cache's hit latency — and writes them to BENCH_core.json in the working
-// directory.
+// numbers the thread-pool and ML-index work target — sequential vs pooled
+// DMatch wall clock (with a bit-identity check on the outputs), the ML
+// prediction cache's hit latency, per-kernel similarity latencies, and an
+// ML-predicate-dominated Match workload with candidate indices off vs on —
+// and writes them to BENCH_core.json in the working directory.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "chase/join.h"
-#include "ml/registry.h"
+#include "chase/match.h"
 #include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/union_find.h"
 #include "datagen/ecommerce.h"
+#include "ml/candidate_index.h"
+#include "ml/classifier.h"
 #include "ml/embedding.h"
+#include "ml/registry.h"
+#include "ml/similarity.h"
 #include "parallel/dmatch.h"
 #include "partition/hypercube.h"
+#include "rules/parser.h"
 
 namespace dcer {
 namespace {
@@ -63,6 +74,77 @@ void BM_Cosine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Cosine);
+
+// Product descriptions from the ecommerce generator: realistic token mix
+// (shared stopwords + rare sku/model tokens) for kernel and index benches.
+std::vector<std::string> DescCorpus(size_t num_customers) {
+  EcommerceOptions options;
+  options.num_customers = num_customers;
+  auto gd = MakeEcommerce(options);
+  const Relation& products = gd->dataset.relation(2);  // Products
+  std::vector<std::string> descs;
+  descs.reserve(products.num_rows());
+  for (size_t r = 0; r < products.num_rows(); ++r) {
+    descs.push_back(products.at(r, 3).AsString());  // desc
+  }
+  return descs;
+}
+
+void BM_TokenJaccard(benchmark::State& state) {
+  std::vector<std::string> descs = DescCorpus(200);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = descs[i % descs.size()];
+    const std::string& b = descs[(i + 7) % descs.size()];
+    benchmark::DoNotOptimize(TokenJaccard(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_EditDistance(benchmark::State& state) {
+  // Typical Customers.name lengths; bound = the k the chase actually passes
+  // for threshold 0.55 (bound 45% of the longer string).
+  std::string a = "katherine-rodriguez lopez";
+  std::string b = "katheryn rodriguez-lopezz";
+  const int bound = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b, bound));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(-1)->Arg(4);
+
+void BM_EditSimilarity(benchmark::State& state) {
+  std::string a = "katherine-rodriguez lopez";
+  std::string b = "katheryn rodriguez-lopezz";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_EditSimilarity);
+
+void BM_MlIndexProbe(benchmark::State& state) {
+  std::vector<std::string> descs = DescCorpus(static_cast<size_t>(
+      state.range(0)));
+  std::vector<uint32_t> rows(descs.size());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<uint32_t>(r);
+  auto fill = [&](uint32_t row, std::vector<Value>* out) {
+    out->clear();
+    out->emplace_back(descs[row]);
+  };
+  TokenJaccardIndex index(0.5, rows, fill);
+  std::vector<Value> query;
+  std::vector<uint32_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    fill(static_cast<uint32_t>(i % descs.size()), &query);
+    index.Probe(query, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlIndexProbe)->Arg(200)->Arg(1000);
 
 void BM_IndexBuildAndLookup(benchmark::State& state) {
   EcommerceOptions options;
@@ -153,6 +235,142 @@ double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
   return best;
 }
 
+// Timer-based kernel latencies recorded into BENCH_core.json so regressions
+// are visible across commits without re-parsing google-benchmark output.
+struct KernelNs {
+  double token_jaccard_ns = 0;
+  double edit_distance_ns = 0;
+  double edit_similarity_ns = 0;
+  double cosine_ns = 0;
+  double ml_probe_ns = 0;
+};
+
+KernelNs MeasureKernelNs() {
+  KernelNs k;
+  std::vector<std::string> descs = DescCorpus(200);
+  constexpr int kReps = 200'000;
+
+  {
+    double sink = 0;
+    Timer t;
+    for (int i = 0; i < kReps; ++i) {
+      sink += TokenJaccard(descs[i % descs.size()],
+                           descs[(i + 7) % descs.size()]);
+    }
+    k.token_jaccard_ns = t.ElapsedSeconds() * 1e9 / kReps;
+    if (sink < 0) std::printf("unreachable\n");
+  }
+  {
+    const std::string a = "katherine-rodriguez lopez";
+    const std::string b = "katheryn rodriguez-lopezz";
+    size_t sink = 0;
+    Timer t;
+    for (int i = 0; i < kReps; ++i) sink += EditDistance(a, b, 4);
+    k.edit_distance_ns = t.ElapsedSeconds() * 1e9 / kReps;
+    double sink2 = 0;
+    Timer t2;
+    for (int i = 0; i < kReps; ++i) sink2 += EditSimilarity(a, b);
+    k.edit_similarity_ns = t2.ElapsedSeconds() * 1e9 / kReps;
+    if (sink == 0 && sink2 < 0) std::printf("unreachable\n");
+  }
+  {
+    Embedding a = EmbedText(descs[0]);
+    Embedding b = EmbedText(descs[1]);
+    double sink = 0;
+    Timer t;
+    for (int i = 0; i < kReps; ++i) sink += Cosine(a, b);
+    k.cosine_ns = t.ElapsedSeconds() * 1e9 / kReps;
+    if (sink < -1e18) std::printf("unreachable\n");
+  }
+  {
+    std::vector<uint32_t> rows(descs.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      rows[r] = static_cast<uint32_t>(r);
+    }
+    auto fill = [&](uint32_t row, std::vector<Value>* out) {
+      out->clear();
+      out->emplace_back(descs[row]);
+    };
+    TokenJaccardIndex index(0.5, rows, fill);
+    std::vector<Value> query;
+    std::vector<uint32_t> out;
+    constexpr int kProbeReps = 50'000;
+    size_t sink = 0;
+    Timer t;
+    for (int i = 0; i < kProbeReps; ++i) {
+      fill(static_cast<uint32_t>(i % descs.size()), &query);
+      index.Probe(query, &out);
+      sink += out.size();
+    }
+    k.ml_probe_ns = t.ElapsedSeconds() * 1e9 / kProbeReps;
+    if (sink == size_t(-1)) std::printf("unreachable\n");
+  }
+  return k;
+}
+
+// ML-predicate-dominated workload: two rules whose only join constraint is an
+// ML predicate, so without candidate indices the chase post-filters the full
+// cross-product. MJ's jaccard 0.5 on Products.desc is selective because each
+// desc carries rare sku/model tokens; ME's edit 0.75 on Customers.name gets a
+// real q-gram count bound (k = floor(0.25 * max)).
+struct MlWorkloadNumbers {
+  double off_seconds = 0;
+  double on_seconds = 0;
+  bool pairs_equal = false;
+  uint64_t matched_pairs = 0;
+  uint64_t indices_built = 0;
+};
+
+MlWorkloadNumbers MeasureMlWorkload() {
+  MlWorkloadNumbers out;
+  EcommerceOptions options;
+  options.num_customers = 300;
+  auto gd = MakeEcommerce(options);
+  gd->registry.Register(std::make_unique<TokenJaccardClassifier>("MJ", 0.5));
+  gd->registry.Register(std::make_unique<EditSimilarityClassifier>("ME", 0.75));
+  RuleSet rules;
+  Status st = ParseRuleSet(
+      "rj: Products(tp) ^ Products(tp2) ^ MJ(tp.desc, tp2.desc) "
+      "-> tp.id = tp2.id\n"
+      "re: Customers(tc) ^ Customers(tc2) ^ ME(tc.name, tc2.name) "
+      "-> tc.id = tc2.id\n",
+      gd->dataset, gd->registry, &rules);
+  if (!st.ok()) {
+    std::printf("ml workload rules failed to parse: %s\n",
+                std::string(st.message()).c_str());
+    return out;
+  }
+  DatasetView view = DatasetView::Full(gd->dataset);
+
+  auto best_of_3 = [&](bool ml_index, std::unique_ptr<MatchContext>* last) {
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      gd->registry.ClearCache();
+      auto ctx = std::make_unique<MatchContext>(gd->dataset);
+      MatchOptions mo;
+      mo.ml_index = ml_index;
+      Timer t;
+      MatchReport r = Match(view, rules, gd->registry, mo, ctx.get());
+      double secs = t.ElapsedSeconds();
+      if (rep == 0 || secs < best) best = secs;
+      if (rep == 2) {
+        out.indices_built = r.chase.ml_indices_built;
+        *last = std::move(ctx);
+      }
+    }
+    return best;
+  };
+
+  std::unique_ptr<MatchContext> ctx_off;
+  std::unique_ptr<MatchContext> ctx_on;
+  out.off_seconds = best_of_3(false, &ctx_off);
+  out.on_seconds = best_of_3(true, &ctx_on);
+  out.pairs_equal = ctx_off->MatchedPairs() == ctx_on->MatchedPairs() &&
+                    ctx_off->ValidatedMlKeys() == ctx_on->ValidatedMlKeys();
+  out.matched_pairs = ctx_on->num_matched_pairs();
+  return out;
+}
+
 double MlCacheHitNs() {
   PredictionCache cache;
   Rng rng(11);
@@ -188,6 +406,19 @@ void WriteBenchCoreJson() {
       seq_ctx->MatchedPairs() == pooled_ctx->MatchedPairs() &&
       seq_ctx->ValidatedMlKeys() == pooled_ctx->ValidatedMlKeys();
   double hit_ns = MlCacheHitNs();
+  KernelNs kernels = MeasureKernelNs();
+  MlWorkloadNumbers ml = MeasureMlWorkload();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int pool_threads = ThreadPool::Global().num_threads();
+  const double pool_speedup = pooled > 0 ? seq / pooled : 0.0;
+  // On a host with fewer cores than the pool's task demand, "pooled" time
+  // includes scheduling overhead with no parallel hardware to amortize it.
+  // A speedup below 1 there is a measurement artifact of oversubscription,
+  // not an executor regression; record that so readers (and the regression
+  // check) don't misread the number.
+  const bool pool_oversubscribed =
+      pool_speedup < 1.0 && hw < static_cast<unsigned>(2 * pool_threads);
 
   FILE* f = std::fopen("BENCH_core.json", "w");
   if (f == nullptr) {
@@ -197,13 +428,21 @@ void WriteBenchCoreJson() {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"workload\": \"ecommerce num_customers=%zu\",\n",
                options.num_customers);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"pool_threads\": %d,\n", pool_threads);
   std::fprintf(f, "  \"workers\": 4,\n");
   std::fprintf(f, "  \"threads_per_worker\": 2,\n");
   std::fprintf(f, "  \"dmatch_seq_wall_seconds\": %.6f,\n", seq);
   std::fprintf(f, "  \"dmatch_pooled_wall_seconds\": %.6f,\n", pooled);
-  std::fprintf(f, "  \"speedup\": %.3f,\n", pooled > 0 ? seq / pooled : 0.0);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", pool_speedup);
+  if (pool_oversubscribed) {
+    std::fprintf(f,
+                 "  \"speedup_warning\": \"pooled < sequential on this host: "
+                 "%u hardware thread(s) cannot run the pool's tasks in "
+                 "parallel, so the gap is scheduling overhead "
+                 "(oversubscription artifact), not a regression\",\n",
+                 hw);
+  }
   // Same workload timed at the pre-thread-pool commit, measured out-of-band
   // (a checkout of the previous HEAD can't run inside this binary). Lets the
   // JSON carry the cross-commit speedup this PR claims.
@@ -218,13 +457,47 @@ void WriteBenchCoreJson() {
   std::fprintf(f, "  \"pairs_equal\": %s,\n", pairs_equal ? "true" : "false");
   std::fprintf(f, "  \"matched_pairs\": %llu,\n",
                static_cast<unsigned long long>(seq_ctx->num_matched_pairs()));
-  std::fprintf(f, "  \"ml_cache_hit_ns\": %.2f\n", hit_ns);
+  std::fprintf(f, "  \"ml_cache_hit_ns\": %.2f,\n", hit_ns);
+  std::fprintf(f, "  \"token_jaccard_ns\": %.2f,\n", kernels.token_jaccard_ns);
+  std::fprintf(f, "  \"edit_distance_bounded_ns\": %.2f,\n",
+               kernels.edit_distance_ns);
+  std::fprintf(f, "  \"edit_similarity_ns\": %.2f,\n",
+               kernels.edit_similarity_ns);
+  std::fprintf(f, "  \"cosine_ns\": %.2f,\n", kernels.cosine_ns);
+  std::fprintf(f, "  \"ml_index_probe_ns\": %.2f,\n", kernels.ml_probe_ns);
+  std::fprintf(f, "  \"ml_workload\": \"ml-only rules (jaccard 0.5 on "
+               "Products.desc, edit 0.75 on Customers.name), ecommerce "
+               "num_customers=300\",\n");
+  std::fprintf(f, "  \"ml_workload_off_seconds\": %.6f,\n", ml.off_seconds);
+  std::fprintf(f, "  \"ml_workload_on_seconds\": %.6f,\n", ml.on_seconds);
+  std::fprintf(f, "  \"ml_index_speedup\": %.3f,\n",
+               ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0);
+  std::fprintf(f, "  \"ml_workload_pairs_equal\": %s,\n",
+               ml.pairs_equal ? "true" : "false");
+  std::fprintf(f, "  \"ml_workload_matched_pairs\": %llu,\n",
+               static_cast<unsigned long long>(ml.matched_pairs));
+  std::fprintf(f, "  \"ml_indices_built\": %llu\n",
+               static_cast<unsigned long long>(ml.indices_built));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nBENCH_core.json: seq=%.4fs pooled=%.4fs speedup=%.2fx "
-              "pairs_equal=%d ml_cache_hit=%.1fns (host threads: %u)\n",
-              seq, pooled, pooled > 0 ? seq / pooled : 0.0, pairs_equal,
-              hit_ns, std::thread::hardware_concurrency());
+              "pairs_equal=%d ml_cache_hit=%.1fns (host threads: %u, pool "
+              "threads: %d)\n",
+              seq, pooled, pool_speedup, pairs_equal, hit_ns, hw,
+              pool_threads);
+  if (pool_oversubscribed) {
+    std::printf("WARNING: pooled DMatch did not beat sequential (%.2fx). "
+                "This host exposes %u hardware thread(s) for %d pool "
+                "threads; the gap is oversubscription overhead, not an "
+                "executor regression.\n",
+                pool_speedup, hw, pool_threads);
+  }
+  std::printf("ML workload: off=%.4fs on=%.4fs speedup=%.2fx pairs_equal=%d "
+              "indices_built=%llu\n",
+              ml.off_seconds, ml.on_seconds,
+              ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0,
+              ml.pairs_equal,
+              static_cast<unsigned long long>(ml.indices_built));
 }
 
 }  // namespace

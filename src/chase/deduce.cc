@@ -16,6 +16,7 @@ ChaseStats& ChaseStats::operator+=(const ChaseStats& o) {
   deps_fired += o.deps_fired;
   seeded_joins += o.seeded_joins;
   indices_built += o.indices_built;
+  ml_indices_built += o.ml_indices_built;
   return *this;
 }
 
@@ -48,6 +49,12 @@ ChaseEngine::ChaseEngine(
       ctx_(ctx),
       options_(options),
       deps_(options.dependency_capacity) {
+  ml_policy_.enabled = options_.ml_index;
+  ml_policy_.allow_approx = options_.ml_index_approx;
+  if (ml_policy_.enabled) {
+    ml_policy_.derivable = std::make_shared<const std::unordered_set<uint64_t>>(
+        DerivableMlKeys(*rules_));
+  }
   scopes_.resize(rules_->size());
   if (rule_views == nullptr) {
     // Sequential form: one scope per rule over the full view; MQO shares a
@@ -65,6 +72,7 @@ ChaseEngine::ChaseEngine(
       scope.index = index;
       scope.joiner = std::make_unique<RuleJoiner>(index, &rules_->rule(i),
                                                   registry_, ctx_);
+      scope.joiner->ConfigureMlIndex(ml_policy_);
       scopes_[i].push_back(std::move(scope));
     }
     return;
@@ -101,6 +109,7 @@ ChaseEngine::ChaseEngine(
       scope.index = index;
       scope.joiner = std::make_unique<RuleJoiner>(index, &rules_->rule(i),
                                                   registry_, ctx_);
+      scope.joiner->ConfigureMlIndex(ml_policy_);
       scopes_[i].push_back(std::move(scope));
     }
   }
@@ -237,6 +246,11 @@ bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
       group.Run([this, rule_idx, &scope, out, lo, hi] {
         RuleJoiner shard_joiner(scope.index, &rules_->rule(rule_idx),
                                 registry_, ctx_);
+        // Same ML policy as the scope joiner: plans (and thus the shard
+        // slicing of the root candidate list) must agree across the scope
+        // joiner and every shard. PrewarmIndexes above already built the
+        // ML indices, so shard probes only read.
+        shard_joiner.ConfigureMlIndex(ml_policy_);
         shard_joiner.set_shared_context_reads(true);
         shard_joiner.EnumerateRange(
             lo, hi,
@@ -297,11 +311,14 @@ void ChaseEngine::Deduce(Delta* delta) {
     }
   }
   stats_.indices_built = 0;
+  stats_.ml_indices_built = 0;
   if (shared_index_ != nullptr) {
     stats_.indices_built += shared_index_->num_indices_built();
+    stats_.ml_indices_built += shared_index_->num_ml_indices_built();
   }
   for (const auto& idx : owned_indices_) {
     stats_.indices_built += idx->num_indices_built();
+    stats_.ml_indices_built += idx->num_ml_indices_built();
   }
 }
 

@@ -21,6 +21,7 @@ struct ChaseStats {
   uint64_t deps_fired = 0;      // dependencies fired
   uint64_t seeded_joins = 0;    // update-driven re-joins
   uint64_t indices_built = 0;   // inverted indices constructed
+  uint64_t ml_indices_built = 0;  // ML candidate indices constructed
 
   ChaseStats& operator+=(const ChaseStats& o);
 };
@@ -52,6 +53,15 @@ class ChaseEngine {
     ThreadPool* pool = nullptr;
     int enumeration_shards = 1;
     size_t min_parallel_root = 64;
+    /// Similarity-index candidate generation for ML predicates: a bound
+    /// side probes a sound candidate index over the other side's relation
+    /// instead of enumerating the full cross product. Only predicates whose
+    /// facts no rule derives are pruned (see DerivableMlKeys), so results
+    /// are bit-identical to the unindexed chase.
+    bool ml_index = true;
+    /// Additionally allow approximate (LSH) indices for classifiers without
+    /// a sound filter (embedding cosine). May lose recall; off by default.
+    bool ml_index_approx = false;
   };
 
   /// Evaluates every rule over `view`. Sequential Match uses this with the
@@ -135,6 +145,7 @@ class ChaseEngine {
   const MlRegistry* registry_;
   MatchContext* ctx_;
   Options options_;
+  MlIndexPolicy ml_policy_;  // shared by scope joiners and shard joiners
   DependencyStore deps_;
   ChaseStats stats_;
 

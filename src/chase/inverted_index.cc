@@ -1,10 +1,17 @@
 #include "chase/inverted_index.h"
 
+#include "chase/fact.h"
+
 namespace dcer {
 
 namespace {
 uint64_t Key(size_t rel, size_t attr) {
   return (static_cast<uint64_t>(rel) << 32) | static_cast<uint64_t>(attr);
+}
+
+uint64_t MlKey(int ml_id, size_t rel, const std::vector<int>& attrs) {
+  return HashCombine(HashInt(static_cast<uint64_t>(ml_id) + 0x4d),
+                     MlSideSignature(static_cast<int>(rel), attrs));
 }
 }  // namespace
 
@@ -34,6 +41,37 @@ void DatasetIndex::NotifyAppend(size_t rel, uint32_t row) {
     const Value& v = relation.at(row, attr);
     if (!v.is_null()) (*index)[v].push_back(row);
   }
+  std::vector<Value> values;
+  for (auto& [key, entry] : ml_indices_) {
+    if (entry.rel != rel) continue;
+    values.clear();
+    for (int a : entry.attrs) values.push_back(relation.at(row, a));
+    entry.index->Add(row, values);
+  }
+}
+
+const MlCandidateIndex* DatasetIndex::GetOrBuildMl(
+    const MlClassifier& classifier, int ml_id, size_t rel,
+    const std::vector<int>& attrs) {
+  const uint64_t key = MlKey(ml_id, rel, attrs);
+  auto it = ml_indices_.find(key);
+  if (it != ml_indices_.end() &&
+      it->second.build_threshold == classifier.threshold()) {
+    return it->second.index.get();
+  }
+  const Relation& relation = view_->dataset().relation(rel);
+  RowValuesFn fill = [&relation, &attrs](uint32_t row,
+                                         std::vector<Value>* out) {
+    out->clear();
+    for (int a : attrs) out->push_back(relation.at(row, a));
+  };
+  std::unique_ptr<MlCandidateIndex> index =
+      classifier.BuildCandidateIndex(view_->rows(rel), fill);
+  if (index == nullptr) return nullptr;  // classifier cannot index
+  ++num_ml_built_;
+  MlIndexEntry entry{std::move(index), rel, attrs, classifier.threshold()};
+  return ml_indices_.insert_or_assign(key, std::move(entry))
+      .first->second.index.get();
 }
 
 const std::vector<uint32_t>& DatasetIndex::Lookup(size_t rel, size_t attr,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chase/view.h"
+#include "ml/classifier.h"
 
 namespace dcer {
 
@@ -40,6 +41,27 @@ class DatasetIndex {
   /// must have added the row to the view first.
   void NotifyAppend(size_t rel, uint32_t row);
 
+  /// Candidate index over one side of an ML predicate: all rows of `rel` in
+  /// this view, keyed by their `attrs` values, filterable at the
+  /// classifier's threshold. Built on first use and shared across rules
+  /// probing the same (classifier, relation, attributes) side — the ML
+  /// analogue of the MQO-shared equality indices above. Rebuilt if the
+  /// classifier's threshold changed since construction. Returns nullptr when
+  /// the classifier cannot index (CandidateIndexKind::kNone).
+  const MlCandidateIndex* GetOrBuildMl(const MlClassifier& classifier,
+                                       int ml_id, size_t rel,
+                                       const std::vector<int>& attrs);
+
+  /// GetOrBuildMl for its side effect (see EnsureBuilt: prewarming makes
+  /// concurrent Probe calls from enumeration shards read-only).
+  void EnsureMlBuilt(const MlClassifier& classifier, int ml_id, size_t rel,
+                     const std::vector<int>& attrs) {
+    GetOrBuildMl(classifier, ml_id, rel, attrs);
+  }
+
+  /// Number of ML candidate indices built so far (includes rebuilds).
+  size_t num_ml_indices_built() const { return num_ml_built_; }
+
  private:
   struct ValueHash {
     size_t operator()(const Value& v) const {
@@ -50,11 +72,21 @@ class DatasetIndex {
 
   const AttrIndex& GetOrBuild(size_t rel, size_t attr);
 
+  struct MlIndexEntry {
+    std::unique_ptr<MlCandidateIndex> index;
+    size_t rel;
+    std::vector<int> attrs;       // for NotifyAppend value extraction
+    double build_threshold;       // staleness check (set_threshold)
+  };
+
   const DatasetView* view_;
   // (rel, attr) -> index; keyed densely: rel * max_attrs + attr is avoided in
   // favor of a map keyed by pair packed into uint64.
   std::unordered_map<uint64_t, std::unique_ptr<AttrIndex>> indices_;
+  // HashCombine(ml_id, MlSideSignature(rel, attrs)) -> candidate index.
+  std::unordered_map<uint64_t, MlIndexEntry> ml_indices_;
   size_t num_built_ = 0;
+  size_t num_ml_built_ = 0;
   const std::vector<uint32_t> empty_;
 };
 

@@ -6,6 +6,26 @@
 
 namespace dcer {
 
+uint64_t DerivableMlKey(int ml_id, uint64_t lhs_sig, uint64_t rhs_sig) {
+  return HashCombine(HashInt(static_cast<uint64_t>(ml_id) + 0xd7),
+                     HashUnorderedPair(lhs_sig, rhs_sig));
+}
+
+std::unordered_set<uint64_t> DerivableMlKeys(const RuleSet& rules) {
+  std::unordered_set<uint64_t> keys;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules.rule(i);
+    const Predicate& c = rule.consequence();
+    if (c.kind != PredicateKind::kMl) continue;
+    uint64_t lhs_sig =
+        MlSideSignature(rule.var_relation(c.lhs.var), c.lhs_ml_attrs);
+    uint64_t rhs_sig =
+        MlSideSignature(rule.var_relation(c.rhs.var), c.rhs_ml_attrs);
+    keys.insert(DerivableMlKey(c.ml_id, lhs_sig, rhs_sig));
+  }
+  return keys;
+}
+
 RuleJoiner::RuleJoiner(DatasetIndex* index, const Rule* rule,
                        const MlRegistry* registry, const MatchContext* ctx)
     : index_(index), rule_(rule), registry_(registry), ctx_(ctx) {
@@ -36,6 +56,41 @@ RuleJoiner::RuleJoiner(DatasetIndex* index, const Rule* rule,
   binding_.assign(n, kInvalidGid);
   bound_.assign(n, false);
   constraint_scratch_.resize(n);
+  ml_probe_scratch_.resize(n);
+  ml_prunable_.assign(pre.size(), 0);
+  root_plan_ = PlanFor(0);
+}
+
+void RuleJoiner::ConfigureMlIndex(MlIndexPolicy policy) {
+  ml_policy_ = std::move(policy);
+  const auto& pre = rule_->preconditions();
+  ml_prunable_.assign(pre.size(), 0);
+  if (ml_policy_.enabled) {
+    for (int i : leaf_preds_) {
+      const Predicate& p = pre[i];
+      if (p.kind != PredicateKind::kMl) continue;
+      if (p.lhs.var == p.rhs.var) continue;  // both sides bind together
+      CandidateIndexKind kind =
+          registry_->classifier(p.ml_id).candidate_index_kind();
+      if (kind == CandidateIndexKind::kNone) continue;
+      if (kind == CandidateIndexKind::kApprox && !ml_policy_.allow_approx) {
+        continue;
+      }
+      if (ml_policy_.derivable != nullptr) {
+        uint64_t lhs_sig =
+            MlSideSignature(rule_->var_relation(p.lhs.var), p.lhs_ml_attrs);
+        uint64_t rhs_sig =
+            MlSideSignature(rule_->var_relation(p.rhs.var), p.rhs_ml_attrs);
+        if (ml_policy_.derivable->count(
+                DerivableMlKey(p.ml_id, lhs_sig, rhs_sig)) > 0) {
+          continue;  // facts of this class can become validated later
+        }
+      }
+      ml_prunable_[i] = 1;
+    }
+  }
+  // Prunable ML predicates are join links now: recompute every plan.
+  plan_cache_.clear();
   root_plan_ = PlanFor(0);
 }
 
@@ -105,6 +160,17 @@ void RuleJoiner::PrewarmIndexes() {
                           p->lhs.attr);
     }
   }
+  // Both orientations: which side probes depends on the binding order of
+  // the (possibly seeded) plan in effect when the predicate is reached.
+  for (int i : leaf_preds_) {
+    if (!ml_prunable_[i]) continue;
+    const Predicate& p = rule_->preconditions()[i];
+    const MlClassifier& clf = registry_->classifier(p.ml_id);
+    index_->EnsureMlBuilt(clf, p.ml_id, rule_->var_relation(p.lhs.var),
+                          p.lhs_ml_attrs);
+    index_->EnsureMlBuilt(clf, p.ml_id, rule_->var_relation(p.rhs.var),
+                          p.rhs_ml_attrs);
+  }
 }
 
 bool RuleJoiner::RowSatisfiesLocalPreds(int var, uint32_t row) const {
@@ -127,16 +193,30 @@ int RuleJoiner::PickNextVar(uint64_t bound_mask) const {
   size_t best_size = 0;
   for (size_t v = 0; v < rule_->num_vars(); ++v) {
     if (bound_mask & (uint64_t{1} << v)) continue;
+    // Equality links weigh 2, prunable ML links 1: an inverted-index lookup
+    // narrows harder than a similarity probe, but a probe still beats the
+    // full scan an unlinked variable would cost. With no prunable ML
+    // predicates the ordering is unchanged (uniform scaling).
     int links = 0;
     for (const Predicate* p : cross_eqs_) {
       if ((p->lhs.var == static_cast<int>(v) &&
            (bound_mask & (uint64_t{1} << p->rhs.var))) ||
           (p->rhs.var == static_cast<int>(v) &&
            (bound_mask & (uint64_t{1} << p->lhs.var)))) {
-        ++links;
+        links += 2;
       }
     }
-    if (!const_preds_[v].empty()) ++links;  // constants are selective too
+    if (!const_preds_[v].empty()) links += 2;  // constants are selective too
+    for (int i : leaf_preds_) {
+      if (!ml_prunable_[i]) continue;
+      const Predicate* p = &rule_->preconditions()[i];
+      if ((p->lhs.var == static_cast<int>(v) &&
+           (bound_mask & (uint64_t{1} << p->rhs.var))) ||
+          (p->rhs.var == static_cast<int>(v) &&
+           (bound_mask & (uint64_t{1} << p->lhs.var)))) {
+        links += 1;
+      }
+    }
     size_t rel_size = index_->view().rows(rule_->var_relation(v)).size();
     if (links > best_links ||
         (links == best_links && (best < 0 || rel_size < best_size))) {
@@ -163,6 +243,16 @@ const RuleJoiner::BindPlan& RuleJoiner::PlanFor(uint64_t seeded_mask) {
       } else if (p->rhs.var == step.var &&
                  (mask & (uint64_t{1} << p->lhs.var))) {
         step.deps.push_back({p->rhs.attr, p->lhs.var, p->lhs.attr});
+      }
+    }
+    for (int i : leaf_preds_) {
+      if (!ml_prunable_[i]) continue;
+      const Predicate& p = rule_->preconditions()[i];
+      if (p.lhs.var == step.var && (mask & (uint64_t{1} << p.rhs.var))) {
+        step.ml_deps.push_back({&p, p.rhs.var, /*probe_lhs=*/true});
+      } else if (p.rhs.var == step.var &&
+                 (mask & (uint64_t{1} << p.lhs.var))) {
+        step.ml_deps.push_back({&p, p.lhs.var, /*probe_lhs=*/false});
       }
     }
     mask |= uint64_t{1} << step.var;
@@ -223,8 +313,48 @@ const std::vector<uint32_t>* RuleJoiner::CandidatesFor(
     }
   } else {
     candidates = &index_->view().rows(rel);
+    if (!step.ml_deps.empty()) {
+      // No equality narrows this variable: let the bound side of a prunable
+      // ML predicate generate candidates through its similarity index
+      // instead of scanning the relation (the tentpole of this layer — an
+      // ML-predicate-only join stops being a cross product).
+      const std::vector<uint32_t>* probed = ProbeMlCandidates(step, depth);
+      if (probed != nullptr) candidates = probed;
+    }
   }
   return candidates;
+}
+
+const std::vector<uint32_t>* RuleJoiner::ProbeMlCandidates(
+    const BindStep& step, size_t depth) {
+  std::vector<uint32_t>& out = ml_probe_scratch_[depth];
+  bool have = false;
+  for (const BindStep::MlDep& dep : step.ml_deps) {
+    const Predicate& p = *dep.pred;
+    const std::vector<int>& my_attrs =
+        dep.probe_lhs ? p.lhs_ml_attrs : p.rhs_ml_attrs;
+    const std::vector<int>& other_attrs =
+        dep.probe_lhs ? p.rhs_ml_attrs : p.lhs_ml_attrs;
+    const MlCandidateIndex* ml_index = index_->GetOrBuildMl(
+        registry_->classifier(p.ml_id), p.ml_id,
+        rule_->var_relation(step.var), my_attrs);
+    if (ml_index == nullptr) continue;
+    FillMlValues(dep.other_var, other_attrs, binding_[dep.other_var],
+                 &ml_scratch_a_);
+    std::vector<uint32_t>& probe = have ? ml_tmp_scratch_ : out;
+    ml_index->Probe(ml_scratch_a_, &probe);
+    if (have) {
+      // Each probe is a superset of its predicate's true pairs, so the
+      // intersection is a superset of the valuations satisfying all of them.
+      ml_isect_scratch_.clear();
+      std::set_intersection(out.begin(), out.end(), ml_tmp_scratch_.begin(),
+                            ml_tmp_scratch_.end(),
+                            std::back_inserter(ml_isect_scratch_));
+      out.swap(ml_isect_scratch_);
+    }
+    have = true;
+  }
+  return have ? &out : nullptr;
 }
 
 void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,

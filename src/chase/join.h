@@ -2,8 +2,10 @@
 #define DCER_CHASE_JOIN_H_
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "chase/inverted_index.h"
@@ -12,6 +14,30 @@
 #include "rules/rule.h"
 
 namespace dcer {
+
+/// Key identifying the (ml_id, side-signature pair) class of ML facts a rule
+/// consequence can derive. Unordered over the sides, like Fact::Key.
+uint64_t DerivableMlKey(int ml_id, uint64_t lhs_sig, uint64_t rhs_sig);
+
+/// The ML fact classes derivable by some rule's ML consequence. Predicates
+/// in this set must NOT be index-pruned: their facts can enter the validated
+/// set later (dependency firing, cross-worker exchange), so a
+/// classifier-false valuation today is not a never-true valuation.
+std::unordered_set<uint64_t> DerivableMlKeys(const RuleSet& rules);
+
+/// Policy for similarity-index candidate generation on ML predicates
+/// (Sec. V-A extended to ML predicates: instead of enumerating the cross
+/// product and post-filtering with the classifier, a bound side probes a
+/// candidate index over the unbound side's relation).
+struct MlIndexPolicy {
+  /// Master switch (MatchOptions::ml_index).
+  bool enabled = false;
+  /// Allow unsound (LSH) indices too; may lose recall. Off by default.
+  bool allow_approx = false;
+  /// DerivableMlKeys of the rule set; shared across every joiner of a chase
+  /// (including the transient per-shard joiners of parallel enumeration).
+  std::shared_ptr<const std::unordered_set<uint64_t>> derivable;
+};
 
 /// Enumerates the valuations h of a rule in a dataset view (Sec. II
 /// "Semantics"). Equality and constant predicates are enforced during the
@@ -66,7 +92,14 @@ class RuleJoiner {
 
   /// Builds every inverted index this rule's enumeration can touch, so that
   /// concurrent shard enumerations only ever read the shared DatasetIndex.
+  /// Includes the ML candidate indices of prunable predicates.
   void PrewarmIndexes();
+
+  /// Enables/disables ML candidate generation and recomputes the binding
+  /// plans (prunable ML predicates count as join links, so they change both
+  /// variable order and per-step candidate sources). Must be called before
+  /// enumeration; joiners default to no ML indexing.
+  void ConfigureMlIndex(MlIndexPolicy policy);
 
   /// Switches leaf id-checks to the compression-free MatchContext read path,
   /// which is safe for concurrent readers of a frozen context. Set on the
@@ -93,8 +126,10 @@ class RuleJoiner {
     const Value* value;
   };
 
-  // One step of a binding order: the variable bound at this depth and the
-  // cross-equalities linking it to variables bound earlier (or seeded).
+  // One step of a binding order: the variable bound at this depth, the
+  // cross-equalities linking it to variables bound earlier (or seeded), and
+  // the prunable ML predicates whose other side is already bound (candidate
+  // generation through a similarity index).
   struct BindStep {
     int var;
     struct CrossDep {
@@ -102,7 +137,13 @@ class RuleJoiner {
       int other_var;
       int other_attr;
     };
+    struct MlDep {
+      const Predicate* pred;
+      int other_var;   // the already-bound side
+      bool probe_lhs;  // true: step.var is pred->lhs, probe the lhs index
+    };
     std::vector<CrossDep> deps;
+    std::vector<MlDep> ml_deps;
   };
   using BindPlan = std::vector<BindStep>;
 
@@ -121,6 +162,11 @@ class RuleJoiner {
                                              size_t depth,
                                              std::vector<Constraint>** out,
                                              size_t* lookup_used);
+  // Probes the ML candidate indices of step.ml_deps (intersecting when there
+  // are several) into per-depth scratch. nullptr when no index exists, in
+  // which case the caller keeps the full scan.
+  const std::vector<uint32_t>* ProbeMlCandidates(const BindStep& step,
+                                                 size_t depth);
   int PickNextVar(uint64_t bound_mask) const;
   const BindPlan& PlanFor(uint64_t seeded_mask);
   bool RowSatisfiesLocalPreds(int var, uint32_t row) const;
@@ -141,6 +187,15 @@ class RuleJoiner {
   std::vector<const Predicate*> cross_eqs_;                  // t.A = s.B
   std::vector<int> leaf_preds_;  // indices of id/ML preconditions
 
+  // ML candidate generation (ConfigureMlIndex). ml_prunable_[i] is set for
+  // precondition i iff it is an ML predicate whose classifier can index,
+  // whose facts no rule can derive (see DerivableMlKeys), and whose index
+  // kind the policy accepts. Pruning such a predicate is sound: its facts
+  // can never enter the validated set, so a valuation it fails under the
+  // classifier today can never fire later.
+  MlIndexPolicy ml_policy_;
+  std::vector<char> ml_prunable_;
+
   // Binding plans: root_plan_ serves Enumerate; seeded enumerations memoize
   // per seeded-variable bitmask (rules have ≤ 64 variables).
   BindPlan root_plan_;
@@ -157,6 +212,9 @@ class RuleJoiner {
 
   // Hot-path scratch, reused across nodes/leaves to avoid allocation.
   std::vector<std::vector<Constraint>> constraint_scratch_;  // per depth
+  std::vector<std::vector<uint32_t>> ml_probe_scratch_;      // per depth
+  std::vector<uint32_t> ml_tmp_scratch_;
+  std::vector<uint32_t> ml_isect_scratch_;
   std::vector<int> unsat_scratch_;
   mutable std::vector<Value> ml_scratch_a_;
   mutable std::vector<Value> ml_scratch_b_;

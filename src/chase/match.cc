@@ -14,6 +14,8 @@ MatchReport Match(const DatasetView& view, const RuleSet& rules,
   ChaseEngine::Options engine_options;
   engine_options.dependency_capacity = options.dependency_capacity;
   engine_options.share_indices = options.use_mqo;
+  engine_options.ml_index = options.ml_index;
+  engine_options.ml_index_approx = options.ml_index_approx;
   if (options.threads > 1) {
     engine_options.pool = &ThreadPool::Global();
     engine_options.enumeration_shards = options.threads * 2;

@@ -17,6 +17,14 @@ struct MatchOptions {
   /// fully single-threaded chase. Any value yields bit-identical results;
   /// see DESIGN.md "Parallel execution model".
   int threads = 1;
+  /// Similarity-index candidate generation for ML predicates (see DESIGN.md
+  /// "ML candidate indices"): token/q-gram indices turn Jaccard and
+  /// edit-similarity predicates into index probes instead of cross-product
+  /// post-filters. Sound — matched pairs are bit-identical either way.
+  bool ml_index = true;
+  /// Also allow approximate LSH indices (embedding cosine). May lose
+  /// recall; off by default.
+  bool ml_index_approx = false;
 };
 
 /// Outcome counters of one Match run.

@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 #include <algorithm>
@@ -66,8 +67,52 @@ size_t EditDistance(std::string_view a, std::string_view b, int bound) {
   if (bound >= 0 && m - n > static_cast<size_t>(bound)) {
     return static_cast<size_t>(bound) + 1;
   }
-  std::vector<size_t> prev(n + 1);
-  std::vector<size_t> cur(n + 1);
+  if (n == 0) return m;  // the bound check above already vetted m
+
+  if (n <= 64) {
+    // Myers' bit-parallel algorithm (1999): one word of vertical-delta
+    // bitmasks per column, O(m) words total — no DP matrix, no allocation.
+    uint64_t peq[256] = {};
+    for (size_t i = 0; i < n; ++i) {
+      peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+    }
+    uint64_t pv = ~uint64_t{0};
+    uint64_t mv = 0;
+    size_t score = n;
+    const uint64_t high = uint64_t{1} << (n - 1);
+    for (size_t j = 0; j < m; ++j) {
+      const uint64_t eq = peq[static_cast<unsigned char>(b[j])];
+      const uint64_t xv = eq | mv;
+      const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+      uint64_t ph = mv | ~(xh | pv);
+      uint64_t mh = pv & xh;
+      if (ph & high) {
+        ++score;
+      } else if (mh & high) {
+        --score;
+      }
+      // The final distance can drop by at most 1 per remaining column.
+      if (bound >= 0 &&
+          score > static_cast<size_t>(bound) + (m - 1 - j)) {
+        return static_cast<size_t>(bound) + 1;
+      }
+      ph = (ph << 1) | 1;
+      mh <<= 1;
+      pv = mh | ~(xv | ph);
+      mv = ph & xv;
+    }
+    if (bound >= 0 && score > static_cast<size_t>(bound)) {
+      return static_cast<size_t>(bound) + 1;
+    }
+    return score;
+  }
+
+  // Long-string fallback: two-row DP with early exit, rows reused across
+  // calls so the kernel allocates only when a longer string shows up.
+  thread_local std::vector<size_t> prev;
+  thread_local std::vector<size_t> cur;
+  prev.resize(n + 1);
+  cur.resize(n + 1);
   for (size_t i = 0; i <= n; ++i) prev[i] = i;
   for (size_t j = 1; j <= m; ++j) {
     cur[0] = j;

@@ -1,0 +1,396 @@
+#include "ml/candidate_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "ml/embedding.h"
+
+namespace dcer {
+
+namespace {
+
+// Epsilon used when converting real-valued similarity bounds to integer
+// set-size / length / overlap bounds. Always applied in the direction that
+// widens the candidate set, so floating-point rounding can only add false
+// positives (filtered by the classifier), never drop a true match.
+constexpr double kBoundEps = 1e-9;
+
+size_t CeilBound(double x) {
+  double c = std::ceil(x - kBoundEps);
+  return c <= 0 ? 0 : static_cast<size_t>(c);
+}
+
+size_t FloorBound(double x) {
+  double f = std::floor(x + kBoundEps);
+  return f <= 0 ? 0 : static_cast<size_t>(f);
+}
+
+// Lowercased unique whitespace tokens of `text` — exactly TokenJaccard's
+// token-set semantics (see ml/similarity.cc).
+std::vector<std::string> UniqueTokensLower(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) {
+      std::string tok = text.substr(start, i - start);
+      for (char& c : tok) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      tokens.push_back(std::move(tok));
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+void SortUniqueRows(std::vector<uint32_t>* rows) {
+  std::sort(rows->begin(), rows->end());
+  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+}
+
+}  // namespace
+
+std::string ConcatValueText(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) {
+    if (!out.empty()) out += ' ';
+    if (!v.is_null()) out += v.ToString();
+  }
+  return out;
+}
+
+// --- TokenJaccardIndex ------------------------------------------------------
+
+TokenJaccardIndex::TokenJaccardIndex(double threshold,
+                                     const std::vector<uint32_t>& rows,
+                                     const RowValuesFn& fill)
+    : threshold_(threshold) {
+  // Pass 1: tokenize every row, intern tokens, count document frequency.
+  std::vector<Value> values;
+  std::vector<std::vector<uint32_t>> row_tokens(rows.size());
+  std::vector<uint32_t> df;
+  std::vector<std::string> token_text;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    fill(rows[r], &values);
+    for (std::string& tok : UniqueTokensLower(ConcatValueText(values))) {
+      auto [it, inserted] =
+          token_ids_.emplace(std::move(tok), static_cast<uint32_t>(df.size()));
+      if (inserted) {
+        df.push_back(0);
+        token_text.push_back(it->first);
+      }
+      ++df[it->second];
+      row_tokens[r].push_back(it->second);
+    }
+  }
+  // Global prefix order, rare-first with the token text as a deterministic
+  // tie-break. Frozen here: tokens first seen by later Adds are appended
+  // after every build token, which keeps already-indexed prefixes valid
+  // (the prefix-filter theorem holds for any one fixed total order).
+  std::vector<uint32_t> order(df.size());
+  for (uint32_t t = 0; t < order.size(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    if (df[x] != df[y]) return df[x] < df[y];
+    return token_text[x] < token_text[y];
+  });
+  rank_of_token_.resize(df.size());
+  for (uint32_t r = 0; r < order.size(); ++r) rank_of_token_[order[r]] = r;
+
+  // Pass 2: index each row under its prefix tokens.
+  for (size_t r = 0; r < rows.size(); ++r) {
+    IndexRow(rows[r], row_tokens[r]);
+  }
+  num_rows_ = rows.size();
+}
+
+size_t TokenJaccardIndex::PrefixLength(size_t set_size) const {
+  if (set_size == 0) return 0;
+  size_t keep = CeilBound(threshold_ * static_cast<double>(set_size));
+  if (keep > set_size) keep = set_size;
+  return set_size - keep + 1;
+}
+
+void TokenJaccardIndex::IndexRow(uint32_t row,
+                                 const std::vector<uint32_t>& token_ids) {
+  if (token_ids.empty()) {
+    empty_rows_.push_back(row);
+    return;
+  }
+  std::vector<uint32_t> ordered = token_ids;
+  std::sort(ordered.begin(), ordered.end(), [&](uint32_t x, uint32_t y) {
+    return rank_of_token_[x] < rank_of_token_[y];
+  });
+  const size_t prefix = PrefixLength(ordered.size());
+  const uint32_t size = static_cast<uint32_t>(ordered.size());
+  for (size_t i = 0; i < prefix; ++i) {
+    postings_[ordered[i]].push_back({row, size});
+  }
+}
+
+void TokenJaccardIndex::Add(uint32_t row, const std::vector<Value>& values) {
+  std::vector<uint32_t> ids;
+  for (std::string& tok : UniqueTokensLower(ConcatValueText(values))) {
+    auto [it, inserted] = token_ids_.emplace(
+        std::move(tok), static_cast<uint32_t>(rank_of_token_.size()));
+    if (inserted) {
+      // Unseen token: appended after every existing rank.
+      rank_of_token_.push_back(static_cast<uint32_t>(rank_of_token_.size()));
+    }
+    ids.push_back(it->second);
+  }
+  IndexRow(row, ids);
+  ++num_rows_;
+}
+
+void TokenJaccardIndex::Probe(const std::vector<Value>& query,
+                              std::vector<uint32_t>* out) const {
+  out->clear();
+  std::vector<std::string> tokens = UniqueTokensLower(ConcatValueText(query));
+  if (tokens.empty()) {
+    // Two empty token sets score 1.0 >= threshold; empty-vs-nonempty is 0.
+    *out = empty_rows_;
+    SortUniqueRows(out);
+    return;
+  }
+  const size_t ny = tokens.size();
+  // Known tokens sorted by the frozen global order; query-only tokens rank
+  // after every indexed token (they cannot hit a posting list, and placing
+  // them last keeps the shared order assumption of the prefix filter while
+  // spending the query's prefix positions on tokens that can match).
+  std::vector<uint32_t> known;
+  for (const std::string& tok : tokens) {
+    auto it = token_ids_.find(tok);
+    if (it != token_ids_.end()) known.push_back(it->second);
+  }
+  std::sort(known.begin(), known.end(), [&](uint32_t x, uint32_t y) {
+    return rank_of_token_[x] < rank_of_token_[y];
+  });
+  const size_t prefix = PrefixLength(ny);
+  const size_t known_prefix = std::min(prefix, known.size());
+
+  const size_t min_size = CeilBound(threshold_ * static_cast<double>(ny));
+  const size_t max_size = threshold_ > 0
+                              ? FloorBound(static_cast<double>(ny) / threshold_)
+                              : SIZE_MAX;
+  for (size_t i = 0; i < known_prefix; ++i) {
+    auto it = postings_.find(known[i]);
+    if (it == postings_.end()) continue;
+    for (const RowEntry& e : it->second) {
+      if (e.num_tokens < min_size || e.num_tokens > max_size) continue;
+      out->push_back(e.row);
+    }
+  }
+  SortUniqueRows(out);
+}
+
+// --- QGramEditIndex ---------------------------------------------------------
+
+namespace {
+
+// Sorted q-gram hash multiset of `text` (empty when |text| < q).
+void GramsOf(const std::string& text, size_t q, std::vector<uint64_t>* out) {
+  out->clear();
+  if (text.size() < q) return;
+  for (size_t i = 0; i + q <= text.size(); ++i) {
+    out->push_back(Fnv1a64(text.data() + i, q, q));
+  }
+  std::sort(out->begin(), out->end());
+}
+
+// Per-thread row-keyed counter with stamp invalidation: clearing between
+// probes is O(touched rows), and concurrent probes from enumeration shards
+// never share state.
+struct RowCounter {
+  std::vector<uint32_t> stamp;
+  std::vector<uint32_t> count;
+  uint32_t cur = 0;
+
+  void Begin(size_t max_row) {
+    if (++cur == 0) {  // stamp wrapped: invalidate everything
+      std::fill(stamp.begin(), stamp.end(), 0);
+      cur = 1;
+    }
+    if (stamp.size() <= max_row) {
+      stamp.resize(max_row + 1, 0);
+      count.resize(max_row + 1, 0);
+    }
+  }
+  void Bump(uint32_t row, uint32_t by) {
+    if (stamp[row] != cur) {
+      stamp[row] = cur;
+      count[row] = 0;
+    }
+    count[row] += by;
+  }
+  uint32_t Get(uint32_t row) const {
+    return (row < stamp.size() && stamp[row] == cur) ? count[row] : 0;
+  }
+};
+
+thread_local RowCounter g_row_counter;
+
+}  // namespace
+
+QGramEditIndex::QGramEditIndex(double threshold,
+                               const std::vector<uint32_t>& rows,
+                               const RowValuesFn& fill, size_t q)
+    : threshold_(threshold), q_(q) {
+  std::vector<Value> values;
+  for (uint32_t row : rows) {
+    fill(row, &values);
+    IndexRow(row, ConcatValueText(values));
+  }
+  std::sort(rows_by_len_.begin(), rows_by_len_.end());
+  len_sorted_ = true;
+  num_rows_ = rows.size();
+}
+
+void QGramEditIndex::IndexRow(uint32_t row, const std::string& text) {
+  rows_by_len_.push_back({static_cast<uint32_t>(text.size()), row});
+  thread_local std::vector<uint64_t> grams;
+  GramsOf(text, q_, &grams);
+  for (size_t i = 0; i < grams.size();) {
+    size_t j = i;
+    while (j < grams.size() && grams[j] == grams[i]) ++j;
+    postings_[grams[i]].push_back({row, static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+}
+
+void QGramEditIndex::Add(uint32_t row, const std::vector<Value>& values) {
+  IndexRow(row, ConcatValueText(values));
+  // Keep the length ordering; appended batches are small, so the insertion
+  // sort step stays cheap relative to the chase work that follows.
+  if (rows_by_len_.size() >= 2 &&
+      rows_by_len_[rows_by_len_.size() - 2] > rows_by_len_.back()) {
+    auto last = rows_by_len_.back();
+    rows_by_len_.pop_back();
+    rows_by_len_.insert(
+        std::upper_bound(rows_by_len_.begin(), rows_by_len_.end(), last),
+        last);
+  }
+  ++num_rows_;
+}
+
+void QGramEditIndex::Probe(const std::vector<Value>& query,
+                           std::vector<uint32_t>* out) const {
+  out->clear();
+  const std::string text = ConcatValueText(query);
+  const size_t la = text.size();
+  const size_t lb_min = CeilBound(threshold_ * static_cast<double>(la));
+  const size_t lb_max =
+      threshold_ > 0 ? FloorBound(static_cast<double>(la) / threshold_) : 0;
+
+  // Count shared q-grams per row: sum of min(multiplicities), the exact
+  // multiset overlap the count-filter bound is stated over.
+  uint32_t max_row = 0;
+  for (const auto& [len, row] : rows_by_len_) max_row = std::max(max_row, row);
+  g_row_counter.Begin(max_row);
+  thread_local std::vector<uint64_t> grams;
+  GramsOf(text, q_, &grams);
+  for (size_t i = 0; i < grams.size();) {
+    size_t j = i;
+    while (j < grams.size() && grams[j] == grams[i]) ++j;
+    const uint32_t qcount = static_cast<uint32_t>(j - i);
+    auto it = postings_.find(grams[i]);
+    if (it != postings_.end()) {
+      for (const Posting& p : it->second) {
+        g_row_counter.Bump(p.row, std::min(qcount, p.count));
+      }
+    }
+    i = j;
+  }
+
+  // Walk the feasible length window; the q-gram count filter prunes inside
+  // it. bound <= 0 means the count filter is vacuous for that length pair
+  // (short strings), so the row stays a candidate on length alone.
+  auto lo = std::lower_bound(
+      rows_by_len_.begin(), rows_by_len_.end(),
+      std::pair<uint32_t, uint32_t>{static_cast<uint32_t>(lb_min), 0});
+  for (auto it = lo; it != rows_by_len_.end() && it->first <= lb_max; ++it) {
+    const size_t lb = it->first;
+    const size_t longer = std::max(la, lb);
+    const size_t k =
+        FloorBound((1.0 - threshold_) * static_cast<double>(longer));
+    const int64_t bound = static_cast<int64_t>(longer) -
+                          static_cast<int64_t>(q_) + 1 -
+                          static_cast<int64_t>(k * q_);
+    if (bound > 0 &&
+        g_row_counter.Get(it->second) < static_cast<uint64_t>(bound)) {
+      continue;
+    }
+    out->push_back(it->second);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+// --- CosineLshIndex ---------------------------------------------------------
+
+CosineLshIndex::CosineLshIndex(double threshold, size_t dim,
+                               const std::vector<uint32_t>& rows,
+                               const RowValuesFn& fill, size_t bands,
+                               size_t bits_per_band)
+    : dim_(dim), bands_(bands), bits_per_band_(bits_per_band) {
+  (void)threshold;  // banding parameters, not the threshold, set the recall
+  // Fixed seeded hyperplanes: builds (and therefore probes) are fully
+  // deterministic across runs, workers and thread counts.
+  Rng rng(0x5eedc0de);
+  planes_.resize(bands_ * bits_per_band_ * dim_);
+  for (float& p : planes_) {
+    p = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+  buckets_.resize(bands_);
+  std::vector<Value> values;
+  for (uint32_t row : rows) {
+    fill(row, &values);
+    Add(row, values);
+  }
+  num_rows_ = rows.size();
+}
+
+uint64_t CosineLshIndex::Signature(const std::vector<Value>& values) const {
+  const Embedding e = EmbedText(ConcatValueText(values), dim_);
+  uint64_t sig = 0;
+  const size_t nbits = bands_ * bits_per_band_;
+  for (size_t b = 0; b < nbits; ++b) {
+    const float* plane = planes_.data() + b * dim_;
+    double dot = 0;
+    for (size_t i = 0; i < dim_; ++i) dot += static_cast<double>(plane[i]) * e[i];
+    if (dot >= 0) sig |= uint64_t{1} << b;
+  }
+  return sig;
+}
+
+void CosineLshIndex::Add(uint32_t row, const std::vector<Value>& values) {
+  const uint64_t sig = Signature(values);
+  const uint64_t band_mask = (uint64_t{1} << bits_per_band_) - 1;
+  for (size_t band = 0; band < bands_; ++band) {
+    const uint64_t key = (sig >> (band * bits_per_band_)) & band_mask;
+    buckets_[band][key].push_back(row);
+  }
+  ++num_rows_;
+}
+
+void CosineLshIndex::Probe(const std::vector<Value>& query,
+                           std::vector<uint32_t>* out) const {
+  out->clear();
+  const uint64_t sig = Signature(query);
+  const uint64_t band_mask = (uint64_t{1} << bits_per_band_) - 1;
+  for (size_t band = 0; band < bands_; ++band) {
+    const uint64_t key = (sig >> (band * bits_per_band_)) & band_mask;
+    auto it = buckets_[band].find(key);
+    if (it == buckets_[band].end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  SortUniqueRows(out);
+}
+
+}  // namespace dcer

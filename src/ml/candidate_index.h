@@ -1,0 +1,158 @@
+#ifndef DCER_ML_CANDIDATE_INDEX_H_
+#define DCER_ML_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace dcer {
+
+/// How (whether) a classifier can turn itself from a pairwise post-filter
+/// into a candidate generator:
+///   kNone   — cannot prune; the join falls back to a full scan.
+///   kExact  — Probe() returns a *sound superset* of the rows whose score
+///             reaches the threshold. Safe by default.
+///   kApprox — Probe() may miss true matches (LSH); only used when the
+///             caller explicitly opts in (MatchOptions::ml_index_approx).
+enum class CandidateIndexKind { kNone, kExact, kApprox };
+
+/// Fills *out (cleared first) with the ML attribute values of `row`.
+/// Decouples index construction from the chase's view/relation types.
+using RowValuesFn = std::function<void(uint32_t row, std::vector<Value>*)>;
+
+/// Similarity index over one side of an ML predicate: built once per
+/// (classifier, relation fragment, attribute vector), probed with the other
+/// side's values. Probe returns candidate rows sorted ascending, each row at
+/// most once. Exact indices guarantee every row scoring >= the classifier's
+/// threshold is returned; the join still verifies each survivor with the
+/// real classifier, so false positives only cost time, never correctness.
+///
+/// Thread-safety: building and Add() mutate; Probe() is const and safe to
+/// call concurrently (implementations keep scratch in thread-local storage).
+/// The chase prewarms indices before fanning enumeration out to shards,
+/// mirroring DatasetIndex::EnsureBuilt.
+class MlCandidateIndex {
+ public:
+  virtual ~MlCandidateIndex() = default;
+
+  /// True when Probe is a sound superset generator at the build threshold.
+  virtual bool sound() const { return true; }
+
+  /// Appends the candidate rows for `query` (the other side's attribute
+  /// values) into *out. *out is cleared first; rows come back sorted.
+  virtual void Probe(const std::vector<Value>& query,
+                     std::vector<uint32_t>* out) const = 0;
+
+  /// Registers a newly appended row (incremental ΔD, DMatch supersteps).
+  virtual void Add(uint32_t row, const std::vector<Value>& values) = 0;
+
+  size_t num_rows() const { return num_rows_; }
+
+ protected:
+  size_t num_rows_ = 0;
+};
+
+/// Concatenation of an ML predicate side's values into the exact text the
+/// string classifiers score — shared between classifiers and their indices
+/// so the pruning bound and the verified score never diverge.
+std::string ConcatValueText(const std::vector<Value>& values);
+
+/// PPJoin-style token index for TokenJaccardClassifier: whitespace tokens
+/// (case-insensitive, set semantics), global rare-first token order, prefix
+/// filtering (a row is indexed only under the first |x| - ceil(t*|x|) + 1 of
+/// its ordered tokens) and length filtering (t*|y| <= |x| <= |y|/t).
+class TokenJaccardIndex : public MlCandidateIndex {
+ public:
+  TokenJaccardIndex(double threshold, const std::vector<uint32_t>& rows,
+                    const RowValuesFn& fill);
+
+  void Probe(const std::vector<Value>& query,
+             std::vector<uint32_t>* out) const override;
+  void Add(uint32_t row, const std::vector<Value>& values) override;
+
+ private:
+  struct RowEntry {
+    uint32_t row;
+    uint32_t num_tokens;
+  };
+
+  void IndexRow(uint32_t row, const std::vector<uint32_t>& token_ids);
+  size_t PrefixLength(size_t set_size) const;
+
+  double threshold_;
+  // Token interning. The global prefix order is rare-first by (build-time
+  // df, token) and frozen at build; tokens first seen by later Adds are
+  // appended after every build token, so already-indexed prefixes stay valid.
+  std::unordered_map<std::string, uint32_t> token_ids_;
+  std::vector<uint32_t> rank_of_token_;  // token id -> position in the order
+  // token id -> rows indexed under it (prefix positions only).
+  std::unordered_map<uint32_t, std::vector<RowEntry>> postings_;
+  std::vector<uint32_t> empty_rows_;  // rows with no tokens (score 1 vs empty)
+};
+
+/// Q-gram index for EditSimilarityClassifier. Edit similarity
+/// 1 - d/max(|a|,|b|) >= t bounds the distance by k = floor((1-t)*max), so
+/// candidates must (i) have length in [ceil(t*|a|), floor(|a|/t)] and
+/// (ii) share at least max(|a|,|b|) - q + 1 - k*q q-grams with the query
+/// (each edit destroys at most q grams). Rows failing either are pruned.
+class QGramEditIndex : public MlCandidateIndex {
+ public:
+  QGramEditIndex(double threshold, const std::vector<uint32_t>& rows,
+                 const RowValuesFn& fill, size_t q = 2);
+
+  void Probe(const std::vector<Value>& query,
+             std::vector<uint32_t>* out) const override;
+  void Add(uint32_t row, const std::vector<Value>& values) override;
+
+ private:
+  struct Posting {
+    uint32_t row;
+    uint32_t count;  // multiplicity of the gram in the row's text
+  };
+
+  void IndexRow(uint32_t row, const std::string& text);
+
+  double threshold_;
+  size_t q_;
+  std::unordered_map<uint64_t, std::vector<Posting>> postings_;
+  // (length, row) sorted by length: the probe walks the feasible window.
+  std::vector<std::pair<uint32_t, uint32_t>> rows_by_len_;
+  bool len_sorted_ = true;
+};
+
+/// Banded SimHash index for EmbeddingCosineClassifier: each row's embedding
+/// is signed against a fixed pseudo-random hyperplane set (seeded, so builds
+/// are deterministic), the sign bits are split into bands, and rows are
+/// bucketed per band. A probe returns every row sharing at least one full
+/// band with the query. NOT sound (sound() == false): two vectors above the
+/// cosine threshold can disagree on every band, so this index only runs when
+/// the caller opted into approximate candidate generation.
+class CosineLshIndex : public MlCandidateIndex {
+ public:
+  CosineLshIndex(double threshold, size_t dim,
+                 const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+                 size_t bands = 16, size_t bits_per_band = 4);
+
+  bool sound() const override { return false; }
+  void Probe(const std::vector<Value>& query,
+             std::vector<uint32_t>* out) const override;
+  void Add(uint32_t row, const std::vector<Value>& values) override;
+
+ private:
+  uint64_t Signature(const std::vector<Value>& values) const;
+
+  size_t dim_;
+  size_t bands_;
+  size_t bits_per_band_;
+  std::vector<float> planes_;  // bands*bits_per_band rows of dim floats
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets_;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_ML_CANDIDATE_INDEX_H_

@@ -10,14 +10,16 @@
 namespace dcer {
 
 namespace {
+// Shared with the candidate indices (ml/candidate_index.h): the text a
+// classifier scores and the text its index filters on must be byte-identical
+// or the pruning bounds would not apply to the verified score.
 std::string ConcatValues(const std::vector<Value>& vals) {
-  std::string out;
-  for (const Value& v : vals) {
-    if (!out.empty()) out += ' ';
-    if (!v.is_null()) out += v.ToString();
-  }
-  return out;
+  return ConcatValueText(vals);
 }
+
+// A threshold outside (0, 1] makes the similarity filters vacuous or
+// everything-pruning; fall back to full scans there.
+bool IndexableThreshold(double t) { return t > 0.0 && t <= 1.0; }
 }  // namespace
 
 EmbeddingCosineClassifier::EmbeddingCosineClassifier(std::string name,
@@ -50,6 +52,17 @@ double EmbeddingCosineClassifier::Score(const std::vector<Value>& a,
   return c < 0 ? 0 : c;
 }
 
+CandidateIndexKind EmbeddingCosineClassifier::candidate_index_kind() const {
+  return IndexableThreshold(threshold()) ? CandidateIndexKind::kApprox
+                                         : CandidateIndexKind::kNone;
+}
+
+std::unique_ptr<MlCandidateIndex> EmbeddingCosineClassifier::BuildCandidateIndex(
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+  if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
+  return std::make_unique<CosineLshIndex>(threshold(), dim_, rows, fill);
+}
+
 TokenJaccardClassifier::TokenJaccardClassifier(std::string name,
                                                double threshold)
     : MlClassifier(std::move(name), threshold) {}
@@ -59,6 +72,17 @@ double TokenJaccardClassifier::Score(const std::vector<Value>& a,
   return TokenJaccard(ConcatValues(a), ConcatValues(b));
 }
 
+CandidateIndexKind TokenJaccardClassifier::candidate_index_kind() const {
+  return IndexableThreshold(threshold()) ? CandidateIndexKind::kExact
+                                         : CandidateIndexKind::kNone;
+}
+
+std::unique_ptr<MlCandidateIndex> TokenJaccardClassifier::BuildCandidateIndex(
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+  if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
+  return std::make_unique<TokenJaccardIndex>(threshold(), rows, fill);
+}
+
 EditSimilarityClassifier::EditSimilarityClassifier(std::string name,
                                                    double threshold)
     : MlClassifier(std::move(name), threshold) {}
@@ -66,6 +90,17 @@ EditSimilarityClassifier::EditSimilarityClassifier(std::string name,
 double EditSimilarityClassifier::Score(const std::vector<Value>& a,
                                        const std::vector<Value>& b) const {
   return EditSimilarity(ConcatValues(a), ConcatValues(b));
+}
+
+CandidateIndexKind EditSimilarityClassifier::candidate_index_kind() const {
+  return IndexableThreshold(threshold()) ? CandidateIndexKind::kExact
+                                         : CandidateIndexKind::kNone;
+}
+
+std::unique_ptr<MlCandidateIndex> EditSimilarityClassifier::BuildCandidateIndex(
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+  if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
+  return std::make_unique<QGramEditIndex>(threshold(), rows, fill);
 }
 
 NumericToleranceClassifier::NumericToleranceClassifier(std::string name,

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ml/candidate_index.h"
 #include "ml/embedding.h"
 #include "relational/value.h"
 
@@ -43,6 +44,25 @@ class MlClassifier {
   /// MlRegistry::ClearCache so benchmark repetitions start cold.
   virtual void ClearMemo() const {}
 
+  /// Whether (and how soundly) this classifier can act as a candidate
+  /// generator instead of a pairwise post-filter. kNone (the default) keeps
+  /// the full-scan join behaviour.
+  virtual CandidateIndexKind candidate_index_kind() const {
+    return CandidateIndexKind::kNone;
+  }
+
+  /// Builds a candidate index over one side of the predicate (`rows`, with
+  /// attribute values supplied by `fill`). Returns nullptr when
+  /// candidate_index_kind() is kNone. The index's Probe must honour the
+  /// classifier's *current* threshold; callers rebuild if the threshold
+  /// changes after construction.
+  virtual std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
+      const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+    (void)rows;
+    (void)fill;
+    return nullptr;
+  }
+
  private:
   std::string name_;
   double threshold_;
@@ -64,6 +84,13 @@ class EmbeddingCosineClassifier : public MlClassifier {
                const std::vector<Value>& b) const override;
   void ClearMemo() const override;
 
+  /// LSH banding loses recall, so the cosine index is approximate-only and
+  /// gated behind MatchOptions::ml_index_approx.
+  CandidateIndexKind candidate_index_kind() const override;
+  std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
+      const std::vector<uint32_t>& rows,
+      const RowValuesFn& fill) const override;
+
  private:
   const Embedding& CachedEmbed(std::string text) const;
 
@@ -81,6 +108,12 @@ class TokenJaccardClassifier : public MlClassifier {
   explicit TokenJaccardClassifier(std::string name, double threshold = 0.5);
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
+
+  /// Sound PPJoin-style prefix+length filtered token index.
+  CandidateIndexKind candidate_index_kind() const override;
+  std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
+      const std::vector<uint32_t>& rows,
+      const RowValuesFn& fill) const override;
 };
 
 /// Normalized edit similarity over concatenated attributes (short strings:
@@ -90,6 +123,12 @@ class EditSimilarityClassifier : public MlClassifier {
   explicit EditSimilarityClassifier(std::string name, double threshold = 0.75);
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
+
+  /// Sound q-gram count + length filtered index.
+  CandidateIndexKind candidate_index_kind() const override;
+  std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
+      const std::vector<uint32_t>& rows,
+      const RowValuesFn& fill) const override;
 };
 
 /// Numeric agreement within a relative tolerance (e.g., song durations,

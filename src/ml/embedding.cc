@@ -12,8 +12,11 @@ Embedding EmbedText(std::string_view text, size_t dim, size_t min_n,
                     size_t max_n) {
   Embedding vec(dim, 0.0f);
   // Normalize: lowercase, collapse non-alphanumerics to a single boundary
-  // marker so "X1 Carbon" and "X1-Carbon" share n-grams.
-  std::string norm;
+  // marker so "X1 Carbon" and "X1-Carbon" share n-grams. The buffer is
+  // per-thread scratch: embedding runs inside join leaves and index probes,
+  // where a fresh allocation per call showed up in profiles.
+  thread_local std::string norm;
+  norm.clear();
   norm.reserve(text.size() + 2);
   norm += '^';
   bool last_sep = false;
@@ -51,11 +54,22 @@ Embedding EmbedText(std::string_view text, size_t dim, size_t min_n,
 
 double Cosine(const Embedding& a, const Embedding& b) {
   if (a.size() != b.size()) return 0.0;
-  double dot = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
+  // Four independent accumulators over the contiguous float arrays: breaks
+  // the serial FP dependency chain so the compiler can vectorize without
+  // -ffast-math. Embeddings are L2-normalized, so the dot IS the cosine.
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const size_t n = a.size();
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(pa[i]) * pb[i];
+    s1 += static_cast<double>(pa[i + 1]) * pb[i + 1];
+    s2 += static_cast<double>(pa[i + 2]) * pb[i + 2];
+    s3 += static_cast<double>(pa[i + 3]) * pb[i + 3];
   }
-  return dot;
+  for (; i < n; ++i) s0 += static_cast<double>(pa[i]) * pb[i];
+  return (s0 + s1) + (s2 + s3);
 }
 
 }  // namespace dcer

@@ -1,26 +1,79 @@
 #include "ml/similarity.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/string_util.h"
 
 namespace dcer {
 
-double TokenJaccard(std::string_view a, std::string_view b) {
-  std::vector<std::string> ta = SplitWhitespace(ToLower(a));
-  std::vector<std::string> tb = SplitWhitespace(ToLower(b));
-  if (ta.empty() && tb.empty()) return 1.0;
-  if (ta.empty() || tb.empty()) return 0.0;
-  std::unordered_set<std::string> sa(ta.begin(), ta.end());
-  std::unordered_set<std::string> sb(tb.begin(), tb.end());
-  size_t inter = 0;
-  for (const auto& t : sa) {
-    if (sb.count(t)) ++inter;
+namespace {
+
+// Lowercases `s` into *buf and appends the [begin, end) spans of its
+// whitespace-separated tokens to *tokens (views into *buf). Reusing the
+// caller's buffers keeps the hot path allocation-free after warmup.
+void TokenizeLower(std::string_view s, std::string* buf,
+                   std::vector<std::string_view>* tokens) {
+  buf->clear();
+  buf->reserve(s.size());
+  for (char c : s) {
+    buf->push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
   }
-  size_t uni = sa.size() + sb.size() - inter;
+  const char* data = buf->data();
+  size_t i = 0;
+  const size_t n = buf->size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(data[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(data[i]))) ++i;
+    if (i > start) tokens->emplace_back(data + start, i - start);
+  }
+}
+
+// Sorts and removes duplicate tokens in place (set semantics).
+void SortUnique(std::vector<std::string_view>* tokens) {
+  std::sort(tokens->begin(), tokens->end());
+  tokens->erase(std::unique(tokens->begin(), tokens->end()), tokens->end());
+}
+
+struct JaccardScratch {
+  std::string buf_a, buf_b;
+  std::vector<std::string_view> tok_a, tok_b;
+};
+
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  thread_local JaccardScratch scratch;
+  scratch.tok_a.clear();
+  scratch.tok_b.clear();
+  TokenizeLower(a, &scratch.buf_a, &scratch.tok_a);
+  TokenizeLower(b, &scratch.buf_b, &scratch.tok_b);
+  if (scratch.tok_a.empty() && scratch.tok_b.empty()) return 1.0;
+  if (scratch.tok_a.empty() || scratch.tok_b.empty()) return 0.0;
+  SortUnique(&scratch.tok_a);
+  SortUnique(&scratch.tok_b);
+  // Sorted-merge intersection: no hashing, no per-call node allocation.
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < scratch.tok_a.size() && j < scratch.tok_b.size()) {
+    int cmp = scratch.tok_a[i].compare(scratch.tok_b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  size_t uni = scratch.tok_a.size() + scratch.tok_b.size() - inter;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
@@ -38,5 +91,47 @@ double NumericSimilarity(double a, double b, double tol) {
   if (rel >= 2 * tol) return 0.0;
   return (2 * tol - rel) / tol;
 }
+
+namespace reference {
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = SplitWhitespace(ToLower(a));
+  std::vector<std::string> tb = SplitWhitespace(ToLower(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  size_t n = a.size();
+  size_t m = b.size();
+  std::vector<std::vector<size_t>> dp(n + 1, std::vector<size_t>(m + 1));
+  for (size_t i = 0; i <= n; ++i) dp[i][0] = i;
+  for (size_t j = 0; j <= m; ++j) dp[0][j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                           dp[i - 1][j - 1] + cost});
+    }
+  }
+  return dp[n][m];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = EditDistance(a, b);
+  size_t m = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(m);
+}
+
+}  // namespace reference
 
 }  // namespace dcer

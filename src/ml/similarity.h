@@ -6,13 +6,31 @@
 namespace dcer {
 
 /// Token-level Jaccard similarity (case-insensitive, whitespace tokens).
+/// Allocation-free on the hot path: tokenizes into reusable per-thread
+/// scratch and intersects sorted token ranges instead of hashing.
 double TokenJaccard(std::string_view a, std::string_view b);
 
 /// Normalized edit similarity: 1 - dist / max(|a|, |b|); 1.0 for two empties.
+/// Uses the bit-parallel Myers distance kernel (see common/string_util.h).
 double EditSimilarity(std::string_view a, std::string_view b);
 
 /// 1 if relative difference <= tol, decaying linearly to 0 at 2*tol.
 double NumericSimilarity(double a, double b, double tol);
+
+namespace reference {
+
+/// Straightforward hash-set implementation of TokenJaccard. The optimized
+/// kernel must agree with this exactly; tests cross-check on random corpora.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Full-matrix dynamic-programming EditSimilarity, same contract as the
+/// optimized kernel.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Plain O(nm) Levenshtein distance (no banding, no bit-parallelism).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace reference
 
 }  // namespace dcer
 

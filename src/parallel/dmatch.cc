@@ -64,6 +64,8 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   ChaseEngine::Options engine_options;
   engine_options.dependency_capacity = options.dependency_capacity;
   engine_options.share_indices = options.use_mqo;
+  engine_options.ml_index = options.ml_index;
+  engine_options.ml_index_approx = options.ml_index_approx;
   if (options.threads_per_worker > 1) {
     engine_options.pool = &pool;
     // Oversplit 2x so stealing can rebalance skewed shards.

@@ -29,6 +29,11 @@ struct DMatchOptions {
   /// num_workers × threads_per_worker when run_parallel is set, or
   /// threads_per_worker when workers are simulated sequentially.
   int threads_per_worker = 1;
+  /// Similarity-index candidate generation for ML predicates inside each
+  /// worker's engine (see MatchOptions::ml_index). Sound; on by default.
+  bool ml_index = true;
+  /// Allow approximate LSH indices too. May lose recall; off by default.
+  bool ml_index_approx = false;
 };
 
 /// Metrics of one DMatch run.

@@ -48,7 +48,7 @@ inline DMatchReport TimedDMatch(GenDataset& gd, const RuleSet& rules,
   options.num_workers = workers;
   options.use_mqo = use_mqo;
   options.run_parallel = run_parallel;
-  options.threads_per_worker = threads_per_worker;
+  options.threads = threads_per_worker;
   return DMatch(gd.dataset, rules, gd.registry, options, ctx);
 }
 

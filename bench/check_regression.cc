@@ -51,6 +51,8 @@ int Run(int argc, char** argv) {
 
   double baseline = -1;
   double baseline_seq = -1;
+  double baseline_partial = -1;
+  double baseline_incr = -1;
   {
     FILE* f = std::fopen(argv[1], "rb");
     if (f == nullptr) {
@@ -67,6 +69,8 @@ int Run(int argc, char** argv) {
     std::fclose(f);
     baseline = JsonNumber(text, "dmatch_pooled_wall_seconds");
     baseline_seq = JsonNumber(text, "dmatch_seq_wall_seconds");
+    baseline_partial = JsonNumber(text, "dmatch_partial_eval_seconds");
+    baseline_incr = JsonNumber(text, "dmatch_superstep_seconds");
   }
   if (baseline <= 0) {
     std::printf("baseline lacks dmatch_pooled_wall_seconds; skipping "
@@ -80,6 +84,7 @@ int Run(int argc, char** argv) {
   auto gd = MakeEcommerce(options);
 
   double best = 0;
+  DMatchReport best_report;
   std::unique_ptr<MatchContext> pooled_ctx;
   std::unique_ptr<MatchContext> seq_ctx;
   for (int rep = 0; rep < 3; ++rep) {
@@ -89,10 +94,13 @@ int Run(int argc, char** argv) {
     DMatchOptions dm;
     dm.num_workers = 4;
     dm.run_parallel = true;
-    dm.threads_per_worker = 2;
+    dm.threads = 2;
     DMatchReport r = DMatch(gd->dataset, gd->rules, gd->registry, dm,
                             ctx.get());
-    if (rep == 0 || r.er_seconds < best) best = r.er_seconds;
+    if (rep == 0 || r.er_seconds < best) {
+      best = r.er_seconds;
+      best_report = std::move(r);
+    }
     if (rep == 2) pooled_ctx = std::move(ctx);
   }
   double seq_best = 0;
@@ -104,7 +112,7 @@ int Run(int argc, char** argv) {
     DMatchOptions dm;
     dm.num_workers = 4;
     dm.run_parallel = false;
-    dm.threads_per_worker = 1;
+    dm.threads = 1;
     DMatchReport r = DMatch(gd->dataset, gd->rules, gd->registry, dm,
                             seq_ctx.get());
     if (rep == 0 || r.er_seconds < seq_best) seq_best = r.er_seconds;
@@ -137,6 +145,63 @@ int Run(int argc, char** argv) {
     }
     std::printf("FAIL: pooled DMatch regressed %.1f%% over baseline\n",
                 (ratio - 1.0) * 100);
+    return 1;
+  }
+
+  // Per-phase regression checks: the partial evaluation (superstep 0) and
+  // the incremental supersteps can regress independently of each other and
+  // of total wall clock (e.g. a change shifting work between the phases).
+  // Same noise normalization as above: host-wide slowness moves the
+  // sequential wall too and passes the normalized cross-check. Baselines
+  // recorded before these fields existed skip the check.
+  double fresh_partial = 0;
+  double fresh_incr = 0;
+  for (const SuperstepStats& s : best_report.superstep_stats) {
+    if (s.step == 0) {
+      fresh_partial = s.max_seconds;
+    } else {
+      fresh_incr += s.max_seconds;
+    }
+  }
+  // Short phases (a few ms) are dominated by scheduler jitter, so a pure
+  // ratio test would flap; absolute deltas below this are never failures.
+  constexpr double kPhaseSlackSeconds = 0.010;
+  auto check_phase = [&](const char* name, double fresh,
+                         double phase_baseline) {
+    if (phase_baseline <= 0 || fresh <= 0) {
+      std::printf("%s: no baseline; skipping (PASS)\n", name);
+      return true;
+    }
+    double phase_ratio = fresh / phase_baseline;
+    std::printf("%s: fresh=%.4fs baseline=%.4fs ratio=%.3f\n", name, fresh,
+                phase_baseline, phase_ratio);
+    if (phase_ratio <= 1.0 + tolerance) return true;
+    if (fresh - phase_baseline < kPhaseSlackSeconds) {
+      std::printf("  PASS: delta %.1fms below %.0fms noise floor\n",
+                  (fresh - phase_baseline) * 1e3, kPhaseSlackSeconds * 1e3);
+      return true;
+    }
+    if (baseline_seq > 0 && seq_best > 0) {
+      double host_factor = seq_best / baseline_seq;
+      double norm_ratio = host_factor > 0 ? phase_ratio / host_factor : 0;
+      std::printf("  normalized by seq wall: host_factor=%.3f "
+                  "ratio=%.3f\n",
+                  host_factor, norm_ratio);
+      if (norm_ratio > 0 && norm_ratio <= 1.0 + tolerance) {
+        std::printf("  PASS: slowdown tracks the sequential path "
+                    "(host noise)\n");
+        return true;
+      }
+    }
+    std::printf("FAIL: %s regressed %.1f%% over baseline\n", name,
+                (phase_ratio - 1.0) * 100);
+    return false;
+  };
+  if (!check_phase("partial-eval (superstep 0)", fresh_partial,
+                   baseline_partial)) {
+    return 1;
+  }
+  if (!check_phase("incremental supersteps", fresh_incr, baseline_incr)) {
     return 1;
   }
   std::printf("PASS\n");

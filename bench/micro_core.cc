@@ -33,6 +33,8 @@
 #include "ml/embedding.h"
 #include "ml/registry.h"
 #include "ml/similarity.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "parallel/dmatch.h"
 #include "partition/hypercube.h"
 #include "rules/parser.h"
@@ -217,7 +219,8 @@ BENCHMARK(BM_HypercubeDistribute)->Arg(16)->Arg(256);
 
 double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
                          int threads_per_worker,
-                         std::unique_ptr<MatchContext>* last_ctx) {
+                         std::unique_ptr<MatchContext>* last_ctx,
+                         DMatchReport* best_report = nullptr) {
   double best = 0;
   for (int rep = 0; rep < 3; ++rep) {
     gd.registry.ClearCache();
@@ -226,13 +229,26 @@ double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
     DMatchOptions options;
     options.num_workers = 4;
     options.run_parallel = run_parallel;
-    options.threads_per_worker = threads_per_worker;
+    options.threads = threads_per_worker;
     DMatchReport r =
         DMatch(gd.dataset, gd.rules, gd.registry, options, ctx.get());
-    if (rep == 0 || r.er_seconds < best) best = r.er_seconds;
+    if (rep == 0 || r.er_seconds < best) {
+      best = r.er_seconds;
+      if (best_report != nullptr) *best_report = std::move(r);
+    }
     if (rep == 2) *last_ctx = std::move(ctx);
   }
   return best;
+}
+
+// Sum of the incremental supersteps' simulated times (every step after the
+// partial evaluation), so the two BSP phases regress independently.
+double IncrementalStepSeconds(const DMatchReport& r) {
+  double total = 0;
+  for (const SuperstepStats& s : r.superstep_stats) {
+    if (s.step > 0) total += s.max_seconds;
+  }
+  return total;
 }
 
 // Timer-based kernel latencies recorded into BENCH_core.json so regressions
@@ -398,13 +414,29 @@ void WriteBenchCoreJson() {
   // Seed sequential path: workers executed one after another, chase
   // single-threaded. Pooled path: workers as pool tasks, each splitting its
   // join enumeration over threads_per_worker=2.
+  DMatchReport pooled_report;
   double seq = BestOf3DMatchWall(*gd, /*run_parallel=*/false,
                                  /*threads_per_worker=*/1, &seq_ctx);
   double pooled = BestOf3DMatchWall(*gd, /*run_parallel=*/true,
-                                    /*threads_per_worker=*/2, &pooled_ctx);
+                                    /*threads_per_worker=*/2, &pooled_ctx,
+                                    &pooled_report);
   bool pairs_equal =
       seq_ctx->MatchedPairs() == pooled_ctx->MatchedPairs() &&
       seq_ctx->ValidatedMlKeys() == pooled_ctx->ValidatedMlKeys();
+
+  // Overhead of turning metric collection on for the same workload; with
+  // metrics off (the default above) collection is one predicted branch, so
+  // the on/off ratio bounds what DCER_METRICS=1 costs.
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  std::unique_ptr<MatchContext> obs_ctx;
+  double pooled_metrics = BestOf3DMatchWall(*gd, /*run_parallel=*/true,
+                                            /*threads_per_worker=*/2,
+                                            &obs_ctx);
+  obs::SetMetricsEnabled(metrics_were_enabled);
+  const double obs_overhead_ratio =
+      pooled > 0 ? pooled_metrics / pooled : 0.0;
+
   double hit_ns = MlCacheHitNs();
   KernelNs kernels = MeasureKernelNs();
   MlWorkloadNumbers ml = MeasureMlWorkload();
@@ -420,28 +452,23 @@ void WriteBenchCoreJson() {
   const bool pool_oversubscribed =
       pool_speedup < 1.0 && hw < static_cast<unsigned>(2 * pool_threads);
 
-  FILE* f = std::fopen("BENCH_core.json", "w");
-  if (f == nullptr) {
-    std::printf("cannot write BENCH_core.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"workload\": \"ecommerce num_customers=%zu\",\n",
-               options.num_customers);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(f, "  \"pool_threads\": %d,\n", pool_threads);
-  std::fprintf(f, "  \"workers\": 4,\n");
-  std::fprintf(f, "  \"threads_per_worker\": 2,\n");
-  std::fprintf(f, "  \"dmatch_seq_wall_seconds\": %.6f,\n", seq);
-  std::fprintf(f, "  \"dmatch_pooled_wall_seconds\": %.6f,\n", pooled);
-  std::fprintf(f, "  \"speedup\": %.3f,\n", pool_speedup);
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("workload",
+       "ecommerce num_customers=" + std::to_string(options.num_customers));
+  w.KV("hardware_concurrency", hw);
+  w.KV("pool_threads", pool_threads);
+  w.KV("workers", 4);
+  w.KV("threads_per_worker", 2);
+  w.KV("dmatch_seq_wall_seconds", seq);
+  w.KV("dmatch_pooled_wall_seconds", pooled);
+  w.KV("speedup", pool_speedup);
   if (pool_oversubscribed) {
-    std::fprintf(f,
-                 "  \"speedup_warning\": \"pooled < sequential on this host: "
-                 "%u hardware thread(s) cannot run the pool's tasks in "
-                 "parallel, so the gap is scheduling overhead "
-                 "(oversubscription artifact), not a regression\",\n",
-                 hw);
+    w.KV("speedup_warning",
+         "pooled < sequential on this host: " + std::to_string(hw) +
+             " hardware thread(s) cannot run the pool's tasks in parallel, "
+             "so the gap is scheduling overhead (oversubscription artifact), "
+             "not a regression");
   }
   // Same workload timed at the pre-thread-pool commit, measured out-of-band
   // (a checkout of the previous HEAD can't run inside this binary). Lets the
@@ -449,37 +476,65 @@ void WriteBenchCoreJson() {
   if (const char* env = std::getenv("DCER_SEED_SEQ_SECONDS")) {
     double seed_seq = std::atof(env);
     if (seed_seq > 0) {
-      std::fprintf(f, "  \"seed_seq_wall_seconds\": %.6f,\n", seed_seq);
-      std::fprintf(f, "  \"speedup_vs_seed\": %.3f,\n",
-                   pooled > 0 ? seed_seq / pooled : 0.0);
+      w.KV("seed_seq_wall_seconds", seed_seq);
+      w.KV("speedup_vs_seed", pooled > 0 ? seed_seq / pooled : 0.0);
     }
   }
-  std::fprintf(f, "  \"pairs_equal\": %s,\n", pairs_equal ? "true" : "false");
-  std::fprintf(f, "  \"matched_pairs\": %llu,\n",
-               static_cast<unsigned long long>(seq_ctx->num_matched_pairs()));
-  std::fprintf(f, "  \"ml_cache_hit_ns\": %.2f,\n", hit_ns);
-  std::fprintf(f, "  \"token_jaccard_ns\": %.2f,\n", kernels.token_jaccard_ns);
-  std::fprintf(f, "  \"edit_distance_bounded_ns\": %.2f,\n",
-               kernels.edit_distance_ns);
-  std::fprintf(f, "  \"edit_similarity_ns\": %.2f,\n",
-               kernels.edit_similarity_ns);
-  std::fprintf(f, "  \"cosine_ns\": %.2f,\n", kernels.cosine_ns);
-  std::fprintf(f, "  \"ml_index_probe_ns\": %.2f,\n", kernels.ml_probe_ns);
-  std::fprintf(f, "  \"ml_workload\": \"ml-only rules (jaccard 0.5 on "
-               "Products.desc, edit 0.75 on Customers.name), ecommerce "
-               "num_customers=300\",\n");
-  std::fprintf(f, "  \"ml_workload_off_seconds\": %.6f,\n", ml.off_seconds);
-  std::fprintf(f, "  \"ml_workload_on_seconds\": %.6f,\n", ml.on_seconds);
-  std::fprintf(f, "  \"ml_index_speedup\": %.3f,\n",
-               ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0);
-  std::fprintf(f, "  \"ml_workload_pairs_equal\": %s,\n",
-               ml.pairs_equal ? "true" : "false");
-  std::fprintf(f, "  \"ml_workload_matched_pairs\": %llu,\n",
-               static_cast<unsigned long long>(ml.matched_pairs));
-  std::fprintf(f, "  \"ml_indices_built\": %llu\n",
-               static_cast<unsigned long long>(ml.indices_built));
-  std::fprintf(f, "}\n");
+  // Per-phase BSP times of the best pooled run: the partial evaluation
+  // (superstep 0) and the incremental supersteps, regression-checked
+  // independently by bench/check_regression.
+  if (!pooled_report.superstep_stats.empty()) {
+    w.KV("dmatch_partial_eval_seconds",
+         pooled_report.superstep_stats[0].max_seconds);
+    w.KV("dmatch_superstep_seconds", IncrementalStepSeconds(pooled_report));
+    w.Key("dmatch_supersteps").BeginArray();
+    for (const SuperstepStats& s : pooled_report.superstep_stats) {
+      w.BeginObject();
+      w.KV("step", s.step);
+      w.KV("max_seconds", s.max_seconds);
+      w.KV("mean_seconds", s.mean_seconds);
+      w.KV("skew", s.skew);
+      w.KV("messages", s.messages);
+      w.KV("bytes", s.bytes);
+      w.Key("worker_seconds").BeginArray();
+      for (double t : s.worker_seconds) w.Value(t);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.KV("dmatch_metrics_wall_seconds", pooled_metrics);
+  w.KV("obs_overhead_ratio", obs_overhead_ratio);
+  w.KV("pairs_equal", pairs_equal);
+  w.KV("matched_pairs", seq_ctx->num_matched_pairs());
+  w.KV("ml_cache_hit_ns", hit_ns);
+  w.KV("token_jaccard_ns", kernels.token_jaccard_ns);
+  w.KV("edit_distance_bounded_ns", kernels.edit_distance_ns);
+  w.KV("edit_similarity_ns", kernels.edit_similarity_ns);
+  w.KV("cosine_ns", kernels.cosine_ns);
+  w.KV("ml_index_probe_ns", kernels.ml_probe_ns);
+  w.KV("ml_workload",
+       "ml-only rules (jaccard 0.5 on Products.desc, edit 0.75 on "
+       "Customers.name), ecommerce num_customers=300");
+  w.KV("ml_workload_off_seconds", ml.off_seconds);
+  w.KV("ml_workload_on_seconds", ml.on_seconds);
+  w.KV("ml_index_speedup",
+       ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0);
+  w.KV("ml_workload_pairs_equal", ml.pairs_equal);
+  w.KV("ml_workload_matched_pairs", ml.matched_pairs);
+  w.KV("ml_indices_built", ml.indices_built);
+  w.EndObject();
+
+  FILE* f = std::fopen("BENCH_core.json", "w");
+  if (f == nullptr) {
+    std::printf("cannot write BENCH_core.json\n");
+    return;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
   std::fclose(f);
+  std::printf("obs overhead: metrics_on=%.4fs metrics_off=%.4fs "
+              "ratio=%.3f\n",
+              pooled_metrics, pooled, obs_overhead_ratio);
   std::printf("\nBENCH_core.json: seq=%.4fs pooled=%.4fs speedup=%.2fx "
               "pairs_equal=%d ml_cache_hit=%.1fns (host threads: %u, pool "
               "threads: %d)\n",

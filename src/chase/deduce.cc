@@ -2,25 +2,38 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcer {
 
-ChaseStats& ChaseStats::operator+=(const ChaseStats& o) {
-  valuations += o.valuations;
-  matches += o.matches;
-  validated_ml += o.validated_ml;
-  deps_added += o.deps_added;
-  deps_dropped += o.deps_dropped;
-  deps_fired += o.deps_fired;
-  seeded_joins += o.seeded_joins;
-  indices_built += o.indices_built;
-  ml_indices_built += o.ml_indices_built;
-  return *this;
+ChaseEngine::Options ChaseEngine::FromEngineOptions(const EngineOptions& eo,
+                                                    ThreadPool* pool) {
+  Options o;
+  o.dependency_capacity = eo.dependency_capacity;
+  o.share_indices = eo.use_mqo;
+  o.ml_index = eo.ml_index;
+  o.ml_index_approx = eo.ml_index_approx;
+  if (eo.threads > 1 && pool != nullptr) {
+    o.pool = pool;
+    o.enumeration_shards = eo.threads * 2;
+  }
+  return o;
 }
 
 namespace {
+
+// Folds a joiner's counter delta into the chase stats.
+void AddJoinCounters(ChaseStats* s, const JoinCounters& d) {
+  s->valuations += d.valuations_checked;
+  s->join_candidates += d.candidates_probed;
+  s->ml_probes += d.ml_probes;
+  s->ml_probe_candidates += d.ml_probe_candidates;
+}
 // Content signature of a view's row sets, for sharing indices across rules
 // with identical sub-fragments.
 uint64_t ViewSignature(const DatasetView& view) {
@@ -234,7 +247,7 @@ bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
   struct ShardOut {
     std::vector<uint32_t> rows;  // stride-sized groups
     std::vector<int> unsat;      // [len, idx...] per recorded valuation
-    uint64_t checked = 0;
+    JoinCounters counters;
   };
   std::vector<ShardOut> found(shards);
   {
@@ -261,7 +274,7 @@ bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
               out->unsat.insert(out->unsat.end(), unsat.begin(), unsat.end());
               return true;
             });
-        out->checked = shard_joiner.valuations_checked();
+        out->counters = shard_joiner.counters();
       });
     }
     group.Wait();
@@ -281,12 +294,21 @@ bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
       }
       HandleValuation(rule_idx, joiner, rows, still_unsat, delta);
     }
-    stats_.valuations += out.checked;
+    AddJoinCounters(&stats_, out.counters);
   }
   return true;
 }
 
 void ChaseEngine::Deduce(Delta* delta) {
+  DCER_TRACE("chase.deduce");
+  // Per-rule deduce time: one histogram sample (and one trace span) per
+  // (rule, scope) enumeration. Both are off the hot path — per scope, not
+  // per valuation — and fully gated on the obs flags.
+  const bool observe = obs::MetricsEnabled();
+  obs::Histogram* rule_hist =
+      observe ? obs::MetricsRegistry::Global().GetHistogram(
+                    "chase.rule_deduce_seconds", obs::Histogram::Unit::kNanos)
+              : nullptr;
   for (size_t ri = 0; ri < rules_->size(); ++ri) {
     const Rule& rule = rules_->rule(ri);
     for (Scope& scope : scopes_[ri]) {
@@ -299,15 +321,26 @@ void ChaseEngine::Deduce(Delta* delta) {
                         .empty();
       }
       if (!feasible) continue;
-      if (ParallelEnumerate(ri, scope, delta)) continue;
+      std::optional<obs::TraceSpan> span;
+      if (obs::TraceEnabled()) span.emplace("deduce:" + rule.name());
+      Timer rule_timer;
+      if (ParallelEnumerate(ri, scope, delta)) {
+        if (rule_hist != nullptr) {
+          rule_hist->RecordSeconds(rule_timer.ElapsedSeconds());
+        }
+        continue;
+      }
       RuleJoiner* joiner = scope.joiner.get();
-      uint64_t before = joiner->valuations_checked();
+      JoinCounters before = joiner->counters();
       joiner->Enumerate([&](const std::vector<uint32_t>& rows,
                             const std::vector<int>& unsat) {
         HandleValuation(ri, joiner, rows, unsat, delta);
         return true;
       });
-      stats_.valuations += joiner->valuations_checked() - before;
+      AddJoinCounters(&stats_, joiner->counters() - before);
+      if (rule_hist != nullptr) {
+        rule_hist->RecordSeconds(rule_timer.ElapsedSeconds());
+      }
     }
   }
   stats_.indices_built = 0;
@@ -333,6 +366,7 @@ struct WorkItem {
 }  // namespace
 
 void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
+  DCER_TRACE("chase.inc_deduce");
   std::deque<WorkItem> queue;
   for (auto [a, b] : seeds.id_pairs) {
     queue.push_back({false, a, b, -1, 0, 0});
@@ -406,7 +440,7 @@ void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
           ++stats_.seeded_joins;
           std::pair<int, uint32_t> seed_arr[2] = {{p.lhs.var, lrow},
                                                   {p.rhs.var, rrow}};
-          uint64_t before = joiner->valuations_checked();
+          JoinCounters before = joiner->counters();
           Delta round;
           joiner->EnumerateSeeded(
               seed_arr, [&](const std::vector<uint32_t>& rows,
@@ -414,7 +448,7 @@ void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
                 HandleValuation(ri, joiner, rows, unsat, &round);
                 return true;
               });
-          stats_.valuations += joiner->valuations_checked() - before;
+          AddJoinCounters(&stats_, joiner->counters() - before);
           // Cascade: everything newly derived becomes new work.
           for (auto [x, y] : round.id_pairs) {
             queue.push_back({false, x, y, -1, 0, 0});
@@ -462,14 +496,14 @@ void ChaseEngine::DeduceForNewTuples(std::span<const Gid> new_gids,
           }
           ++stats_.seeded_joins;
           std::pair<int, uint32_t> seed[1] = {{static_cast<int>(v), row}};
-          uint64_t before = joiner->valuations_checked();
+          JoinCounters before = joiner->counters();
           joiner->EnumerateSeeded(
               seed, [&](const std::vector<uint32_t>& rows,
                         const std::vector<int>& unsat) {
                 HandleValuation(ri, joiner, rows, unsat, delta);
                 return true;
               });
-          stats_.valuations += joiner->valuations_checked() - before;
+          AddJoinCounters(&stats_, joiner->counters() - before);
         }
       }
     }

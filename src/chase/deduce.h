@@ -5,26 +5,13 @@
 #include <span>
 
 #include "chase/dependency_store.h"
+#include "chase/engine_options.h"
 #include "chase/join.h"
+#include "obs/report.h"
 
 namespace dcer {
 
 class ThreadPool;
-
-/// Counters exposed by the chase (computation-cost metrics of Sec. VI).
-struct ChaseStats {
-  uint64_t valuations = 0;      // leaf valuations inspected
-  uint64_t matches = 0;         // direct id facts applied
-  uint64_t validated_ml = 0;    // ML facts validated
-  uint64_t deps_added = 0;      // dependencies stored in H
-  uint64_t deps_dropped = 0;    // dependencies dropped (H at capacity)
-  uint64_t deps_fired = 0;      // dependencies fired
-  uint64_t seeded_joins = 0;    // update-driven re-joins
-  uint64_t indices_built = 0;   // inverted indices constructed
-  uint64_t ml_indices_built = 0;  // ML candidate indices constructed
-
-  ChaseStats& operator+=(const ChaseStats& o);
-};
 
 /// One chase evaluation instance over a dataset view: owns the dependency
 /// store H and the inverted indices, and implements procedures Deduce
@@ -63,6 +50,14 @@ class ChaseEngine {
     /// a sound filter (embedding cosine). May lose recall; off by default.
     bool ml_index_approx = false;
   };
+
+  /// The single mapping from the shared EngineOptions knobs onto engine
+  /// options. Every entry point (Match, the DMatch workers,
+  /// IncrementalMatcher) builds its engine through this, so a knob cannot
+  /// drift between the sequential and parallel paths. `pool` is used (with
+  /// 2 × threads enumeration shards, oversplit so stealing can rebalance
+  /// skewed shards) only when eo.threads > 1.
+  static Options FromEngineOptions(const EngineOptions& eo, ThreadPool* pool);
 
   /// Evaluates every rule over `view`. Sequential Match uses this with the
   /// full-dataset view.

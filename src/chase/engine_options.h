@@ -1,0 +1,39 @@
+#ifndef DCER_CHASE_ENGINE_OPTIONS_H_
+#define DCER_CHASE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace dcer {
+
+/// Engine knobs shared by every entry point that runs a chase — sequential
+/// Match, the BSP DMatch workers, and IncrementalMatcher. Factored into one
+/// base so a setting cannot drift between the sequential and parallel paths:
+/// MatchOptions and DMatchOptions both inherit this, and both map it onto
+/// ChaseEngine::Options through the same helper
+/// (ChaseEngine::FromEngineOptions).
+struct EngineOptions {
+  /// Capacity K of the dependency set H (per worker under DMatch). Dropped
+  /// dependencies only cost re-joins, never results.
+  size_t dependency_capacity = size_t{1} << 20;
+  /// MQO on/off: shared inverted indices in the chase (and shared HyPart
+  /// hash functions under DMatch). Off = the DMatch_noMQO ablation.
+  bool use_mqo = true;
+  /// Pool threads used to split a chase's join enumeration (per worker
+  /// under DMatch, where this was previously spelled threads_per_worker).
+  /// 1 = fully single-threaded chase, as in the paper's BSP model. Any
+  /// value yields bit-identical results; see DESIGN.md "Parallel execution
+  /// model".
+  int threads = 1;
+  /// Similarity-index candidate generation for ML predicates (see DESIGN.md
+  /// "ML candidate indices"): token/q-gram indices turn Jaccard and
+  /// edit-similarity predicates into index probes instead of cross-product
+  /// post-filters. Sound — matched pairs are bit-identical either way.
+  bool ml_index = true;
+  /// Also allow approximate LSH indices (embedding cosine). May lose
+  /// recall; off by default.
+  bool ml_index_approx = false;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_ENGINE_OPTIONS_H_

@@ -1,5 +1,6 @@
 #include "chase/incremental.h"
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace dcer {
@@ -15,11 +16,9 @@ IncrementalMatcher::IncrementalMatcher(const Dataset* dataset,
       view_(std::make_unique<DatasetView>(DatasetView::Full(*dataset))),
       ctx_(std::make_unique<MatchContext>(*dataset)) {
   if (options_.enable_provenance) ctx_->EnableProvenance();
-  ChaseEngine::Options engine_options;
-  engine_options.dependency_capacity = options_.dependency_capacity;
-  engine_options.share_indices = options_.use_mqo;
-  engine_ = std::make_unique<ChaseEngine>(view_.get(), rules_, registry_,
-                                          ctx_.get(), engine_options);
+  engine_ = std::make_unique<ChaseEngine>(
+      view_.get(), rules_, registry_, ctx_.get(),
+      ChaseEngine::FromEngineOptions(options_, &ThreadPool::Global()));
 }
 
 MatchReport IncrementalMatcher::RunToFixpoint(Delta delta) {
@@ -41,6 +40,9 @@ MatchReport IncrementalMatcher::RunToFixpoint(Delta delta) {
   report.chase.deps_added -= stats_before_.deps_added;
   report.chase.deps_fired -= stats_before_.deps_fired;
   report.chase.seeded_joins -= stats_before_.seeded_joins;
+  report.chase.join_candidates -= stats_before_.join_candidates;
+  report.chase.ml_probes -= stats_before_.ml_probes;
+  report.chase.ml_probe_candidates -= stats_before_.ml_probe_candidates;
   stats_before_ = now;
   report.seconds = timer.ElapsedSeconds();
   report.matched_pairs = ctx_->num_matched_pairs();

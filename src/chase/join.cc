@@ -262,7 +262,7 @@ const RuleJoiner::BindPlan& RuleJoiner::PlanFor(uint64_t seeded_mask) {
 }
 
 bool RuleJoiner::CheckLeaf(const Callback& cb) {
-  ++valuations_checked_;
+  ++counters_.valuations_checked;
   unsat_scratch_.clear();
   for (int i : leaf_preds_) {
     if (!EvalIdOrMl(rule_->preconditions()[i], binding_)) {
@@ -343,6 +343,7 @@ const std::vector<uint32_t>* RuleJoiner::ProbeMlCandidates(
                  &ml_scratch_a_);
     std::vector<uint32_t>& probe = have ? ml_tmp_scratch_ : out;
     ml_index->Probe(ml_scratch_a_, &probe);
+    ++counters_.ml_probes;
     if (have) {
       // Each probe is a superset of its predicate's true pairs, so the
       // intersection is a superset of the valuations satisfying all of them.
@@ -354,6 +355,7 @@ const std::vector<uint32_t>* RuleJoiner::ProbeMlCandidates(
     }
     have = true;
   }
+  if (have) counters_.ml_probe_candidates += out.size();
   return have ? &out : nullptr;
 }
 
@@ -363,6 +365,7 @@ void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
                          size_t lookup_used, const Callback& cb, bool* stop) {
   const Relation& relation =
       index_->view().dataset().relation(rule_->var_relation(var));
+  counters_.candidates_probed += hi - lo;
   for (size_t i = lo; i < hi; ++i) {
     uint32_t row = candidates[i];
     // Verify remaining constraints (the lookup enforced only one).

@@ -39,6 +39,33 @@ struct MlIndexPolicy {
   std::shared_ptr<const std::unordered_set<uint64_t>> derivable;
 };
 
+/// Per-joiner work counters: plain integers, no atomics — each joiner is
+/// owned by one thread, and the parallel Deduce merges shard counters in
+/// shard order, so every field is deterministic under any thread count.
+struct JoinCounters {
+  uint64_t valuations_checked = 0;  // leaf valuations inspected
+  uint64_t candidates_probed = 0;   // candidate rows iterated by the join
+  uint64_t ml_probes = 0;           // ML candidate-index probes issued
+  uint64_t ml_probe_candidates = 0;  // rows those probes produced (after
+                                     // multi-probe intersection)
+
+  JoinCounters& operator+=(const JoinCounters& o) {
+    valuations_checked += o.valuations_checked;
+    candidates_probed += o.candidates_probed;
+    ml_probes += o.ml_probes;
+    ml_probe_candidates += o.ml_probe_candidates;
+    return *this;
+  }
+  JoinCounters operator-(const JoinCounters& o) const {
+    JoinCounters d = *this;
+    d.valuations_checked -= o.valuations_checked;
+    d.candidates_probed -= o.candidates_probed;
+    d.ml_probes -= o.ml_probes;
+    d.ml_probe_candidates -= o.ml_probe_candidates;
+    return d;
+  }
+};
+
 /// Enumerates the valuations h of a rule in a dataset view (Sec. II
 /// "Semantics"). Equality and constant predicates are enforced during the
 /// backtracking join via inverted indices; id and ML predicates are
@@ -109,7 +136,10 @@ class RuleJoiner {
   }
 
   /// Leaf valuations inspected (the paper's computation-cost metric).
-  uint64_t valuations_checked() const { return valuations_checked_; }
+  uint64_t valuations_checked() const { return counters_.valuations_checked; }
+
+  /// All work counters; callers diff before/after an enumeration.
+  const JoinCounters& counters() const { return counters_; }
 
   /// Computes the ML fact for precondition/consequence predicate `p` under
   /// `rows`, evaluating nothing. Exposed for Deduce's consequence handling.
@@ -207,7 +237,7 @@ class RuleJoiner {
   std::vector<uint32_t> binding_;
   std::vector<bool> bound_;
   size_t num_bound_ = 0;
-  uint64_t valuations_checked_ = 0;
+  JoinCounters counters_;
   bool shared_context_reads_ = false;
 
   // Hot-path scratch, reused across nodes/leaves to avoid allocation.

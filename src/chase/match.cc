@@ -2,25 +2,30 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcer {
+
+void MatchReport::ExtraJson(JsonWriter* w) const { w->KV("rounds", rounds); }
 
 MatchReport Match(const DatasetView& view, const RuleSet& rules,
                   const MlRegistry& registry, const MatchOptions& options,
                   MatchContext* ctx) {
+  obs::InitFromEnv();
+  DCER_TRACE("match");
   Timer timer;
+  const bool observe = obs::MetricsEnabled();
+  obs::MetricsSnapshot before;
+  if (observe) before = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t preds_before = registry.num_predictions();
+  const uint64_t hits_before = registry.num_cache_hits();
   if (options.enable_provenance) ctx->EnableProvenance();
 
-  ChaseEngine::Options engine_options;
-  engine_options.dependency_capacity = options.dependency_capacity;
-  engine_options.share_indices = options.use_mqo;
-  engine_options.ml_index = options.ml_index;
-  engine_options.ml_index_approx = options.ml_index_approx;
-  if (options.threads > 1) {
-    engine_options.pool = &ThreadPool::Global();
-    engine_options.enumeration_shards = options.threads * 2;
-  }
-  ChaseEngine engine(&view, &rules, &registry, ctx, engine_options);
+  ChaseEngine engine(
+      &view, &rules, &registry, ctx,
+      ChaseEngine::FromEngineOptions(options, &ThreadPool::Global()));
 
   MatchReport report;
   Delta delta;
@@ -40,6 +45,12 @@ MatchReport Match(const DatasetView& view, const RuleSet& rules,
   report.seconds = timer.ElapsedSeconds();
   report.matched_pairs = ctx->num_matched_pairs();
   report.validated_ml = ctx->num_validated_ml();
+  report.ml_predictions = registry.num_predictions() - preds_before;
+  report.ml_cache_hits = registry.num_cache_hits() - hits_before;
+  if (observe) {
+    report.chase.AddToRegistry();
+    report.metrics = obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  }
   return report;
 }
 

@@ -2,38 +2,27 @@
 #define DCER_CHASE_MATCH_H_
 
 #include "chase/deduce.h"
+#include "chase/engine_options.h"
+#include "obs/report.h"
 
 namespace dcer {
 
-/// Configuration of the sequential Match algorithm.
-struct MatchOptions {
-  /// Capacity K of the dependency set H.
-  size_t dependency_capacity = size_t{1} << 20;
-  /// MQO on/off (shared inverted indices). Off = the DMatch_noMQO ablation.
-  bool use_mqo = true;
+/// Configuration of the sequential Match algorithm. The engine knobs shared
+/// with DMatch (dependency_capacity, use_mqo, threads, ml_index,
+/// ml_index_approx) live in the EngineOptions base; only what is specific
+/// to the sequential entry point is declared here.
+struct MatchOptions : EngineOptions {
   /// Record rule/valuation provenance for Explain().
   bool enable_provenance = false;
-  /// Pool threads used to split each rule scope's join enumeration. 1 =
-  /// fully single-threaded chase. Any value yields bit-identical results;
-  /// see DESIGN.md "Parallel execution model".
-  int threads = 1;
-  /// Similarity-index candidate generation for ML predicates (see DESIGN.md
-  /// "ML candidate indices"): token/q-gram indices turn Jaccard and
-  /// edit-similarity predicates into index probes instead of cross-product
-  /// post-filters. Sound — matched pairs are bit-identical either way.
-  bool ml_index = true;
-  /// Also allow approximate LSH indices (embedding cosine). May lose
-  /// recall; off by default.
-  bool ml_index_approx = false;
 };
 
-/// Outcome counters of one Match run.
-struct MatchReport {
-  ChaseStats chase;
-  int rounds = 0;            // 1 (Deduce) + IncDeduce passes
-  double seconds = 0;        // wall clock
-  uint64_t matched_pairs = 0;
-  uint64_t validated_ml = 0;
+/// Outcome of one Match run: the RunReport core (chase stats, outcome
+/// sizes, cache and obs snapshots, ToJson) plus the fixpoint round count.
+struct MatchReport : RunReport {
+  int rounds = 0;  // 1 (Deduce) + IncDeduce passes
+
+ protected:
+  void ExtraJson(JsonWriter* w) const override;
 };
 
 /// Sequential algorithm Match (Fig. 3): chases `view` with `rules` to the

@@ -46,7 +46,7 @@ RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
     DMatchOptions options;
     options.num_workers = num_workers;
     options.use_mqo = use_mqo;
-    options.threads_per_worker = threads_per_worker;
+    options.threads = threads_per_worker;
     DMatchReport report = DMatch(gd.dataset, rules, gd.registry, options, &ctx);
     result.partition_seconds = report.partition_seconds;
     result.work = report.chase.valuations;

@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace dcer {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void InitFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (EnvTruthy("DCER_METRICS")) SetMetricsEnabled(true);
+    const char* trace = std::getenv("DCER_TRACE_FILE");
+    if (trace != nullptr && trace[0] != '\0') SetTraceFile(trace);
+  });
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  Stripe& s = stripes_[internal::StripeIndex()];
+  int bucket = std::bit_width(value);  // 0 for value 0, else floor(log2)+1
+  s.count[bucket == kBuckets ? kBuckets - 1 : bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    for (const auto& c : s.count) total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalSum() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Histogram::Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(unit));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.unit = h->unit();
+    hs.buckets.assign(Histogram::kBuckets, 0);
+    for (const auto& stripe : h->stripes_) {
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        hs.buckets[b] += stripe.count[b].load(std::memory_order_relaxed);
+      }
+      hs.sum += stripe.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t b : hs.buckets) hs.count += b;
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) {
+    for (auto& stripe : h->stripes_) {
+      for (auto& c : stripe.count) c.store(0, std::memory_order_relaxed);
+      stripe.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    auto it = earlier.counters.find(name);
+    d.counters[name] = v - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  d.gauges = gauges;  // levels, not flows
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot out = h;
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) {
+      out.count -= it->second.count;
+      out.sum -= it->second.sum;
+      for (size_t b = 0; b < out.buckets.size() && b < it->second.buckets.size();
+           ++b) {
+        out.buckets[b] -= it->second.buckets[b];
+      }
+    }
+    d.histograms[name] = std::move(out);
+  }
+  return d;
+}
+
+bool MetricsSnapshot::DeterministicEquals(const MetricsSnapshot& other) const {
+  if (counters != other.counters || gauges != other.gauges) return false;
+  auto deterministic = [](const std::map<std::string, HistogramSnapshot>& m) {
+    std::map<std::string, HistogramSnapshot> out;
+    for (const auto& [name, h] : m) {
+      if (h.unit == Histogram::Unit::kCount) out[name] = h;
+    }
+    return out;
+  };
+  return deterministic(histograms) == deterministic(other.histograms);
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter* w) const {
+  auto histogram_json = [&](const HistogramSnapshot& h) {
+    w->BeginObject();
+    w->KV("count", h.count);
+    w->KV("sum", h.sum);
+    w->Key("buckets").BeginObject();
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      // Key = inclusive upper bound of the bucket's sample range.
+      uint64_t bound = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      w->KV(std::to_string(bound), h.buckets[b]);
+    }
+    w->EndObject();
+    w->EndObject();
+  };
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, v] : counters) w->KV(name, v);
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, v] : gauges) w->KV(name, v);
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    if (h.unit != Histogram::Unit::kCount) continue;
+    w->Key(name);
+    histogram_json(h);
+  }
+  w->EndObject();
+  w->Key("timings").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    if (h.unit != Histogram::Unit::kNanos) continue;
+    w->Key(name);
+    histogram_json(h);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace obs
+}  // namespace dcer

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dcer {
+namespace obs {
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int depth = 0;
+};
+
+/// Per-thread span buffer. Appends come only from the owning thread; the
+/// mutex exists for the (rare, test- or exit-time) cross-thread flush.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct TraceSink {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::atomic<uint32_t> next_tid{1};
+  std::string file;  // atexit target; empty = none
+};
+
+std::atomic<bool> g_trace_enabled{false};
+
+TraceSink& Sink() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+ThreadBuf& LocalBuf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    TraceSink& sink = Sink();
+    b->tid = sink.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+int& LocalDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+uint64_t NowNs() {
+  // Anchored to the first call so timestamps are small and the Chrome
+  // viewer's timeline starts near zero.
+  static const auto anchor = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+void AtExitFlush() {
+  const std::string path = Sink().file;
+  if (path.empty()) return;
+  Status s = WriteChromeTrace(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "dcer: trace write failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+bool TraceEnabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool on) {
+  if (on) NowNs();  // anchor the clock before the first span
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetTraceFile(const std::string& path) {
+  static std::once_flag once;
+  Sink().file = path;
+  std::call_once(once, [] { std::atexit(AtExitFlush); });
+  SetTraceEnabled(true);
+}
+
+void TraceSpan::Open(std::string name) {
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = LocalDepth()++;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  uint64_t end_ns = NowNs();
+  --LocalDepth();
+  ThreadBuf& buf = LocalBuf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(
+      {std::move(name_), start_ns_, end_ns - start_ns_, depth_});
+}
+
+int TraceSpan::CurrentDepth() { return LocalDepth(); }
+
+std::string ChromeTraceJson() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  TraceSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  for (const auto& buf : sink.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      w.BeginObject();
+      w.KV("name", e.name);
+      w.KV("cat", "dcer");
+      w.KV("ph", "X");
+      w.KV("ts", static_cast<double>(e.start_ns) / 1e3);   // microseconds
+      w.KV("dur", static_cast<double>(e.dur_ns) / 1e3);
+      w.KV("pid", 1);
+      w.KV("tid", buf->tid);
+      w.Key("args").BeginObject().KV("depth", e.depth).EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::string json = ChromeTraceJson();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void ClearTrace() {
+  TraceSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  for (const auto& buf : sink.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+size_t TraceEventCount() {
+  TraceSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  size_t n = 0;
+  for (const auto& buf : sink.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+}  // namespace obs
+}  // namespace dcer

@@ -1,0 +1,79 @@
+#ifndef DCER_OBS_TRACE_H_
+#define DCER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dcer {
+namespace obs {
+
+/// Whether trace spans record. Like MetricsEnabled(), one relaxed atomic
+/// load — a disabled DCER_TRACE macro is a branch plus nothing.
+bool TraceEnabled();
+void SetTraceEnabled(bool on);
+
+/// Enables tracing and registers an atexit hook that writes the collected
+/// spans to `path` as a Chrome trace_event file (open in ui.perfetto.dev or
+/// chrome://tracing). Also reachable via the DCER_TRACE_FILE environment
+/// variable (see obs::InitFromEnv).
+void SetTraceFile(const std::string& path);
+
+/// The collected spans as a Chrome trace_event JSON document.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Drops every span collected so far (tests).
+void ClearTrace();
+
+/// Number of spans collected so far, across all threads.
+size_t TraceEventCount();
+
+/// Hierarchical scoped timer: records one complete span (name, thread,
+/// start, duration, nesting depth) on destruction. Nesting is per thread —
+/// a span opened while another is live on the same thread is its child,
+/// which is exactly how the Chrome viewer stacks them. Use via DCER_TRACE:
+///
+///   void Deduce() {
+///     DCER_TRACE("chase.deduce");
+///     ...
+///   }
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) Open(name);
+  }
+  explicit TraceSpan(const std::string& name) {
+    if (TraceEnabled()) Open(name);
+  }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Nesting depth of the calling thread's innermost live span; 0 when no
+  /// span is live. (Only meaningful while tracing is enabled.)
+  static int CurrentDepth();
+
+ private:
+  void Open(std::string name);
+
+  bool active_ = false;
+  std::string name_;
+  int depth_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+#define DCER_TRACE_CONCAT2(a, b) a##b
+#define DCER_TRACE_CONCAT(a, b) DCER_TRACE_CONCAT2(a, b)
+/// Opens a TraceSpan named `name` for the rest of the enclosing scope.
+#define DCER_TRACE(name) \
+  ::dcer::obs::TraceSpan DCER_TRACE_CONCAT(dcer_trace_span_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace dcer
+
+#endif  // DCER_OBS_TRACE_H_

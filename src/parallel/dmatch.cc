@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/master.h"
 #include "parallel/worker.h"
 
@@ -44,33 +48,55 @@ double RunSuperstep(std::vector<std::unique_ptr<Worker>>& workers,
 
 }  // namespace
 
+void DMatchReport::ExtraJson(JsonWriter* w) const {
+  w->KV("num_supersteps", supersteps);
+  w->KV("messages", messages);
+  w->KV("bytes", bytes);
+  w->KV("partition_seconds", partition_seconds);
+  w->KV("er_seconds", er_seconds);
+  w->KV("simulated_seconds", simulated_seconds);
+  w->Key("partition").BeginObject();
+  w->KV("generated_tuples", partition.generated_tuples);
+  w->KV("fragment_tuples", partition.fragment_tuples);
+  w->KV("hash_computations", partition.hash_computations);
+  w->KV("hash_cache_hits", partition.hash_cache_hits);
+  w->KV("num_hash_functions", partition.num_hash_functions);
+  w->KV("replication_factor", partition.replication_factor);
+  w->KV("skew", partition.skew);
+  w->KV("seconds", partition.seconds);
+  w->EndObject();
+}
+
 DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
                     const MlRegistry& registry, const DMatchOptions& options,
                     MatchContext* result) {
+  obs::InitFromEnv();
+  DCER_TRACE("dmatch");
   DMatchReport report;
+  const bool observe = obs::MetricsEnabled();
+  obs::MetricsSnapshot metrics_before;
+  if (observe) metrics_before = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t preds_before = registry.num_predictions();
+  const uint64_t hits_before = registry.num_cache_hits();
 
   // Step 1: partition D with HyPart (in place of blocking).
   HyPartOptions part_options;
   part_options.num_workers = options.num_workers;
   part_options.use_mqo = options.use_mqo;
   part_options.use_virtual_blocks = options.use_virtual_blocks;
-  Partition partition = HyPart(dataset, rules, part_options);
+  Partition partition;
+  {
+    DCER_TRACE("hypart");
+    partition = HyPart(dataset, rules, part_options);
+  }
   report.partition = partition.stats;
   report.partition_seconds = partition.stats.seconds;
 
   // Step 2: the BSP fixpoint, executed on the process-wide persistent pool.
   ThreadPool& pool = ThreadPool::Global();
   Timer er_timer;
-  ChaseEngine::Options engine_options;
-  engine_options.dependency_capacity = options.dependency_capacity;
-  engine_options.share_indices = options.use_mqo;
-  engine_options.ml_index = options.ml_index;
-  engine_options.ml_index_approx = options.ml_index_approx;
-  if (options.threads_per_worker > 1) {
-    engine_options.pool = &pool;
-    // Oversplit 2x so stealing can rebalance skewed shards.
-    engine_options.enumeration_shards = options.threads_per_worker * 2;
-  }
+  ChaseEngine::Options engine_options =
+      ChaseEngine::FromEngineOptions(options, &pool);
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(options.num_workers);
@@ -82,17 +108,40 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   }
   Master master(&partition.hosts, options.num_workers, dataset.num_tuples());
 
+  // Runs one superstep and records its per-worker times and skew. The
+  // messages/bytes the master routes afterwards are filled in by the
+  // dispatch below, attributing them to the step that produced them.
+  auto run_step = [&](int step, const std::vector<std::vector<Fact>>* inboxes) {
+    std::optional<obs::TraceSpan> span;
+    if (obs::TraceEnabled()) span.emplace("superstep:" + std::to_string(step));
+    double slowest = RunSuperstep(workers, inboxes, options.run_parallel,
+                                  &pool);
+    SuperstepStats ss;
+    ss.step = step;
+    ss.max_seconds = slowest;
+    double sum = 0;
+    ss.worker_seconds.reserve(workers.size());
+    for (const auto& w : workers) {
+      ss.worker_seconds.push_back(w->last_step_seconds());
+      sum += w->last_step_seconds();
+    }
+    ss.mean_seconds = workers.empty() ? 0 : sum / workers.size();
+    ss.skew = ss.mean_seconds > 0 ? ss.max_seconds / ss.mean_seconds : 0;
+    report.superstep_stats.push_back(std::move(ss));
+    return slowest;
+  };
+
   // Superstep 0: partial evaluation A on every worker in parallel.
-  report.simulated_seconds +=
-      RunSuperstep(workers, nullptr, options.run_parallel, &pool);
+  report.simulated_seconds += run_step(0, nullptr);
   report.supersteps = 1;
   for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
 
   // Supersteps r > 0: incremental A_Δ until no messages flow (ΔΓ = ∅).
   std::vector<std::vector<Fact>> inboxes;
   while (master.Dispatch(&inboxes)) {
-    report.simulated_seconds +=
-        RunSuperstep(workers, &inboxes, options.run_parallel, &pool);
+    report.superstep_stats.back().messages = master.last_dispatch_messages();
+    report.superstep_stats.back().bytes = master.last_dispatch_bytes();
+    report.simulated_seconds += run_step(report.supersteps, &inboxes);
     ++report.supersteps;
     for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
   }
@@ -104,10 +153,36 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   }
 
   report.er_seconds = er_timer.ElapsedSeconds();
+  report.seconds = report.partition_seconds + report.er_seconds;
   report.messages = master.messages_routed();
   report.bytes = master.bytes_routed();
   report.matched_pairs = result->num_matched_pairs();
   report.validated_ml = result->num_validated_ml();
+  report.ml_predictions = registry.num_predictions() - preds_before;
+  report.ml_cache_hits = registry.num_cache_hits() - hits_before;
+  if (observe) {
+    // Fed once, from this thread, after the BSP phase: the registry's
+    // counter section stays deterministic under any worker/thread setting.
+    report.chase.AddToRegistry();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("dmatch.supersteps")->Add(report.supersteps);
+    reg.GetCounter("dmatch.messages")->Add(report.messages);
+    reg.GetCounter("dmatch.bytes")->Add(report.bytes);
+    reg.GetCounter("hypart.generated_tuples")
+        ->Add(report.partition.generated_tuples);
+    reg.GetCounter("hypart.fragment_tuples")
+        ->Add(report.partition.fragment_tuples);
+    reg.GetCounter("hypart.hash_computations")
+        ->Add(report.partition.hash_computations);
+    reg.GetCounter("hypart.hash_cache_hits")
+        ->Add(report.partition.hash_cache_hits);
+    obs::Histogram* step_hist = reg.GetHistogram(
+        "dmatch.superstep_seconds", obs::Histogram::Unit::kNanos);
+    for (const SuperstepStats& s : report.superstep_stats) {
+      step_hist->RecordSeconds(s.max_seconds);
+    }
+    report.metrics = reg.Snapshot().Delta(metrics_before);
+  }
   return report;
 }
 

@@ -2,52 +2,74 @@
 #define DCER_PARALLEL_DMATCH_H_
 
 #include "chase/deduce.h"
+#include "chase/engine_options.h"
+#include "obs/report.h"
 #include "partition/hypart.h"
 
 namespace dcer {
 
-/// Configuration of parallel algorithm DMatch (Sec. V-B).
-struct DMatchOptions {
+/// Configuration of parallel algorithm DMatch (Sec. V-B). The engine knobs
+/// shared with the sequential Match (dependency_capacity, use_mqo, threads,
+/// ml_index, ml_index_approx) live in the EngineOptions base; `threads`
+/// here means intra-worker parallelism — each worker's join enumeration
+/// splits into 2 × threads pool shards (see ChaseEngine::Options::pool).
+/// Results are bit-identical for every value. Total hardware-thread demand
+/// is roughly num_workers × threads when run_parallel is set, or just
+/// `threads` when workers are simulated sequentially.
+struct DMatchOptions : EngineOptions {
   int num_workers = 4;
-  /// MQO on/off: shared hash functions in HyPart and shared indices in the
-  /// workers' engines. Off = DMatch_noMQO.
-  bool use_mqo = true;
   /// Virtual blocks + LPT skew reduction in HyPart.
   bool use_virtual_blocks = true;
-  /// Dependency-store capacity K per worker.
-  size_t dependency_capacity = size_t{1} << 20;
   /// Run workers on the persistent thread pool. false = run them
   /// sequentially (results are identical; per-superstep max worker time
   /// still yields the simulated parallel time, useful when workers
   /// outnumber cores).
   bool run_parallel = true;
-  /// Intra-worker parallelism: each worker's partial evaluation splits a
-  /// rule scope's root-candidate list into 2 × threads_per_worker pool
-  /// tasks (see ChaseEngine::Options::pool). 1 = each worker's chase is
-  /// single-threaded, as in the paper's BSP model. Results are bit-identical
-  /// for every value. Total hardware-thread demand is roughly
-  /// num_workers × threads_per_worker when run_parallel is set, or
-  /// threads_per_worker when workers are simulated sequentially.
-  int threads_per_worker = 1;
-  /// Similarity-index candidate generation for ML predicates inside each
-  /// worker's engine (see MatchOptions::ml_index). Sound; on by default.
-  bool ml_index = true;
-  /// Allow approximate LSH indices too. May lose recall; off by default.
-  bool ml_index_approx = false;
+
+  /// Deprecated spelling of EngineOptions::threads, kept one release so
+  /// existing call sites compile unchanged. Reads and writes forward to
+  /// `threads`; new code should use `threads` directly.
+  struct ThreadsAlias {
+    EngineOptions* self;
+    ThreadsAlias& operator=(int v) {
+      self->threads = v;
+      return *this;
+    }
+    operator int() const { return self->threads; }
+  };
+  ThreadsAlias threads_per_worker{this};
+
+  DMatchOptions() = default;
+  // The alias member pins a self-pointer, so copying rebinds it (via its
+  // default member initializer) instead of copying the source's pointer.
+  DMatchOptions(const DMatchOptions& o)
+      : EngineOptions(o),
+        num_workers(o.num_workers),
+        use_virtual_blocks(o.use_virtual_blocks),
+        run_parallel(o.run_parallel) {}
+  DMatchOptions& operator=(const DMatchOptions& o) {
+    static_cast<EngineOptions&>(*this) = o;
+    num_workers = o.num_workers;
+    use_virtual_blocks = o.use_virtual_blocks;
+    run_parallel = o.run_parallel;
+    return *this;
+  }
 };
 
-/// Metrics of one DMatch run.
-struct DMatchReport {
+/// Outcome of one DMatch run: the RunReport core (chase stats summed over
+/// workers, outcome sizes, per-superstep stats, cache and obs snapshots,
+/// ToJson) plus the partitioning and BSP-phase specifics.
+struct DMatchReport : RunReport {
   PartitionStats partition;
-  ChaseStats chase;  // summed over workers
   int supersteps = 0;
   uint64_t messages = 0;  // facts routed worker-to-worker (via master)
   uint64_t bytes = 0;
   double partition_seconds = 0;
   double er_seconds = 0;         // wall clock of the BSP phase
   double simulated_seconds = 0;  // Σ_steps max_i t_i: n dedicated machines
-  uint64_t matched_pairs = 0;
-  uint64_t validated_ml = 0;
+
+ protected:
+  void ExtraJson(JsonWriter* w) const override;
 };
 
 /// Parallel deep and collective ER: HyPart-partitions the dataset, runs the

@@ -47,8 +47,10 @@ void Master::Collect(int from, std::vector<Fact> facts) {
 bool Master::Dispatch(std::vector<std::vector<Fact>>* inboxes) {
   inboxes->assign(num_workers_, {});
   bool any = false;
+  last_dispatch_messages_ = 0;
   for (int w = 0; w < num_workers_; ++w) {
     if (!pending_[w].empty()) any = true;
+    last_dispatch_messages_ += pending_[w].size();
     (*inboxes)[w] = std::move(pending_[w]);
     pending_[w].clear();
   }

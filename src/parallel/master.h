@@ -36,6 +36,13 @@ class Master {
 
   uint64_t messages_routed() const { return messages_routed_; }
   uint64_t bytes_routed() const { return WireBytes(messages_routed_); }
+  /// Facts (and their wire size) moved into worker inboxes by the most
+  /// recent Dispatch — the per-superstep communication numbers of the
+  /// DMatch report.
+  uint64_t last_dispatch_messages() const { return last_dispatch_messages_; }
+  uint64_t last_dispatch_bytes() const {
+    return WireBytes(last_dispatch_messages_);
+  }
   const UnionFind& global_eid() const { return eid_; }
 
  private:
@@ -49,6 +56,7 @@ class Master {
   // Per-worker fact keys already delivered.
   std::vector<std::unordered_set<uint64_t>> seen_;
   uint64_t messages_routed_ = 0;
+  uint64_t last_dispatch_messages_ = 0;
 };
 
 }  // namespace dcer

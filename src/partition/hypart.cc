@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "partition/balance.h"
 
 namespace dcer {
@@ -72,6 +73,21 @@ Partition HyPart(const Dataset& dataset, const RuleSet& rules,
     for (int c = 0; c < m; ++c) assignment[c] = c % n;
   }
   out.stats.skew = LoadSkew(block_sizes, assignment, n);
+  if (obs::MetricsEnabled()) {
+    // Block sizes and LPT placement are pure functions of the input, so
+    // these land in the deterministic section of the registry.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::Histogram* sizes = reg.GetHistogram("hypart.block_size");
+    for (uint64_t s : block_sizes) sizes->Record(s);
+    // A "rebalance move" is a block LPT placed somewhere other than where
+    // plain round-robin striping would have put it.
+    uint64_t moves = 0;
+    for (int c = 0; c < m; ++c) {
+      if (assignment[c] != c % n) ++moves;
+    }
+    reg.GetCounter("hypart.lpt_moves")->Add(moves);
+    reg.GetCounter("hypart.blocks")->Add(static_cast<uint64_t>(m));
+  }
 
   // Pass 2: materialize per-(worker, rule) block views plus the union
   // fragment. Each non-empty cell of each rule becomes one evaluation scope

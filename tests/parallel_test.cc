@@ -233,7 +233,7 @@ TEST(IntraWorkerParallelismTest, PaperExampleDeterministicAcrossThreadCounts) {
     for (bool run_parallel : {false, true}) {
       DMatchOptions options;
       options.num_workers = 4;
-      options.threads_per_worker = tpw;
+      options.threads = tpw;
       options.run_parallel = run_parallel;
       MatchContext ctx(ex->dataset);
       DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
@@ -273,7 +273,7 @@ TEST(IntraWorkerParallelismTest, EcommerceDeterministicAndSameWork) {
   MatchContext dmatch_ctx(gd->dataset);
   DMatchOptions dopt;
   dopt.num_workers = 4;
-  dopt.threads_per_worker = 2;
+  dopt.threads = 2;
   DMatch(gd->dataset, gd->rules, gd->registry, dopt, &dmatch_ctx);
   EXPECT_EQ(dmatch_ctx.MatchedPairs(), reference.MatchedPairs());
   EXPECT_EQ(dmatch_ctx.ValidatedMlKeys(), reference.ValidatedMlKeys());

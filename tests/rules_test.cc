@@ -159,6 +159,79 @@ TEST_F(RulesTest, ParserErrors) {
                    .ok());
 }
 
+// Each malformed-predicate class must name the source position and the
+// offending token in the Status message.
+TEST_F(RulesTest, ParserDiagnosticsCarryLineColumnAndToken) {
+  auto expect_diag = [&](const std::string& text, const std::string& substr) {
+    Rule r;
+    Status s = ParseRule(text, dataset_, registry_, &r);
+    ASSERT_FALSE(s.ok()) << "expected failure for: " << text;
+    EXPECT_NE(s.message().find(substr), std::string::npos)
+        << "message '" << s.message() << "' lacks '" << substr << "'";
+    EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.message();
+    EXPECT_NE(s.message().find("column"), std::string::npos) << s.message();
+  };
+  // Unknown relation/classifier: head token at column 1.
+  expect_diag("Nope(t) -> t.id = t.id",
+              "unknown relation or classifier 'Nope' at line 1, column 1");
+  // Unbound variable.
+  expect_diag("Customers(t) ^ s.name = t.name -> t.id = t.id",
+              "unbound variable 's'");
+  // Unknown attribute names the token and its column.
+  expect_diag("Customers(t) ^ Customers(s) ^ t.nope = s.name -> t.id = s.id",
+              "unknown attribute 'nope' of Customers at line 1, column 33");
+  // Type-incompatible equality.
+  expect_diag("Products(t) ^ Products(s) ^ t.price = s.desc -> t.id = s.id",
+              "incompatible attribute types");
+  // Consequence must be an id or ML predicate.
+  expect_diag(
+      "Customers(t) ^ Customers(s) ^ t.name = s.name -> t.phone = s.phone",
+      "consequence must be an id predicate or an ML predicate");
+  // Duplicate variable points at the second binding.
+  expect_diag("Customers(t) ^ Customers(t) ^ t.name = t.name -> t.id = t.id",
+              "duplicate variable 't' at line 1, column 26");
+  // .id compared with a constant.
+  expect_diag("Customers(t) ^ Customers(s) ^ t.id = \"x\" -> t.id = s.id",
+              "cannot compare .id with a constant");
+  // ML predicate arity mismatch points at the classifier name.
+  expect_diag(
+      "Customers(t) ^ Customers(s) ^ M1(t[name,addr], s.name) -> t.id = s.id",
+      "ML predicate sides must have the same arity");
+  // Missing ')' in a relation atom.
+  expect_diag("Customers(t ^ Customers(s) -> t.id = s.id",
+              "expected ')' in relation atom");
+  // Lexer: unexpected character, with its exact column.
+  expect_diag("Customers(t) @ t.name -> t.id = t.id",
+              "unexpected character '@' at line 1, column 14");
+  // Lexer: unterminated string literal.
+  expect_diag("Customers(t) ^ t.name = \"oops -> t.id = t.id",
+              "unterminated string literal");
+}
+
+TEST_F(RulesTest, ParserDiagnosticsEndOfInput) {
+  Rule r;
+  Status s = ParseRule("Customers(t) ^ Customers(s) ^ t.name = s.name ->",
+                       dataset_, registry_, &r);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("(end of input)"), std::string::npos)
+      << s.message();
+}
+
+TEST_F(RulesTest, ParseRuleSetReportsTrueLineNumbers) {
+  RuleSet rules;
+  Status s = ParseRuleSet(
+      "# header comment\n"
+      "Customers(t) ^ Customers(s) ^ t.phone = s.phone -> t.id = s.id\n"
+      "\n"
+      "Customers(t) ^ Customers(s) ^ t.nope = s.name -> t.id = s.id\n",
+      dataset_, registry_, &rules);
+  ASSERT_FALSE(s.ok());
+  // The bad attribute is on physical line 4, column 33.
+  EXPECT_NE(s.message().find("at line 4, column 33 near 'nope'"),
+            std::string::npos)
+      << s.message();
+}
+
 TEST_F(RulesTest, ToStringParsesBack) {
   const std::string text =
       "phi2: Products(t) ^ Products(s) ^ t.pname = s.pname ^ "

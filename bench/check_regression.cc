@@ -1,7 +1,9 @@
 // Guardrail against silent executor regressions: re-runs the pooled DMatch
 // configuration that BENCH_core.json records (ecommerce num_customers=800,
-// 4 workers, threads_per_worker=2, best of 3) and fails when the fresh wall
-// clock regresses more than the tolerance over the recorded baseline.
+// 4 workers, threads=2, best of 3) and fails when the fresh wall clock
+// regresses more than the tolerance over the recorded baseline, or when the
+// serialized wire bytes per run regress over the recorded dmatch_wire_bytes
+// (bytes are deterministic, so that gate needs no noise normalization).
 //
 // Usage: check_regression <path/to/BENCH_core.json> [tolerance]
 //   tolerance — allowed relative slowdown, default 0.25 (25%).
@@ -23,6 +25,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "chase/match_context.h"
 #include "datagen/ecommerce.h"
@@ -42,6 +45,32 @@ double JsonNumber(const std::string& text, const char* key) {
   return std::atof(text.c_str() + pos);
 }
 
+// The "bytes" value of every superstep object in the baseline's
+// dmatch_supersteps array, in step order. The needle requires the opening
+// quote, so "outbox_bytes" does not match. Empty when the baseline predates
+// the array.
+std::vector<double> JsonStepBytes(const std::string& text) {
+  std::vector<double> out;
+  size_t pos = text.find("\"dmatch_supersteps\":");
+  if (pos == std::string::npos) return out;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return out;
+  // The array nests worker_seconds arrays, so scan to the matching bracket.
+  int depth = 0;
+  size_t end = pos;
+  for (; end < text.size(); ++end) {
+    if (text[end] == '[') ++depth;
+    if (text[end] == ']' && --depth == 0) break;
+  }
+  while (true) {
+    pos = text.find("\"bytes\":", pos);
+    if (pos == std::string::npos || pos > end) break;
+    out.push_back(std::atof(text.c_str() + pos + std::strlen("\"bytes\":")));
+    ++pos;
+  }
+  return out;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::printf("usage: check_regression <BENCH_core.json> [tolerance]\n");
@@ -53,6 +82,8 @@ int Run(int argc, char** argv) {
   double baseline_seq = -1;
   double baseline_partial = -1;
   double baseline_incr = -1;
+  double baseline_wire_bytes = -1;
+  std::vector<double> baseline_step_bytes;
   {
     FILE* f = std::fopen(argv[1], "rb");
     if (f == nullptr) {
@@ -71,6 +102,8 @@ int Run(int argc, char** argv) {
     baseline_seq = JsonNumber(text, "dmatch_seq_wall_seconds");
     baseline_partial = JsonNumber(text, "dmatch_partial_eval_seconds");
     baseline_incr = JsonNumber(text, "dmatch_superstep_seconds");
+    baseline_wire_bytes = JsonNumber(text, "dmatch_wire_bytes");
+    baseline_step_bytes = JsonStepBytes(text);
   }
   if (baseline <= 0) {
     std::printf("baseline lacks dmatch_pooled_wall_seconds; skipping "
@@ -203,6 +236,42 @@ int Run(int argc, char** argv) {
   }
   if (!check_phase("incremental supersteps", fresh_incr, baseline_incr)) {
     return 1;
+  }
+
+  // Wire-bytes gate: serialized comm volume is a deterministic function of
+  // the workload and the codec, so any growth is a real change — a codec
+  // de-optimization, routing duplicates, or a propagation-policy slip. The
+  // same tolerance applies, but without noise normalization or a slack
+  // floor.
+  if (baseline_wire_bytes > 0) {
+    const double fresh_bytes = static_cast<double>(best_report.bytes);
+    const double bytes_ratio = fresh_bytes / baseline_wire_bytes;
+    std::printf("wire bytes: fresh=%.0f baseline=%.0f ratio=%.3f\n",
+                fresh_bytes, baseline_wire_bytes, bytes_ratio);
+    if (bytes_ratio > 1.0 + tolerance) {
+      std::printf("FAIL: serialized wire bytes regressed %.1f%% over "
+                  "baseline\n",
+                  (bytes_ratio - 1.0) * 100);
+      return 1;
+    }
+    // Per-superstep: a shift of volume between steps can hide inside a
+    // flat total.
+    for (size_t i = 0; i < baseline_step_bytes.size() &&
+                       i < best_report.superstep_stats.size();
+         ++i) {
+      const double base_b = baseline_step_bytes[i];
+      if (base_b <= 0) continue;
+      const double fresh_b =
+          static_cast<double>(best_report.superstep_stats[i].bytes);
+      if (fresh_b / base_b > 1.0 + tolerance) {
+        std::printf("FAIL: superstep %zu wire bytes regressed: fresh=%.0f "
+                    "baseline=%.0f\n",
+                    i, fresh_b, base_b);
+        return 1;
+      }
+    }
+  } else {
+    std::printf("wire bytes: no baseline; skipping (PASS)\n");
   }
   std::printf("PASS\n");
   return 0;

@@ -49,23 +49,23 @@ void Sweep(const char* name, GenDataset& gd, const RuleSet& rules,
 }
 
 // Intra-worker parallelism: real wall clock of the pooled BSP phase at a
-// fixed worker count, sweeping DMatchOptions::threads_per_worker. Unlike the
-// simulated sweep above, this measures actual concurrent execution on the
-// bench host, so gains cap at the host's core count.
+// fixed worker count, sweeping EngineOptions::threads. Unlike the simulated
+// sweep above, this measures actual concurrent execution on the bench host,
+// so gains cap at the host's core count.
 void TpwSweep(const char* name, GenDataset& gd, const RuleSet& rules,
-              int workers, int tpw_max) {
+              int workers, int threads_max) {
   TablePrinter table({"threads/worker", "wall", "speedup"});
   double base = 0;
-  for (int tpw = 1; tpw <= tpw_max; tpw *= 2) {
+  for (int threads = 1; threads <= threads_max; threads *= 2) {
     double best = 0;
     for (int rep = 0; rep < 3; ++rep) {
       dcer::MatchContext ctx(gd.dataset);
       dcer::DMatchReport r = dcer::bench::TimedDMatch(
-          gd, rules, workers, true, &ctx, tpw, /*run_parallel=*/true);
+          gd, rules, workers, true, &ctx, threads, /*run_parallel=*/true);
       if (rep == 0 || r.er_seconds < best) best = r.er_seconds;
     }
     if (base == 0) base = best;
-    table.AddRow({std::to_string(tpw), FmtSecs(best),
+    table.AddRow({std::to_string(threads), FmtSecs(best),
                   StringPrintf("%.2fx", base / best)});
   }
   std::printf("-- %s (n=%d, pooled wall clock) --\n", name, workers);

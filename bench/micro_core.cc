@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,8 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "parallel/dmatch.h"
+#include "parallel/master.h"
+#include "parallel/wire.h"
 #include "partition/hypercube.h"
 #include "rules/parser.h"
 
@@ -217,8 +220,7 @@ BENCHMARK(BM_HypercubeDistribute)->Arg(16)->Arg(256);
 
 // --- BENCH_core.json: executor-level numbers -------------------------------
 
-double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
-                         int threads_per_worker,
+double BestOf3DMatchWall(GenDataset& gd, bool run_parallel, int threads,
                          std::unique_ptr<MatchContext>* last_ctx,
                          DMatchReport* best_report = nullptr) {
   double best = 0;
@@ -229,7 +231,7 @@ double BestOf3DMatchWall(GenDataset& gd, bool run_parallel,
     DMatchOptions options;
     options.num_workers = 4;
     options.run_parallel = run_parallel;
-    options.threads = threads_per_worker;
+    options.threads = threads;
     DMatchReport r =
         DMatch(gd.dataset, gd.rules, gd.registry, options, ctx.get());
     if (rep == 0 || r.er_seconds < best) {
@@ -387,6 +389,161 @@ MlWorkloadNumbers MeasureMlWorkload() {
   return out;
 }
 
+// --- message-plane benches -------------------------------------------------
+
+// Exchange-heavy workload for the router alone: 4 workers, every tuple
+// hosted on up to two of them, each worker's outbox full of fresh random
+// pairs plus a slice of ML facts, one Dispatch. Serial vs pooled routing of
+// the identical stream, with a fact-identical check on the delivered
+// inboxes.
+struct RoutingNumbers {
+  double serial_seconds = 0;
+  double pooled_seconds = 0;
+  double pooled_shard_sum = 0;  // serial-equivalent work inside the shards
+  double pooled_shard_max = 0;  // one dedicated core per destination shard
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  bool inboxes_equal = false;
+};
+
+RoutingNumbers MeasureRouting() {
+  constexpr int kWorkers = 4;
+  constexpr uint32_t kTuples = 1 << 16;
+  constexpr size_t kFactsPerWorker = 20'000;
+
+  std::vector<std::vector<uint32_t>> hosts(kTuples);
+  for (uint32_t g = 0; g < kTuples; ++g) {
+    const uint32_t h1 = g % kWorkers;
+    const uint32_t h2 = (g / kWorkers) % kWorkers;
+    if (h1 == h2) {
+      hosts[g] = {h1};
+    } else {
+      hosts[g] = {std::min(h1, h2), std::max(h1, h2)};
+    }
+  }
+  // Mostly ML facts (pure routing work, no class growth) plus id facts
+  // confined to disjoint {2k, 2k+1} pairs, so the router is measured on
+  // volume, not on equivalence-class expansion.
+  std::vector<std::vector<Fact>> outboxes(kWorkers);
+  Rng rng(13);
+  for (int w = 0; w < kWorkers; ++w) {
+    outboxes[w].reserve(kFactsPerWorker);
+    for (size_t i = 0; i < kFactsPerWorker; ++i) {
+      if (i % 4 == 3) {
+        const uint32_t a =
+            static_cast<uint32_t>(rng.Uniform(kTuples / 2)) * 2;
+        outboxes[w].push_back(Fact::IdMatch(a, a + 1));
+      } else {
+        uint32_t a = static_cast<uint32_t>(rng.Uniform(kTuples));
+        uint32_t b = static_cast<uint32_t>(rng.Uniform(kTuples));
+        if (a == b) b = (b + 1) % kTuples;
+        outboxes[w].push_back(Fact::MlValidated(
+            static_cast<int32_t>(i % 3), a, rng.Next(), b, rng.Next()));
+      }
+    }
+  }
+
+  RoutingNumbers out;
+  auto run = [&](ThreadPool* pool, std::vector<std::vector<Fact>>* inboxes) {
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Master::Options mo;
+      mo.pool = pool;
+      Master master(&hosts, kWorkers, kTuples, mo);
+      for (int w = 0; w < kWorkers; ++w) master.Collect(w, outboxes[w]);
+      Timer t;
+      master.Dispatch(inboxes);
+      const double secs = t.ElapsedSeconds();
+      if (rep == 0 || secs < best) {
+        best = secs;
+        if (pool != nullptr) {
+          out.pooled_shard_sum = master.route_shard_sum_seconds();
+          out.pooled_shard_max = master.route_shard_max_seconds();
+          out.messages = master.messages_routed();
+          out.bytes = master.bytes_routed();
+        }
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::vector<Fact>> serial_inboxes;
+  std::vector<std::vector<Fact>> pooled_inboxes;
+  out.serial_seconds = run(nullptr, &serial_inboxes);
+  out.pooled_seconds = run(&ThreadPool::Global(), &pooled_inboxes);
+  out.inboxes_equal = serial_inboxes.size() == pooled_inboxes.size();
+  for (size_t d = 0; out.inboxes_equal && d < serial_inboxes.size(); ++d) {
+    out.inboxes_equal = serial_inboxes[d].size() == pooled_inboxes[d].size();
+    for (size_t i = 0; out.inboxes_equal && i < serial_inboxes[d].size();
+         ++i) {
+      out.inboxes_equal =
+          wire::SameFact(serial_inboxes[d][i], pooled_inboxes[d][i]);
+    }
+  }
+  return out;
+}
+
+// Class-merge-heavy workload for the propagation policy: chains first build
+// blocks of 16 equivalent tuples, then tournament rounds merge ever-larger
+// blocks — exactly the regime where the |Ca| × |Cb| cross product explodes
+// and the |Ca| + |Cb| spanning pairs stay linear.
+struct SpanningNumbers {
+  uint64_t spanning_messages = 0;
+  uint64_t crossproduct_messages = 0;
+  uint64_t spanning_bytes = 0;
+  uint64_t crossproduct_bytes = 0;
+  bool eid_equal = false;
+};
+
+SpanningNumbers MeasureSpanning() {
+  constexpr int kWorkers = 4;
+  constexpr uint32_t kTuples = 1024;
+  std::vector<std::vector<uint32_t>> hosts(kTuples);
+  for (uint32_t g = 0; g < kTuples; ++g) hosts[g] = {g % kWorkers};
+  std::vector<Fact> facts;
+  for (uint32_t g = 0; g + 1 < kTuples; ++g) {
+    if (g % 16 != 15) facts.push_back(Fact::IdMatch(g, g + 1));
+  }
+  for (uint32_t size = 16; size < kTuples; size *= 2) {
+    for (uint32_t g = 0; g + size < kTuples; g += 2 * size) {
+      facts.push_back(Fact::IdMatch(g, g + size));
+    }
+  }
+
+  // Class labels normalized to each class's smallest member, so the two
+  // modes' union-finds compare representation-independently.
+  auto canon = [](const UnionFind& uf, uint32_t n) {
+    std::vector<uint32_t> rep(n);
+    std::unordered_map<uint32_t, uint32_t> min_of;
+    for (uint32_t g = 0; g < n; ++g) min_of.emplace(uf.Find(g), g);
+    for (uint32_t g = 0; g < n; ++g) rep[g] = min_of[uf.Find(g)];
+    return rep;
+  };
+
+  SpanningNumbers out;
+  std::vector<uint32_t> eid_spanning;
+  std::vector<uint32_t> eid_cross;
+  for (bool spanning : {true, false}) {
+    Master::Options mo;
+    mo.spanning_pairs = spanning;
+    Master master(&hosts, kWorkers, kTuples, mo);
+    master.Collect(0, facts);
+    std::vector<std::vector<Fact>> inboxes;
+    master.Dispatch(&inboxes);
+    if (spanning) {
+      out.spanning_messages = master.messages_routed();
+      out.spanning_bytes = master.bytes_routed();
+      eid_spanning = canon(master.global_eid(), kTuples);
+    } else {
+      out.crossproduct_messages = master.messages_routed();
+      out.crossproduct_bytes = master.bytes_routed();
+      eid_cross = canon(master.global_eid(), kTuples);
+    }
+  }
+  out.eid_equal = eid_spanning == eid_cross;
+  return out;
+}
+
 double MlCacheHitNs() {
   PredictionCache cache;
   Rng rng(11);
@@ -413,16 +570,49 @@ void WriteBenchCoreJson() {
   std::unique_ptr<MatchContext> pooled_ctx;
   // Seed sequential path: workers executed one after another, chase
   // single-threaded. Pooled path: workers as pool tasks, each splitting its
-  // join enumeration over threads_per_worker=2.
+  // join enumeration over threads=2.
   DMatchReport pooled_report;
   double seq = BestOf3DMatchWall(*gd, /*run_parallel=*/false,
-                                 /*threads_per_worker=*/1, &seq_ctx);
+                                 /*threads=*/1, &seq_ctx);
   double pooled = BestOf3DMatchWall(*gd, /*run_parallel=*/true,
-                                    /*threads_per_worker=*/2, &pooled_ctx,
+                                    /*threads=*/2, &pooled_ctx,
                                     &pooled_report);
   bool pairs_equal =
       seq_ctx->MatchedPairs() == pooled_ctx->MatchedPairs() &&
       seq_ctx->ValidatedMlKeys() == pooled_ctx->ValidatedMlKeys();
+
+  // Propagation policy and transport, at the DMatch level: the spanning-pair
+  // run, the cross-product ablation, and a loopback-TCP run must all yield
+  // the same Γ; the message/byte totals quantify what the policy saves on
+  // this workload.
+  auto run_mode = [&](bool spanning, TransportKind kind,
+                      DMatchReport* report) {
+    gd->registry.ClearCache();
+    gd->registry.ResetStats();
+    auto ctx = std::make_unique<MatchContext>(gd->dataset);
+    DMatchOptions o;
+    o.num_workers = 4;
+    o.run_parallel = false;
+    o.spanning_pairs = spanning;
+    o.transport = kind;
+    *report = DMatch(gd->dataset, gd->rules, gd->registry, o, ctx.get());
+    return ctx;
+  };
+  DMatchReport span_report;
+  DMatchReport cross_report;
+  DMatchReport tcp_report;
+  auto span_ctx = run_mode(true, TransportKind::kInProcess, &span_report);
+  auto cross_ctx = run_mode(false, TransportKind::kInProcess, &cross_report);
+  auto tcp_ctx = run_mode(true, TransportKind::kLoopbackTcp, &tcp_report);
+  const bool gamma_equal =
+      span_ctx->MatchedPairs() == cross_ctx->MatchedPairs() &&
+      span_ctx->ValidatedMlKeys() == cross_ctx->ValidatedMlKeys();
+  const bool tcp_pairs_equal =
+      span_ctx->MatchedPairs() == tcp_ctx->MatchedPairs() &&
+      span_ctx->ValidatedMlKeys() == tcp_ctx->ValidatedMlKeys();
+
+  RoutingNumbers routing = MeasureRouting();
+  SpanningNumbers spanning = MeasureSpanning();
 
   // Overhead of turning metric collection on for the same workload; with
   // metrics off (the default above) collection is one predicted branch, so
@@ -459,7 +649,7 @@ void WriteBenchCoreJson() {
   w.KV("hardware_concurrency", hw);
   w.KV("pool_threads", pool_threads);
   w.KV("workers", 4);
-  w.KV("threads_per_worker", 2);
+  w.KV("threads", 2);
   w.KV("dmatch_seq_wall_seconds", seq);
   w.KV("dmatch_pooled_wall_seconds", pooled);
   w.KV("speedup", pool_speedup);
@@ -496,6 +686,8 @@ void WriteBenchCoreJson() {
       w.KV("skew", s.skew);
       w.KV("messages", s.messages);
       w.KV("bytes", s.bytes);
+      w.KV("outbox_messages", s.outbox_messages);
+      w.KV("outbox_bytes", s.outbox_bytes);
       w.Key("worker_seconds").BeginArray();
       for (double t : s.worker_seconds) w.Value(t);
       w.EndArray();
@@ -503,6 +695,55 @@ void WriteBenchCoreJson() {
     }
     w.EndArray();
   }
+  // Wire volume of the best pooled run — serialized bytes straight from the
+  // codec (the regression gate in bench/check_regression keys on
+  // dmatch_wire_bytes).
+  w.KV("dmatch_wire_messages", pooled_report.messages);
+  w.KV("dmatch_wire_bytes", pooled_report.bytes);
+  w.KV("dmatch_outbox_messages", pooled_report.outbox_messages);
+  w.KV("dmatch_outbox_bytes", pooled_report.outbox_bytes);
+  w.KV("dmatch_route_seconds", pooled_report.route_seconds);
+  w.KV("transport", pooled_report.transport);
+  // Router alone on the exchange-heavy synthetic workload: serial vs pooled
+  // wall clock, plus the shard-time speedup (sum/max over destination
+  // shards) that models one core per shard — the honest number on hosts
+  // with fewer cores than shards.
+  w.KV("route_serial_seconds", routing.serial_seconds);
+  w.KV("route_pooled_seconds", routing.pooled_seconds);
+  const double route_speedup = routing.pooled_seconds > 0
+                                   ? routing.serial_seconds /
+                                         routing.pooled_seconds
+                                   : 0.0;
+  const double route_speedup_simulated =
+      routing.pooled_shard_max > 0
+          ? routing.pooled_shard_sum / routing.pooled_shard_max
+          : 0.0;
+  w.KV("route_speedup", route_speedup);
+  w.KV("route_speedup_simulated", route_speedup_simulated);
+  if (route_speedup < 1.5 && hw < 4) {
+    w.KV("route_speedup_warning",
+         "pooled routing cannot beat serial on this host: " +
+             std::to_string(hw) +
+             " hardware thread(s) for 4 destination shards, so the wall "
+             "gap is oversubscription artifact; route_speedup_simulated "
+             "is the per-shard-core number");
+  }
+  w.KV("route_messages", routing.messages);
+  w.KV("route_bytes", routing.bytes);
+  w.KV("route_inboxes_equal", routing.inboxes_equal);
+  // Propagation policy: master-level message/byte volume on the
+  // class-merge-heavy tournament workload, and Γ identity of the two
+  // policies (and the TCP transport) at the DMatch level.
+  w.KV("route_messages_spanning", spanning.spanning_messages);
+  w.KV("route_messages_crossproduct", spanning.crossproduct_messages);
+  w.KV("route_bytes_spanning", spanning.spanning_bytes);
+  w.KV("route_bytes_crossproduct", spanning.crossproduct_bytes);
+  w.KV("route_eid_equal", spanning.eid_equal);
+  w.KV("dmatch_messages_spanning", span_report.messages);
+  w.KV("dmatch_messages_crossproduct", cross_report.messages);
+  w.KV("route_gamma_equal", gamma_equal);
+  w.KV("tcp_transport", tcp_report.transport);
+  w.KV("tcp_pairs_equal", tcp_pairs_equal);
   w.KV("dmatch_metrics_wall_seconds", pooled_metrics);
   w.KV("obs_overhead_ratio", obs_overhead_ratio);
   w.KV("pairs_equal", pairs_equal);
@@ -553,6 +794,22 @@ void WriteBenchCoreJson() {
               ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0,
               ml.pairs_equal,
               static_cast<unsigned long long>(ml.indices_built));
+  std::printf("routing: serial=%.4fs pooled=%.4fs speedup=%.2fx "
+              "simulated=%.2fx inboxes_equal=%d (%llu facts, %llu wire "
+              "bytes)\n",
+              routing.serial_seconds, routing.pooled_seconds, route_speedup,
+              route_speedup_simulated, routing.inboxes_equal,
+              static_cast<unsigned long long>(routing.messages),
+              static_cast<unsigned long long>(routing.bytes));
+  std::printf("propagation: spanning=%llu msgs (%llu B) crossproduct=%llu "
+              "msgs (%llu B) eid_equal=%d gamma_equal=%d\n",
+              static_cast<unsigned long long>(spanning.spanning_messages),
+              static_cast<unsigned long long>(spanning.spanning_bytes),
+              static_cast<unsigned long long>(spanning.crossproduct_messages),
+              static_cast<unsigned long long>(spanning.crossproduct_bytes),
+              spanning.eid_equal, gamma_equal);
+  std::printf("transport: dmatch over %s, pairs_equal=%d\n",
+              tcp_report.transport, tcp_pairs_equal);
 }
 
 }  // namespace

@@ -2,8 +2,17 @@
 #define DCER_CHASE_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dcer {
+
+/// How encoded fact batches travel between DMatch's workers and master.
+/// Both modes run the same exchange path (wire-codec encode → channel →
+/// decode), so serialized byte accounting is identical; kLoopbackTcp
+/// additionally pushes every batch through connected 127.0.0.1 sockets
+/// (length-prefixed frames through the kernel TCP stack) and falls back to
+/// kInProcess if sockets are unavailable.
+enum class TransportKind : uint8_t { kInProcess, kLoopbackTcp };
 
 /// Engine knobs shared by every entry point that runs a chase — sequential
 /// Match, the BSP DMatch workers, and IncrementalMatcher. Factored into one
@@ -19,11 +28,13 @@ struct EngineOptions {
   /// hash functions under DMatch). Off = the DMatch_noMQO ablation.
   bool use_mqo = true;
   /// Pool threads used to split a chase's join enumeration (per worker
-  /// under DMatch, where this was previously spelled threads_per_worker).
-  /// 1 = fully single-threaded chase, as in the paper's BSP model. Any
-  /// value yields bit-identical results; see DESIGN.md "Parallel execution
-  /// model".
+  /// under DMatch). 1 = fully single-threaded chase, as in the paper's BSP
+  /// model. Any value yields bit-identical results; see DESIGN.md
+  /// "Parallel execution model".
   int threads = 1;
+  /// Message plane for the BSP exchange (DMatch only; the sequential Match
+  /// sends nothing). See TransportKind.
+  TransportKind transport = TransportKind::kInProcess;
   /// Similarity-index candidate generation for ML predicates (see DESIGN.md
   /// "ML candidate indices"): token/q-gram indices turn Jaccard and
   /// edit-similarity predicates into index probes instead of cross-product

@@ -27,7 +27,8 @@ inline uint64_t IdPairKey(Gid a, Gid b) {
 /// An element of Γ beyond the reflexive pairs: either a deduced match
 /// (t.id, s.id) or a validated ML prediction M(t[Ā], s[B̄]) (Sec. III-A).
 /// Facts are also the BSP message payload — only facts, never raw tuples,
-/// travel between workers.
+/// travel between workers, serialized by the wire codec (parallel/wire.h)
+/// in the canonical form NormalizeSides establishes.
 struct Fact {
   enum class Kind : uint8_t { kId, kMl };
 
@@ -56,6 +57,22 @@ struct Fact {
     f.a_sig = a_sig;
     f.b_sig = b_sig;
     return f;
+  }
+
+  /// Normalizes side order: id facts to a <= b, ML facts to
+  /// (a, a_sig) <= (b, b_sig). Side order carries no meaning — Key() and
+  /// every consumer (MatchContext::Apply, the dependency store) are
+  /// symmetric in the sides — so this is lossless; the wire codec applies
+  /// it before encoding so equal facts have equal wire form.
+  void NormalizeSides() {
+    if (kind == Kind::kId) {
+      if (a > b) std::swap(a, b);
+      return;
+    }
+    if (a > b || (a == b && a_sig > b_sig)) {
+      std::swap(a, b);
+      std::swap(a_sig, b_sig);
+    }
   }
 
   /// Canonical key: symmetric under swapping sides. Id and ML facts live in

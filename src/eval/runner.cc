@@ -37,7 +37,7 @@ const char* MethodName(Method method) {
 }
 
 RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
-                    uint64_t seed, int threads_per_worker) {
+                    uint64_t seed, int threads) {
   RunResult result;
   MatchContext ctx(gd.dataset);
   Timer timer;
@@ -46,7 +46,7 @@ RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
     DMatchOptions options;
     options.num_workers = num_workers;
     options.use_mqo = use_mqo;
-    options.threads = threads_per_worker;
+    options.threads = threads;
     DMatchReport report = DMatch(gd.dataset, rules, gd.registry, options, &ctx);
     result.partition_seconds = report.partition_seconds;
     result.work = report.chase.valuations;

@@ -36,11 +36,12 @@ struct RunResult {
 };
 
 /// Runs `method` on the workload and scores it against the ground truth.
-/// `num_workers` applies to the parallel methods; `threads_per_worker`
-/// additionally splits each DMatch worker's join enumeration over the
-/// shared thread pool (results are identical for every value).
+/// `num_workers` applies to the parallel methods; `threads` (the
+/// EngineOptions knob) additionally splits each DMatch worker's join
+/// enumeration over the shared thread pool (results are identical for
+/// every value).
 RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
-                    uint64_t seed = 7, int threads_per_worker = 1);
+                    uint64_t seed = 7, int threads = 1);
 
 }  // namespace dcer
 

@@ -133,7 +133,7 @@ struct MetricsSnapshot {
 
   /// Counters, gauges and count-unit histograms equal; timing (kNanos)
   /// histograms ignored. This is the relation the determinism tests assert
-  /// across threads / threads_per_worker settings.
+  /// across `threads` settings.
   bool DeterministicEquals(const MetricsSnapshot& other) const;
 
   bool empty() const {

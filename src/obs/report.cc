@@ -75,6 +75,8 @@ std::string RunReport::ToJson() const {
       w.KV("skew", s.skew);
       w.KV("messages", s.messages);
       w.KV("bytes", s.bytes);
+      w.KV("outbox_messages", s.outbox_messages);
+      w.KV("outbox_bytes", s.outbox_bytes);
       w.Key("worker_seconds").BeginArray();
       for (double t : s.worker_seconds) w.Value(t);
       w.EndArray();

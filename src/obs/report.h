@@ -12,8 +12,8 @@ namespace dcer {
 class JsonWriter;
 
 /// Counters exposed by the chase (computation-cost metrics of Sec. VI).
-/// Every field is deterministic for a given input under any
-/// threads/threads_per_worker setting — the parallel enumeration merges
+/// Every field is deterministic for a given input under any `threads`
+/// setting — the parallel enumeration merges
 /// per-shard counts in shard order, and shard boundaries are a pure function
 /// of the rule and view.
 struct ChaseStats {
@@ -54,8 +54,14 @@ struct SuperstepStats {
   double mean_seconds = 0;  // over workers
   double skew = 0;          // max/mean; 1.0 = perfectly balanced
   std::vector<double> worker_seconds;  // one entry per worker
+  /// Wire volume attributed to this step, both legs of the exchange it
+  /// triggered. All byte fields are actual serialized sizes of wire-codec
+  /// batches (the master is the single source of truth; DMatchReport's
+  /// totals are exactly the sums of these).
   uint64_t messages = 0;  // facts delivered to worker inboxes after the step
-  uint64_t bytes = 0;
+  uint64_t bytes = 0;     // serialized size of those inbox batches
+  uint64_t outbox_messages = 0;  // facts the step's outboxes sent the master
+  uint64_t outbox_bytes = 0;     // serialized size of those outbox batches
 };
 
 /// Shared core of MatchReport and DMatchReport: the chase counters, the

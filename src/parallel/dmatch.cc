@@ -10,6 +10,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/master.h"
+#include "parallel/transport.h"
+#include "parallel/wire.h"
 #include "parallel/worker.h"
 
 namespace dcer {
@@ -52,9 +54,14 @@ void DMatchReport::ExtraJson(JsonWriter* w) const {
   w->KV("num_supersteps", supersteps);
   w->KV("messages", messages);
   w->KV("bytes", bytes);
+  w->KV("outbox_messages", outbox_messages);
+  w->KV("outbox_bytes", outbox_bytes);
+  w->KV("transport", transport);
   w->KV("partition_seconds", partition_seconds);
   w->KV("er_seconds", er_seconds);
   w->KV("simulated_seconds", simulated_seconds);
+  w->KV("route_seconds", route_seconds);
+  w->KV("route_simulated_seconds", route_simulated_seconds);
   w->Key("partition").BeginObject();
   w->KV("generated_tuples", partition.generated_tuples);
   w->KV("fragment_tuples", partition.fragment_tuples);
@@ -106,7 +113,14 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
         std::move(partition.rule_views[w]), &rules, &registry,
         engine_options));
   }
-  Master master(&partition.hosts, options.num_workers, dataset.num_tuples());
+  std::unique_ptr<Transport> transport =
+      Transport::Create(options.transport, options.num_workers);
+  Master::Options master_options;
+  master_options.spanning_pairs = options.spanning_pairs;
+  master_options.pool = options.run_parallel ? &pool : nullptr;
+  master_options.transport = transport.get();
+  Master master(&partition.hosts, options.num_workers, dataset.num_tuples(),
+                master_options);
 
   // Runs one superstep and records its per-worker times and skew. The
   // messages/bytes the master routes afterwards are filled in by the
@@ -131,10 +145,29 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
     return slowest;
   };
 
+  // Collects every worker's outbox through the wire: encode, send the
+  // batch over the transport, and let the master receive + decode it.
+  // The collect-side wire volume is charged to the superstep whose stats
+  // entry is current (the step that produced the outboxes).
+  auto exchange_outboxes = [&] {
+    const uint64_t msgs_before = master.outbox_messages();
+    const uint64_t bytes_before = master.outbox_bytes();
+    for (auto& w : workers) {
+      std::vector<Fact> out = w->TakeOutbox();
+      std::vector<uint8_t> bytes;
+      if (!out.empty()) wire::EncodeFactBatch(out, &bytes);
+      transport->SendToMaster(w->id(), std::move(bytes));
+      master.CollectFromWorker(w->id());
+    }
+    SuperstepStats& ss = report.superstep_stats.back();
+    ss.outbox_messages = master.outbox_messages() - msgs_before;
+    ss.outbox_bytes = master.outbox_bytes() - bytes_before;
+  };
+
   // Superstep 0: partial evaluation A on every worker in parallel.
   report.simulated_seconds += run_step(0, nullptr);
   report.supersteps = 1;
-  for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
+  exchange_outboxes();
 
   // Supersteps r > 0: incremental A_Δ until no messages flow (ΔΓ = ∅).
   std::vector<std::vector<Fact>> inboxes;
@@ -143,7 +176,7 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
     report.superstep_stats.back().bytes = master.last_dispatch_bytes();
     report.simulated_seconds += run_step(report.supersteps, &inboxes);
     ++report.supersteps;
-    for (auto& w : workers) master.Collect(w->id(), w->TakeOutbox());
+    exchange_outboxes();
   }
 
   // Γ = ∪_i Γ_i: union the locally derived facts into the result context.
@@ -156,6 +189,13 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
   report.seconds = report.partition_seconds + report.er_seconds;
   report.messages = master.messages_routed();
   report.bytes = master.bytes_routed();
+  report.outbox_messages = master.outbox_messages();
+  report.outbox_bytes = master.outbox_bytes();
+  report.route_seconds = master.route_seconds();
+  report.route_simulated_seconds = master.route_shard_max_seconds();
+  report.transport = transport->kind() == TransportKind::kLoopbackTcp
+                         ? "loopback_tcp"
+                         : "in_process";
   report.matched_pairs = result->num_matched_pairs();
   report.validated_ml = result->num_validated_ml();
   report.ml_predictions = registry.num_predictions() - preds_before;
@@ -168,6 +208,8 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
     reg.GetCounter("dmatch.supersteps")->Add(report.supersteps);
     reg.GetCounter("dmatch.messages")->Add(report.messages);
     reg.GetCounter("dmatch.bytes")->Add(report.bytes);
+    reg.GetCounter("dmatch.outbox_messages")->Add(report.outbox_messages);
+    reg.GetCounter("dmatch.outbox_bytes")->Add(report.outbox_bytes);
     reg.GetCounter("hypart.generated_tuples")
         ->Add(report.partition.generated_tuples);
     reg.GetCounter("hypart.fragment_tuples")

@@ -10,63 +10,53 @@ namespace dcer {
 
 /// Configuration of parallel algorithm DMatch (Sec. V-B). The engine knobs
 /// shared with the sequential Match (dependency_capacity, use_mqo, threads,
-/// ml_index, ml_index_approx) live in the EngineOptions base; `threads`
-/// here means intra-worker parallelism — each worker's join enumeration
-/// splits into 2 × threads pool shards (see ChaseEngine::Options::pool).
-/// Results are bit-identical for every value. Total hardware-thread demand
-/// is roughly num_workers × threads when run_parallel is set, or just
-/// `threads` when workers are simulated sequentially.
+/// ml_index, ml_index_approx, transport) live in the EngineOptions base;
+/// `threads` here means intra-worker parallelism — each worker's join
+/// enumeration splits into 2 × threads pool shards (see
+/// ChaseEngine::Options::pool). Results are bit-identical for every value.
+/// Total hardware-thread demand is roughly num_workers × threads when
+/// run_parallel is set, or just `threads` when workers are simulated
+/// sequentially.
 struct DMatchOptions : EngineOptions {
   int num_workers = 4;
   /// Virtual blocks + LPT skew reduction in HyPart.
   bool use_virtual_blocks = true;
-  /// Run workers on the persistent thread pool. false = run them
-  /// sequentially (results are identical; per-superstep max worker time
-  /// still yields the simulated parallel time, useful when workers
-  /// outnumber cores).
+  /// Run workers — and the master's routing shards — on the persistent
+  /// thread pool. false = run everything sequentially (results are
+  /// identical; per-superstep max worker time still yields the simulated
+  /// parallel time, useful when workers outnumber cores).
   bool run_parallel = true;
-
-  /// Deprecated spelling of EngineOptions::threads, kept one release so
-  /// existing call sites compile unchanged. Reads and writes forward to
-  /// `threads`; new code should use `threads` directly.
-  struct ThreadsAlias {
-    EngineOptions* self;
-    ThreadsAlias& operator=(int v) {
-      self->threads = v;
-      return *this;
-    }
-    operator int() const { return self->threads; }
-  };
-  ThreadsAlias threads_per_worker{this};
-
-  DMatchOptions() = default;
-  // The alias member pins a self-pointer, so copying rebinds it (via its
-  // default member initializer) instead of copying the source's pointer.
-  DMatchOptions(const DMatchOptions& o)
-      : EngineOptions(o),
-        num_workers(o.num_workers),
-        use_virtual_blocks(o.use_virtual_blocks),
-        run_parallel(o.run_parallel) {}
-  DMatchOptions& operator=(const DMatchOptions& o) {
-    static_cast<EngineOptions&>(*this) = o;
-    num_workers = o.num_workers;
-    use_virtual_blocks = o.use_virtual_blocks;
-    run_parallel = o.run_parallel;
-    return *this;
-  }
+  /// Equivalence propagation policy: true routes the |Ca| + |Cb| spanning
+  /// pairs (x, new-root) per class merge; false restores the seed
+  /// |Ca| × |Cb| cross-product expansion. Γ is identical either way
+  /// (tests assert it) — the flag exists for that assertion and for
+  /// message-volume comparisons in bench/micro_core.
+  bool spanning_pairs = true;
 };
 
 /// Outcome of one DMatch run: the RunReport core (chase stats summed over
 /// workers, outcome sizes, per-superstep stats, cache and obs snapshots,
-/// ToJson) plus the partitioning and BSP-phase specifics.
+/// ToJson) plus the partitioning and BSP-phase specifics. All byte counts
+/// are actual serialized sizes of wire-codec batches (parallel/wire.h) —
+/// nothing is estimated from in-memory struct sizes.
 struct DMatchReport : RunReport {
   PartitionStats partition;
   int supersteps = 0;
-  uint64_t messages = 0;  // facts routed worker-to-worker (via master)
-  uint64_t bytes = 0;
+  uint64_t messages = 0;  // facts delivered to worker inboxes (via master)
+  uint64_t bytes = 0;     // serialized bytes of the delivered inbox batches
+  uint64_t outbox_messages = 0;  // facts workers sent to the master
+  uint64_t outbox_bytes = 0;     // serialized bytes of the outbox batches
   double partition_seconds = 0;
   double er_seconds = 0;         // wall clock of the BSP phase
   double simulated_seconds = 0;  // Σ_steps max_i t_i: n dedicated machines
+  double route_seconds = 0;      // master wall clock spent routing
+  /// Σ per-dispatch max destination-shard time: routing on one dedicated
+  /// core per destination, the router analogue of simulated_seconds.
+  double route_simulated_seconds = 0;
+  /// Effective transport the batches traveled through ("in_process" or
+  /// "loopback_tcp"; may differ from the requested kind if TCP setup
+  /// failed and the run fell back).
+  const char* transport = "in_process";
 
  protected:
   void ExtraJson(JsonWriter* w) const override;

@@ -1,59 +1,198 @@
 #include "parallel/master.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "parallel/transport.h"
+#include "parallel/wire.h"
+
 namespace dcer {
 
 Master::Master(const std::vector<std::vector<uint32_t>>* hosts,
                int num_workers, size_t num_tuples)
+    : Master(hosts, num_workers, num_tuples, Options()) {}
+
+Master::Master(const std::vector<std::vector<uint32_t>>* hosts,
+               int num_workers, size_t num_tuples, Options options)
     : hosts_(hosts),
       num_workers_(num_workers),
+      options_(options),
       eid_(num_tuples),
-      pending_(num_workers),
+      route_items_(num_workers),
+      sender_keys_(num_workers),
       seen_(num_workers) {}
 
-void Master::Route(const Fact& f) {
-  uint64_t key = f.Key();
-  auto route_to = [&](Gid gid) {
-    if (gid >= hosts_->size()) return;
-    for (uint32_t w : (*hosts_)[gid]) {
-      if (!seen_[w].insert(key).second) continue;  // already delivered
-      pending_[w].push_back(f);
-      ++messages_routed_;
-    }
-  };
-  route_to(f.a);
-  if (f.b != f.a) route_to(f.b);
-}
-
 void Master::Collect(int from, std::vector<Fact> facts) {
+  std::vector<Fact>& items = route_items_[from];
+  std::vector<uint64_t>& sent = sender_keys_[from];
   for (const Fact& f : facts) {
-    // The sender already knows this exact fact.
-    seen_[from].insert(f.Key());
+    // The sender already knows this exact fact; its Dispatch shard marks it
+    // before any delivery so it is never echoed back.
+    sent.push_back(f.Key());
     if (f.kind == Fact::Kind::kMl) {
-      if (validated_ml_.insert(f.Key()).second) Route(f);
+      // Cross-superstep duplicates are suppressed at delivery by the
+      // per-destination seen shards; no global validated-ML set.
+      items.push_back(f);
       continue;
     }
     if (eid_.Same(f.a, f.b)) continue;
-    // Route every newly-equivalent concrete pair so each hosting worker can
-    // update its local E_id, even if it hosts none of the intermediates.
-    std::vector<uint32_t> ca = eid_.ClassMembers(f.a);
-    std::vector<uint32_t> cb = eid_.ClassMembers(f.b);
-    eid_.Union(f.a, f.b);
-    for (uint32_t x : ca) {
-      for (uint32_t y : cb) Route(Fact::IdMatch(x, y));
+    if (options_.spanning_pairs) {
+      // Route the |Ca| + |Cb| - 1 spanning pairs (x, new-root): every
+      // worker hosting a member x learns x ~ root, and its local
+      // union-find recovers exactly the pairs it can ever need (any
+      // valuation over (x, y) lives where both are hosted — that worker
+      // receives both spanning pairs).
+      std::vector<uint32_t> members = eid_.ClassMembers(f.a);
+      {
+        std::vector<uint32_t> cb = eid_.ClassMembers(f.b);
+        members.insert(members.end(), cb.begin(), cb.end());
+      }
+      eid_.Union(f.a, f.b);
+      const uint32_t root = eid_.Find(f.a);
+      for (uint32_t x : members) {
+        if (x != root) items.push_back(Fact::IdMatch(x, root));
+      }
+    } else {
+      // Seed-compat cross-product expansion: every newly-equivalent
+      // concrete pair, |Ca| × |Cb| route items per merge.
+      std::vector<uint32_t> ca = eid_.ClassMembers(f.a);
+      std::vector<uint32_t> cb = eid_.ClassMembers(f.b);
+      eid_.Union(f.a, f.b);
+      for (uint32_t x : ca) {
+        for (uint32_t y : cb) items.push_back(Fact::IdMatch(x, y));
+      }
+    }
+  }
+  outbox_messages_ += facts.size();
+}
+
+void Master::CollectFromWorker(int from) {
+  std::vector<uint8_t> bytes = options_.transport->ReceiveFromWorker(from);
+  outbox_bytes_ += bytes.size();
+  std::vector<Fact> facts;
+  if (!bytes.empty()) wire::DecodeFactBatch(bytes, &facts);
+  Collect(from, std::move(facts));
+}
+
+void Master::DestinationsOf(Gid a, Gid b,
+                            std::vector<uint32_t>* out) const {
+  static const std::vector<uint32_t> kNone;
+  const std::vector<uint32_t>& ha =
+      a < hosts_->size() ? (*hosts_)[a] : kNone;
+  const std::vector<uint32_t>& hb =
+      b != a && b < hosts_->size() ? (*hosts_)[b] : kNone;
+  // Both lists are sorted and unique; merge without duplicates.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ha.size() || j < hb.size()) {
+    if (j == hb.size() || (i < ha.size() && ha[i] < hb[j])) {
+      out->push_back(ha[i++]);
+    } else if (i == ha.size() || hb[j] < ha[i]) {
+      out->push_back(hb[j++]);
+    } else {
+      out->push_back(ha[i++]);
+      ++j;
     }
   }
 }
 
 bool Master::Dispatch(std::vector<std::vector<Fact>>* inboxes) {
+  Timer route_timer;
   inboxes->assign(num_workers_, {});
-  bool any = false;
-  last_dispatch_messages_ = 0;
-  for (int w = 0; w < num_workers_; ++w) {
-    if (!pending_[w].empty()) any = true;
-    last_dispatch_messages_ += pending_[w].size();
-    (*inboxes)[w] = std::move(pending_[w]);
-    pending_[w].clear();
+
+  // Phase A — partition: each source's route items are bucketed by
+  // destination worker, one independent task per source (read-only on
+  // hosts_, writes only its own bucket row).
+  std::vector<std::vector<std::vector<Fact>>> buckets(
+      num_workers_, std::vector<std::vector<Fact>>(num_workers_));
+  auto partition_one = [&](int src) {
+    std::vector<uint32_t> dests;
+    for (const Fact& f : route_items_[src]) {
+      dests.clear();
+      DestinationsOf(f.a, f.b, &dests);
+      for (uint32_t d : dests) buckets[src][d].push_back(f);
+    }
+  };
+
+  // Phase B — per-destination merge: sources in worker order (the
+  // deterministic merge), duplicate delivery suppressed by the
+  // destination's own seen shard, then the batch is serialized by the wire
+  // codec. No shard touches another shard's state.
+  std::vector<std::vector<uint8_t>> encoded(num_workers_);
+  std::vector<uint64_t> shard_messages(num_workers_, 0);
+  std::vector<double> shard_seconds(num_workers_, 0);
+  auto merge_one = [&](int d) {
+    Timer shard_timer;
+    // The destination knows every fact it sent this superstep: mark those
+    // first so they are never delivered back to their producer.
+    std::unordered_set<uint64_t>& seen = seen_[d];
+    for (uint64_t key : sender_keys_[d]) seen.insert(key);
+    std::vector<Fact> inbox;
+    for (int src = 0; src < num_workers_; ++src) {
+      for (const Fact& f : buckets[src][d]) {
+        if (seen.insert(f.Key()).second) inbox.push_back(f);
+      }
+    }
+    if (!inbox.empty()) {
+      shard_messages[d] = wire::EncodeFactBatch(inbox, &encoded[d]);
+    }
+    shard_seconds[d] = shard_timer.ElapsedSeconds();
+  };
+
+  if (options_.pool != nullptr) {
+    TaskGroup group(options_.pool);
+    for (int src = 0; src < num_workers_; ++src) {
+      group.Run([&partition_one, src] { partition_one(src); });
+    }
+    group.Wait();
+    for (int d = 0; d < num_workers_; ++d) {
+      group.Run([&merge_one, d] { merge_one(d); });
+    }
+    group.Wait();
+  } else {
+    for (int src = 0; src < num_workers_; ++src) partition_one(src);
+    for (int d = 0; d < num_workers_; ++d) merge_one(d);
   }
+
+  // Phase C — delivery (serial, worker order): push each encoded batch
+  // through the transport if one is attached, decode it into the worker's
+  // inbox, and account the serialized size. The decode side is the batch a
+  // real channel delivered, not the merge shard's vector.
+  last_dispatch_messages_ = 0;
+  last_dispatch_bytes_ = 0;
+  bool any = false;
+  for (int d = 0; d < num_workers_; ++d) {
+    if (encoded[d].empty()) continue;
+    last_dispatch_bytes_ += encoded[d].size();
+    last_dispatch_messages_ += shard_messages[d];
+    std::vector<uint8_t> bytes;
+    if (options_.transport != nullptr) {
+      options_.transport->SendToWorker(d, std::move(encoded[d]));
+      bytes = options_.transport->ReceiveAtWorker(d);
+    } else {
+      bytes = std::move(encoded[d]);
+    }
+    wire::DecodeFactBatch(bytes, &(*inboxes)[d]);
+    if (!(*inboxes)[d].empty()) any = true;
+  }
+  messages_routed_ += last_dispatch_messages_;
+  bytes_routed_ += last_dispatch_bytes_;
+
+  for (int w = 0; w < num_workers_; ++w) {
+    route_items_[w].clear();
+    sender_keys_[w].clear();
+  }
+
+  double max_shard = 0;
+  double sum_shard = 0;
+  for (double s : shard_seconds) {
+    max_shard = std::max(max_shard, s);
+    sum_shard += s;
+  }
+  route_shard_max_seconds_ += max_shard;
+  route_shard_sum_seconds_ += sum_shard;
+  route_seconds_ += route_timer.ElapsedSeconds();
   return any;
 }
 

@@ -1,62 +1,133 @@
 #ifndef DCER_PARALLEL_MASTER_H_
 #define DCER_PARALLEL_MASTER_H_
 
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "chase/fact.h"
 #include "common/union_find.h"
-#include "parallel/message.h"
 
 namespace dcer {
+
+class ThreadPool;
+class Transport;
 
 /// The coordinator P_0 of the fixpoint model (Sec. III-B): collects the new
 /// matches each worker deduced in a superstep and routes them to the workers
 /// hosting the matched tuples.
 ///
-/// P_0 maintains the global equivalence relation: when a received match
-/// merges two classes, every newly-equivalent concrete pair (x, y) is routed
-/// to the workers hosting x or y. This closes the transitivity gap — a
-/// worker may host x and y but none of the intermediate tuples whose matches
-/// made them equivalent — and keeps total communication within the paper's
-/// O(‖Σ‖(|Σ|+1)|D|²) bound, since each concrete pair is routed at most once
-/// per worker.
+/// Collect is the only serial section and maintains exactly one piece of
+/// global state: the equivalence relation E_id (a union-find over tuple
+/// ids). When a received match merges classes Ca and Cb it emits the
+/// |Ca| + |Cb| − 1 spanning pairs (x, new-root) instead of the |Ca| × |Cb|
+/// cross product — each worker recovers the same local E_id from the
+/// spanning pairs through its own union-find (MatchContext::Apply expands
+/// class merges locally), and Lemma 6 guarantees any valuation needing a
+/// concrete pair (x, y) lives on a worker hosting both x and y, which
+/// receives both spanning pairs. Γ is bit-identical to cross-product
+/// routing; tests assert it.
+///
+/// Dispatch is the parallel section: route items are partitioned by
+/// destination worker and merged per destination on the thread pool —
+/// sources in worker order, duplicate delivery suppressed by one
+/// `seen` shard per destination (no global set, no cross-shard writes).
+/// Each destination's batch is then serialized by the wire codec
+/// (`parallel/wire.h`), optionally pushed through the Transport, and
+/// decoded into the worker inbox, so every reported byte is a byte a real
+/// channel would carry.
 class Master {
  public:
+  struct Options {
+    /// Route spanning pairs (x, new-root) on class merges. false restores
+    /// the seed cross-product expansion — an ablation/reference mode kept
+    /// for Γ-equivalence tests and message-volume comparisons.
+    bool spanning_pairs = true;
+    /// Runs Dispatch's partition and per-destination merge/encode as pool
+    /// tasks. nullptr routes serially; delivered facts are identical.
+    ThreadPool* pool = nullptr;
+    /// Byte plane for encoded batches (see Transport). nullptr keeps the
+    /// encode → decode pair in-place; the codec still runs either way, so
+    /// byte accounting does not depend on the transport.
+    Transport* transport = nullptr;
+  };
+
   /// `hosts` maps gid -> sorted worker ids hosting that tuple (from HyPart).
+  /// The three-argument form uses default Options (spanning pairs, serial
+  /// routing, no transport).
   Master(const std::vector<std::vector<uint32_t>>* hosts, int num_workers,
          size_t num_tuples);
+  Master(const std::vector<std::vector<uint32_t>>* hosts, int num_workers,
+         size_t num_tuples, Options options);
 
-  /// Accepts the outbox of worker `from` at the end of a superstep.
+  /// Accepts the outbox of worker `from` at the end of a superstep: updates
+  /// the global E_id and queues route items (serial, O(α) per fact plus
+  /// class size on merges).
   void Collect(int from, std::vector<Fact> facts);
 
-  /// Moves the routed per-worker inboxes into *inboxes (resized to
-  /// num_workers). Returns true if any inbox is non-empty, i.e., another
-  /// superstep is needed.
+  /// Receives worker `from`'s encoded outbox batch from the transport,
+  /// decodes it and Collects it, charging the batch to the collect-side
+  /// wire accounting. Requires Options::transport.
+  void CollectFromWorker(int from);
+
+  /// Routes everything queued since the last Dispatch into per-worker
+  /// inboxes (resized to num_workers). Returns true if any inbox is
+  /// non-empty, i.e., another superstep is needed.
   bool Dispatch(std::vector<std::vector<Fact>>* inboxes);
 
+  /// Facts delivered to worker inboxes, total and for the most recent
+  /// Dispatch. Bytes are actual serialized batch sizes from the wire codec
+  /// — the single source of truth for the per-superstep numbers in
+  /// `SuperstepStats` and the totals in `DMatchReport`.
   uint64_t messages_routed() const { return messages_routed_; }
-  uint64_t bytes_routed() const { return WireBytes(messages_routed_); }
-  /// Facts (and their wire size) moved into worker inboxes by the most
-  /// recent Dispatch — the per-superstep communication numbers of the
-  /// DMatch report.
+  uint64_t bytes_routed() const { return bytes_routed_; }
   uint64_t last_dispatch_messages() const { return last_dispatch_messages_; }
-  uint64_t last_dispatch_bytes() const {
-    return WireBytes(last_dispatch_messages_);
-  }
+  uint64_t last_dispatch_bytes() const { return last_dispatch_bytes_; }
+
+  /// Collect-side wire volume: facts/serialized bytes of the worker
+  /// outbox batches (counted when CollectFromWorker decodes a batch;
+  /// plain Collect calls count facts with zero bytes).
+  uint64_t outbox_messages() const { return outbox_messages_; }
+  uint64_t outbox_bytes() const { return outbox_bytes_; }
+
+  /// Router timing: total wall clock spent routing in Dispatch, the summed
+  /// per-destination shard times (the serial-equivalent work), and the sum
+  /// of per-Dispatch max shard times (the simulated parallel routing time
+  /// on one dedicated core per destination — same convention as
+  /// DMatchReport::simulated_seconds).
+  double route_seconds() const { return route_seconds_; }
+  double route_shard_sum_seconds() const { return route_shard_sum_seconds_; }
+  double route_shard_max_seconds() const { return route_shard_max_seconds_; }
+
   const UnionFind& global_eid() const { return eid_; }
 
  private:
-  void Route(const Fact& f);
+  // Appends the destinations hosting gid a or b (sorted, unique) to *out.
+  void DestinationsOf(Gid a, Gid b, std::vector<uint32_t>* out) const;
 
   const std::vector<std::vector<uint32_t>>* hosts_;
   int num_workers_;
+  Options options_;
   UnionFind eid_;  // global equivalence over all tuple ids
-  std::unordered_set<uint64_t> validated_ml_;
-  std::vector<std::vector<Fact>> pending_;
-  // Per-worker fact keys already delivered.
+
+  // Queued by Collect, drained by Dispatch; indexed by source worker.
+  std::vector<std::vector<Fact>> route_items_;
+  std::vector<std::vector<uint64_t>> sender_keys_;
+
+  // Per-destination fact keys already delivered (or derived by the
+  // destination itself). Only the destination's own Dispatch shard writes
+  // its set.
   std::vector<std::unordered_set<uint64_t>> seen_;
+
   uint64_t messages_routed_ = 0;
+  uint64_t bytes_routed_ = 0;
   uint64_t last_dispatch_messages_ = 0;
+  uint64_t last_dispatch_bytes_ = 0;
+  uint64_t outbox_messages_ = 0;
+  uint64_t outbox_bytes_ = 0;
+  double route_seconds_ = 0;
+  double route_shard_sum_seconds_ = 0;
+  double route_shard_max_seconds_ = 0;
 };
 
 }  // namespace dcer

@@ -1,0 +1,228 @@
+#include "parallel/transport.h"
+
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace dcer {
+
+namespace {
+
+/// In-process transport: one single-slot mailbox per channel. The BSP
+/// schedule is lock-step and the coordinator (or its fork/join tasks, with
+/// TaskGroup::Wait as the barrier) drives both ends, so a slot is written
+/// exactly once before it is read and distinct channels are never shared
+/// across unsynchronized threads.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(int num_workers)
+      : to_master_(num_workers), to_worker_(num_workers) {}
+
+  void SendToMaster(int worker, std::vector<uint8_t> bytes) override {
+    to_master_[worker] = std::move(bytes);
+  }
+  std::vector<uint8_t> ReceiveFromWorker(int worker) override {
+    return std::move(to_master_[worker]);
+  }
+  void SendToWorker(int worker, std::vector<uint8_t> bytes) override {
+    to_worker_[worker] = std::move(bytes);
+  }
+  std::vector<uint8_t> ReceiveAtWorker(int worker) override {
+    return std::move(to_worker_[worker]);
+  }
+  TransportKind kind() const override { return TransportKind::kInProcess; }
+
+ private:
+  std::vector<std::vector<uint8_t>> to_master_;
+  std::vector<std::vector<uint8_t>> to_worker_;
+};
+
+#ifndef _WIN32
+
+/// One direction of one worker's wire: a connected 127.0.0.1 TCP socket
+/// pair. Frames are length-prefixed (u32 LE). Both ends live in this
+/// process, so writes are non-blocking with a spill buffer and Receive
+/// alternates flushing the spill with reading — a batch larger than the
+/// kernel socket buffers still fully traverses the TCP stack without
+/// deadlocking the single driving thread.
+class TcpChannel {
+ public:
+  TcpChannel() = default;
+  TcpChannel(int send_fd, int recv_fd) : send_fd_(send_fd), recv_fd_(recv_fd) {}
+  TcpChannel(TcpChannel&& o) noexcept { *this = std::move(o); }
+  TcpChannel& operator=(TcpChannel&& o) noexcept {
+    Close();
+    send_fd_ = std::exchange(o.send_fd_, -1);
+    recv_fd_ = std::exchange(o.recv_fd_, -1);
+    spill_ = std::move(o.spill_);
+    spill_offset_ = o.spill_offset_;
+    return *this;
+  }
+  ~TcpChannel() { Close(); }
+
+  void Send(const std::vector<uint8_t>& bytes) {
+    uint8_t header[4];
+    const uint32_t n = static_cast<uint32_t>(bytes.size());
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(n >> (8 * i));
+    Append(header, sizeof(header));
+    Append(bytes.data(), bytes.size());
+    Flush(/*block=*/false);
+  }
+
+  std::vector<uint8_t> Receive() {
+    uint8_t header[4];
+    ReadFully(header, sizeof(header));
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i) n |= static_cast<uint32_t>(header[i]) << (8 * i);
+    std::vector<uint8_t> out(n);
+    ReadFully(out.data(), n);
+    return out;
+  }
+
+ private:
+  void Close() {
+    if (send_fd_ >= 0) ::close(send_fd_);
+    if (recv_fd_ >= 0) ::close(recv_fd_);
+    send_fd_ = recv_fd_ = -1;
+  }
+
+  void Append(const uint8_t* data, size_t n) {
+    spill_.insert(spill_.end(), data, data + n);
+  }
+
+  // Writes as much spilled data as the socket accepts; with block=true,
+  // polls for writability until the spill drains.
+  void Flush(bool block) {
+    while (spill_offset_ < spill_.size()) {
+      ssize_t w = ::send(send_fd_, spill_.data() + spill_offset_,
+                         spill_.size() - spill_offset_,
+                         MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (w > 0) {
+        spill_offset_ += static_cast<size_t>(w);
+        continue;
+      }
+      if (!block) return;
+      struct pollfd p = {send_fd_, POLLOUT, 0};
+      ::poll(&p, 1, -1);
+    }
+    spill_.clear();
+    spill_offset_ = 0;
+  }
+
+  void ReadFully(uint8_t* data, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::recv(recv_fd_, data + got, n - got, MSG_DONTWAIT);
+      if (r > 0) {
+        got += static_cast<size_t>(r);
+        continue;
+      }
+      // Nothing readable yet: the bytes still queued on our own send side
+      // are what the peer (this same process) is waiting for — drain them,
+      // then wait for the kernel to move data.
+      Flush(/*block=*/false);
+      struct pollfd p = {recv_fd_, POLLIN, 0};
+      ::poll(&p, 1, spill_offset_ < spill_.size() ? 1 : -1);
+    }
+  }
+
+  int send_fd_ = -1;
+  int recv_fd_ = -1;
+  std::vector<uint8_t> spill_;
+  size_t spill_offset_ = 0;
+};
+
+class LoopbackTcpTransport : public Transport {
+ public:
+  /// Builds 2 × num_workers connected loopback socket pairs. Returns
+  /// nullptr if any socket call fails (caller falls back to in-process).
+  static std::unique_ptr<LoopbackTcpTransport> TryCreate(int num_workers) {
+    int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) return nullptr;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    socklen_t addr_len = sizeof(addr);
+    auto transport = std::make_unique<LoopbackTcpTransport>();
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(listener, 2 * num_workers) < 0 ||
+        ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) < 0) {
+      ::close(listener);
+      return nullptr;
+    }
+    auto make_channel = [&](TcpChannel* out) {
+      int client = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (client < 0) return false;
+      if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        ::close(client);
+        return false;
+      }
+      int server = ::accept(listener, nullptr, nullptr);
+      if (server < 0) {
+        ::close(client);
+        return false;
+      }
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = TcpChannel(client, server);  // send on client, recv on server
+      return true;
+    };
+    transport->to_master_.resize(num_workers);
+    transport->to_worker_.resize(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      if (!make_channel(&transport->to_master_[w]) ||
+          !make_channel(&transport->to_worker_[w])) {
+        ::close(listener);
+        return nullptr;
+      }
+    }
+    ::close(listener);
+    return transport;
+  }
+
+  void SendToMaster(int worker, std::vector<uint8_t> bytes) override {
+    to_master_[worker].Send(bytes);
+  }
+  std::vector<uint8_t> ReceiveFromWorker(int worker) override {
+    return to_master_[worker].Receive();
+  }
+  void SendToWorker(int worker, std::vector<uint8_t> bytes) override {
+    to_worker_[worker].Send(bytes);
+  }
+  std::vector<uint8_t> ReceiveAtWorker(int worker) override {
+    return to_worker_[worker].Receive();
+  }
+  TransportKind kind() const override { return TransportKind::kLoopbackTcp; }
+
+ private:
+  std::vector<TcpChannel> to_master_;
+  std::vector<TcpChannel> to_worker_;
+};
+
+#endif  // !_WIN32
+
+}  // namespace
+
+std::unique_ptr<Transport> Transport::Create(TransportKind kind,
+                                             int num_workers) {
+#ifndef _WIN32
+  if (kind == TransportKind::kLoopbackTcp) {
+    if (auto tcp = LoopbackTcpTransport::TryCreate(num_workers)) return tcp;
+  }
+#endif
+  return std::make_unique<InProcessTransport>(num_workers);
+}
+
+}  // namespace dcer

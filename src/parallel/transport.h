@@ -1,0 +1,54 @@
+#ifndef DCER_PARALLEL_TRANSPORT_H_
+#define DCER_PARALLEL_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chase/engine_options.h"
+
+namespace dcer {
+
+/// The byte plane under DMatch's BSP exchange: encoded fact batches travel
+/// worker → master (outboxes after a superstep) and master → worker
+/// (routed inboxes before the next one) as opaque byte buffers. The seam
+/// exists so the wire codec is exercised end-to-end — what the master
+/// decodes is what a channel delivered, not the sender's in-memory vector —
+/// and so the in-process runtime and a real network runtime share one
+/// exchange path.
+///
+/// Endpoint addressing: channel w of each direction belongs to worker w.
+/// The BSP schedule is lock-step (all sends of a phase complete before the
+/// matching receives begin), so implementations only need single-batch
+/// buffering per channel and no concurrency beyond that phase discipline.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Worker w's outbox batch, worker → master.
+  virtual void SendToMaster(int worker, std::vector<uint8_t> bytes) = 0;
+  /// Blocks (per the lock-step schedule: never actually waits in-process)
+  /// until worker w's batch arrived; returns it.
+  virtual std::vector<uint8_t> ReceiveFromWorker(int worker) = 0;
+
+  /// Routed inbox batch, master → worker w.
+  virtual void SendToWorker(int worker, std::vector<uint8_t> bytes) = 0;
+  virtual std::vector<uint8_t> ReceiveAtWorker(int worker) = 0;
+
+  /// What this transport actually is — kLoopbackTcp falls back to
+  /// kInProcess when sockets are unavailable (sandboxes, exhausted fds),
+  /// and the report records the effective kind.
+  virtual TransportKind kind() const = 0;
+
+  /// Builds the requested transport for `num_workers` workers. The TCP
+  /// loopback transport carries every batch through connected 127.0.0.1
+  /// socket pairs (kernel TCP stack, length-prefixed frames); if any
+  /// socket call fails the factory degrades to the in-process transport
+  /// rather than failing the run.
+  static std::unique_ptr<Transport> Create(TransportKind kind,
+                                           int num_workers);
+};
+
+}  // namespace dcer
+
+#endif  // DCER_PARALLEL_TRANSPORT_H_

@@ -1,0 +1,200 @@
+#include "parallel/wire.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dcer {
+namespace wire {
+
+namespace {
+
+constexpr uint8_t kMagic = 0xDC;
+constexpr uint8_t kVersion = 0x01;
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutFixed64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+// Bounded reader; every Get* returns false on underrun instead of reading
+// past the buffer, so a truncated batch decodes to an error, never to UB.
+struct Reader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  bool GetByte(uint8_t* v) {
+    if (p == end) return false;
+    *v = *p++;
+    return true;
+  }
+
+  bool GetVarint(uint64_t* v) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      if (!GetByte(&byte)) return false;
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = result;
+        return true;
+      }
+    }
+    return false;  // varint longer than 10 bytes
+  }
+
+  bool GetFixed64(uint64_t* v) {
+    if (end - p < 8) return false;
+    uint64_t result = 0;
+    for (int i = 0; i < 8; ++i) {
+      result |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    *v = result;
+    return true;
+  }
+};
+
+// The wire order: id facts before ML facts, then the per-section sort keys.
+bool WireLess(const Fact& x, const Fact& y) {
+  if (x.kind != y.kind) return x.kind == Fact::Kind::kId;
+  if (x.kind == Fact::Kind::kId) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  }
+  return std::tie(x.ml_id, x.a, x.b, x.a_sig, x.b_sig) <
+         std::tie(y.ml_id, y.a, y.b, y.a_sig, y.b_sig);
+}
+
+}  // namespace
+
+bool SameFact(const Fact& x, const Fact& y) {
+  if (x.kind != y.kind || x.a != y.a || x.b != y.b) return false;
+  if (x.kind == Fact::Kind::kId) return true;
+  return x.ml_id == y.ml_id && x.a_sig == y.a_sig && x.b_sig == y.b_sig;
+}
+
+void CanonicalizeBatch(std::vector<Fact>* facts) {
+  for (Fact& f : *facts) f.NormalizeSides();
+  std::sort(facts->begin(), facts->end(), WireLess);
+  facts->erase(std::unique(facts->begin(), facts->end(), SameFact),
+               facts->end());
+}
+
+size_t EncodeFactBatch(const std::vector<Fact>& facts,
+                       std::vector<uint8_t>* out) {
+  std::vector<Fact> batch = facts;
+  CanonicalizeBatch(&batch);
+
+  size_t num_id = 0;
+  while (num_id < batch.size() && batch[num_id].kind == Fact::Kind::kId) {
+    ++num_id;
+  }
+  const size_t num_ml = batch.size() - num_id;
+
+  out->clear();
+  out->reserve(4 + batch.size() * 4 + num_ml * 18);
+  out->push_back(kMagic);
+  out->push_back(kVersion);
+  PutVarint(num_id, out);
+  PutVarint(num_ml, out);
+
+  Gid prev_a = 0;
+  Gid prev_b = 0;
+  for (size_t i = 0; i < num_id; ++i) {
+    const Fact& f = batch[i];
+    const bool same_run = i > 0 && f.a == prev_a;
+    PutVarint(i == 0 ? f.a : f.a - prev_a, out);
+    PutVarint(same_run ? f.b - prev_b : f.b - f.a, out);
+    prev_a = f.a;
+    prev_b = f.b;
+  }
+
+  int32_t prev_ml = 0;
+  prev_a = 0;
+  for (size_t i = num_id; i < batch.size(); ++i) {
+    const Fact& f = batch[i];
+    PutVarint(static_cast<uint64_t>(f.ml_id - prev_ml), out);
+    if (f.ml_id != prev_ml) prev_a = 0;  // gid delta restarts per classifier
+    PutVarint(ZigZag(static_cast<int64_t>(f.a) -
+                     static_cast<int64_t>(prev_a)),
+              out);
+    PutVarint(f.b - f.a, out);
+    PutFixed64(f.a_sig, out);
+    PutFixed64(f.b_sig, out);
+    prev_ml = f.ml_id;
+    prev_a = f.a;
+  }
+  return batch.size();
+}
+
+bool DecodeFactBatch(const uint8_t* data, size_t size,
+                     std::vector<Fact>* out) {
+  out->clear();
+  Reader r{data, data + size};
+  uint8_t magic;
+  uint8_t version;
+  if (!r.GetByte(&magic) || magic != kMagic) return false;
+  if (!r.GetByte(&version) || version != kVersion) return false;
+  uint64_t num_id;
+  uint64_t num_ml;
+  if (!r.GetVarint(&num_id) || !r.GetVarint(&num_ml)) return false;
+  // A fact is at least 2 bytes on the wire; reject absurd counts before
+  // reserving memory for them.
+  if (num_id + num_ml > size) return false;
+  out->reserve(num_id + num_ml);
+
+  Gid prev_a = 0;
+  Gid prev_b = 0;
+  for (uint64_t i = 0; i < num_id; ++i) {
+    uint64_t da;
+    uint64_t db;
+    if (!r.GetVarint(&da) || !r.GetVarint(&db)) return false;
+    const Gid a = static_cast<Gid>((i == 0 ? 0 : prev_a) + da);
+    const bool same_run = i > 0 && da == 0;
+    const Gid b = static_cast<Gid>(same_run ? prev_b + db : a + db);
+    out->push_back(Fact::IdMatch(a, b));
+    prev_a = a;
+    prev_b = b;
+  }
+
+  int32_t prev_ml = 0;
+  prev_a = 0;
+  for (uint64_t i = 0; i < num_ml; ++i) {
+    uint64_t dml;
+    uint64_t za;
+    uint64_t db;
+    uint64_t a_sig;
+    uint64_t b_sig;
+    if (!r.GetVarint(&dml) || !r.GetVarint(&za) || !r.GetVarint(&db) ||
+        !r.GetFixed64(&a_sig) || !r.GetFixed64(&b_sig)) {
+      return false;
+    }
+    const int32_t ml_id = static_cast<int32_t>(prev_ml + dml);
+    if (ml_id != prev_ml) prev_a = 0;
+    const Gid a =
+        static_cast<Gid>(static_cast<int64_t>(prev_a) + UnZigZag(za));
+    const Gid b = static_cast<Gid>(a + db);
+    out->push_back(Fact::MlValidated(ml_id, a, a_sig, b, b_sig));
+    prev_ml = ml_id;
+    prev_a = a;
+  }
+  return r.p == r.end;  // trailing garbage is an error
+}
+
+}  // namespace wire
+}  // namespace dcer

@@ -1,0 +1,77 @@
+#ifndef DCER_PARALLEL_WIRE_H_
+#define DCER_PARALLEL_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chase/fact.h"
+
+namespace dcer {
+namespace wire {
+
+/// Binary wire codec for the BSP message plane. Only deduced facts — never
+/// raw tuples — cross worker boundaries (Sec. V-B), so one compact batch
+/// format covers all of DMatch's communication. Every byte count the system
+/// reports (`DMatchReport::bytes`, `SuperstepStats::bytes`, the
+/// `check_regression` wire gate) is the size of a batch produced by
+/// EncodeFactBatch: the codec is the single unit of comm-volume accounting.
+///
+/// Layout (all integers little-endian):
+///
+///   [magic 0xDC][version 0x01]
+///   [varint num_id_facts][varint num_ml_facts]
+///   id section   — facts canonicalized to a <= b, sorted by (a, b),
+///                  strictly deduplicated:
+///                    varint(a - prev_a)                  // 0 within a run
+///                    varint(b - prev_b)  if same-a run
+///                    varint(b - a)       otherwise       // a <= b
+///   ml section   — sides canonicalized to (a, a_sig) <= (b, b_sig),
+///                  sorted by (ml_id, a, b, a_sig, b_sig), deduplicated:
+///                    varint(ml_id - prev_ml_id)          // sorted: >= 0
+///                    zigzag-varint(a - prev_a)           // resets per ml_id
+///                    varint(b - a)                       // a <= b
+///                    fixed64 a_sig, fixed64 b_sig        // high-entropy
+///
+/// Gid deltas are varint-encoded because routed batches are dominated by
+/// id facts over nearby gids (class merges, partition-local chains); ML
+/// side signatures are uniform 64-bit hashes, so they stay fixed-width
+/// (a varint would average 9.1 bytes for 8 bytes of entropy).
+///
+/// Canonical form: side order within a fact carries no meaning (Fact::Key
+/// is symmetric and every consumer — MatchContext::Apply, the dependency
+/// store — keys on it), so the encoder normalizes sides and sorts; a batch
+/// in canonical form round-trips bit-identically through encode → decode,
+/// and Encode(Decode(bytes)) == bytes for any encoder output.
+
+/// In-place canonicalization: normalizes side order of every fact, sorts by
+/// the wire order above, and removes duplicates. Encoding canonicalizes
+/// internally; this is exposed so tests and senders can compare batches.
+void CanonicalizeBatch(std::vector<Fact>* facts);
+
+/// Serializes `facts` (canonicalizing a copy first — send-side dedup) and
+/// appends to *out (cleared first). Returns the number of facts encoded
+/// after deduplication.
+size_t EncodeFactBatch(const std::vector<Fact>& facts,
+                       std::vector<uint8_t>* out);
+
+/// Parses a batch produced by EncodeFactBatch into *out (cleared first; the
+/// result is in canonical form). Returns false on malformed input
+/// (truncated buffer, bad magic/version, trailing bytes).
+bool DecodeFactBatch(const uint8_t* data, size_t size,
+                     std::vector<Fact>* out);
+
+inline bool DecodeFactBatch(const std::vector<uint8_t>& bytes,
+                            std::vector<Fact>* out) {
+  return DecodeFactBatch(bytes.data(), bytes.size(), out);
+}
+
+/// Exact field-wise equality of two facts in canonical form (operator== is
+/// intentionally absent on Fact: the engine compares by Key, the codec by
+/// representation).
+bool SameFact(const Fact& x, const Fact& y);
+
+}  // namespace wire
+}  // namespace dcer
+
+#endif  // DCER_PARALLEL_WIRE_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "chase/match.h"
 #include "chase/naive_chase.h"
@@ -288,9 +289,154 @@ TEST(DMatchTest, ReportAccountsForWorkAndCommunication) {
       DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
   EXPECT_GT(report.chase.valuations, 0u);
   EXPECT_GT(report.partition.fragment_tuples, 0u);
-  EXPECT_EQ(report.bytes, WireBytes(report.messages));
+  // The master is the single source of truth for wire volume: the report
+  // totals must be exactly the sums of the per-superstep attributions, on
+  // both legs of the exchange.
+  uint64_t step_messages = 0;
+  uint64_t step_bytes = 0;
+  uint64_t step_outbox_messages = 0;
+  uint64_t step_outbox_bytes = 0;
+  for (const SuperstepStats& s : report.superstep_stats) {
+    step_messages += s.messages;
+    step_bytes += s.bytes;
+    step_outbox_messages += s.outbox_messages;
+    step_outbox_bytes += s.outbox_bytes;
+  }
+  EXPECT_EQ(report.messages, step_messages);
+  EXPECT_EQ(report.bytes, step_bytes);
+  EXPECT_EQ(report.outbox_messages, step_outbox_messages);
+  EXPECT_EQ(report.outbox_bytes, step_outbox_bytes);
+  // Serialized bytes come from the codec, not sizeof(Fact): whenever facts
+  // flow, bytes flow — fewer than 32 per fact on these small-gid workloads.
+  if (report.messages > 0) {
+    EXPECT_GT(report.bytes, 0u);
+    EXPECT_LT(report.bytes, report.messages * sizeof(Fact));
+  }
+  if (report.outbox_messages > 0) EXPECT_GT(report.outbox_bytes, 0u);
   EXPECT_GE(report.er_seconds, 0.0);
   EXPECT_EQ(report.validated_ml, ctx.num_validated_ml());
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence propagation policy and transport.
+
+// Spanning-pair routing must reproduce the seed cross-product routing's Γ
+// exactly, for every worker count, while never routing more facts.
+TEST(DMatchTest, SpanningPairsMatchCrossProductGamma) {
+  auto ex = MakePaperExample();
+  for (int workers : {1, 2, 4}) {
+    DMatchOptions spanning;
+    spanning.num_workers = workers;
+    spanning.spanning_pairs = true;
+    MatchContext ctx_spanning(ex->dataset);
+    DMatchReport r_spanning = DMatch(ex->dataset, ex->rules, ex->registry,
+                                     spanning, &ctx_spanning);
+
+    DMatchOptions cross = spanning;
+    cross.spanning_pairs = false;
+    MatchContext ctx_cross(ex->dataset);
+    DMatchReport r_cross =
+        DMatch(ex->dataset, ex->rules, ex->registry, cross, &ctx_cross);
+
+    EXPECT_EQ(ctx_spanning.MatchedPairs(), ctx_cross.MatchedPairs())
+        << "workers=" << workers;
+    EXPECT_EQ(ctx_spanning.ValidatedMlKeys(), ctx_cross.ValidatedMlKeys())
+        << "workers=" << workers;
+    EXPECT_LE(r_spanning.messages, r_cross.messages)
+        << "workers=" << workers;
+  }
+}
+
+// On a workload that merges large classes, spanning pairs route strictly
+// fewer facts than the cross product — the O(n) vs O(n^2) claim, at the
+// master level where it is exactly countable.
+TEST(MasterTest, SpanningPairsRouteLinearlyOnClassMerges) {
+  constexpr int kWorkers = 2;
+  constexpr uint32_t kTuples = 64;
+  std::vector<std::vector<uint32_t>> hosts(kTuples);
+  for (uint32_t g = 0; g < kTuples; ++g) hosts[g] = {g % kWorkers};
+  // Two classes of 32 built by chains, then one merge of the two.
+  std::vector<Fact> facts;
+  for (uint32_t g = 0; g + 1 < kTuples; ++g) {
+    if (g != kTuples / 2 - 1) facts.push_back(Fact::IdMatch(g, g + 1));
+  }
+  facts.push_back(Fact::IdMatch(0, kTuples / 2));
+
+  uint64_t messages[2];
+  for (bool spanning_pairs : {true, false}) {
+    Master::Options mo;
+    mo.spanning_pairs = spanning_pairs;
+    Master master(&hosts, kWorkers, kTuples, mo);
+    master.Collect(0, facts);
+    std::vector<std::vector<Fact>> inboxes;
+    master.Dispatch(&inboxes);
+    messages[spanning_pairs ? 0 : 1] = master.messages_routed();
+    // Both modes must leave every tuple in one global class.
+    EXPECT_TRUE(master.global_eid().Same(0, kTuples - 1));
+  }
+  EXPECT_LT(messages[0], messages[1]);
+  // The final 32 x 32 merge alone routes 1024 cross-product facts but only
+  // 63 spanning facts.
+  EXPECT_GE(messages[1], 1024u);
+}
+
+// Non-timing report fields are deterministic: same workload, same worker
+// count => identical message/byte accounting, across repeated runs, the
+// run_parallel toggle, and the loopback-TCP transport.
+TEST(DMatchTest, WireAccountingDeterministicAcrossExecutionModes) {
+  auto ex = MakePaperExample();
+  auto run = [&](bool run_parallel, TransportKind kind) {
+    DMatchOptions options;
+    options.num_workers = 4;
+    options.run_parallel = run_parallel;
+    options.transport = kind;
+    MatchContext ctx(ex->dataset);
+    return DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+  };
+  DMatchReport reference = run(true, TransportKind::kInProcess);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (bool run_parallel : {false, true}) {
+      for (TransportKind kind :
+           {TransportKind::kInProcess, TransportKind::kLoopbackTcp}) {
+        DMatchReport r = run(run_parallel, kind);
+        EXPECT_EQ(r.supersteps, reference.supersteps);
+        EXPECT_EQ(r.messages, reference.messages);
+        EXPECT_EQ(r.bytes, reference.bytes);
+        EXPECT_EQ(r.outbox_messages, reference.outbox_messages);
+        EXPECT_EQ(r.outbox_bytes, reference.outbox_bytes);
+        ASSERT_EQ(r.superstep_stats.size(), reference.superstep_stats.size());
+        for (size_t i = 0; i < r.superstep_stats.size(); ++i) {
+          EXPECT_EQ(r.superstep_stats[i].messages,
+                    reference.superstep_stats[i].messages);
+          EXPECT_EQ(r.superstep_stats[i].bytes,
+                    reference.superstep_stats[i].bytes);
+          EXPECT_EQ(r.superstep_stats[i].outbox_bytes,
+                    reference.superstep_stats[i].outbox_bytes);
+        }
+      }
+    }
+  }
+}
+
+// The loopback-TCP transport must carry the full fixpoint to the same Γ as
+// the in-process mailboxes (or cleanly fall back to them).
+TEST(DMatchTest, LoopbackTcpTransportPreservesResult) {
+  auto ex = MakePaperExample();
+  DMatchOptions in_process;
+  in_process.num_workers = 4;
+  MatchContext c1(ex->dataset);
+  DMatch(ex->dataset, ex->rules, ex->registry, in_process, &c1);
+
+  DMatchOptions tcp = in_process;
+  tcp.transport = TransportKind::kLoopbackTcp;
+  MatchContext c2(ex->dataset);
+  DMatchReport r2 = DMatch(ex->dataset, ex->rules, ex->registry, tcp, &c2);
+  EXPECT_EQ(c1.MatchedPairs(), c2.MatchedPairs());
+  EXPECT_EQ(c1.ValidatedMlKeys(), c2.ValidatedMlKeys());
+  // Either the sockets worked or Create fell back; both are valid, and the
+  // report says which happened.
+  EXPECT_TRUE(std::string(r2.transport) == "loopback_tcp" ||
+              std::string(r2.transport) == "in_process");
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+#include "parallel/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcer {
+namespace {
+
+using wire::CanonicalizeBatch;
+using wire::DecodeFactBatch;
+using wire::EncodeFactBatch;
+using wire::SameFact;
+
+bool BatchesEqual(const std::vector<Fact>& x, const std::vector<Fact>& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!SameFact(x[i], y[i])) return false;
+  }
+  return true;
+}
+
+// decode(encode(batch)) must reproduce the canonical form of the batch, and
+// re-encoding the decoded batch must reproduce the bytes bit for bit.
+void ExpectRoundTrip(const std::vector<Fact>& batch) {
+  std::vector<Fact> canonical = batch;
+  CanonicalizeBatch(&canonical);
+
+  std::vector<uint8_t> bytes;
+  const size_t encoded = EncodeFactBatch(batch, &bytes);
+  EXPECT_EQ(encoded, canonical.size());
+
+  std::vector<Fact> decoded;
+  ASSERT_TRUE(DecodeFactBatch(bytes, &decoded));
+  EXPECT_TRUE(BatchesEqual(decoded, canonical));
+
+  std::vector<uint8_t> bytes2;
+  EncodeFactBatch(decoded, &bytes2);
+  EXPECT_EQ(bytes, bytes2);
+}
+
+TEST(WireCodecTest, EmptyBatch) {
+  ExpectRoundTrip({});
+  std::vector<uint8_t> bytes;
+  EXPECT_EQ(EncodeFactBatch({}, &bytes), 0u);
+  EXPECT_EQ(bytes.size(), 4u);  // magic, version, two zero counts
+}
+
+TEST(WireCodecTest, SingleFact) {
+  ExpectRoundTrip({Fact::IdMatch(7, 3)});
+  ExpectRoundTrip({Fact::IdMatch(0, 0)});
+  ExpectRoundTrip({Fact::MlValidated(2, 9, 0xdeadbeefcafef00dull, 4,
+                                     0x0123456789abcdefull)});
+}
+
+TEST(WireCodecTest, SideOrderIsCanonicalized) {
+  std::vector<uint8_t> ab;
+  std::vector<uint8_t> ba;
+  EncodeFactBatch({Fact::IdMatch(3, 9)}, &ab);
+  EncodeFactBatch({Fact::IdMatch(9, 3)}, &ba);
+  EXPECT_EQ(ab, ba);
+
+  std::vector<uint8_t> ml_ab;
+  std::vector<uint8_t> ml_ba;
+  EncodeFactBatch({Fact::MlValidated(1, 3, 11, 9, 22)}, &ml_ab);
+  EncodeFactBatch({Fact::MlValidated(1, 9, 22, 3, 11)}, &ml_ba);
+  EXPECT_EQ(ml_ab, ml_ba);
+}
+
+TEST(WireCodecTest, DuplicatesCollapseOnSend) {
+  std::vector<Fact> batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(Fact::IdMatch(5, 17));
+    batch.push_back(Fact::IdMatch(17, 5));
+    batch.push_back(Fact::MlValidated(0, 2, 7, 8, 9));
+  }
+  std::vector<uint8_t> bytes;
+  EXPECT_EQ(EncodeFactBatch(batch, &bytes), 2u);
+  std::vector<Fact> decoded;
+  ASSERT_TRUE(DecodeFactBatch(bytes, &decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_TRUE(SameFact(decoded[0], Fact::IdMatch(5, 17)));
+  EXPECT_TRUE(SameFact(decoded[1], Fact::MlValidated(0, 2, 7, 8, 9)));
+}
+
+TEST(WireCodecTest, DeltaEncodingIsCompact) {
+  // A dense run of small-gid pairs: the sorted delta encoding should spend
+  // ~2 bytes per fact, far below the 32-byte in-memory struct.
+  std::vector<Fact> batch;
+  for (uint32_t g = 0; g < 1000; ++g) batch.push_back(Fact::IdMatch(g, g + 1));
+  std::vector<uint8_t> bytes;
+  EncodeFactBatch(batch, &bytes);
+  EXPECT_LT(bytes.size(), batch.size() * 3);
+  ExpectRoundTrip(batch);
+}
+
+TEST(WireCodecTest, RandomizedBatchesRoundTrip) {
+  Rng rng(29);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = rng.Uniform(64);
+    // Small gid/sig ranges make duplicates and shared-prefix runs common —
+    // the paths where delta state resets can go wrong.
+    const uint32_t gid_range = 1 + static_cast<uint32_t>(rng.Uniform(
+                                       round % 2 == 0 ? 8 : 100'000));
+    std::vector<Fact> batch;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t a = static_cast<uint32_t>(rng.Uniform(gid_range));
+      const uint32_t b = static_cast<uint32_t>(rng.Uniform(gid_range));
+      if (rng.Bernoulli(0.5)) {
+        batch.push_back(Fact::IdMatch(a, b));
+      } else {
+        const int32_t ml = static_cast<int32_t>(rng.Uniform(4));
+        const uint64_t a_sig = rng.Bernoulli(0.3) ? 7 : rng.Next();
+        const uint64_t b_sig = rng.Bernoulli(0.3) ? 7 : rng.Next();
+        batch.push_back(Fact::MlValidated(ml, a, a_sig, b, b_sig));
+      }
+      if (!batch.empty() && rng.Bernoulli(0.3)) {
+        batch.push_back(batch[rng.Uniform(batch.size())]);  // duplicate-heavy
+      }
+    }
+    ExpectRoundTrip(batch);
+  }
+}
+
+TEST(WireCodecTest, ExtremeGidsAndSignaturesRoundTrip) {
+  const uint32_t max_gid = 0xFFFFFFFEu;
+  ExpectRoundTrip({Fact::IdMatch(0, max_gid), Fact::IdMatch(max_gid, max_gid),
+                   Fact::MlValidated(0x7FFFFFFF, max_gid, ~0ull, 0, 0),
+                   Fact::MlValidated(0, 0, 0, max_gid, ~0ull)});
+}
+
+TEST(WireCodecTest, RejectsMalformedInput) {
+  std::vector<Fact> out;
+  // Empty buffer, wrong magic, wrong version.
+  EXPECT_FALSE(DecodeFactBatch(std::vector<uint8_t>{}, &out));
+  EXPECT_FALSE(DecodeFactBatch({0x00, 0x01, 0x00, 0x00}, &out));
+  EXPECT_FALSE(DecodeFactBatch({0xDC, 0x7F, 0x00, 0x00}, &out));
+  // Counts larger than the buffer could possibly hold.
+  EXPECT_FALSE(DecodeFactBatch({0xDC, 0x01, 0xFF, 0x7F}, &out));
+
+  // Truncations and trailing garbage of a valid encoding must all fail,
+  // never crash or read out of bounds.
+  std::vector<Fact> batch = {Fact::IdMatch(1, 2), Fact::IdMatch(3, 900),
+                             Fact::MlValidated(1, 5, 77, 6, 88)};
+  std::vector<uint8_t> bytes;
+  EncodeFactBatch(batch, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DecodeFactBatch(truncated, &out)) << "cut=" << cut;
+  }
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0x00);
+  EXPECT_FALSE(DecodeFactBatch(padded, &out));
+}
+
+TEST(WireCodecTest, EncodeIsDeterministicAcrossInputOrder) {
+  std::vector<Fact> batch = {
+      Fact::IdMatch(9, 2),  Fact::MlValidated(1, 4, 10, 3, 20),
+      Fact::IdMatch(2, 9),  Fact::IdMatch(0, 5),
+      Fact::MlValidated(0, 1, 2, 1, 1),
+  };
+  std::vector<Fact> reversed(batch.rbegin(), batch.rend());
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  EncodeFactBatch(batch, &b1);
+  EncodeFactBatch(reversed, &b2);
+  EXPECT_EQ(b1, b2);
+}
+
+}  // namespace
+}  // namespace dcer

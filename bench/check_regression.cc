@@ -27,7 +27,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/workloads.h"
+#include "chase/deduce.h"
 #include "chase/match_context.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "datagen/ecommerce.h"
 #include "parallel/dmatch.h"
 
@@ -71,6 +75,43 @@ std::vector<double> JsonStepBytes(const std::string& text) {
   return out;
 }
 
+// One best-of-3 run of the tournament cap=0 cascade — the protocol
+// micro_core records as inc_full/inc_half: with dependency_capacity = 0 the
+// full pass records nothing in H, the leaf matches arrive as external
+// facts, and IncDeduce recovers the whole bracket through seeded re-joins.
+// `leaf_limit` sets |Δ|.
+struct IncCascadeRun {
+  double seconds = 0;
+  size_t leaves = 0;
+};
+
+IncCascadeRun RunIncCascade(size_t leaf_limit) {
+  IncCascadeRun out;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto w = MakeTournament(10, /*with_ml=*/false);
+    DatasetView view = DatasetView::Full(w->dataset);
+    MatchContext ctx(w->dataset);
+    EngineOptions eo;
+    eo.dependency_capacity = 0;
+    eo.threads = 2;
+    ChaseEngine::Options o =
+        ChaseEngine::FromEngineOptions(eo, &ThreadPool::Global());
+    ChaseEngine engine(&view, &w->up_rules, &w->registry, &ctx, o);
+    Delta d0;
+    engine.Deduce(&d0);
+    std::vector<Fact> facts = TournamentLeafFacts(*w, leaf_limit);
+    Delta seeds;
+    engine.ApplyExternalFacts(facts, &seeds);
+    Timer t;
+    Delta cascade;
+    engine.IncDeduce(seeds, &cascade);
+    const double secs = t.ElapsedSeconds();
+    if (rep == 0 || secs < out.seconds) out.seconds = secs;
+    if (rep == 2) out.leaves = facts.size();
+  }
+  return out;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::printf("usage: check_regression <BENCH_core.json> [tolerance]\n");
@@ -83,6 +124,8 @@ int Run(int argc, char** argv) {
   double baseline_partial = -1;
   double baseline_incr = -1;
   double baseline_wire_bytes = -1;
+  double baseline_inc_full = -1;
+  double baseline_inc_ratio = -1;
   std::vector<double> baseline_step_bytes;
   {
     FILE* f = std::fopen(argv[1], "rb");
@@ -103,6 +146,8 @@ int Run(int argc, char** argv) {
     baseline_partial = JsonNumber(text, "dmatch_partial_eval_seconds");
     baseline_incr = JsonNumber(text, "dmatch_superstep_seconds");
     baseline_wire_bytes = JsonNumber(text, "dmatch_wire_bytes");
+    baseline_inc_full = JsonNumber(text, "inc_full_seconds");
+    baseline_inc_ratio = JsonNumber(text, "inc_delta_scaling_ratio");
     baseline_step_bytes = JsonStepBytes(text);
   }
   if (baseline <= 0) {
@@ -272,6 +317,49 @@ int Run(int argc, char** argv) {
     }
   } else {
     std::printf("wire bytes: no baseline; skipping (PASS)\n");
+  }
+
+  // Delta-scaling gate: the update-driven pass must cost proportional to
+  // |Δ|, never to the dataset. Re-runs the tournament cap=0 cascade at the
+  // full (1024) and half (512) leaf set and checks (a) the full-|Δ| wall
+  // against its baseline (same slack floor + sequential-wall host
+  // normalization as the phase checks) and (b) per-leaf proportionality:
+  // the full/half seconds-per-leaf ratio stays near 1, or at least does not
+  // grow over the baseline's recorded ratio. Baselines recorded before
+  // these fields existed skip the gate.
+  if (baseline_inc_full > 0) {
+    IncCascadeRun full = RunIncCascade(size_t(-1));
+    IncCascadeRun half = RunIncCascade(512);
+    if (!check_phase("inc cascade (full |delta|)", full.seconds,
+                     baseline_inc_full)) {
+      return 1;
+    }
+    const double full_per_leaf =
+        full.leaves > 0 ? full.seconds / full.leaves : 0;
+    const double half_per_leaf =
+        half.leaves > 0 ? half.seconds / half.leaves : 0;
+    const double fresh_ratio =
+        half_per_leaf > 0 ? full_per_leaf / half_per_leaf : 0;
+    std::printf("delta scaling: full/half secs-per-leaf ratio fresh=%.3f "
+                "baseline=%.3f\n",
+                fresh_ratio, baseline_inc_ratio);
+    const bool proportional = fresh_ratio > 0 && fresh_ratio <= 1.0 + tolerance;
+    const bool tracks_baseline =
+        baseline_inc_ratio > 0 && fresh_ratio > 0 &&
+        fresh_ratio / baseline_inc_ratio <= 1.0 + tolerance;
+    if (!proportional && !tracks_baseline) {
+      if (full.seconds < kPhaseSlackSeconds) {
+        std::printf("  PASS: cascade wall %.1fms below %.0fms noise floor\n",
+                    full.seconds * 1e3, kPhaseSlackSeconds * 1e3);
+      } else {
+        std::printf("FAIL: per-leaf incremental cost grew superlinearly in "
+                    "|delta| (ratio %.3f, baseline %.3f)\n",
+                    fresh_ratio, baseline_inc_ratio);
+        return 1;
+      }
+    }
+  } else {
+    std::printf("delta scaling: no baseline; skipping (PASS)\n");
   }
   std::printf("PASS\n");
   return 0;

@@ -1,7 +1,6 @@
 #include "chase/deduce.h"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 
 #include "common/thread_pool.h"
@@ -16,6 +15,7 @@ ChaseEngine::Options ChaseEngine::FromEngineOptions(const EngineOptions& eo,
   Options o;
   o.dependency_capacity = eo.dependency_capacity;
   o.share_indices = eo.use_mqo;
+  o.inc_parallel = eo.inc_parallel;
   o.ml_index = eo.ml_index;
   o.ml_index_approx = eo.ml_index_approx;
   if (eo.threads > 1 && pool != nullptr) {
@@ -355,114 +355,314 @@ void ChaseEngine::Deduce(Delta* delta) {
   }
 }
 
-namespace {
-// A unit of update-driven work: a newly-true id pair or ML fact.
-struct WorkItem {
-  bool is_ml;
-  Gid a, b;
-  int32_t ml_id = -1;
-  uint64_t a_sig = 0, b_sig = 0;
-};
-}  // namespace
+void ChaseEngine::EnqueueFrontier(const Delta& d, DeltaStore* store) {
+  // The frontier carries newly-true keys: concrete id pairs (the expanded
+  // equivalence closure, not the raw id facts) and validated ML facts.
+  for (auto [a, b] : d.id_pairs) {
+    Fact f = Fact::IdMatch(a, b);
+    if (inc_seen_.insert(f.Key()).second) {
+      store->Append(f);
+    } else {
+      ++stats_.inc_dedup_hits;
+    }
+  }
+  for (const Fact& f : d.facts) {
+    if (f.kind != Fact::Kind::kMl) continue;
+    if (inc_seen_.insert(f.Key()).second) {
+      store->Append(f);
+    } else {
+      ++stats_.inc_dedup_hits;
+    }
+  }
+}
+
+bool ChaseEngine::IncScopeFeasible(size_t rule_idx, uint32_t scope_idx) {
+  std::vector<int8_t>& cache = inc_feasible_[rule_idx];
+  if (cache.empty()) cache.assign(scopes_[rule_idx].size(), 0);
+  int8_t& state = cache[scope_idx];
+  if (state == 0) {
+    const Rule& rule = rules_->rule(rule_idx);
+    const DatasetView& rv = scopes_[rule_idx][scope_idx].index->view();
+    bool feasible = true;
+    for (size_t v = 0; v < rule.num_vars() && feasible; ++v) {
+      feasible = !rv.rows(rule.var_relation(static_cast<int>(v))).empty();
+    }
+    state = feasible ? 1 : -1;
+  }
+  return state == 1;
+}
+
+void ChaseEngine::BuildIncRoundTasks() {
+  inc_tasks_.clear();
+  const Dataset& ds = view_->dataset();
+  inc_frontier_.ForEach([&](const Fact& item) {
+    const bool is_ml = item.kind == Fact::Kind::kMl;
+    const uint32_t rel_a = ds.relation_of(item.a);
+    const uint32_t rel_b = ds.relation_of(item.b);
+    for (size_t ri = 0; ri < rules_->size(); ++ri) {
+      const Rule& rule = rules_->rule(ri);
+      auto consider = [&](uint32_t scope_idx) {
+        if (!IncScopeFeasible(ri, scope_idx)) return;
+        // Map gids to rows of this scope's block; a block the rule's
+        // Hypercube did not co-locate the pair in cannot host the valuation.
+        const DatasetView& rv = scopes_[ri][scope_idx].index->view();
+        const uint32_t row_a = rv.RowOf(item.a);
+        const uint32_t row_b = rv.RowOf(item.b);
+        if (row_a == kInvalidGid || row_b == kInvalidGid) return;
+        for (const Predicate& p : rule.preconditions()) {
+          if (!p.is_id_or_ml()) continue;
+          // Which (lhs, rhs) row assignments does this item support?
+          uint32_t orients[2][2];
+          int num_orients = 0;
+          if (!is_ml && p.kind == PredicateKind::kIdEq) {
+            if (rule.var_relation(p.lhs.var) == static_cast<int>(rel_a) &&
+                rule.var_relation(p.rhs.var) == static_cast<int>(rel_b)) {
+              orients[num_orients][0] = row_a;
+              orients[num_orients][1] = row_b;
+              ++num_orients;
+            }
+            if (item.a != item.b &&
+                rule.var_relation(p.lhs.var) == static_cast<int>(rel_b) &&
+                rule.var_relation(p.rhs.var) == static_cast<int>(rel_a)) {
+              orients[num_orients][0] = row_b;
+              orients[num_orients][1] = row_a;
+              ++num_orients;
+            }
+          } else if (is_ml && p.kind == PredicateKind::kMl &&
+                     p.ml_id == item.ml_id) {
+            uint64_t lhs_sig =
+                MlSideSignature(rule.var_relation(p.lhs.var), p.lhs_ml_attrs);
+            uint64_t rhs_sig =
+                MlSideSignature(rule.var_relation(p.rhs.var), p.rhs_ml_attrs);
+            if (lhs_sig == item.a_sig && rhs_sig == item.b_sig) {
+              orients[num_orients][0] = row_a;
+              orients[num_orients][1] = row_b;
+              ++num_orients;
+            }
+            if ((item.a != item.b || item.a_sig != item.b_sig) &&
+                lhs_sig == item.b_sig && rhs_sig == item.a_sig) {
+              orients[num_orients][0] = row_b;
+              orients[num_orients][1] = row_a;
+              ++num_orients;
+            }
+          }
+          for (int o = 0; o < num_orients; ++o) {
+            const uint32_t lrow = orients[o][0];
+            const uint32_t rrow = orients[o][1];
+            // Two frontier items can demand the same seeded binding (e.g.
+            // pairs expanded from one merge hitting symmetric predicates);
+            // within a round the duplicate enumeration is pure waste.
+            uint64_t bk = HashInt(static_cast<uint64_t>(ri));
+            bk = HashCombine(bk, HashInt(scope_idx));
+            bk = HashCombine(
+                bk,
+                HashInt((uint64_t{static_cast<uint32_t>(p.lhs.var)} << 32) |
+                        lrow));
+            bk = HashCombine(
+                bk,
+                HashInt((uint64_t{static_cast<uint32_t>(p.rhs.var)} << 32) |
+                        rrow));
+            if (!inc_bindings_.insert(bk).second) {
+              ++stats_.inc_dedup_hits;
+              continue;
+            }
+            ++stats_.seeded_joins;
+            inc_tasks_.push_back({static_cast<uint32_t>(ri), scope_idx,
+                                  p.lhs.var, p.rhs.var, lrow, rrow});
+          }
+        }
+      };
+      if (!scopes_of_gid_.empty()) {
+        // Only blocks hosting item.a can host a seeded valuation; b must be
+        // co-located there too (checked inside via RowOf).
+        auto it = scopes_of_gid_[ri].find(item.a);
+        if (it == scopes_of_gid_[ri].end()) continue;
+        for (uint32_t s : it->second) consider(s);
+      } else {
+        for (uint32_t s = 0; s < scopes_[ri].size(); ++s) consider(s);
+      }
+    }
+  });
+}
+
+void ChaseEngine::ExecuteIncRoundTasks(Delta* round_out) {
+  if (inc_tasks_.empty()) return;
+
+  const bool pooled =
+      options_.inc_parallel && options_.pool != nullptr &&
+      options_.enumeration_shards > 1 &&
+      inc_tasks_.size() >= options_.min_parallel_inc_tasks;
+  if (!pooled) {
+    // Per-task enumeration with immediate application, in the same
+    // (rule, scope, item-order) the merge below replays. Serves both the
+    // inc_parallel=false ablation and rounds too small to be worth forking.
+    Timer round_timer;
+    for (const IncTask& t : inc_tasks_) {
+      RuleJoiner* joiner = scopes_[t.rule][t.scope].joiner.get();
+      std::pair<int, uint32_t> seed_arr[2] = {{t.lvar, t.lrow},
+                                              {t.rvar, t.rrow}};
+      JoinCounters before = joiner->counters();
+      joiner->EnumerateSeeded(seed_arr,
+                              [&](const std::vector<uint32_t>& rows,
+                                  const std::vector<int>& unsat) {
+                                HandleValuation(t.rule, joiner, rows, unsat,
+                                                round_out);
+                                return true;
+                              });
+      AddJoinCounters(&stats_, joiner->counters() - before);
+    }
+    const double secs = round_timer.ElapsedSeconds();
+    inc_task_seconds_sum_ += secs;
+    inc_round_max_seconds_sum_ += secs;  // one chunk: critical path = total
+    return;
+  }
+
+  // Record-then-merge, same contract as ParallelEnumerate: chunks are
+  // contiguous runs of tasks sharing a (rule, scope), each enumerated on the
+  // pool by a private joiner against the context frozen here (the merge
+  // below is the only writer, and it runs strictly after Wait). Recorded
+  // `unsat` is a snapshot superset; the merge re-checks it at processing
+  // time, restoring exactly what the immediate path would have computed at
+  // that point — so both paths produce the identical HandleValuation
+  // sequence (see DESIGN.md "Delta-driven fixpoint").
+  // Prewarm each distinct scope joiner so chunk tasks only ever read the
+  // shared indices.
+  for (size_t i = 0; i < inc_tasks_.size(); ++i) {
+    if (i == 0 || inc_tasks_[i].rule != inc_tasks_[i - 1].rule ||
+        inc_tasks_[i].scope != inc_tasks_[i - 1].scope) {
+      scopes_[inc_tasks_[i].rule][inc_tasks_[i].scope].joiner->PrewarmIndexes();
+    }
+  }
+
+  // Flat per-chunk buffers (fixed row stride per chunk, length-prefixed
+  // unsat runs): recording a leaf valuation never allocates per leaf.
+  struct ChunkOut {
+    size_t begin = 0, end = 0;   // task range, all same (rule, scope)
+    std::vector<uint32_t> rows;  // stride-sized groups
+    std::vector<int> unsat;      // [len, idx...] per recorded valuation
+    JoinCounters counters;
+    double seconds = 0;
+  };
+  const size_t shards = static_cast<size_t>(options_.enumeration_shards);
+  const size_t target =
+      std::max<size_t>(1, (inc_tasks_.size() + shards - 1) / shards);
+  std::vector<ChunkOut> chunks;
+  for (size_t lo = 0; lo < inc_tasks_.size();) {
+    size_t hi = lo + 1;
+    while (hi < inc_tasks_.size() && hi - lo < target &&
+           inc_tasks_[hi].rule == inc_tasks_[lo].rule &&
+           inc_tasks_[hi].scope == inc_tasks_[lo].scope) {
+      ++hi;
+    }
+    ChunkOut c;
+    c.begin = lo;
+    c.end = hi;
+    chunks.push_back(std::move(c));
+    lo = hi;
+  }
+
+  {
+    TaskGroup group(options_.pool);
+    for (ChunkOut& chunk : chunks) {
+      ChunkOut* out = &chunk;
+      group.Run([this, out] {
+        Timer chunk_timer;
+        const IncTask& head = inc_tasks_[out->begin];
+        Scope& scope = scopes_[head.rule][head.scope];
+        RuleJoiner chunk_joiner(scope.index, &rules_->rule(head.rule),
+                                registry_, ctx_);
+        chunk_joiner.ConfigureMlIndex(ml_policy_);
+        chunk_joiner.set_shared_context_reads(true);
+        for (size_t i = out->begin; i < out->end; ++i) {
+          const IncTask& t = inc_tasks_[i];
+          std::pair<int, uint32_t> seed_arr[2] = {{t.lvar, t.lrow},
+                                                  {t.rvar, t.rrow}};
+          chunk_joiner.EnumerateSeeded(
+              seed_arr, [out](const std::vector<uint32_t>& rows,
+                              const std::vector<int>& unsat) {
+                out->rows.insert(out->rows.end(), rows.begin(), rows.end());
+                out->unsat.push_back(static_cast<int>(unsat.size()));
+                out->unsat.insert(out->unsat.end(), unsat.begin(),
+                                  unsat.end());
+                return true;
+              });
+        }
+        out->counters = chunk_joiner.counters();
+        out->seconds = chunk_timer.ElapsedSeconds();
+      });
+    }
+    group.Wait();
+  }
+
+  std::vector<uint32_t> rows;
+  std::vector<int> still_unsat;
+  double round_max = 0;
+  for (const ChunkOut& chunk : chunks) {
+    const IncTask& head = inc_tasks_[chunk.begin];
+    RuleJoiner* joiner = scopes_[head.rule][head.scope].joiner.get();
+    const size_t stride = rules_->rule(head.rule).num_vars();
+    size_t u = 0;
+    for (size_t r = 0; r + stride <= chunk.rows.size(); r += stride) {
+      rows.assign(chunk.rows.begin() + r, chunk.rows.begin() + r + stride);
+      const int len = chunk.unsat[u++];
+      still_unsat.clear();
+      for (int k = 0; k < len; ++k) {
+        const int i = chunk.unsat[u++];
+        if (!joiner->LeafHolds(i, rows)) still_unsat.push_back(i);
+      }
+      HandleValuation(head.rule, joiner, rows, still_unsat, round_out);
+    }
+    AddJoinCounters(&stats_, chunk.counters);
+    inc_task_seconds_sum_ += chunk.seconds;
+    round_max = std::max(round_max, chunk.seconds);
+  }
+  inc_round_max_seconds_sum_ += round_max;
+}
 
 void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
   DCER_TRACE("chase.inc_deduce");
-  std::deque<WorkItem> queue;
-  for (auto [a, b] : seeds.id_pairs) {
-    queue.push_back({false, a, b, -1, 0, 0});
-  }
-  for (const Fact& f : seeds.facts) {
-    if (f.kind == Fact::Kind::kMl) {
-      queue.push_back({true, f.a, f.b, f.ml_id, f.a_sig, f.b_sig});
-    }
-  }
+  // Fast path: while H has never dropped, it is complete — the full
+  // enumeration passes (Deduce / DeduceForNewTuples) recorded every
+  // valuation blocked only on id/ML predicates, and the caller has already
+  // applied the seeds (firing H transitively through ApplyFactAndFire), so
+  // the fixpoint is already reached. Seeded re-joins only ever recover what
+  // a drop lost.
+  if (deps_.num_dropped() == 0) return;
 
-  while (!queue.empty()) {
-    WorkItem item = queue.front();
-    queue.pop_front();
+  inc_frontier_.Clear();
+  inc_next_.Clear();
+  inc_seen_.clear();
+  inc_feasible_.assign(rules_->size(), {});
+  EnqueueFrontier(seeds, &inc_frontier_);
 
-    uint32_t rel_a = view_->dataset().relation_of(item.a);
-    uint32_t rel_b = view_->dataset().relation_of(item.b);
+  obs::Histogram* frontier_hist =
+      obs::MetricsEnabled()
+          ? obs::MetricsRegistry::Global().GetHistogram(
+                "chase.inc_frontier_size", obs::Histogram::Unit::kCount)
+          : nullptr;
 
-    for (size_t ri = 0; ri < rules_->size(); ++ri) {
-      const Rule& rule = rules_->rule(ri);
-      // Only blocks hosting item.a can host a seeded valuation; b must be
-      // co-located there too.
-      std::span<const uint32_t> candidate_scopes;
-      std::vector<uint32_t> all_scopes;  // sequential form: the single scope
-      if (!scopes_of_gid_.empty()) {
-        auto it = scopes_of_gid_[ri].find(item.a);
-        if (it == scopes_of_gid_[ri].end()) continue;
-        candidate_scopes = it->second;
-      } else {
-        all_scopes.resize(scopes_[ri].size());
-        for (uint32_t s = 0; s < all_scopes.size(); ++s) all_scopes[s] = s;
-        candidate_scopes = all_scopes;
-      }
-      for (uint32_t scope_idx : candidate_scopes) {
-      Scope& scope = scopes_[ri][scope_idx];
-      RuleJoiner* joiner = scope.joiner.get();
-      // Map gids to rows of this scope's block; a block the rule's
-      // Hypercube did not co-locate the pair in cannot host the valuation.
-      const DatasetView& rv = scope.index->view();
-      uint32_t row_a = rv.RowOf(item.a);
-      uint32_t row_b = rv.RowOf(item.b);
-      if (row_a == kInvalidGid || row_b == kInvalidGid) continue;
-      for (const Predicate& p : rule.preconditions()) {
-        if (!p.is_id_or_ml()) continue;
-        // Which (t, s) var assignments does this item support?
-        std::vector<std::pair<uint32_t, uint32_t>> orients;
-        if (!item.is_ml && p.kind == PredicateKind::kIdEq) {
-          if (rule.var_relation(p.lhs.var) == static_cast<int>(rel_a) &&
-              rule.var_relation(p.rhs.var) == static_cast<int>(rel_b)) {
-            orients.push_back({row_a, row_b});
-          }
-          if (item.a != item.b &&
-              rule.var_relation(p.lhs.var) == static_cast<int>(rel_b) &&
-              rule.var_relation(p.rhs.var) == static_cast<int>(rel_a)) {
-            orients.push_back({row_b, row_a});
-          }
-        } else if (item.is_ml && p.kind == PredicateKind::kMl &&
-                   p.ml_id == item.ml_id) {
-          uint64_t lhs_sig =
-              MlSideSignature(rule.var_relation(p.lhs.var), p.lhs_ml_attrs);
-          uint64_t rhs_sig =
-              MlSideSignature(rule.var_relation(p.rhs.var), p.rhs_ml_attrs);
-          if (lhs_sig == item.a_sig && rhs_sig == item.b_sig) {
-            orients.push_back({row_a, row_b});
-          }
-          if ((item.a != item.b || item.a_sig != item.b_sig) &&
-              lhs_sig == item.b_sig && rhs_sig == item.a_sig) {
-            orients.push_back({row_b, row_a});
-          }
-        }
-        for (auto [lrow, rrow] : orients) {
-          ++stats_.seeded_joins;
-          std::pair<int, uint32_t> seed_arr[2] = {{p.lhs.var, lrow},
-                                                  {p.rhs.var, rrow}};
-          JoinCounters before = joiner->counters();
-          Delta round;
-          joiner->EnumerateSeeded(
-              seed_arr, [&](const std::vector<uint32_t>& rows,
-                            const std::vector<int>& unsat) {
-                HandleValuation(ri, joiner, rows, unsat, &round);
-                return true;
-              });
-          AddJoinCounters(&stats_, joiner->counters() - before);
-          // Cascade: everything newly derived becomes new work.
-          for (auto [x, y] : round.id_pairs) {
-            queue.push_back({false, x, y, -1, 0, 0});
-          }
-          for (const Fact& f : round.facts) {
-            if (f.kind == Fact::Kind::kMl) {
-              queue.push_back({true, f.a, f.b, f.ml_id, f.a_sig, f.b_sig});
-            }
-          }
-          out->Append(round);
-        }
-      }
-      }
-    }
+  while (!inc_frontier_.empty()) {
+    ++stats_.inc_rounds;
+    stats_.inc_frontier_items += inc_frontier_.size();
+    if (frontier_hist != nullptr) frontier_hist->Record(inc_frontier_.size());
+
+    inc_bindings_.clear();
+    BuildIncRoundTasks();
+    // Group the round's re-joins: (rule, scope, item-order) is the order
+    // both execution paths reproduce, and grouping is what lets the pooled
+    // path hand each chunk a single seeded plan.
+    std::stable_sort(inc_tasks_.begin(), inc_tasks_.end(),
+                     [](const IncTask& x, const IncTask& y) {
+                       return x.rule != y.rule ? x.rule < y.rule
+                                               : x.scope < y.scope;
+                     });
+    Delta round;
+    ExecuteIncRoundTasks(&round);
+    out->Append(round);
+    // Semi-naive: only what this round newly derived seeds the next one.
+    inc_next_.Clear();
+    EnqueueFrontier(round, &inc_next_);
+    inc_frontier_.Swap(inc_next_);
   }
 }
 

@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <span>
+#include <unordered_set>
 
+#include "chase/delta_store.h"
 #include "chase/dependency_store.h"
 #include "chase/engine_options.h"
 #include "chase/join.h"
@@ -49,6 +51,13 @@ class ChaseEngine {
     /// Additionally allow approximate (LSH) indices for classifiers without
     /// a sound filter (embedding cosine). May lose recall; off by default.
     bool ml_index_approx = false;
+    /// Batched semi-naive IncDeduce (see EngineOptions::inc_parallel): each
+    /// round's re-joins are recorded against a frozen snapshot and merged in
+    /// (rule, scope, item-order); rounds with at least
+    /// `min_parallel_inc_tasks` re-joins fan the recording out on `pool`.
+    /// false = the per-item sequential loop (ablation); identical results.
+    bool inc_parallel = true;
+    size_t min_parallel_inc_tasks = 32;
   };
 
   /// The single mapping from the shared EngineOptions knobs onto engine
@@ -82,10 +91,19 @@ class ChaseEngine {
   /// are appended to *delta.
   void Deduce(Delta* delta);
 
-  /// Update-driven pass: re-inspects only valuations that involve a fact in
-  /// `seeds` (which must already be applied to the context), cascading
-  /// internally until no new fact is derivable from them. Newly deduced
-  /// facts are appended to *out.
+  /// Update-driven pass (Fig. 4), run as a batched semi-naive fixpoint:
+  /// the seeds (which must already be applied to the context) form round 1's
+  /// frontier; each round dedups its frontier against the facts already
+  /// re-joined this call, groups the surviving re-joins by (rule, scope),
+  /// records their enumerations against the context frozen at round start
+  /// (in parallel on Options::pool when configured) and merges the recorded
+  /// valuations in (rule, scope, item-order); everything newly derived
+  /// becomes the next round's frontier. Newly deduced facts are appended to
+  /// *out. When the dependency store has never dropped (num_dropped() == 0),
+  /// the pass returns immediately: every valuation blocked on id/ML
+  /// predicates was recorded in H by the full enumeration passes, so firing
+  /// H (which the caller already did by applying the seeds) IS the fixpoint
+  /// — seeded re-joins only ever recover what a drop lost.
   void IncDeduce(const Delta& seeds, Delta* out);
 
   /// Registers tuples newly appended to the evaluation views with every
@@ -105,6 +123,14 @@ class ChaseEngine {
 
   const ChaseStats& stats() const { return stats_; }
   const DependencyStore& dependencies() const { return deps_; }
+  /// Chunk-enumeration wall time of the parallel inc pass: total across
+  /// chunks, and the sum over rounds of each round's slowest chunk (the
+  /// simulated time with one core per chunk). Timing — excluded from the
+  /// determinism contract, like every seconds field.
+  double inc_task_seconds_sum() const { return inc_task_seconds_sum_; }
+  double inc_round_max_seconds_sum() const {
+    return inc_round_max_seconds_sum_;
+  }
   const DatasetView& view() const { return *view_; }
   MatchContext& context() { return *ctx_; }
 
@@ -135,6 +161,36 @@ class ChaseEngine {
   std::vector<Gid> GidsOf(size_t rule_idx,
                           const std::vector<uint32_t>& rows) const;
 
+  // One seeded re-join of the semi-naive pass: rule `rule` in scope `scope`
+  // with variables lvar/rvar pre-bound to rows lrow/rrow of the scope's
+  // block. Built per round in (item, rule, scope, predicate, orientation)
+  // order, then stably grouped by (rule, scope).
+  struct IncTask {
+    uint32_t rule;
+    uint32_t scope;
+    int32_t lvar, rvar;
+    uint32_t lrow, rrow;
+  };
+
+  // Appends d's id pairs and ML facts to *store, skipping (and counting)
+  // facts already re-joined during this IncDeduce call.
+  void EnqueueFrontier(const Delta& d, DeltaStore* store);
+  // True iff the scope's block hosts rows of every relation the rule joins
+  // (a block missing one cannot host any valuation — same precheck Deduce
+  // runs, resolved once per call here instead of paying a seeded
+  // enumeration per work item).
+  bool IncScopeFeasible(size_t rule_idx, uint32_t scope_idx);
+  // Expands the current frontier into inc_tasks_ (dedup, feasibility,
+  // orientation matching).
+  void BuildIncRoundTasks();
+  // Runs inc_tasks_ (grouped by (rule, scope)) and appends everything newly
+  // derived to *round_out. inc_parallel: record on the pool against the
+  // frozen context, then merge sequentially re-checking recorded unsat
+  // entries; ablation: enumerate each task inline with immediate
+  // application. Both orders are (rule, scope, item-order), so results and
+  // stats are identical (see DESIGN.md "Delta-driven fixpoint").
+  void ExecuteIncRoundTasks(Delta* round_out);
+
   const DatasetView* view_;
   const RuleSet* rules_;
   const MlRegistry* registry_;
@@ -151,6 +207,24 @@ class ChaseEngine {
   // update-driven pass touch only the blocks that can host a seeded
   // valuation instead of scanning every (rule, block) pair per work item.
   std::vector<std::unordered_map<Gid, std::vector<uint32_t>>> scopes_of_gid_;
+
+  // Semi-naive frontier state, reused across rounds and IncDeduce calls
+  // (chunked stores and hash tables keep their storage through Clear).
+  DeltaStore inc_frontier_;
+  DeltaStore inc_next_;
+  std::unordered_set<uint64_t> inc_seen_;      // fact keys re-joined this call
+  std::unordered_set<uint64_t> inc_bindings_;  // (rule, scope, seeds), per round
+  std::vector<IncTask> inc_tasks_;
+  // Per rule: feasibility of each scope for this call; 0 unknown,
+  // 1 feasible, -1 infeasible.
+  std::vector<std::vector<int8_t>> inc_feasible_;
+
+  // Wall time spent inside the recorded chunk enumerations of the parallel
+  // inc pass: total across chunks, and the sum over rounds of each round's
+  // slowest chunk (the round's simulated parallel time, one core per
+  // chunk). Timing only — excluded from the determinism contract.
+  double inc_task_seconds_sum_ = 0;
+  double inc_round_max_seconds_sum_ = 0;
 };
 
 }  // namespace dcer

@@ -1,0 +1,7 @@
+#include "chase/delta_store.h"
+
+namespace dcer {
+
+void DeltaStore::Grow() { chunks_.push_back(std::make_unique<Chunk>()); }
+
+}  // namespace dcer

@@ -1,0 +1,72 @@
+#ifndef DCER_CHASE_DELTA_STORE_H_
+#define DCER_CHASE_DELTA_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "chase/fact.h"
+
+namespace dcer {
+
+/// Append-only store of facts backing the semi-naive frontier of IncDeduce.
+/// Facts live in fixed-size chunks, so growing the frontier never moves
+/// existing entries and never reallocates per item; Clear() retains every
+/// chunk for the next round (the frontier and its successor are swapped
+/// once per round, every round of every superstep — per-item heap churn
+/// there was measurable). Iteration order is append order, which is what
+/// makes the round-based pass deterministic.
+class DeltaStore {
+ public:
+  DeltaStore() = default;
+  DeltaStore(const DeltaStore&) = delete;
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  void Append(const Fact& f) {
+    if (used_ == chunks_.size() * kChunkCapacity) Grow();
+    chunks_[used_ / kChunkCapacity]->items[used_ % kChunkCapacity] = f;
+    ++used_;
+  }
+
+  size_t size() const { return used_; }
+  bool empty() const { return used_ == 0; }
+
+  /// Forgets the contents but keeps every allocated chunk.
+  void Clear() { used_ = 0; }
+
+  void Swap(DeltaStore& other) {
+    chunks_.swap(other.chunks_);
+    std::swap(used_, other.used_);
+  }
+
+  const Fact& at(size_t i) const {
+    return chunks_[i / kChunkCapacity]->items[i % kChunkCapacity];
+  }
+
+  /// Calls fn(fact) for every stored fact in append order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    size_t remaining = used_;
+    for (const auto& chunk : chunks_) {
+      const size_t n = remaining < kChunkCapacity ? remaining : kChunkCapacity;
+      for (size_t i = 0; i < n; ++i) fn(chunk->items[i]);
+      remaining -= n;
+      if (remaining == 0) break;
+    }
+  }
+
+ private:
+  static constexpr size_t kChunkCapacity = 1024;
+  struct Chunk {
+    Fact items[kChunkCapacity];
+  };
+
+  void Grow();  // out of line: the hot path stays a two-instruction append
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t used_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_DELTA_STORE_H_

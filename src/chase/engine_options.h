@@ -35,6 +35,13 @@ struct EngineOptions {
   /// Message plane for the BSP exchange (DMatch only; the sequential Match
   /// sends nothing). See TransportKind.
   TransportKind transport = TransportKind::kInProcess;
+  /// Batched semi-naive execution of the update-driven pass (IncDeduce):
+  /// each round's surviving re-joins are grouped by (rule, scope), recorded
+  /// against a frozen context snapshot (on the pool when `threads` > 1) and
+  /// merged deterministically. Off = the per-item sequential work loop, kept
+  /// as the ablation baseline; Γ and E_id are bit-identical either way (see
+  /// DESIGN.md "Delta-driven fixpoint").
+  bool inc_parallel = true;
   /// Similarity-index candidate generation for ML predicates (see DESIGN.md
   /// "ML candidate indices"): token/q-gram indices turn Jaccard and
   /// edit-similarity predicates into index probes instead of cross-product

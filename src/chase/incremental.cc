@@ -24,13 +24,10 @@ IncrementalMatcher::IncrementalMatcher(const Dataset* dataset,
 MatchReport IncrementalMatcher::RunToFixpoint(Delta delta) {
   Timer timer;
   MatchReport report;
-  report.rounds = 1;
-  while (!delta.empty()) {
-    Delta next;
-    engine_->IncDeduce(delta, &next);
-    delta = std::move(next);
-    ++report.rounds;
-  }
+  // IncDeduce cascades internally until a round derives nothing, so one
+  // call reaches the fixpoint.
+  Delta rest;
+  engine_->IncDeduce(delta, &rest);
   // Per-call stats: difference against the engine's running counters.
   ChaseStats now = engine_->stats();
   report.chase = now;
@@ -43,6 +40,10 @@ MatchReport IncrementalMatcher::RunToFixpoint(Delta delta) {
   report.chase.join_candidates -= stats_before_.join_candidates;
   report.chase.ml_probes -= stats_before_.ml_probes;
   report.chase.ml_probe_candidates -= stats_before_.ml_probe_candidates;
+  report.chase.inc_rounds -= stats_before_.inc_rounds;
+  report.chase.inc_frontier_items -= stats_before_.inc_frontier_items;
+  report.chase.inc_dedup_hits -= stats_before_.inc_dedup_hits;
+  report.rounds = 1 + static_cast<int>(report.chase.inc_rounds);
   stats_before_ = now;
   report.seconds = timer.ElapsedSeconds();
   report.matched_pairs = ctx_->num_matched_pairs();

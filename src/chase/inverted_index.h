@@ -62,6 +62,16 @@ class DatasetIndex {
   /// Number of ML candidate indices built so far (includes rebuilds).
   size_t num_ml_indices_built() const { return num_ml_built_; }
 
+  /// Monotone generation of the ML index map: advances exactly when an ML
+  /// candidate index is (re)built — the only event that can destroy a
+  /// previously returned index pointer (threshold rebuilds replace the
+  /// entry; NotifyAppend updates indices in place). Joiners cache resolved
+  /// GetOrBuildMl results against this, skipping the per-probe hash find
+  /// and staleness check. Never 0, so callers can use 0 as "unset".
+  uint64_t ml_generation() const {
+    return static_cast<uint64_t>(num_ml_built_) + 1;
+  }
+
  private:
   struct ValueHash {
     size_t operator()(const Value& v) const {

@@ -335,9 +335,19 @@ const std::vector<uint32_t>* RuleJoiner::ProbeMlCandidates(
         dep.probe_lhs ? p.lhs_ml_attrs : p.rhs_ml_attrs;
     const std::vector<int>& other_attrs =
         dep.probe_lhs ? p.rhs_ml_attrs : p.lhs_ml_attrs;
-    const MlCandidateIndex* ml_index = index_->GetOrBuildMl(
-        registry_->classifier(p.ml_id), p.ml_id,
-        rule_->var_relation(step.var), my_attrs);
+    const MlClassifier& clf = registry_->classifier(p.ml_id);
+    const MlCandidateIndex* ml_index;
+    if (dep.cached_gen == index_->ml_generation() &&
+        dep.cached_threshold == clf.threshold()) {
+      ml_index = dep.cached;
+    } else {
+      ml_index = index_->GetOrBuildMl(clf, p.ml_id,
+                                      rule_->var_relation(step.var), my_attrs);
+      dep.cached = ml_index;
+      // After the call: resolving may itself have advanced the generation.
+      dep.cached_gen = index_->ml_generation();
+      dep.cached_threshold = clf.threshold();
+    }
     if (ml_index == nullptr) continue;
     FillMlValues(dep.other_var, other_attrs, binding_[dep.other_var],
                  &ml_scratch_a_);

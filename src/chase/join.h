@@ -171,6 +171,15 @@ class RuleJoiner {
       const Predicate* pred;
       int other_var;   // the already-bound side
       bool probe_lhs;  // true: step.var is pred->lhs, probe the lhs index
+      // Lazily resolved candidate index, revalidated per probe against the
+      // DatasetIndex's ml_generation and the classifier's current threshold
+      // (either can invalidate — a rebuild destroys the pointed-to index).
+      // cached_gen == 0 means unresolved. mutable: plans are logically
+      // const after construction, and each joiner (scope or shard) is owned
+      // by one thread, so the cache never races.
+      mutable const MlCandidateIndex* cached = nullptr;
+      mutable uint64_t cached_gen = 0;
+      mutable double cached_threshold = 0;
     };
     std::vector<CrossDep> deps;
     std::vector<MlDep> ml_deps;

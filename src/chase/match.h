@@ -19,7 +19,7 @@ struct MatchOptions : EngineOptions {
 /// Outcome of one Match run: the RunReport core (chase stats, outcome
 /// sizes, cache and obs snapshots, ToJson) plus the fixpoint round count.
 struct MatchReport : RunReport {
-  int rounds = 0;  // 1 (Deduce) + IncDeduce passes
+  int rounds = 0;  // 1 (Deduce) + IncDeduce's semi-naive rounds
 
  protected:
   void ExtraJson(JsonWriter* w) const override;

@@ -17,6 +17,9 @@ ChaseStats& ChaseStats::operator+=(const ChaseStats& o) {
   join_candidates += o.join_candidates;
   ml_probes += o.ml_probes;
   ml_probe_candidates += o.ml_probe_candidates;
+  inc_rounds += o.inc_rounds;
+  inc_frontier_items += o.inc_frontier_items;
+  inc_dedup_hits += o.inc_dedup_hits;
   return *this;
 }
 
@@ -34,6 +37,9 @@ void ChaseStats::AppendJson(JsonWriter* w) const {
   w->KV("join_candidates", join_candidates);
   w->KV("ml_probes", ml_probes);
   w->KV("ml_probe_candidates", ml_probe_candidates);
+  w->KV("inc_rounds", inc_rounds);
+  w->KV("inc_frontier_items", inc_frontier_items);
+  w->KV("inc_dedup_hits", inc_dedup_hits);
   w->EndObject();
 }
 
@@ -51,6 +57,9 @@ void ChaseStats::AddToRegistry() const {
   reg.GetCounter("chase.join_candidates")->Add(join_candidates);
   reg.GetCounter("chase.ml_probes")->Add(ml_probes);
   reg.GetCounter("chase.ml_probe_candidates")->Add(ml_probe_candidates);
+  reg.GetCounter("chase.inc_rounds")->Add(inc_rounds);
+  reg.GetCounter("chase.inc_frontier_items")->Add(inc_frontier_items);
+  reg.GetCounter("chase.inc_dedup_hits")->Add(inc_dedup_hits);
 }
 
 std::string RunReport::ToJson() const {
@@ -77,6 +86,10 @@ std::string RunReport::ToJson() const {
       w.KV("bytes", s.bytes);
       w.KV("outbox_messages", s.outbox_messages);
       w.KV("outbox_bytes", s.outbox_bytes);
+      w.KV("inc_rounds", s.inc_rounds);
+      w.KV("inc_frontier_items", s.inc_frontier_items);
+      w.KV("inc_dedup_hits", s.inc_dedup_hits);
+      w.KV("seeded_joins", s.seeded_joins);
       w.Key("worker_seconds").BeginArray();
       for (double t : s.worker_seconds) w.Value(t);
       w.EndArray();

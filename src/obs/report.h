@@ -31,6 +31,10 @@ struct ChaseStats {
   uint64_t ml_probe_candidates = 0;  // rows those probes produced (after
                                      // multi-probe intersection); together
                                      // with ml_probes: filter selectivity
+  uint64_t inc_rounds = 0;         // semi-naive rounds run by IncDeduce
+  uint64_t inc_frontier_items = 0;  // frontier facts across those rounds
+  uint64_t inc_dedup_hits = 0;  // facts/bindings skipped as already re-joined;
+                                // with inc_frontier_items: cascade redundancy
 
   ChaseStats& operator+=(const ChaseStats& o);
 
@@ -62,6 +66,14 @@ struct SuperstepStats {
   uint64_t bytes = 0;     // serialized size of those inbox batches
   uint64_t outbox_messages = 0;  // facts the step's outboxes sent the master
   uint64_t outbox_bytes = 0;     // serialized size of those outbox batches
+  /// Incremental-chase shape of the step (all zero for step 0, which runs
+  /// the full Deduce): the deepest semi-naive cascade any worker ran, and
+  /// the frontier/dedup/re-join volume summed over workers. These track how
+  /// much |Δ|-proportional work the step did.
+  uint64_t inc_rounds = 0;          // max over workers
+  uint64_t inc_frontier_items = 0;  // sum over workers
+  uint64_t inc_dedup_hits = 0;      // sum over workers
+  uint64_t seeded_joins = 0;        // sum over workers
 };
 
 /// Shared core of MatchReport and DMatchReport: the chase counters, the

@@ -141,6 +141,13 @@ DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
     }
     ss.mean_seconds = workers.empty() ? 0 : sum / workers.size();
     ss.skew = ss.mean_seconds > 0 ? ss.max_seconds / ss.mean_seconds : 0;
+    for (const auto& w : workers) {
+      const Worker::StepIncStats& inc = w->last_step_inc_stats();
+      ss.inc_rounds = std::max(ss.inc_rounds, inc.inc_rounds);
+      ss.inc_frontier_items += inc.inc_frontier_items;
+      ss.inc_dedup_hits += inc.inc_dedup_hits;
+      ss.seeded_joins += inc.seeded_joins;
+    }
     report.superstep_stats.push_back(std::move(ss));
     return slowest;
   };

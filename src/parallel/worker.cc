@@ -28,6 +28,7 @@ void Worker::RunPartial() {
   outbox_ = delta.facts;
   derived_.insert(derived_.end(), delta.facts.begin(), delta.facts.end());
   last_step_seconds_ = timer.ElapsedSeconds();
+  last_inc_ = StepIncStats{};
 }
 
 void Worker::RunIncremental(const std::vector<Fact>& inbox) {
@@ -40,8 +41,15 @@ void Worker::RunIncremental(const std::vector<Fact>& inbox) {
   // facts), all of which seed the update-driven pass.
   Delta seeds;
   engine_->ApplyExternalFacts(inbox, &seeds);
+  const ChaseStats before = engine_->stats();
   Delta out;
   engine_->IncDeduce(seeds, &out);
+  const ChaseStats& after = engine_->stats();
+  last_inc_.inc_rounds = after.inc_rounds - before.inc_rounds;
+  last_inc_.inc_frontier_items =
+      after.inc_frontier_items - before.inc_frontier_items;
+  last_inc_.inc_dedup_hits = after.inc_dedup_hits - before.inc_dedup_hits;
+  last_inc_.seeded_joins = after.seeded_joins - before.seeded_joins;
 
   outbox_.clear();
   auto emit = [&](const Fact& f) {

@@ -53,6 +53,17 @@ class Worker {
   size_t fragment_tuples() const { return fragment_->num_tuples(); }
   double last_step_seconds() const { return last_step_seconds_; }
 
+  /// Incremental-chase shape of the last superstep (deltas of the engine's
+  /// running counters across that step; all zero after RunPartial, which
+  /// runs the full Deduce instead). Feeds SuperstepStats.
+  struct StepIncStats {
+    uint64_t inc_rounds = 0;
+    uint64_t inc_frontier_items = 0;
+    uint64_t inc_dedup_hits = 0;
+    uint64_t seeded_joins = 0;
+  };
+  const StepIncStats& last_step_inc_stats() const { return last_inc_; }
+
  private:
   int id_;
   const Dataset* dataset_;
@@ -70,6 +81,7 @@ class Worker {
   std::vector<Fact> outbox_;
   std::vector<Fact> derived_;
   double last_step_seconds_ = 0;
+  StepIncStats last_inc_;
 };
 
 }  // namespace dcer

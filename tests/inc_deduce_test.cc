@@ -1,0 +1,263 @@
+// Delta-driven IncDeduce (the batched semi-naive pass): Γ must be
+// bit-identical to the full chase fixpoint and invariant under every
+// execution knob — inc_parallel on/off, threads 1/4, dependency capacity
+// 0/partial/default, and (at the DMatch level) both transports.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "chase/deduce.h"
+#include "chase/match.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "datagen/ecommerce.h"
+#include "parallel/dmatch.h"
+
+namespace dcer {
+namespace {
+
+struct ProtocolResult {
+  std::vector<std::pair<Gid, Gid>> pairs;
+  std::vector<uint64_t> ml_keys;
+  // Deltas of the engine's running counters across the IncDeduce call; the
+  // determinism contract says these match under any threads setting.
+  uint64_t seeded_joins = 0;
+  uint64_t inc_rounds = 0;
+  uint64_t inc_frontier_items = 0;
+  uint64_t inc_dedup_hits = 0;
+  uint64_t matches = 0;
+};
+
+// The cap protocol at the engine level: full Deduce over the up rule alone
+// (finds nothing — every valuation needs child matches), then the given leaf
+// matches arrive as external facts and IncDeduce cascades. With capacity 0
+// nothing was recorded in H, so every internal valuation must be recovered
+// through seeded re-joins; with the default capacity H is complete and the
+// no-drop fast path answers from the dependency store.
+ProtocolResult RunProtocol(TournamentWorkload& w,
+                           const std::vector<Fact>& leaf_facts,
+                           size_t capacity, bool inc_parallel, int threads) {
+  DatasetView view = DatasetView::Full(w.dataset);
+  MatchContext ctx(w.dataset);
+  EngineOptions eo;
+  eo.dependency_capacity = capacity;
+  eo.threads = threads;
+  eo.inc_parallel = inc_parallel;
+  ChaseEngine::Options o =
+      ChaseEngine::FromEngineOptions(eo, &ThreadPool::Global());
+  ChaseEngine engine(&view, &w.up_rules, &w.registry, &ctx, o);
+  Delta d0;
+  engine.Deduce(&d0);
+  Delta seeds;
+  engine.ApplyExternalFacts(leaf_facts, &seeds);
+  const ChaseStats before = engine.stats();
+  Delta out;
+  engine.IncDeduce(seeds, &out);
+  const ChaseStats& after = engine.stats();
+  ProtocolResult r;
+  r.pairs = ctx.MatchedPairs();
+  r.ml_keys = ctx.ValidatedMlKeys();
+  r.seeded_joins = after.seeded_joins - before.seeded_joins;
+  r.inc_rounds = after.inc_rounds - before.inc_rounds;
+  r.inc_frontier_items = after.inc_frontier_items - before.inc_frontier_items;
+  r.inc_dedup_hits = after.inc_dedup_hits - before.inc_dedup_hits;
+  r.matches = after.matches - before.matches;
+  return r;
+}
+
+void ExpectSameResult(const ProtocolResult& a, const ProtocolResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.pairs, b.pairs) << what;
+  EXPECT_EQ(a.ml_keys, b.ml_keys) << what;
+}
+
+void ExpectSameStats(const ProtocolResult& a, const ProtocolResult& b,
+                     const char* what) {
+  EXPECT_EQ(a.seeded_joins, b.seeded_joins) << what;
+  EXPECT_EQ(a.inc_rounds, b.inc_rounds) << what;
+  EXPECT_EQ(a.inc_frontier_items, b.inc_frontier_items) << what;
+  EXPECT_EQ(a.inc_dedup_hits, b.inc_dedup_hits) << what;
+  EXPECT_EQ(a.matches, b.matches) << what;
+}
+
+class IncDeduceTournamentTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IncDeduceTournamentTest, RecoveryMatchesFullChaseFixpoint) {
+  const bool with_ml = GetParam();
+  const int kLevels = 6;  // 64 leaf pairs, 63 internal pairs
+  auto w = MakeTournament(kLevels, with_ml);
+  ASSERT_NE(w, nullptr);
+
+  // Reference: the ordinary full chase over leaf + up rules.
+  std::vector<std::pair<Gid, Gid>> expected_pairs;
+  std::vector<uint64_t> expected_ml;
+  {
+    DatasetView view = DatasetView::Full(w->dataset);
+    MatchContext ctx(w->dataset);
+    Match(view, w->rules, w->registry, {}, &ctx);
+    expected_pairs = ctx.MatchedPairs();
+    expected_ml = ctx.ValidatedMlKeys();
+    ASSERT_EQ(expected_pairs.size(), (1u << (kLevels + 1)) - 1);
+  }
+
+  const std::vector<Fact> leaves = TournamentLeafFacts(*w);
+  // Capacity 0 forces full seeded recovery; 8 mixes recorded and dropped
+  // dependencies; the default never drops (fast path).
+  for (size_t cap : {size_t{0}, size_t{8}, size_t{1} << 20}) {
+    ProtocolResult ref;
+    bool have_ref = false;
+    for (bool inc_parallel : {false, true}) {
+      for (int threads : {1, 4}) {
+        ProtocolResult r =
+            RunProtocol(*w, leaves, cap, inc_parallel, threads);
+        std::string what = "cap=" + std::to_string(cap) +
+                           " inc_parallel=" + std::to_string(inc_parallel) +
+                           " threads=" + std::to_string(threads);
+        EXPECT_EQ(r.pairs, expected_pairs) << what;
+        EXPECT_EQ(r.ml_keys, expected_ml) << what;
+        // Every counter is deterministic across the ablation and any
+        // thread count for a fixed capacity.
+        if (!have_ref) {
+          ref = r;
+          have_ref = true;
+        } else {
+          ExpectSameStats(ref, r, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndMl, IncDeduceTournamentTest,
+                         ::testing::Bool());
+
+TEST(IncDeduceTest, RandomLeafSubsetsAgreeAcrossConfigs) {
+  // Randomized workloads: random subsets of the leaf matches yield partial
+  // brackets. Reference = default capacity (H complete, answered by the
+  // dependency store); every recovery configuration must reproduce it.
+  const int kLevels = 5;  // 32 leaf pairs
+  auto w = MakeTournament(kLevels, /*with_ml=*/false);
+  ASSERT_NE(w, nullptr);
+  Rng rng(29);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Fact> leaves;
+    for (const auto& [a, b] : w->leaf_pairs) {
+      if (rng.Uniform(10) < 6) leaves.push_back(Fact::IdMatch(a, b));
+    }
+    ProtocolResult ref =
+        RunProtocol(*w, leaves, size_t{1} << 20, /*inc_parallel=*/false,
+                    /*threads=*/1);
+    for (size_t cap : {size_t{0}, size_t{4}}) {
+      for (bool inc_parallel : {false, true}) {
+        for (int threads : {1, 4}) {
+          ProtocolResult r =
+              RunProtocol(*w, leaves, cap, inc_parallel, threads);
+          std::string what =
+              "trial=" + std::to_string(trial) + " cap=" +
+              std::to_string(cap) + " inc_parallel=" +
+              std::to_string(inc_parallel) + " threads=" +
+              std::to_string(threads);
+          ExpectSameResult(ref, r, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(IncDeduceTest, NoDropFastPathSkipsSeededJoins) {
+  // With the default H capacity nothing is ever dropped, so applying the
+  // seeds already reached the fixpoint and IncDeduce must return without a
+  // single seeded re-join or semi-naive round.
+  auto w = MakeTournament(5, /*with_ml=*/false);
+  ASSERT_NE(w, nullptr);
+  ProtocolResult r = RunProtocol(*w, TournamentLeafFacts(*w), size_t{1} << 20,
+                                 /*inc_parallel=*/true, /*threads=*/1);
+  EXPECT_EQ(r.seeded_joins, 0u);
+  EXPECT_EQ(r.inc_rounds, 0u);
+  EXPECT_EQ(r.inc_frontier_items, 0u);
+  // Γ is still the complete bracket.
+  EXPECT_EQ(r.pairs.size(), (1u << 6) - 1);
+}
+
+TEST(IncDeduceTest, DMatchTransportsAndAblationAgree) {
+  // The BSP path with capacity 0: every incremental superstep runs the
+  // seeded recovery. Both transports, the sequential ablation, and the
+  // pooled executor must all reproduce the sequential Match fixpoint.
+  auto w = MakeTournament(5, /*with_ml=*/false);
+  ASSERT_NE(w, nullptr);
+  std::vector<std::pair<Gid, Gid>> expected;
+  {
+    DatasetView view = DatasetView::Full(w->dataset);
+    MatchContext ctx(w->dataset);
+    Match(view, w->rules, w->registry, {}, &ctx);
+    expected = ctx.MatchedPairs();
+  }
+  struct Config {
+    bool inc_parallel;
+    TransportKind transport;
+    bool run_parallel;
+    int threads;
+  };
+  const Config configs[] = {
+      {true, TransportKind::kInProcess, false, 1},
+      {false, TransportKind::kInProcess, false, 1},
+      {true, TransportKind::kLoopbackTcp, false, 1},
+      {false, TransportKind::kLoopbackTcp, false, 1},
+      {true, TransportKind::kInProcess, true, 2},
+  };
+  for (const Config& c : configs) {
+    DMatchOptions o;
+    o.num_workers = 4;
+    o.dependency_capacity = 0;
+    o.inc_parallel = c.inc_parallel;
+    o.transport = c.transport;
+    o.run_parallel = c.run_parallel;
+    o.threads = c.threads;
+    MatchContext ctx(w->dataset);
+    DMatchReport r = DMatch(w->dataset, w->rules, w->registry, o, &ctx);
+    EXPECT_EQ(ctx.MatchedPairs(), expected)
+        << "inc_parallel=" << c.inc_parallel
+        << " transport=" << static_cast<int>(c.transport)
+        << " run_parallel=" << c.run_parallel;
+    EXPECT_GT(r.chase.seeded_joins, 0u);
+  }
+}
+
+TEST(IncDeduceTest, EcommerceDMatchCap0AgreesWithMatch) {
+  // The ML-heavy generated workload: classifier predicates and equivalence
+  // expansion, with capacity 0 forcing recovery inside every incremental
+  // superstep.
+  EcommerceOptions options;
+  options.num_customers = 150;
+  auto gd = MakeEcommerce(options);
+  std::vector<std::pair<Gid, Gid>> expected;
+  std::vector<uint64_t> expected_ml;
+  {
+    DatasetView view = DatasetView::Full(gd->dataset);
+    MatchContext ctx(gd->dataset);
+    Match(view, gd->rules, gd->registry, {}, &ctx);
+    expected = ctx.MatchedPairs();
+    expected_ml = ctx.ValidatedMlKeys();
+    ASSERT_FALSE(expected.empty());
+  }
+  for (bool inc_parallel : {false, true}) {
+    gd->registry.ClearCache();
+    DMatchOptions o;
+    o.num_workers = 4;
+    o.dependency_capacity = 0;
+    o.inc_parallel = inc_parallel;
+    MatchContext ctx(gd->dataset);
+    DMatch(gd->dataset, gd->rules, gd->registry, o, &ctx);
+    EXPECT_EQ(ctx.MatchedPairs(), expected)
+        << "inc_parallel=" << inc_parallel;
+    EXPECT_EQ(ctx.ValidatedMlKeys(), expected_ml)
+        << "inc_parallel=" << inc_parallel;
+  }
+}
+
+}  // namespace
+}  // namespace dcer

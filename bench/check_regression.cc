@@ -27,12 +27,16 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "bench/workloads.h"
 #include "chase/deduce.h"
 #include "chase/match_context.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "datagen/ecommerce.h"
+#include "datagen/tpch_lite.h"
 #include "parallel/dmatch.h"
 
 namespace dcer {
@@ -85,6 +89,45 @@ struct IncCascadeRun {
   size_t leaves = 0;
 };
 
+// Fresh columnar numbers for the gates below: the equality-index build on
+// TPC-H SF 1 (the exact loop micro_core records as
+// index_build_columnar_seconds) and the interning pool's arena footprint
+// after generation (deterministic for the fixed generator seed).
+struct ColumnarFresh {
+  double index_build_seconds = 0;
+  double arena_bytes = 0;
+};
+
+ColumnarFresh MeasureColumnarFresh() {
+  ColumnarFresh out;
+  TpchOptions options;
+  options.scale_factor = 1.0;
+  auto gd = MakeTpch(options);
+  const Dataset& d = gd->dataset;
+  out.arena_bytes = static_cast<double>(d.pool().arena_bytes());
+  const Relation* orders = nullptr;
+  for (size_t r = 0; r < d.num_relations(); ++r) {
+    if (d.relation(r).schema().name() == "Orders") orders = &d.relation(r);
+  }
+  const size_t n = orders->num_rows();
+  constexpr size_t kCustAttr = 1;  // Orders.custkey
+  constexpr int kBuildReps = 20;
+  std::unordered_map<uint64_t, std::vector<uint32_t>, CodeHash> index;
+  Timer t;
+  for (int rep = 0; rep < kBuildReps; ++rep) {
+    index.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (!orders->is_null(i, kCustAttr)) {
+        index[orders->code_at(i, kCustAttr)].push_back(
+            static_cast<uint32_t>(i));
+      }
+    }
+  }
+  out.index_build_seconds = t.ElapsedSeconds() / kBuildReps;
+  if (index.empty()) std::printf("unreachable\n");
+  return out;
+}
+
 IncCascadeRun RunIncCascade(size_t leaf_limit) {
   IncCascadeRun out;
   for (int rep = 0; rep < 3; ++rep) {
@@ -126,6 +169,8 @@ int Run(int argc, char** argv) {
   double baseline_wire_bytes = -1;
   double baseline_inc_full = -1;
   double baseline_inc_ratio = -1;
+  double baseline_index_build = -1;
+  double baseline_arena_bytes = -1;
   std::vector<double> baseline_step_bytes;
   {
     FILE* f = std::fopen(argv[1], "rb");
@@ -148,6 +193,8 @@ int Run(int argc, char** argv) {
     baseline_wire_bytes = JsonNumber(text, "dmatch_wire_bytes");
     baseline_inc_full = JsonNumber(text, "inc_full_seconds");
     baseline_inc_ratio = JsonNumber(text, "inc_delta_scaling_ratio");
+    baseline_index_build = JsonNumber(text, "index_build_columnar_seconds");
+    baseline_arena_bytes = JsonNumber(text, "intern_arena_bytes");
     baseline_step_bytes = JsonStepBytes(text);
   }
   if (baseline <= 0) {
@@ -360,6 +407,35 @@ int Run(int argc, char** argv) {
     }
   } else {
     std::printf("delta scaling: no baseline; skipping (PASS)\n");
+  }
+
+  // Columnar gates. Index build on TPC-H SF 1 is a wall-clock check (same
+  // slack floor + sequential-wall host normalization as the phase checks).
+  // The interning arena footprint is deterministic for the fixed generator
+  // seed, so growth over tolerance is a real change — a dedup slip, arena
+  // bloat, or a generator regression — and gets no noise normalization.
+  if (baseline_index_build > 0 || baseline_arena_bytes > 0) {
+    ColumnarFresh columnar = MeasureColumnarFresh();
+    if (!check_phase("columnar index build (tpch SF1)",
+                     columnar.index_build_seconds, baseline_index_build)) {
+      return 1;
+    }
+    if (baseline_arena_bytes > 0) {
+      const double mem_ratio = columnar.arena_bytes / baseline_arena_bytes;
+      std::printf("intern arena bytes: fresh=%.0f baseline=%.0f "
+                  "ratio=%.3f\n",
+                  columnar.arena_bytes, baseline_arena_bytes, mem_ratio);
+      if (mem_ratio > 1.0 + tolerance) {
+        std::printf("FAIL: interning arena footprint regressed %.1f%% over "
+                    "baseline\n",
+                    (mem_ratio - 1.0) * 100);
+        return 1;
+      }
+    } else {
+      std::printf("intern arena bytes: no baseline; skipping (PASS)\n");
+    }
+  } else {
+    std::printf("columnar: no baseline; skipping (PASS)\n");
   }
   std::printf("PASS\n");
   return 0;

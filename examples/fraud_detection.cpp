@@ -46,14 +46,14 @@ int main(int argc, char** argv) {
   std::map<std::string, Gid> by_cno;
   const Relation& cust = d.relation(customers);
   for (size_t r = 0; r < cust.num_rows(); ++r) {
-    by_cno[cust.at(r, cno_attr).AsString()] = cust.gid(r);
+    by_cno[std::string(cust.at(r, cno_attr).AsString())] = cust.gid(r);
   }
   std::map<std::string, Gid> by_sno;
   std::map<Gid, Gid> shop_owner;  // shop gid -> owner customer gid
   const Relation& shop = d.relation(shops);
   for (size_t r = 0; r < shop.num_rows(); ++r) {
-    by_sno[shop.at(r, sno_attr).AsString()] = shop.gid(r);
-    auto it = by_cno.find(shop.at(r, owner_attr).AsString());
+    by_sno[std::string(shop.at(r, sno_attr).AsString())] = shop.gid(r);
+    auto it = by_cno.find(std::string(shop.at(r, owner_attr).AsString()));
     if (it != by_cno.end()) shop_owner[shop.gid(r)] = it->second;
   }
 
@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
   };
   std::vector<Purchase> purchases;
   for (size_t r = 0; r < ord.num_rows(); ++r) {
-    auto bi = by_cno.find(ord.at(r, buyer_attr).AsString());
-    auto si = by_sno.find(ord.at(r, seller_attr).AsString());
+    auto bi = by_cno.find(std::string(ord.at(r, buyer_attr).AsString()));
+    auto si = by_sno.find(std::string(ord.at(r, seller_attr).AsString()));
     if (bi != by_cno.end() && si != by_sno.end()) {
       purchases.push_back({bi->second, si->second});
     }

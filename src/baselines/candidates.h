@@ -6,16 +6,12 @@
 #include <unordered_map>
 
 #include "baselines/pair_classifier.h"
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace dcer::baselines_internal {
 
-struct ValueHasher {
-  size_t operator()(const Value& v) const {
-    return static_cast<size_t>(v.Hash());
-  }
-};
-using BlockMap = std::unordered_map<Value, std::vector<Gid>, ValueHasher>;
+using BlockMap = std::unordered_map<Value, std::vector<Gid>, ValueHash>;
 
 inline BlockMap BuildBlocks(const Dataset& d, size_t rel, size_t attr) {
   BlockMap blocks;

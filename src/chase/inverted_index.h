@@ -10,6 +10,22 @@
 
 namespace dcer {
 
+/// Computes the equality-preserving lookup code of `v` against column
+/// (rel, attr): the code some row's cell would have iff it EqJoinable-equals
+/// `v`. Returns false when no row can match — `v` is NULL or NaN, its type
+/// differs from the column's, or it is a string absent from the dataset's
+/// interning pool (an O(1) whole-column rejection). `v` must not be an
+/// interned reference into a *different* dataset's pool.
+bool EqLookupCode(const Relation& rel, size_t attr, const Value& v,
+                  uint64_t* code);
+
+/// True (and *code set) iff the cell (row, attr) can satisfy an equality
+/// predicate at all: non-NULL and, for doubles, non-NaN. Code equality of
+/// two joinable cells of equal column type is exactly EqJoinable of their
+/// Values — the id == id fast path of the columnar layout.
+bool JoinableCellCode(const Relation& rel, uint32_t row, size_t attr,
+                      uint64_t* code);
+
 /// Lazily-built inverted indices value -> rows for the equality predicates
 /// of Sec. V-A (1). One DatasetIndex is shared by all rules — that sharing
 /// is part of the MQO optimization; the noMQO ablation rebuilds an index per
@@ -26,6 +42,11 @@ class DatasetIndex {
   /// Rows of relation `rel` (in the view) whose attribute `attr` equals `v`.
   /// Builds the (rel, attr) index on first use.
   const std::vector<uint32_t>& Lookup(size_t rel, size_t attr, const Value& v);
+
+  /// Lookup by precomputed equality code (EqLookupCode/JoinableCellCode);
+  /// skips the per-call Value inspection on the joiner's hot path.
+  const std::vector<uint32_t>& LookupCode(size_t rel, size_t attr,
+                                          uint64_t code);
 
   /// Number of (relation, attribute) indices built so far (MQO metric).
   size_t num_indices_built() const { return num_built_; }
@@ -73,12 +94,11 @@ class DatasetIndex {
   }
 
  private:
-  struct ValueHash {
-    size_t operator()(const Value& v) const {
-      return static_cast<size_t>(v.Hash());
-    }
-  };
-  using AttrIndex = std::unordered_map<Value, std::vector<uint32_t>, ValueHash>;
+  // Posting lists keyed by equality code (interned string id / int bits /
+  // canonicalized double bits), built from one columnar slice. CodeHash
+  // (common/hash.h) mixes the dense ids.
+  using AttrIndex =
+      std::unordered_map<uint64_t, std::vector<uint32_t>, CodeHash>;
 
   const AttrIndex& GetOrBuild(size_t rel, size_t attr);
 

@@ -279,16 +279,27 @@ const std::vector<uint32_t>* RuleJoiner::CandidatesFor(
   const int rel = rule_->var_relation(var);
   const Dataset& dataset = index_->view().dataset();
 
+  const Relation& relation = dataset.relation(rel);
   std::vector<Constraint>& constraints = constraint_scratch_[depth];
   constraints.clear();
   for (const BindStep::CrossDep& dep : step.deps) {
     const Relation& other_rel =
         dataset.relation(rule_->var_relation(dep.other_var));
-    constraints.push_back(
-        {dep.my_attr, &other_rel.at(binding_[dep.other_var], dep.other_attr)});
+    // The bound cell's code IS the lookup code when the column types agree
+    // (shared interning pool: string equality is id equality). Mismatched
+    // types — or NULL/NaN bound cells — can never join.
+    Constraint c{dep.my_attr, 0, /*never=*/true};
+    if (other_rel.column(dep.other_attr).type() ==
+        relation.column(dep.my_attr).type()) {
+      c.never = !JoinableCellCode(other_rel, binding_[dep.other_var],
+                                  dep.other_attr, &c.code);
+    }
+    constraints.push_back(c);
   }
   for (const Predicate* p : const_preds_[var]) {
-    constraints.push_back({p->lhs.attr, &p->constant});
+    Constraint c{p->lhs.attr, 0, /*never=*/false};
+    c.never = !EqLookupCode(relation, p->lhs.attr, p->constant, &c.code);
+    constraints.push_back(c);
   }
   *out = &constraints;
 
@@ -298,12 +309,12 @@ const std::vector<uint32_t>* RuleJoiner::CandidatesFor(
   if (!constraints.empty()) {
     size_t best_len = SIZE_MAX;
     for (size_t c = 0; c < constraints.size(); ++c) {
-      if (constraints[c].value->is_null()) {
-        // NULL joins nothing through equality: no candidates at all.
+      if (constraints[c].never) {
+        // NULL/NaN/absent-constant joins nothing: no candidates at all.
         return nullptr;
       }
       const std::vector<uint32_t>& list =
-          index_->Lookup(rel, constraints[c].attr, *constraints[c].value);
+          index_->LookupCode(rel, constraints[c].attr, constraints[c].code);
       if (list.size() < best_len) {
         best_len = list.size();
         candidates = &list;
@@ -378,12 +389,14 @@ void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
   counters_.candidates_probed += hi - lo;
   for (size_t i = lo; i < hi; ++i) {
     uint32_t row = candidates[i];
-    // Verify remaining constraints (the lookup enforced only one).
+    // Verify remaining constraints (the lookup enforced only one): a
+    // non-NULL cell with the same equality code, i.e. id == id for strings.
     bool ok = true;
+    uint64_t code;
     for (size_t c = 0; c < constraints.size(); ++c) {
       if (c == lookup_used) continue;
-      if (!EqJoinable(relation.at(row, constraints[c].attr),
-                      *constraints[c].value)) {
+      if (!JoinableCellCode(relation, row, constraints[c].attr, &code) ||
+          code != constraints[c].code) {
         ok = false;
         break;
       }
@@ -391,8 +404,12 @@ void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
     if (!ok) continue;
     // Self-equalities still need checking: no posting list enforces them.
     for (const Predicate* p : self_eqs_[var]) {
-      if (!EqJoinable(relation.at(row, p->lhs.attr),
-                      relation.at(row, p->rhs.attr))) {
+      uint64_t rcode;
+      if (relation.column(p->lhs.attr).type() !=
+              relation.column(p->rhs.attr).type() ||
+          !JoinableCellCode(relation, row, p->lhs.attr, &code) ||
+          !JoinableCellCode(relation, row, p->rhs.attr, &rcode) ||
+          code != rcode) {
         ok = false;
         break;
       }

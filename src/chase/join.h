@@ -150,10 +150,16 @@ class RuleJoiner {
                               uint32_t row) const;
 
  private:
-  // Candidate constraint on the next variable: attr must equal value.
+  // Candidate constraint on the next variable: attr's cell must have
+  // equality code `code` (interned string id / int bits / canonical double
+  // bits — see Column::code_at), which is EqJoinable equality in O(1).
+  // `never` marks constraints no row can satisfy (NULL or NaN bound cell,
+  // incompatible types, string constant absent from the pool): the whole
+  // candidate set is empty.
   struct Constraint {
     int attr;
-    const Value* value;
+    uint64_t code;
+    bool never;
   };
 
   // One step of a binding order: the variable bound at this depth, the

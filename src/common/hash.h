@@ -36,6 +36,24 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
 }
 
+/// Hasher for containers keyed by Value (or anything exposing a
+/// `uint64_t Hash()` method). The single definition shared by the inverted
+/// index, blocking baselines, and the rule miner — templated so this header
+/// need not depend on relational/value.h.
+struct ValueHash {
+  template <typename V>
+  size_t operator()(const V& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+/// Hasher for uint64 keys that are not already mixed (interned string ids,
+/// equality codes): identity hashing would put dense ids in consecutive
+/// buckets and collide patterned doubles.
+struct CodeHash {
+  size_t operator()(uint64_t k) const { return static_cast<size_t>(HashInt(k)); }
+};
+
 /// Hash for unordered pairs: symmetric in (a, b).
 inline uint64_t HashUnorderedPair(uint64_t a, uint64_t b) {
   if (a > b) {

@@ -99,6 +99,15 @@ std::unique_ptr<GenDataset> MakeEcommerce(const EcommerceOptions& options) {
     return std::string(prefix) + std::to_string(next_key++);
   };
 
+  // Worst-case reserves (every customer takes the deep tier: 4 customer
+  // tuples, 2 products, 3 shops, 3 orders) plus the hazard and filler loops,
+  // so appends never reallocate a column (grow_events stays 0).
+  const size_t n = options.num_customers;
+  d.ReserveTuples(customers, 4 * n + 2 * (n / 10));
+  d.ReserveTuples(products, 2 * n + n / 2);
+  d.ReserveTuples(shops, 3 * n);
+  d.ReserveTuples(orders, 3 * n);
+
   auto make_name = [&] {
     return std::string(kFirstNames[rng.Uniform(std::size(kFirstNames))]) +
            " " + kLastNames[rng.Uniform(std::size(kLastNames))];

@@ -76,6 +76,8 @@ std::unique_ptr<GenDataset> MakeImdb(const MagellanOptions& options) {
                                       {"year", ValueType::kInt},
                                       {"director", ValueType::kString},
                                       {"genre", ValueType::kString}}));
+  // Worst case: base + duplicate + sequel hazard per entity.
+  d.ReserveTuples(movies, 3 * options.num_entities);
   for (size_t i = 0; i < options.num_entities; ++i) {
     std::string title = MakeTitle(&b.rng, 2 + b.rng.Uniform(3));
     int64_t year = 1960 + static_cast<int64_t>(b.rng.Uniform(60));
@@ -144,6 +146,10 @@ std::unique_ptr<GenDataset> MakeAcmDblp(const MagellanOptions& options) {
   };
   size_t acm = d.AddRelation(paper_schema("Acm"));
   size_t dblp = d.AddRelation(paper_schema("Dblp"));
+  // Worst case: one ACM row per entity; DBLP gets the dup/filler row plus
+  // the follow-up-paper hazard.
+  d.ReserveTuples(acm, options.num_entities);
+  d.ReserveTuples(dblp, 2 * options.num_entities);
   for (size_t i = 0; i < options.num_entities; ++i) {
     std::string title = MakeTitle(&b.rng, 4 + b.rng.Uniform(4));
     std::string authors = MakePerson(&b.rng) + ", " + MakePerson(&b.rng);
@@ -217,6 +223,10 @@ std::unique_ptr<GenDataset> MakeMovie(const MagellanOptions& options) {
   size_t directed =
       d.AddRelation(Schema("DirectedBy", {{"movie", ValueType::kString},
                                           {"director", ValueType::kString}}));
+  // Worst case: base + duplicate rows in every relation.
+  d.ReserveTuples(movies, 2 * options.num_entities);
+  d.ReserveTuples(directors, 2 * options.num_entities);
+  d.ReserveTuples(directed, 2 * options.num_entities);
   for (size_t i = 0; i < options.num_entities; ++i) {
     std::string dname = MakePerson(&b.rng);
     int64_t byear = 1930 + static_cast<int64_t>(b.rng.Uniform(60));
@@ -290,6 +300,8 @@ std::unique_ptr<GenDataset> MakeSongs(const MagellanOptions& options) {
                                                 {"album", ValueType::kString},
                                                 {"year", ValueType::kInt},
                                                 {"duration", ValueType::kInt}}));
+  // Worst case: base + re-release + cover hazard per entity.
+  d.ReserveTuples(songs, 3 * options.num_entities);
   for (size_t i = 0; i < options.num_entities; ++i) {
     std::string title = MakeTitle(&b.rng, 2 + b.rng.Uniform(3));
     std::string artist = MakePerson(&b.rng);

@@ -32,6 +32,12 @@ std::unique_ptr<PaperExample> MakePaperExample() {
                                                   {"item", ValueType::kString},
                                                   {"IP", ValueType::kString}}));
 
+  // Exact row counts of Tables I-IV.
+  d.ReserveTuples(customers, 5);
+  d.ReserveTuples(shops, 5);
+  d.ReserveTuples(products, 4);
+  d.ReserveTuples(orders, 4);
+
   auto S = [](const char* s) { return Value(s); };
   auto I = [](int64_t i) { return Value(i); };
   const Value N = Value::Null();

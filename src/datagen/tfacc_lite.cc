@@ -57,7 +57,16 @@ std::unique_ptr<GenDataset> MakeTfacc(const TfaccOptions& options) {
     return std::string(prefix) + std::to_string(next_key++);
   };
 
-  const size_t num_vehicles = static_cast<size_t>(500 * options.scale) + 2;
+  const size_t num_vehicles =
+      options.scale_factor > 0
+          ? static_cast<size_t>(5000 * options.scale_factor) + 2
+          : static_cast<size_t>(500 * options.scale) + 2;
+
+  // Worst-case reserves (dup per vehicle, 3 tests each, dup per test, a
+  // defect per test): appends never reallocate, grow_events stays 0.
+  d.ReserveTuples(vehicle, 2 * num_vehicles);
+  d.ReserveTuples(test, 6 * num_vehicles);
+  d.ReserveTuples(defect, 6 * num_vehicles);
 
   for (size_t i = 0; i < num_vehicles; ++i) {
     std::string make = kMakes[rng.Uniform(std::size(kMakes))];

@@ -13,6 +13,10 @@ namespace dcer {
 /// and defects of matched tests (level 3).
 struct TfaccOptions {
   double scale = 1.0;     // ~4k tuples at 1.0
+  /// Scale factor; > 0 overrides `scale`. SF 1 drives 5,000 vehicles
+  /// (~25k tuples with tests and defects) — about 1/20,000 of the real
+  /// 480M-tuple TFACC, matching the lite divisor used by TpchOptions.
+  double scale_factor = 0;
   double dup_rate = 0.3;  // the Dup knob
   double noise = 0.3;
   uint64_t seed = 42;

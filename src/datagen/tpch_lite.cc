@@ -80,11 +80,37 @@ std::unique_ptr<GenDataset> MakeTpch(const TpchOptions& options) {
     return std::string(prefix) + std::to_string(next_key++);
   };
 
-  const double sf = options.scale;
-  const size_t num_suppliers = static_cast<size_t>(100 * sf) + 2;
-  const size_t num_parts = static_cast<size_t>(400 * sf) + 2;
-  const size_t num_customers = static_cast<size_t>(600 * sf) + 2;
-  const size_t num_orders = static_cast<size_t>(1200 * sf) + 2;
+  size_t num_suppliers;
+  size_t num_parts;
+  size_t num_customers;
+  size_t num_orders;
+  if (options.scale_factor > 0) {
+    // dbgen row counts (SUPPLIER 10,000*SF, PART 200,000*SF, CUSTOMER
+    // 150,000*SF, ORDERS 1,500,000*SF) divided by the lite divisor 100.
+    const double sf = options.scale_factor;
+    num_suppliers = static_cast<size_t>(100 * sf) + 2;
+    num_parts = static_cast<size_t>(2000 * sf) + 2;
+    num_customers = static_cast<size_t>(1500 * sf) + 2;
+    num_orders = static_cast<size_t>(15000 * sf) + 2;
+  } else {
+    const double sf = options.scale;
+    num_suppliers = static_cast<size_t>(100 * sf) + 2;
+    num_parts = static_cast<size_t>(400 * sf) + 2;
+    num_customers = static_cast<size_t>(600 * sf) + 2;
+    num_orders = static_cast<size_t>(1200 * sf) + 2;
+  }
+
+  // Reserve every relation at its worst case (each entity duplicated at
+  // most once) so appends never reallocate a column — Relation::grow_events
+  // audits this, and bench/micro_core reports the sum as datagen_grow_events.
+  d.ReserveTuples(region, std::size(kRegions));
+  d.ReserveTuples(nation, 2 * std::size(kNations));
+  d.ReserveTuples(supplier, 2 * num_suppliers);
+  d.ReserveTuples(part, 2 * num_parts);
+  d.ReserveTuples(partsupp, 2 * num_parts);
+  d.ReserveTuples(customer, 2 * num_customers);
+  d.ReserveTuples(orders, 2 * num_orders);
+  d.ReserveTuples(lineitem, 2 * num_orders);
 
   // Regions + nations. A dup_rate slice of nations gets a typo'd duplicate
   // (the "Argenztina"/"Argwentisna" seed of Exp-1(5)).

@@ -15,6 +15,12 @@ namespace dcer {
 /// customers and lineitems).
 struct TpchOptions {
   double scale = 1.0;              // multiplies base row counts (~5.5k at 1.0)
+  /// dbgen-style scale factor; > 0 overrides `scale`. Row counts follow the
+  /// TPC-H dbgen formulas divided by the lite divisor 100: suppliers
+  /// 100*SF, parts 2,000*SF, customers 1,500*SF, orders 15,000*SF (nation
+  /// and region stay fixed at 25 and 5, as in dbgen). SF 1 yields ~45k
+  /// tuples including duplicates; SF 1-10 is the EXPERIMENTS.md sweep.
+  double scale_factor = 0;
   double dup_rate = 0.3;           // fraction of entities duplicated
   double recursion_fraction = 0.6; // of dup customers: via dup nations
   double noise = 0.3;

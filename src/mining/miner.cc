@@ -174,12 +174,7 @@ std::vector<std::pair<std::pair<Gid, Gid>, bool>> BuildDiscoverySample(
     if (lrel.schema().attr(attr).type != rrel.schema().attr(attr).type) {
       continue;
     }
-    struct ValueHasher {
-      size_t operator()(const Value& v) const {
-        return static_cast<size_t>(v.Hash());
-      }
-    };
-    std::unordered_map<Value, std::vector<Gid>, ValueHasher> blocks;
+    std::unordered_map<Value, std::vector<Gid>, ValueHash> blocks;
     auto index_rel = [&](const Relation& r) {
       for (size_t row = 0; row < r.num_rows(); ++row) {
         const Value& v = r.at(row, attr);

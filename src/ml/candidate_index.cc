@@ -30,7 +30,7 @@ size_t FloorBound(double x) {
 
 // Lowercased unique whitespace tokens of `text` — exactly TokenJaccard's
 // token-set semantics (see ml/similarity.cc).
-std::vector<std::string> UniqueTokensLower(const std::string& text) {
+std::vector<std::string> UniqueTokensLower(std::string_view text) {
   std::vector<std::string> tokens;
   size_t i = 0;
   const size_t n = text.size();
@@ -39,7 +39,7 @@ std::vector<std::string> UniqueTokensLower(const std::string& text) {
     size_t start = i;
     while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
     if (i > start) {
-      std::string tok = text.substr(start, i - start);
+      std::string tok(text.substr(start, i - start));
       for (char& c : tok) {
         c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
       }
@@ -67,6 +67,17 @@ std::string ConcatValueText(const std::vector<Value>& values) {
   return out;
 }
 
+std::string_view ConcatValueView(const std::vector<Value>& values,
+                                 std::string* scratch) {
+  // One non-NULL string value — the dominant ML-side shape — needs no
+  // concatenation at all: hand back the columnar arena view, zero-copy.
+  if (values.size() == 1 && values[0].type() == ValueType::kString) {
+    return values[0].AsString();
+  }
+  *scratch = ConcatValueText(values);
+  return *scratch;
+}
+
 // --- TokenJaccardIndex ------------------------------------------------------
 
 TokenJaccardIndex::TokenJaccardIndex(double threshold,
@@ -75,12 +86,14 @@ TokenJaccardIndex::TokenJaccardIndex(double threshold,
     : threshold_(threshold) {
   // Pass 1: tokenize every row, intern tokens, count document frequency.
   std::vector<Value> values;
+  std::string scratch;
   std::vector<std::vector<uint32_t>> row_tokens(rows.size());
   std::vector<uint32_t> df;
   std::vector<std::string> token_text;
   for (size_t r = 0; r < rows.size(); ++r) {
     fill(rows[r], &values);
-    for (std::string& tok : UniqueTokensLower(ConcatValueText(values))) {
+    for (std::string& tok : UniqueTokensLower(ConcatValueView(values,
+                                                              &scratch))) {
       auto [it, inserted] =
           token_ids_.emplace(std::move(tok), static_cast<uint32_t>(df.size()));
       if (inserted) {
@@ -137,7 +150,9 @@ void TokenJaccardIndex::IndexRow(uint32_t row,
 
 void TokenJaccardIndex::Add(uint32_t row, const std::vector<Value>& values) {
   std::vector<uint32_t> ids;
-  for (std::string& tok : UniqueTokensLower(ConcatValueText(values))) {
+  std::string scratch;
+  for (std::string& tok : UniqueTokensLower(ConcatValueView(values,
+                                                            &scratch))) {
     auto [it, inserted] = token_ids_.emplace(
         std::move(tok), static_cast<uint32_t>(rank_of_token_.size()));
     if (inserted) {
@@ -153,7 +168,9 @@ void TokenJaccardIndex::Add(uint32_t row, const std::vector<Value>& values) {
 void TokenJaccardIndex::Probe(const std::vector<Value>& query,
                               std::vector<uint32_t>* out) const {
   out->clear();
-  std::vector<std::string> tokens = UniqueTokensLower(ConcatValueText(query));
+  std::string scratch;
+  std::vector<std::string> tokens =
+      UniqueTokensLower(ConcatValueView(query, &scratch));
   if (tokens.empty()) {
     // Two empty token sets score 1.0 >= threshold; empty-vs-nonempty is 0.
     *out = empty_rows_;
@@ -196,7 +213,7 @@ void TokenJaccardIndex::Probe(const std::vector<Value>& query,
 namespace {
 
 // Sorted q-gram hash multiset of `text` (empty when |text| < q).
-void GramsOf(const std::string& text, size_t q, std::vector<uint64_t>* out) {
+void GramsOf(std::string_view text, size_t q, std::vector<uint64_t>* out) {
   out->clear();
   if (text.size() < q) return;
   for (size_t i = 0; i + q <= text.size(); ++i) {
@@ -244,16 +261,17 @@ QGramEditIndex::QGramEditIndex(double threshold,
                                const RowValuesFn& fill, size_t q)
     : threshold_(threshold), q_(q) {
   std::vector<Value> values;
+  std::string scratch;
   for (uint32_t row : rows) {
     fill(row, &values);
-    IndexRow(row, ConcatValueText(values));
+    IndexRow(row, ConcatValueView(values, &scratch));
   }
   std::sort(rows_by_len_.begin(), rows_by_len_.end());
   len_sorted_ = true;
   num_rows_ = rows.size();
 }
 
-void QGramEditIndex::IndexRow(uint32_t row, const std::string& text) {
+void QGramEditIndex::IndexRow(uint32_t row, std::string_view text) {
   rows_by_len_.push_back({static_cast<uint32_t>(text.size()), row});
   thread_local std::vector<uint64_t> grams;
   GramsOf(text, q_, &grams);
@@ -266,7 +284,8 @@ void QGramEditIndex::IndexRow(uint32_t row, const std::string& text) {
 }
 
 void QGramEditIndex::Add(uint32_t row, const std::vector<Value>& values) {
-  IndexRow(row, ConcatValueText(values));
+  std::string scratch;
+  IndexRow(row, ConcatValueView(values, &scratch));
   // Keep the length ordering; appended batches are small, so the insertion
   // sort step stays cheap relative to the chase work that follows.
   if (rows_by_len_.size() >= 2 &&
@@ -283,7 +302,8 @@ void QGramEditIndex::Add(uint32_t row, const std::vector<Value>& values) {
 void QGramEditIndex::Probe(const std::vector<Value>& query,
                            std::vector<uint32_t>* out) const {
   out->clear();
-  const std::string text = ConcatValueText(query);
+  std::string scratch;
+  const std::string_view text = ConcatValueView(query, &scratch);
   const size_t la = text.size();
   const size_t lb_min = CeilBound(threshold_ * static_cast<double>(la));
   const size_t lb_max =
@@ -357,7 +377,8 @@ CosineLshIndex::CosineLshIndex(double threshold, size_t dim,
 }
 
 uint64_t CosineLshIndex::Signature(const std::vector<Value>& values) const {
-  const Embedding e = EmbedText(ConcatValueText(values), dim_);
+  std::string scratch;
+  const Embedding e = EmbedText(ConcatValueView(values, &scratch), dim_);
   uint64_t sig = 0;
   const size_t nbits = bands_ * bits_per_band_;
   for (size_t b = 0; b < nbits; ++b) {

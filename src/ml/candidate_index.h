@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,13 @@ class MlCandidateIndex {
 /// so the pruning bound and the verified score never diverge.
 std::string ConcatValueText(const std::vector<Value>& values);
 
+/// Zero-copy variant of ConcatValueText: when the side is a single non-NULL
+/// string value (the common ML shape), returns a view straight into the
+/// dataset's interning arena; otherwise materializes into *scratch and views
+/// that. The bytes are identical to ConcatValueText in every case.
+std::string_view ConcatValueView(const std::vector<Value>& values,
+                                 std::string* scratch);
+
 /// PPJoin-style token index for TokenJaccardClassifier: whitespace tokens
 /// (case-insensitive, set semantics), global rare-first token order, prefix
 /// filtering (a row is indexed only under the first |x| - ceil(t*|x|) + 1 of
@@ -115,7 +123,7 @@ class QGramEditIndex : public MlCandidateIndex {
     uint32_t count;  // multiplicity of the gram in the row's text
   };
 
-  void IndexRow(uint32_t row, const std::string& text);
+  void IndexRow(uint32_t row, std::string_view text);
 
   double threshold_;
   size_t q_;

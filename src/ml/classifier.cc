@@ -69,7 +69,8 @@ TokenJaccardClassifier::TokenJaccardClassifier(std::string name,
 
 double TokenJaccardClassifier::Score(const std::vector<Value>& a,
                                      const std::vector<Value>& b) const {
-  return TokenJaccard(ConcatValues(a), ConcatValues(b));
+  std::string sa, sb;
+  return TokenJaccard(ConcatValueView(a, &sa), ConcatValueView(b, &sb));
 }
 
 CandidateIndexKind TokenJaccardClassifier::candidate_index_kind() const {
@@ -89,7 +90,8 @@ EditSimilarityClassifier::EditSimilarityClassifier(std::string name,
 
 double EditSimilarityClassifier::Score(const std::vector<Value>& a,
                                        const std::vector<Value>& b) const {
-  return EditSimilarity(ConcatValues(a), ConcatValues(b));
+  std::string sa, sb;
+  return EditSimilarity(ConcatValueView(a, &sa), ConcatValueView(b, &sb));
 }
 
 CandidateIndexKind EditSimilarityClassifier::candidate_index_kind() const {

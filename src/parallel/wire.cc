@@ -1,7 +1,9 @@
 #include "parallel/wire.h"
 
 #include <algorithm>
+#include <cstring>
 #include <tuple>
+#include <unordered_map>
 
 namespace dcer {
 namespace wire {
@@ -10,6 +12,7 @@ namespace {
 
 constexpr uint8_t kMagic = 0xDC;
 constexpr uint8_t kVersion = 0x01;
+constexpr uint8_t kTupleTag = 0x02;
 
 void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
   while (v >= 0x80) {
@@ -194,6 +197,201 @@ bool DecodeFactBatch(const uint8_t* data, size_t size,
     prev_a = a;
   }
   return r.p == r.end;  // trailing garbage is an error
+}
+
+size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
+                        std::vector<uint8_t>* out) {
+  out->clear();
+  const size_t num_rows = rows.size();
+  const size_t num_cols = rel.num_columns();
+  out->push_back(kMagic);
+  out->push_back(kTupleTag);
+  PutVarint(num_rows, out);
+  PutVarint(num_cols, out);
+
+  // Gids: first absolute, then zigzag deltas (fragment rows are usually in
+  // ascending gid order, so deltas stay small, but any order round-trips).
+  Gid prev_gid = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const Gid g = rel.gid(rows[i]);
+    if (i == 0) {
+      PutVarint(g, out);
+    } else {
+      PutVarint(ZigZag(static_cast<int64_t>(g) -
+                       static_cast<int64_t>(prev_gid)),
+                out);
+    }
+    prev_gid = g;
+  }
+
+  std::vector<uint8_t> bitmap;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const Column& col = rel.column(c);
+    out->push_back(static_cast<uint8_t>(col.type()));
+
+    bitmap.assign((num_rows + 7) / 8, 0);
+    for (size_t i = 0; i < num_rows; ++i) {
+      if (col.is_null(rows[i])) bitmap[i >> 3] |= uint8_t{1} << (i & 7);
+    }
+    out->insert(out->end(), bitmap.begin(), bitmap.end());
+
+    switch (col.type()) {
+      case ValueType::kInt: {
+        int64_t prev = 0;
+        for (size_t i = 0; i < num_rows; ++i) {
+          if (col.is_null(rows[i])) continue;
+          const int64_t v = col.int_at(rows[i]);
+          PutVarint(ZigZag(v - prev), out);
+          prev = v;
+        }
+        break;
+      }
+      case ValueType::kDouble: {
+        for (size_t i = 0; i < num_rows; ++i) {
+          if (col.is_null(rows[i])) continue;
+          uint64_t bits;
+          std::memcpy(&bits, &col.doubles()[rows[i]], sizeof(bits));
+          PutFixed64(bits, out);
+        }
+        break;
+      }
+      case ValueType::kString: {
+        // Per-block dictionary keyed by interning id: distinctness within
+        // the block is one hash probe on a 32-bit id, never a byte compare.
+        std::unordered_map<uint32_t, uint32_t> dict_index;
+        std::vector<uint32_t> dict_ids;
+        std::vector<uint32_t> cell_index;
+        cell_index.reserve(num_rows);
+        for (size_t i = 0; i < num_rows; ++i) {
+          if (col.is_null(rows[i])) continue;
+          const uint32_t id = col.str_id(rows[i]);
+          auto [it, inserted] =
+              dict_index.emplace(id, static_cast<uint32_t>(dict_ids.size()));
+          if (inserted) dict_ids.push_back(id);
+          cell_index.push_back(it->second);
+        }
+        PutVarint(dict_ids.size(), out);
+        for (uint32_t id : dict_ids) {
+          const std::string_view s = rel.pool().view(id);
+          PutVarint(s.size(), out);
+          out->insert(out->end(), s.begin(), s.end());
+        }
+        for (uint32_t idx : cell_index) PutVarint(idx, out);
+        break;
+      }
+      case ValueType::kNull:
+        break;  // typeless column: the bitmap already says all-NULL
+    }
+  }
+  return out->size();
+}
+
+bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
+  Reader r{data, data + size};
+  uint8_t magic;
+  uint8_t tag;
+  if (!r.GetByte(&magic) || magic != kMagic) return false;
+  if (!r.GetByte(&tag) || tag != kTupleTag) return false;
+  uint64_t num_rows;
+  uint64_t num_cols;
+  if (!r.GetVarint(&num_rows) || !r.GetVarint(&num_cols)) return false;
+  // A row costs at least one gid byte; a column at least its type byte.
+  if (num_rows > size || num_cols > size) return false;
+  if (num_cols != dst->schema().num_attrs()) return false;
+
+  std::vector<Gid> gids(num_rows);
+  Gid prev_gid = 0;
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    uint64_t v;
+    if (!r.GetVarint(&v)) return false;
+    const Gid g = i == 0 ? static_cast<Gid>(v)
+                         : static_cast<Gid>(static_cast<int64_t>(prev_gid) +
+                                            UnZigZag(v));
+    gids[i] = g;
+    prev_gid = g;
+  }
+
+  // Decode columns into materialized cells, then append row-wise (Relation
+  // appends are row-oriented so gid/null bookkeeping stays in one place).
+  std::vector<std::vector<Value>> cells(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    uint8_t type_byte;
+    if (!r.GetByte(&type_byte)) return false;
+    if (type_byte > static_cast<uint8_t>(ValueType::kString)) return false;
+    const ValueType type = static_cast<ValueType>(type_byte);
+    if (type != ValueType::kNull && type != dst->schema().attr(c).type) {
+      return false;
+    }
+
+    const size_t bitmap_bytes = (num_rows + 7) / 8;
+    if (static_cast<size_t>(r.end - r.p) < bitmap_bytes) return false;
+    const uint8_t* bitmap = r.p;
+    r.p += bitmap_bytes;
+    auto is_null = [bitmap](uint64_t i) {
+      return (bitmap[i >> 3] >> (i & 7)) & 1;
+    };
+
+    cells[c].assign(num_rows, Value::Null());
+    switch (type) {
+      case ValueType::kInt: {
+        int64_t prev = 0;
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          if (is_null(i)) continue;
+          uint64_t zz;
+          if (!r.GetVarint(&zz)) return false;
+          prev += UnZigZag(zz);
+          cells[c][i] = Value(prev);
+        }
+        break;
+      }
+      case ValueType::kDouble: {
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          if (is_null(i)) continue;
+          uint64_t bits;
+          if (!r.GetFixed64(&bits)) return false;
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          cells[c][i] = Value(d);
+        }
+        break;
+      }
+      case ValueType::kString: {
+        uint64_t dict_size;
+        if (!r.GetVarint(&dict_size)) return false;
+        if (dict_size > size) return false;
+        // Re-intern each distinct string once into the destination pool;
+        // cells then reference the new ids.
+        std::vector<uint32_t> dict(dict_size);
+        for (uint64_t d = 0; d < dict_size; ++d) {
+          uint64_t len;
+          if (!r.GetVarint(&len)) return false;
+          if (static_cast<size_t>(r.end - r.p) < len) return false;
+          dict[d] = dst->mutable_pool()->Intern(
+              std::string_view(reinterpret_cast<const char*>(r.p), len));
+          r.p += len;
+        }
+        const StringPool& pool = dst->pool();
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          if (is_null(i)) continue;
+          uint64_t idx;
+          if (!r.GetVarint(&idx)) return false;
+          if (idx >= dict_size) return false;
+          cells[c][i] = Value::Interned(pool.view(dict[idx]), dict[idx]);
+        }
+        break;
+      }
+      case ValueType::kNull:
+        break;  // every cell stays NULL
+    }
+  }
+  if (r.p != r.end) return false;  // trailing garbage is an error
+
+  Row row(num_cols);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    for (uint64_t c = 0; c < num_cols; ++c) row[c] = cells[c][i];
+    dst->Append(row, gids[i]);
+  }
+  return true;
 }
 
 }  // namespace wire

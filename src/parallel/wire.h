@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chase/fact.h"
+#include "relational/relation.h"
 
 namespace dcer {
 namespace wire {
@@ -70,6 +71,45 @@ inline bool DecodeFactBatch(const std::vector<uint8_t>& bytes,
 /// intentionally absent on Fact: the engine compares by Key, the codec by
 /// representation).
 bool SameFact(const Fact& x, const Fact& y);
+
+/// --- Tuple blocks -----------------------------------------------------------
+///
+/// Columnar codec for shipping relation fragments (data loading and
+/// repartitioning; the match plane itself still only exchanges facts). A
+/// block carries the selected rows of one relation, column by column:
+///
+///   [magic 0xDC][tag 0x02]
+///   [varint num_rows][varint num_cols]
+///   gid section    — varint first gid, then zigzag-varint deltas
+///   per column     — [type byte][null bitmap, ceil(num_rows/8) bytes,
+///                     bit set = NULL], then the non-NULL cells only:
+///       int        — zigzag-varint delta vs the previous non-NULL cell
+///       double     — fixed64 bit pattern (-0.0 already canonicalized
+///                     by Column::Append)
+///       string     — a per-block dictionary of the distinct strings in
+///                     first-use order (varint length + raw bytes each),
+///                     then one varint dictionary index per cell
+///
+/// The dictionary is built by interning id — the columnar pool makes
+/// "distinct within this block" an O(1) id lookup per cell — so repeated
+/// attribute values (categories, city names, ...) cross the wire once.
+
+/// Serializes `rows` of `rel` into *out (cleared first). Returns the encoded
+/// byte count.
+size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
+                        std::vector<uint8_t>* out);
+
+/// Appends the rows of a block into *dst, whose schema must have the same
+/// column types as the encoded relation. Strings are re-interned into dst's
+/// pool; original gids are preserved. Returns false on malformed input or a
+/// column-type mismatch (dst is then left partially appended — callers treat
+/// that as a fatal transport error).
+bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst);
+
+inline bool DecodeTupleBlock(const std::vector<uint8_t>& bytes,
+                             Relation* dst) {
+  return DecodeTupleBlock(bytes.data(), bytes.size(), dst);
+}
 
 }  // namespace wire
 }  // namespace dcer

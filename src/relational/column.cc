@@ -1,0 +1,119 @@
+#include "relational/column.h"
+
+#include <charconv>
+
+namespace dcer {
+
+namespace {
+
+template <typename T>
+void ReserveTracked(std::vector<T>* v, size_t n) {
+  v->reserve(v->size() + n);
+}
+
+// push_back that counts capacity growths (the generator Reserve audit).
+template <typename T>
+void PushTracked(std::vector<T>* v, T value, uint64_t* grow_events) {
+  if (v->size() == v->capacity()) ++*grow_events;
+  v->push_back(value);
+}
+
+}  // namespace
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kInt:
+      ReserveTracked(&ints_, n);
+      break;
+    case ValueType::kDouble:
+      ReserveTracked(&doubles_, n);
+      break;
+    case ValueType::kString:
+      ReserveTracked(&strs_, n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  nulls_.reserve((size_ + n + 63) / 64);
+}
+
+void Column::AppendNullBit(bool is_null) {
+  if ((size_ & 63) == 0) nulls_.push_back(0);
+  if (is_null) nulls_.back() |= 1ull << (size_ & 63);
+  ++size_;
+}
+
+void Column::Append(const Value& v, StringPool* pool) {
+  const bool null = v.is_null();
+  assert(null || v.type() == type_);
+  switch (type_) {
+    case ValueType::kInt:
+      PushTracked(&ints_, null ? int64_t{0} : v.AsInt(), &grow_events_);
+      break;
+    case ValueType::kDouble: {
+      double d = null ? 0.0 : v.AsDouble();
+      if (d == 0.0) d = 0.0;  // canonicalize -0.0 for bit-pattern codes
+      PushTracked(&doubles_, d, &grow_events_);
+      break;
+    }
+    case ValueType::kString:
+      PushTracked(&strs_,
+                  null ? StringPool::kNpos : pool->Intern(v.AsString()),
+                  &grow_events_);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  AppendNullBit(null);
+}
+
+void Column::AppendParsed(std::string_view text, StringPool* pool) {
+  const bool empty = text.empty() || text == "-";
+  switch (type_) {
+    case ValueType::kInt: {
+      int64_t v = 0;
+      bool ok = false;
+      if (!empty) {
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        ok = ec == std::errc() && ptr == text.data() + text.size();
+      }
+      PushTracked(&ints_, ok ? v : 0, &grow_events_);
+      AppendNullBit(!ok);
+      return;
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      bool ok = false;
+      if (!empty) {
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        ok = ec == std::errc() && ptr == text.data() + text.size();
+      }
+      if (v == 0.0) v = 0.0;  // canonicalize -0.0
+      PushTracked(&doubles_, ok ? v : 0.0, &grow_events_);
+      AppendNullBit(!ok);
+      return;
+    }
+    case ValueType::kString:
+      if (empty) {
+        PushTracked(&strs_, StringPool::kNpos, &grow_events_);
+      } else {
+        PushTracked(&strs_, pool->Intern(text), &grow_events_);
+      }
+      AppendNullBit(empty);
+      return;
+    case ValueType::kNull:
+      AppendNullBit(true);
+      return;
+  }
+}
+
+size_t Column::ByteSize() const {
+  return ints_.capacity() * sizeof(int64_t) +
+         doubles_.capacity() * sizeof(double) +
+         strs_.capacity() * sizeof(uint32_t) +
+         nulls_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace dcer

@@ -1,0 +1,118 @@
+#ifndef DCER_RELATIONAL_COLUMN_H_
+#define DCER_RELATIONAL_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "relational/string_pool.h"
+#include "relational/value.h"
+
+namespace dcer {
+
+/// One attribute's cells across all rows of a Relation, stored contiguously
+/// by type: int64/double as flat vectors, strings as 32-bit interning ids
+/// into the dataset's StringPool, plus a null bitmap. This is the columnar
+/// half of the storage refactor — index builds and kernel probes scan one
+/// cache-friendly slice instead of striding over row-wise variant vectors.
+class Column {
+ public:
+  Column() : type_(ValueType::kNull) {}
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void Reserve(size_t n);
+
+  /// Appends one cell. `v` must be NULL or match the column type; string
+  /// payloads are interned into `pool`. -0.0 is canonicalized to +0.0 so the
+  /// bit-pattern equality codes below agree with operator== on doubles.
+  void Append(const Value& v, StringPool* pool);
+
+  /// Appends a cell parsed from CSV text (empty or "-" is NULL) without
+  /// materializing an owning Value — the loader's column-streaming path.
+  void AppendParsed(std::string_view text, StringPool* pool);
+
+  bool is_null(size_t i) const {
+    return (nulls_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  int64_t int_at(size_t i) const { return ints_[i]; }
+  double double_at(size_t i) const { return doubles_[i]; }
+  /// Interning id of the string cell (StringPool::kNpos for NULL).
+  uint32_t str_id(size_t i) const { return strs_[i]; }
+  std::string_view str_at(size_t i, const StringPool& pool) const {
+    return pool.view(strs_[i]);
+  }
+
+  /// The cell as a Value; strings come back as cheap non-owning interned
+  /// references into `pool` (valid while the pool lives).
+  Value value_at(size_t i, const StringPool& pool) const {
+    if (is_null(i)) return Value::Null();
+    switch (type_) {
+      case ValueType::kInt:
+        return Value(ints_[i]);
+      case ValueType::kDouble:
+        return Value(doubles_[i]);
+      case ValueType::kString:
+        return Value::Interned(pool.view(strs_[i]), strs_[i]);
+      case ValueType::kNull:
+        break;
+    }
+    return Value::Null();
+  }
+
+  /// Equality-preserving 64-bit code of a non-NULL cell: within one column
+  /// type, code equality <=> Value equality (doubles are stored -0.0
+  /// canonicalized; NaN cells are the one exception and are excluded by the
+  /// consumers — the index build skips them, mirroring NaN != NaN).
+  /// Strings map to their interning id, which is what makes cross-column
+  /// equality joins an id == id comparison.
+  uint64_t code_at(size_t i) const {
+    assert(!is_null(i));
+    switch (type_) {
+      case ValueType::kInt:
+        return static_cast<uint64_t>(ints_[i]);
+      case ValueType::kDouble: {
+        uint64_t bits;
+        __builtin_memcpy(&bits, &doubles_[i], sizeof(bits));
+        return bits;
+      }
+      case ValueType::kString:
+        return strs_[i];
+      case ValueType::kNull:
+        break;
+    }
+    return 0;
+  }
+
+  /// Raw slices for columnar scans.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint32_t>& str_ids() const { return strs_; }
+  const std::vector<uint64_t>& null_words() const { return nulls_; }
+
+  /// Heap bytes held by this column (excludes the shared pool arena).
+  size_t ByteSize() const;
+
+  /// Number of capacity-doubling reallocations Append has triggered; exact
+  /// Reserve calls in the generators keep this at 0.
+  uint64_t grow_events() const { return grow_events_; }
+
+ private:
+  void AppendNullBit(bool is_null);
+
+  ValueType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> strs_;
+  std::vector<uint64_t> nulls_;  // bitmap, bit set = NULL
+  size_t size_ = 0;
+  uint64_t grow_events_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_COLUMN_H_

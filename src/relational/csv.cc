@@ -58,10 +58,13 @@ Status LoadCsv(const std::string& path, Dataset* dataset, size_t rel) {
 
   const Schema& schema = dataset->relation(rel).schema();
   std::vector<std::string> header = ParseCsvLine(line);
-  // column j of the file -> attribute index, or -1 to ignore.
-  std::vector<int> col_to_attr(header.size());
+  // Attribute a is fed from file column attr_to_field[a] (-1 => NULL), so
+  // each parsed line streams straight into the typed columns without
+  // materializing a Row of owning Values.
+  std::vector<int> attr_to_field(schema.num_attrs(), -1);
   for (size_t j = 0; j < header.size(); ++j) {
-    col_to_attr[j] = schema.AttrIndex(std::string(Trim(header[j])));
+    int a = schema.AttrIndex(std::string(Trim(header[j])));
+    if (a >= 0) attr_to_field[a] = static_cast<int>(j);
   }
 
   size_t line_no = 1;
@@ -69,13 +72,7 @@ Status LoadCsv(const std::string& path, Dataset* dataset, size_t rel) {
     ++line_no;
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line);
-    Row row(schema.num_attrs(), Value::Null());
-    for (size_t j = 0; j < fields.size() && j < col_to_attr.size(); ++j) {
-      int a = col_to_attr[j];
-      if (a < 0) continue;
-      row[a] = Value::Parse(fields[j], schema.attr(a).type);
-    }
-    dataset->AppendTuple(rel, std::move(row));
+    dataset->AppendParsedTuple(rel, fields, attr_to_field);
   }
   return Status::OK();
 }

@@ -7,7 +7,7 @@ namespace dcer {
 size_t Dataset::AddRelation(Schema schema) {
   assert(name_to_index_.find(schema.name()) == name_to_index_.end());
   name_to_index_[schema.name()] = relations_.size();
-  relations_.emplace_back(std::move(schema));
+  relations_.emplace_back(std::move(schema), pool_.get());
   return relations_.size() - 1;
 }
 
@@ -29,6 +29,24 @@ Gid Dataset::AppendTuple(size_t rel, Row row) {
   gid_to_loc_.push_back(
       {static_cast<uint32_t>(rel), static_cast<uint32_t>(row_idx)});
   return gid;
+}
+
+Gid Dataset::AppendParsedTuple(size_t rel,
+                               const std::vector<std::string>& fields,
+                               const std::vector<int>& attr_to_field) {
+  assert(rel < relations_.size());
+  Gid gid = static_cast<Gid>(gid_to_loc_.size());
+  size_t row_idx = relations_[rel].AppendParsed(fields, attr_to_field, gid);
+  gid_to_loc_.push_back(
+      {static_cast<uint32_t>(rel), static_cast<uint32_t>(row_idx)});
+  return gid;
+}
+
+size_t Dataset::ByteSize() const {
+  size_t bytes = pool_->ByteSize();
+  bytes += gid_to_loc_.capacity() * sizeof(TupleLoc);
+  for (const Relation& r : relations_) bytes += r.ByteSize();
+  return bytes;
 }
 
 std::string Dataset::ToString() const {

@@ -1,12 +1,14 @@
 #ifndef DCER_RELATIONAL_DATASET_H_
 #define DCER_RELATIONAL_DATASET_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "relational/relation.h"
+#include "relational/string_pool.h"
 
 namespace dcer {
 
@@ -19,12 +21,16 @@ struct TupleLoc {
 
 /// A dataset D = (D1, ..., Dm) of schema R = (R1, ..., Rm) (Sec. II).
 /// Owns all relations and assigns dense global tuple ids, which the chase,
-/// the partitioner, and the parallel runtime all key on.
+/// the partitioner, and the parallel runtime all key on. All relations share
+/// one string interning pool, so equal strings anywhere in D have equal ids
+/// and cross-relation equality joins compare ids.
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset() : pool_(std::make_unique<StringPool>()) {}
 
-  // Movable but not copyable: datasets can be large.
+  // Movable but not copyable: datasets can be large. Relations keep raw
+  // pointers into pool_, which stay valid across moves (the pool object
+  // itself does not move).
   Dataset(Dataset&&) = default;
   Dataset& operator=(Dataset&&) = default;
   Dataset(const Dataset&) = delete;
@@ -47,20 +53,36 @@ class Dataset {
   /// Appends a tuple to relation `rel`; returns its global id.
   Gid AppendTuple(size_t rel, Row row);
 
+  /// Column-streaming append from parsed CSV fields (see
+  /// Relation::AppendParsed); returns the global id.
+  Gid AppendParsedTuple(size_t rel, const std::vector<std::string>& fields,
+                        const std::vector<int>& attr_to_field);
+
+  /// Reserves capacity for n more rows in relation `rel` (per column).
+  void ReserveTuples(size_t rel, size_t n) { relations_[rel].Reserve(n); }
+
   /// Total number of tuples across all relations (|D|).
   size_t num_tuples() const { return gid_to_loc_.size(); }
 
   TupleLoc loc(Gid gid) const { return gid_to_loc_[gid]; }
-  const Row& tuple(Gid gid) const {
+  RowView tuple(Gid gid) const {
     TupleLoc l = gid_to_loc_[gid];
     return relations_[l.relation].row(l.row);
   }
   uint32_t relation_of(Gid gid) const { return gid_to_loc_[gid].relation; }
 
+  /// The shared interning pool.
+  const StringPool& pool() const { return *pool_; }
+  StringPool* mutable_pool() { return pool_.get(); }
+
+  /// Heap bytes held by all columns plus the interning pool.
+  size_t ByteSize() const;
+
   /// Pretty one-line description: "D(customers:5, shops:5, ...)".
   std::string ToString() const;
 
  private:
+  std::unique_ptr<StringPool> pool_;
   std::vector<Relation> relations_;
   std::unordered_map<std::string, size_t> name_to_index_;
   std::vector<TupleLoc> gid_to_loc_;

@@ -4,11 +4,83 @@
 
 namespace dcer {
 
+Row RowView::ToRow() const {
+  Row out;
+  out.reserve(size());
+  for (size_t a = 0; a < size(); ++a) out.push_back((*this)[a]);
+  return out;
+}
+
+bool RowView::operator==(const RowView& other) const {
+  if (size() != other.size()) return false;
+  for (size_t a = 0; a < size(); ++a) {
+    if ((*this)[a] != other[a]) return false;
+  }
+  return true;
+}
+
+bool RowView::operator==(const Row& other) const {
+  if (size() != other.size()) return false;
+  for (size_t a = 0; a < size(); ++a) {
+    if ((*this)[a] != other[a]) return false;
+  }
+  return true;
+}
+
+Relation::Relation(Schema schema, StringPool* shared_pool)
+    : schema_(std::move(schema)) {
+  if (shared_pool == nullptr) {
+    own_pool_ = std::make_unique<StringPool>();
+    pool_ = own_pool_.get();
+  } else {
+    pool_ = shared_pool;
+  }
+  cols_.reserve(schema_.num_attrs());
+  for (size_t a = 0; a < schema_.num_attrs(); ++a) {
+    cols_.emplace_back(schema_.attr(a).type);
+  }
+}
+
 size_t Relation::Append(Row row, Gid gid) {
   assert(row.size() == schema_.num_attrs());
-  rows_.push_back(std::move(row));
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    cols_[a].Append(row[a], pool_);
+  }
   gids_.push_back(gid);
-  return rows_.size() - 1;
+  return gids_.size() - 1;
+}
+
+size_t Relation::AppendParsed(const std::vector<std::string>& fields,
+                              const std::vector<int>& attr_to_field,
+                              Gid gid) {
+  assert(attr_to_field.size() == cols_.size());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    const int f = attr_to_field[a];
+    if (f < 0 || static_cast<size_t>(f) >= fields.size()) {
+      cols_[a].AppendParsed(std::string_view(), pool_);
+    } else {
+      cols_[a].AppendParsed(fields[f], pool_);
+    }
+  }
+  gids_.push_back(gid);
+  return gids_.size() - 1;
+}
+
+void Relation::Reserve(size_t n) {
+  for (Column& c : cols_) c.Reserve(n);
+  gids_.reserve(gids_.size() + n);
+}
+
+size_t Relation::ByteSize() const {
+  size_t bytes = gids_.capacity() * sizeof(Gid);
+  for (const Column& c : cols_) bytes += c.ByteSize();
+  return bytes;
+}
+
+uint64_t Relation::grow_events() const {
+  uint64_t n = 0;
+  for (const Column& c : cols_) n += c.grow_events();
+  return n;
 }
 
 }  // namespace dcer

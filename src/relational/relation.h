@@ -2,13 +2,19 @@
 #define DCER_RELATIONAL_RELATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "relational/column.h"
 #include "relational/schema.h"
+#include "relational/string_pool.h"
 
 namespace dcer {
 
-/// A tuple is a row of typed values; its arity matches its schema.
+/// A tuple as a materialized row of typed values; its arity matches its
+/// schema. Relations store columns, not Rows — Row remains the exchange
+/// format for appends and for consumers that want a materialized tuple.
 using Row = std::vector<Value>;
 
 /// Global tuple id: dense index across all relations of a Dataset. The
@@ -16,38 +22,141 @@ using Row = std::vector<Value>;
 using Gid = uint32_t;
 inline constexpr Gid kInvalidGid = static_cast<Gid>(-1);
 
-/// An instance of a relation schema. Rows carry their global ids so that
-/// fragments produced by partitioning can refer back to the original tuples.
+class Relation;
+
+/// A cheap non-owning view of one row of a columnar Relation — the migration
+/// seam that keeps the historical row(i)/tuple(gid) API working. Cells are
+/// materialized on access (strings come back as non-owning interned Values).
+/// Valid while the relation lives and no further rows are appended.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const Relation* rel, size_t row) : rel_(rel), row_(row) {}
+
+  size_t size() const;
+  Value operator[](size_t attr) const;
+
+  /// Materializes the row (used where a real container is needed, e.g.
+  /// re-appending a tuple elsewhere).
+  Row ToRow() const;
+  operator Row() const { return ToRow(); }
+
+  /// Content equality, matching the old Row == Row semantics.
+  bool operator==(const RowView& other) const;
+  bool operator!=(const RowView& other) const { return !(*this == other); }
+  bool operator==(const Row& other) const;
+  bool operator!=(const Row& other) const { return !(*this == other); }
+
+  /// Minimal forward iteration so range-for over a row keeps working.
+  class Iterator {
+   public:
+    Iterator(const RowView* view, size_t i) : view_(view), i_(i) {}
+    Value operator*() const { return (*view_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const RowView* view_;
+    size_t i_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  const Relation* rel_ = nullptr;
+  size_t row_ = 0;
+};
+
+inline bool operator==(const Row& a, const RowView& b) { return b == a; }
+inline bool operator!=(const Row& a, const RowView& b) { return b != a; }
+
+/// An instance of a relation schema, stored columnar: one typed Column per
+/// attribute (ints/doubles flat, strings as 32-bit ids into the dataset's
+/// interning pool) plus the per-row global ids, so that fragments produced
+/// by partitioning can refer back to the original tuples.
 class Relation {
  public:
   Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  /// Standalone relation owning a private interning pool (tests, ad-hoc
+  /// use). Relations inside a Dataset share the dataset's pool instead.
+  explicit Relation(Schema schema)
+      : Relation(std::move(schema), nullptr) {}
+  Relation(Schema schema, StringPool* shared_pool);
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
 
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t num_rows() const { return gids_.size(); }
+  bool empty() const { return gids_.empty(); }
 
-  const Row& row(size_t i) const { return rows_[i]; }
+  RowView row(size_t i) const { return RowView(this, i); }
   Gid gid(size_t i) const { return gids_[i]; }
   const std::vector<Gid>& gids() const { return gids_; }
 
-  const Value& at(size_t row, size_t attr) const { return rows_[row][attr]; }
+  /// The cell (row, attr) as a Value — by value; string cells are cheap
+  /// non-owning references into the pool. `const Value& v = rel.at(...)`
+  /// keeps working via lifetime extension.
+  Value at(size_t row, size_t attr) const {
+    return cols_[attr].value_at(row, *pool_);
+  }
+
+  bool is_null(size_t row, size_t attr) const {
+    return cols_[attr].is_null(row);
+  }
+  /// Characters of a non-NULL string cell, viewed in the arena (zero-copy;
+  /// this is what the similarity kernels consume).
+  std::string_view string_at(size_t row, size_t attr) const {
+    return cols_[attr].str_at(row, *pool_);
+  }
+  /// Equality-preserving code of a non-NULL cell (see Column::code_at).
+  uint64_t code_at(size_t row, size_t attr) const {
+    return cols_[attr].code_at(row);
+  }
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t attr) const { return cols_[attr]; }
+
+  const StringPool& pool() const { return *pool_; }
+  StringPool* mutable_pool() { return pool_; }
 
   /// Appends a row; the caller (normally Dataset) supplies the global id.
   /// Returns the local row index.
   size_t Append(Row row, Gid gid);
 
-  /// Reserves storage for n more rows.
-  void Reserve(size_t n) {
-    rows_.reserve(rows_.size() + n);
-    gids_.reserve(gids_.size() + n);
-  }
+  /// Column-streaming append from CSV fields: `attr_to_field[a]` is the
+  /// field index holding attribute a, or -1 for NULL. Returns the row index.
+  size_t AppendParsed(const std::vector<std::string>& fields,
+                      const std::vector<int>& attr_to_field, Gid gid);
+
+  /// Reserves storage for n more rows (per column).
+  void Reserve(size_t n);
+
+  /// Heap bytes held by the columns (excludes the shared pool).
+  size_t ByteSize() const;
+
+  /// Total column reallocations triggered by appends (0 when generators
+  /// Reserve exactly).
+  uint64_t grow_events() const;
 
  private:
   Schema schema_;
-  std::vector<Row> rows_;
+  std::vector<Column> cols_;
   std::vector<Gid> gids_;
+  StringPool* pool_ = nullptr;
+  std::unique_ptr<StringPool> own_pool_;  // set iff standalone
 };
+
+inline size_t RowView::size() const { return rel_->schema().num_attrs(); }
+
+inline Value RowView::operator[](size_t attr) const {
+  return rel_->at(row_, attr);
+}
 
 }  // namespace dcer
 

@@ -1,0 +1,77 @@
+#include "relational/string_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dcer {
+
+namespace {
+constexpr size_t kMinChunk = 64 * 1024;  // chars per arena chunk
+}
+
+const char* StringPool::ArenaAppend(std::string_view s) {
+  if (chunk_used_ + s.size() > chunk_cap_) {
+    chunk_cap_ = s.size() > kMinChunk ? s.size() : kMinChunk;
+    chunks_.push_back(std::make_unique<char[]>(chunk_cap_));
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  arena_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
+  return dst;
+}
+
+uint32_t StringPool::Intern(std::string_view s) {
+  std::unique_lock lock(mu_);
+  ++requests_;
+  requested_bytes_ += s.size();
+  auto it = map_.find(s);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const size_t id = size_.load(std::memory_order_relaxed);
+  assert(id < static_cast<size_t>(kNpos));
+
+  const char* data = ArenaAppend(s);
+  const uint32_t u = (static_cast<uint32_t>(id) >> kFirstBlockLog2) + 1;
+  const uint32_t block = 31 - static_cast<uint32_t>(__builtin_clz(u));
+  assert(block < kMaxBlocks);
+  const uint32_t offset =
+      static_cast<uint32_t>(id) - ((1u << block) - 1) * kFirstBlock;
+  Entry* entries = blocks_[block].load(std::memory_order_relaxed);
+  if (entries == nullptr) {
+    block_storage_.push_back(std::make_unique<Entry[]>(
+        static_cast<size_t>(kFirstBlock) << block));
+    entries = block_storage_.back().get();
+    blocks_[block].store(entries, std::memory_order_release);
+  }
+  entries[offset] = Entry{data, static_cast<uint32_t>(s.size())};
+  map_.emplace(std::string_view(data, s.size()), static_cast<uint32_t>(id));
+  // Publish: the release store pairs with the acquire load in size()/entry(),
+  // making the entry (and its arena bytes) visible before the id is.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<uint32_t>(id);
+}
+
+uint32_t StringPool::Find(std::string_view s) const {
+  std::shared_lock lock(mu_);
+  auto it = map_.find(s);
+  return it == map_.end() ? kNpos : it->second;
+}
+
+size_t StringPool::ByteSize() const {
+  std::shared_lock lock(mu_);
+  size_t bytes = arena_bytes_.load(std::memory_order_relaxed);
+  bytes += block_storage_.size() == 0
+               ? 0
+               : size_.load(std::memory_order_relaxed) * sizeof(Entry);
+  // Rough dedup-map cost: bucket pointer + node (view + id + next pointer).
+  bytes += map_.bucket_count() * sizeof(void*);
+  bytes += map_.size() * (sizeof(std::string_view) + sizeof(uint32_t) +
+                          2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace dcer

@@ -1,0 +1,110 @@
+#ifndef DCER_RELATIONAL_STRING_POOL_H_
+#define DCER_RELATIONAL_STRING_POOL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dcer {
+
+/// Append-only string interning pool: every distinct string is stored once in
+/// a chunked char arena and addressed by a dense 32-bit id. A Dataset owns one
+/// pool shared by all of its relations, so equal strings in different columns
+/// (the join targets of Sec. II's equality predicates) get equal ids and
+/// equality joins reduce to id == id.
+///
+/// Concurrency contract, matching the chase's phase structure:
+///  - Intern() (writers) are serialized; they only ever run between
+///    enumeration phases (dataset loads, NotifyAppend between supersteps).
+///  - view() / size() are lock-free and safe concurrently with one writer:
+///    ids are published with release/acquire ordering and arena chunks are
+///    append-only, so a published id's bytes never move.
+///  - Find() takes a shared lock (it probes the dedup map); concurrent
+///    readers never block each other.
+class StringPool {
+ public:
+  /// Sentinel id: "not in the pool" (also used as the NULL cell marker in
+  /// string columns).
+  static constexpr uint32_t kNpos = 0xffffffffu;
+
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id of `s`, interning it if absent. Ids are dense and stable
+  /// for the lifetime of the pool.
+  uint32_t Intern(std::string_view s);
+
+  /// Id of `s` if already interned, kNpos otherwise. Never inserts — lookup
+  /// misses mean "this constant matches no stored string", an O(1) rejection
+  /// the equality-join fast path exploits.
+  uint32_t Find(std::string_view s) const;
+
+  /// The characters of the interned string `id`. Lock-free; the returned view
+  /// is valid for the lifetime of the pool (chunks are never reallocated).
+  std::string_view view(uint32_t id) const {
+    const Entry& e = entry(id);
+    return std::string_view(e.data, e.len);
+  }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// --- Stats for the bench keys (interning hit rate / footprint). ---
+  /// Total Intern() calls and how many were dedup hits.
+  uint64_t num_requests() const { return requests_; }
+  uint64_t num_hits() const { return hits_; }
+  /// Characters held by the arena (what the strings cost once, deduped).
+  size_t arena_bytes() const { return arena_bytes_.load(std::memory_order_relaxed); }
+  /// Characters that Intern() was asked to store, counting duplicates — what
+  /// row-wise owned-string storage would have paid.
+  uint64_t requested_bytes() const { return requested_bytes_; }
+  /// Approximate total footprint: arena + entry table + dedup map.
+  size_t ByteSize() const;
+
+ private:
+  struct Entry {
+    const char* data;
+    uint32_t len;
+  };
+
+  // Entry table: doubling blocks behind pre-sized atomic pointers, so view()
+  // needs no lock and no published entry ever moves. Block b holds
+  // kFirstBlock << b entries and starts at id (2^b - 1) * kFirstBlock.
+  static constexpr uint32_t kFirstBlockLog2 = 10;  // 1024 entries
+  static constexpr uint32_t kFirstBlock = 1u << kFirstBlockLog2;
+  static constexpr uint32_t kMaxBlocks = 21;  // ~2.1B ids
+
+  const Entry& entry(uint32_t id) const {
+    const uint32_t u = (id >> kFirstBlockLog2) + 1;
+    const uint32_t block = 31 - static_cast<uint32_t>(__builtin_clz(u));
+    const uint32_t offset = id - ((1u << block) - 1) * kFirstBlock;
+    return blocks_[block].load(std::memory_order_acquire)[offset];
+  }
+
+  // Appends the bytes of `s` to the arena; returns a stable pointer.
+  const char* ArenaAppend(std::string_view s);
+
+  mutable std::shared_mutex mu_;  // guards map_, chunk list, block allocation
+  std::unordered_map<std::string_view, uint32_t> map_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = 0;
+  size_t chunk_cap_ = 0;
+  std::array<std::atomic<Entry*>, kMaxBlocks> blocks_ = {};
+  std::vector<std::unique_ptr<Entry[]>> block_storage_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> arena_bytes_{0};
+  uint64_t requests_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t requested_bytes_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_RELATIONAL_STRING_POOL_H_

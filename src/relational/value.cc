@@ -33,7 +33,8 @@ uint64_t Value::Hash(uint64_t seed) const {
       return HashInt(bits, seed + 2);
     }
     default:
-      return HashString(std::get<std::string>(v_), seed + 3);
+      // Content hash: an interned string hashes identically to an owned copy.
+      return HashString(AsString(), seed + 3);
   }
 }
 
@@ -49,7 +50,7 @@ std::string Value::ToString() const {
       return buf;
     }
     default:
-      return std::get<std::string>(v_);
+      return std::string(AsString());
   }
 }
 

@@ -18,8 +18,30 @@ const char* ValueTypeName(ValueType type);
 /// A typed cell value. Small, copyable, hashable. operator== is structural
 /// (NULL == NULL is true); join predicates in rules use EqJoinable() below,
 /// which is SQL-like: NULL never satisfies an equality predicate.
+///
+/// Strings come in two physically different but semantically identical
+/// flavors: an owning std::string (constants, parsed input) and a non-owning
+/// reference into a Dataset's interning pool (what columnar Relations hand
+/// out — 16 bytes, no allocation). Both report ValueType::kString and
+/// compare/hash by content, so consumers never need to tell them apart. An
+/// interned Value is valid for the lifetime of the pool it points into.
 class Value {
  public:
+  /// Non-owning reference to an interned string (see StringPool). `id` is the
+  /// pool-local interning id; kNoId when unknown.
+  struct InternedString {
+    const char* data;
+    uint32_t len;
+    uint32_t id;
+
+    std::string_view view() const { return std::string_view(data, len); }
+    // Content comparisons (required by the variant; Value pre-dispatches
+    // string comparisons itself, treating owned and interned alike).
+    bool operator==(const InternedString& o) const { return view() == o.view(); }
+    bool operator<(const InternedString& o) const { return view() < o.view(); }
+  };
+  static constexpr uint32_t kNoId = 0xffffffffu;  // == StringPool::kNpos
+
   Value() : v_(std::monostate{}) {}
   explicit Value(int64_t i) : v_(i) {}
   explicit Value(double d) : v_(d) {}
@@ -27,6 +49,13 @@ class Value {
   explicit Value(const char* s) : v_(std::string(s)) {}
 
   static Value Null() { return Value(); }
+
+  /// A Value viewing an interned string; does not copy the characters.
+  static Value Interned(std::string_view s, uint32_t id) {
+    Value v;
+    v.v_ = InternedString{s.data(), static_cast<uint32_t>(s.size()), id};
+    return v;
+  }
 
   ValueType type() const {
     switch (v_.index()) {
@@ -37,7 +66,7 @@ class Value {
       case 2:
         return ValueType::kDouble;
       default:
-        return ValueType::kString;
+        return ValueType::kString;  // owned or interned
     }
   }
 
@@ -47,13 +76,38 @@ class Value {
     if (v_.index() == 1) return static_cast<double>(std::get<int64_t>(v_));
     return std::get<double>(v_);
   }
-  const std::string& AsString() const { return std::get<std::string>(v_); }
+  std::string_view AsString() const {
+    if (v_.index() == 4) {
+      const InternedString& s = std::get<InternedString>(v_);
+      return std::string_view(s.data, s.len);
+    }
+    return std::get<std::string>(v_);
+  }
 
-  bool operator==(const Value& other) const { return v_ == other.v_; }
+  /// Interning id if this is an interned string, kNoId otherwise.
+  uint32_t intern_id() const {
+    return v_.index() == 4 ? std::get<InternedString>(v_).id : kNoId;
+  }
+
+  bool operator==(const Value& other) const {
+    const bool s1 = v_.index() >= 3;
+    const bool s2 = other.v_.index() >= 3;
+    if (s1 || s2) return s1 && s2 && AsString() == other.AsString();
+    return v_ == other.v_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
-  bool operator<(const Value& other) const { return v_ < other.v_; }
+  bool operator<(const Value& other) const {
+    // Order by type rank first (both string flavors rank equal), preserving
+    // the historical variant ordering int < double regardless of magnitude.
+    const size_t r1 = v_.index() >= 3 ? 3 : v_.index();
+    const size_t r2 = other.v_.index() >= 3 ? 3 : other.v_.index();
+    if (r1 != r2) return r1 < r2;
+    if (r1 == 3) return AsString() < other.AsString();
+    return v_ < other.v_;
+  }
 
   /// Deterministic 64-bit hash, stable across runs (used by Hypercube).
+  /// Owned and interned strings with equal content hash equal.
   uint64_t Hash(uint64_t seed = 0) const;
 
   /// Display rendering; NULL renders as "-" like the paper's tables.
@@ -63,7 +117,8 @@ class Value {
   static Value Parse(std::string_view text, ValueType type);
 
  private:
-  std::variant<std::monostate, int64_t, double, std::string> v_;
+  std::variant<std::monostate, int64_t, double, std::string, InternedString>
+      v_;
 };
 
 /// Equality as used by rule predicates t.A = s.B and t.A = c: false whenever

@@ -47,6 +47,9 @@
 #include "parallel/wire.h"
 #include "partition/hypercube.h"
 #include "rules/parser.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/resolver.h"
 
 namespace dcer {
 namespace {
@@ -619,9 +622,9 @@ IncCascadeRun RunIncCascade(int levels, size_t leaf_limit, bool inc_parallel,
   return out;
 }
 
-// Update stream: an IncrementalMatcher absorbs micro-batches of appended
-// ecommerce tuples (NotifyAppend + DeduceForNewTuples + IncDeduce under the
-// hood); per-batch latency is the maintenance cost the Sec. V-A Remark
+// Update stream: a Resolver absorbs micro-batches of appended ecommerce
+// tuples (NotifyAppend + DeduceForNewTuples + IncDeduce under the facade);
+// per-batch Append latency is the maintenance cost the Sec. V-A Remark
 // targets. With the default H capacity nothing is ever dropped, so the
 // cascade inside each batch rides the no-drop fast path.
 struct UpdateStreamNumbers {
@@ -657,41 +660,177 @@ UpdateStreamNumbers MeasureUpdateStream() {
   constexpr size_t kHeldBack = 64;
   constexpr size_t kBatchSize = 8;
   const size_t cut = gd->dataset.num_tuples() - kHeldBack;
-  auto copy_tuple = [&](Gid g) {
+  for (Gid g = 0; g < cut; ++g) {
     TupleLoc loc = gd->dataset.loc(g);
-    return dst.AppendTuple(loc.relation,
-                           gd->dataset.relation(loc.relation).row(loc.row));
-  };
-  for (Gid g = 0; g < cut; ++g) copy_tuple(g);
+    dst.AppendTuple(loc.relation,
+                    gd->dataset.relation(loc.relation).row(loc.row));
+  }
 
-  IncrementalMatcher inc(&dst, &rules, &gd->registry);
   Timer init_timer;
-  inc.Initialize();
+  auto resolver = Resolver::Open(std::move(dst), rules, &gd->registry);
   out.init_seconds = init_timer.ElapsedSeconds();
 
-  std::vector<Gid> batch;
+  TupleBatch batch;
   for (Gid g = static_cast<Gid>(cut); g < gd->dataset.num_tuples(); ++g) {
-    batch.push_back(copy_tuple(g));
+    TupleLoc loc = gd->dataset.loc(g);
+    batch.Add(loc.relation,
+              gd->dataset.relation(loc.relation).row(loc.row));
     if (batch.size() == kBatchSize || g + 1 == gd->dataset.num_tuples()) {
       Timer t;
-      MatchReport r = inc.AppendBatch(batch);
+      AppendOutcome o = resolver->Append(std::move(batch));
       const double secs = t.ElapsedSeconds();
       out.batch_seconds.push_back(secs);
-      out.batch_rounds.push_back(static_cast<uint64_t>(r.rounds));
-      out.batch_seeded_joins.push_back(r.chase.seeded_joins);
+      out.batch_rounds.push_back(static_cast<uint64_t>(o.report.rounds));
+      out.batch_seeded_joins.push_back(o.report.chase.seeded_joins);
       out.total_batch_seconds += secs;
       out.max_batch_seconds = std::max(out.max_batch_seconds, secs);
-      batch.clear();
+      batch = TupleBatch{};
     }
   }
-  out.matched_pairs = inc.context().num_matched_pairs();
+  auto snapshot = resolver->Snapshot();
+  out.matched_pairs = snapshot->num_matched_pairs();
 
   gd->registry.ClearCache();
-  MatchContext scratch(dst);
-  Match(DatasetView::Full(dst), rules, gd->registry, {}, &scratch);
+  MatchContext scratch(resolver->dataset());
+  Match(DatasetView::Full(resolver->dataset()), rules, gd->registry, {},
+        &scratch);
   out.equals_scratch =
-      inc.context().MatchedPairs() == scratch.MatchedPairs() &&
-      inc.context().ValidatedMlKeys() == scratch.ValidatedMlKeys();
+      snapshot->MatchedPairs() == scratch.MatchedPairs() &&
+      snapshot->ValidatedMlKeys() == scratch.ValidatedMlKeys();
+  return out;
+}
+
+// --- dcerd service bench ---------------------------------------------------
+
+// The daemon end to end over loopback TCP: the same re-grown ecommerce
+// stream, but appended through APPEND frames while a client fires
+// RESOLVE/SAME point queries between batches (and a pure query burst at the
+// end). served_query_p50/p99 are client-observed round-trip latencies;
+// update_visibility_lag is the daemon-measured arrival→snapshot-publish lag
+// per append request. Both feed bench/check_regression gates.
+struct ServiceNumbers {
+  bool ok = false;
+  uint64_t appends = 0;
+  size_t queries = 0;
+  double p50_seconds = 0;
+  double p99_seconds = 0;
+  double max_seconds = 0;
+  double mean_lag_seconds = 0;
+  double max_lag_seconds = 0;
+  uint64_t final_snapshot_version = 0;
+  uint64_t served_matched_pairs = 0;
+  // Every post-ack query saw a snapshot at least as new as the ack's — the
+  // ack-implies-visibility contract.
+  bool ack_implies_visible = true;
+};
+
+ServiceNumbers MeasureService() {
+  ServiceNumbers out;
+  EcommerceOptions options;
+  options.num_customers = 400;
+  auto gd = MakeEcommerce(options);
+  Dataset dst;
+  for (size_t r = 0; r < gd->dataset.num_relations(); ++r) {
+    dst.AddRelation(gd->dataset.relation(r).schema());
+  }
+  RuleSet rules;
+  Status st =
+      ParseRuleSet(gd->rules.ToString(gd->dataset), dst, gd->registry, &rules);
+  if (!st.ok()) {
+    std::printf("service rules failed to parse: %s\n",
+                std::string(st.message()).c_str());
+    return out;
+  }
+  constexpr size_t kHeldBack = 64;
+  constexpr size_t kBatchSize = 8;
+  const size_t total = gd->dataset.num_tuples();
+  const size_t cut = total - kHeldBack;
+  for (Gid g = 0; g < cut; ++g) {
+    TupleLoc loc = gd->dataset.loc(g);
+    dst.AppendTuple(loc.relation,
+                    gd->dataset.relation(loc.relation).row(loc.row));
+  }
+
+  service::ResolverDaemon daemon(
+      Resolver::Open(std::move(dst), rules, &gd->registry));
+  if (Status s = daemon.Start(); !s.ok()) {
+    std::printf("dcerd start failed: %s\n", s.ToString().c_str());
+    return out;
+  }
+  service::ResolverClient client;
+  if (Status s = client.Connect(daemon.port()); !s.ok()) {
+    std::printf("dcerd connect failed: %s\n", s.ToString().c_str());
+    return out;
+  }
+
+  Rng rng(17);
+  std::vector<double> latencies;
+  uint64_t last_ack_version = 0;
+  out.ok = true;
+  auto run_queries = [&](int count) {
+    for (int q = 0; q < count && out.ok; ++q) {
+      service::Response qr;
+      Timer t;
+      Status s = q % 2 == 0
+                     ? client.Resolve(static_cast<Gid>(rng.Uniform(total)), &qr)
+                     : client.SameEntity(static_cast<Gid>(rng.Uniform(total)),
+                                         static_cast<Gid>(rng.Uniform(total)),
+                                         &qr);
+      latencies.push_back(t.ElapsedSeconds());
+      if (!s.ok()) {
+        std::printf("dcerd query failed: %s\n", s.ToString().c_str());
+        out.ok = false;
+      }
+      if (qr.snapshot_version < last_ack_version) {
+        out.ack_implies_visible = false;
+      }
+    }
+  };
+
+  std::vector<std::pair<uint32_t, Row>> rows;
+  for (Gid g = static_cast<Gid>(cut); g < total && out.ok; ++g) {
+    TupleLoc loc = gd->dataset.loc(g);
+    rows.emplace_back(loc.relation,
+                      gd->dataset.relation(loc.relation).row(loc.row));
+    if (rows.size() == kBatchSize || g + 1 == total) {
+      service::Response resp;
+      // Schemas are shared with the generator's dataset, so the request is
+      // built against it — the daemon's copy is busy growing.
+      if (Status s = client.Append(gd->dataset, rows, &resp); !s.ok()) {
+        std::printf("dcerd append failed: %s\n", s.ToString().c_str());
+        out.ok = false;
+        break;
+      }
+      ++out.appends;
+      last_ack_version = resp.snapshot_version;
+      rows.clear();
+      run_queries(32);
+    }
+  }
+  run_queries(512);
+
+  service::Response stats_resp;
+  if (client.Stats(&stats_resp).ok()) {
+    out.final_snapshot_version = stats_resp.snapshot_version;
+  }
+  out.served_matched_pairs = daemon.resolver().Snapshot()->num_matched_pairs();
+  service::DaemonStats ds = daemon.stats();
+  out.mean_lag_seconds =
+      ds.visibility_lag_samples > 0
+          ? ds.total_visibility_lag_seconds / ds.visibility_lag_samples
+          : 0.0;
+  out.max_lag_seconds = ds.max_visibility_lag_seconds;
+
+  std::sort(latencies.begin(), latencies.end());
+  out.queries = latencies.size();
+  if (!latencies.empty()) {
+    out.p50_seconds = latencies[latencies.size() / 2];
+    out.p99_seconds =
+        latencies[std::min(latencies.size() - 1, latencies.size() * 99 / 100)];
+    out.max_seconds = latencies.back();
+  }
+  client.Close();
+  daemon.Stop();
   return out;
 }
 
@@ -980,6 +1119,7 @@ void WriteBenchCoreJson() {
                                         /*threads=*/1);
   const bool inc_pairs_equal = inc_full.pairs == inc_seq.pairs;
   UpdateStreamNumbers stream = MeasureUpdateStream();
+  ServiceNumbers service = MeasureService();
 
   // Overhead of turning metric collection on for the same workload; with
   // metrics off collection is one predicted branch, so the on/off ratio
@@ -1156,7 +1296,7 @@ void WriteBenchCoreJson() {
              "parallel, so the wall gap is oversubscription artifact; "
              "inc_speedup_simulated is the per-chunk-core number");
   }
-  // Update stream: per-batch maintenance latency of IncrementalMatcher over
+  // Update stream: per-batch maintenance latency of Resolver::Append over
   // appended micro-batches (default H capacity → no-drop fast path).
   w.KV("update_stream_workload",
        "ecommerce num_customers=400, last 64 tuples replayed in batches "
@@ -1181,6 +1321,24 @@ void WriteBenchCoreJson() {
            : stream.total_batch_seconds / stream.batch_seconds.size());
   w.KV("update_stream_matched_pairs", stream.matched_pairs);
   w.KV("update_stream_equals_scratch", stream.equals_scratch);
+  // dcerd online service: client-observed query latency percentiles and the
+  // daemon's append-arrival→snapshot-publish lag, gated by check_regression
+  // (served_query_p99, update_visibility_lag).
+  w.KV("service_workload",
+       "dcerd over loopback TCP: ecommerce num_customers=400, last 64 "
+       "tuples in 8-tuple APPEND frames, 32 RESOLVE/SAME per batch + 512 "
+       "trailing queries");
+  w.KV("service_ok", service.ok);
+  w.KV("service_appends", service.appends);
+  w.KV("served_queries", static_cast<uint64_t>(service.queries));
+  w.KV("served_query_p50", service.p50_seconds);
+  w.KV("served_query_p99", service.p99_seconds);
+  w.KV("served_query_max_seconds", service.max_seconds);
+  w.KV("update_visibility_lag", service.mean_lag_seconds);
+  w.KV("update_visibility_lag_max", service.max_lag_seconds);
+  w.KV("service_snapshot_version", service.final_snapshot_version);
+  w.KV("service_matched_pairs", service.served_matched_pairs);
+  w.KV("service_ack_implies_visible", service.ack_implies_visible);
   w.KV("dmatch_metrics_wall_seconds", obs_overhead.on_seconds);
   w.KV("dmatch_nometrics_wall_seconds", obs_overhead.off_seconds);
   w.KV("obs_overhead_ratio", obs_overhead.ratio);
@@ -1297,6 +1455,12 @@ void WriteBenchCoreJson() {
               stream.total_batch_seconds, stream.max_batch_seconds,
               stream.equals_scratch,
               static_cast<unsigned long long>(stream.matched_pairs));
+  std::printf("dcerd service: ok=%d appends=%llu queries=%zu p50=%.1fus "
+              "p99=%.1fus lag mean=%.4fs max=%.4fs ack_visible=%d\n",
+              service.ok, static_cast<unsigned long long>(service.appends),
+              service.queries, service.p50_seconds * 1e6,
+              service.p99_seconds * 1e6, service.mean_lag_seconds,
+              service.max_lag_seconds, service.ack_implies_visible);
   std::printf("columnar (tpch SF1, %llu tuples, gen=%.3fs, grow_events=%llu):"
               " scan %.2f vs %.2f ns/row, index build %.4f vs %.4f s "
               "(%llu keys, equal=%d), kernel %.1f vs %.1f ns\n",

@@ -1,8 +1,9 @@
 // Fraud detection on a generated e-commerce dataset (the paper's motivating
-// use case): run parallel deep+collective ER with DMatch, then use the
-// deduced customer/shop/product matches to flag mutual-purchase rings —
-// pairs of shops that buy the same (matched) product from each other
-// through customer accounts that ER reveals to be the same person.
+// use case): open a dcer::Resolver over the dataset (parallel deep+collective
+// ER via the BSP engine), then use the resolved customer/shop/product
+// identities to flag mutual-purchase rings — pairs of shops that buy the same
+// (matched) product from each other through customer accounts that ER
+// reveals to be the same person.
 
 #include <cstdio>
 #include <map>
@@ -10,7 +11,7 @@
 
 #include "datagen/ecommerce.h"
 #include "eval/table_printer.h"
-#include "parallel/dmatch.h"
+#include "service/resolver.h"
 
 using namespace dcer;
 
@@ -21,20 +22,24 @@ int main(int argc, char** argv) {
   auto gd = MakeEcommerce(options);
   std::printf("Dataset: %s\n", gd->dataset.ToString().c_str());
 
-  DMatchOptions dopt;
-  dopt.num_workers = 4;
-  MatchContext ctx(gd->dataset);
-  DMatchReport report = DMatch(gd->dataset, gd->rules, gd->registry, dopt,
-                               &ctx);
-  PrecisionRecall pr = gd->truth.Evaluate(ctx.MatchedPairs());
-  std::printf("DMatch: %d supersteps, %llu messages, F-measure %.3f "
-              "(P %.3f / R %.3f)\n\n",
-              report.supersteps,
-              static_cast<unsigned long long>(report.messages), pr.f1,
+  // One facade for the whole engine: Open() runs the initial fixpoint (BSP
+  // parallel here, since num_workers > 0), Snapshot()/SameEntity() answer
+  // queries, and Append() would stream further tuples in.
+  ResolverOptions ropt;
+  ropt.num_workers = 4;
+  auto resolver = Resolver::Open(std::move(gd->dataset), gd->rules,
+                                 &gd->registry, ropt);
+  auto snapshot = resolver->Snapshot();
+  PrecisionRecall pr = gd->truth.Evaluate(snapshot->MatchedPairs());
+  const DMatchReport* report = resolver->dmatch_report();
+  std::printf("Resolver::Open (BSP): %d supersteps, %llu messages, "
+              "F-measure %.3f (P %.3f / R %.3f)\n\n",
+              report->supersteps,
+              static_cast<unsigned long long>(report->messages), pr.f1,
               pr.precision, pr.recall);
 
   // Index the relations we need.
-  const Dataset& d = gd->dataset;
+  const Dataset& d = resolver->dataset();
   size_t customers = d.RelationIndexOrDie("Customers");
   size_t shops = d.RelationIndexOrDie("Shops");
   size_t orders = d.RelationIndexOrDie("Orders");
@@ -83,8 +88,8 @@ int main(int argc, char** argv) {
       if (o1 == shop_owner.end() || o2 == shop_owner.end()) continue;
       if (p.seller_shop == q.seller_shop) continue;
       // p's buyer owns (is matched with the owner of) q's shop & vice versa.
-      if (ctx.Matched(p.buyer, o1->second) &&
-          ctx.Matched(q.buyer, o2->second)) {
+      if (snapshot->SameEntity(p.buyer, o1->second) &&
+          snapshot->SameEntity(q.buyer, o2->second)) {
         Gid a = std::min(p.seller_shop, q.seller_shop);
         Gid b = std::max(p.seller_shop, q.seller_shop);
         rings.insert({a, b});

@@ -6,20 +6,26 @@
 #include <unordered_map>
 
 #include "baselines/pair_classifier.h"
+#include "chase/inverted_index.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 
 namespace dcer::baselines_internal {
 
-using BlockMap = std::unordered_map<Value, std::vector<Gid>, ValueHash>;
+/// Blocks keyed by the columnar equality code (interned string id / int
+/// bits / canonicalized double bits): within one column type, code equality
+/// is Value equality, and relations of a Dataset share the interning pool,
+/// so cross-relation string joins stay an id == id comparison.
+using BlockMap = std::unordered_map<uint64_t, std::vector<Gid>, CodeHash>;
 
 inline BlockMap BuildBlocks(const Dataset& d, size_t rel, size_t attr) {
   BlockMap blocks;
   const Relation& relation = d.relation(rel);
+  uint64_t code;
   for (size_t row = 0; row < relation.num_rows(); ++row) {
-    const Value& v = relation.at(row, attr);
-    if (v.is_null()) continue;
-    blocks[v].push_back(relation.gid(row));
+    if (JoinableCellCode(relation, static_cast<uint32_t>(row), attr, &code)) {
+      blocks[code].push_back(relation.gid(row));
+    }
   }
   return blocks;
 }
@@ -38,6 +44,14 @@ void ForEachBlockedPair(const Dataset& d, const RelationHint& hint,
         for (size_t j = i + 1; j < gids.size(); ++j) cb(gids[i], gids[j]);
       }
     }
+    return;
+  }
+  // Codes are only comparable within one column type; mismatched types never
+  // blocked together under Value equality either.
+  if (d.relation(hint.relation).column(hint.block_attr).type() !=
+      d.relation(static_cast<size_t>(hint.pair_relation))
+          .column(hint.block_attr)
+          .type()) {
     return;
   }
   BlockMap right = BuildBlocks(d, static_cast<size_t>(hint.pair_relation),
@@ -64,9 +78,10 @@ void ForEachTokenPair(const Dataset& d, const RelationHint& hint,
     const Relation& relation = d.relation(rel);
     for (size_t row = 0; row < relation.num_rows(); ++row) {
       for (size_t attr : hint.compare_attrs) {
-        const Value& v = relation.at(row, attr);
-        if (v.is_null() || v.type() != ValueType::kString) continue;
-        for (const std::string& tok : SplitWhitespace(ToLower(v.AsString()))) {
+        const Column& col = relation.column(attr);
+        if (col.type() != ValueType::kString || col.is_null(row)) continue;
+        std::string_view text = col.str_at(row, relation.pool());
+        for (const std::string& tok : SplitWhitespace(ToLower(text))) {
           if (tok.size() < 2) continue;
           token_blocks[tok].push_back(relation.gid(row));
         }

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdio>
 
 #include "baselines/candidates.h"
 #include "baselines/matchers.h"
@@ -17,10 +18,31 @@ BaselineReport RunWindowing(const Dataset& dataset,
     std::vector<std::pair<std::string, Gid>> keyed;
     auto add_relation = [&](size_t rel) {
       const Relation& relation = dataset.relation(rel);
+      // One columnar slice per relation: strings render straight from the
+      // arena, numerics format from the flat typed vectors (same text the
+      // Value path produced — %g and to_string are already lower-case).
+      const Column& col = relation.column(hint.sort_attr);
       for (size_t row = 0; row < relation.num_rows(); ++row) {
-        const Value& v = relation.at(row, hint.sort_attr);
-        keyed.push_back({v.is_null() ? "" : ToLower(v.ToString()),
-                         relation.gid(row)});
+        std::string key;
+        if (!col.is_null(row)) {
+          switch (col.type()) {
+            case ValueType::kString:
+              key = ToLower(col.str_at(row, relation.pool()));
+              break;
+            case ValueType::kInt:
+              key = std::to_string(col.int_at(row));
+              break;
+            case ValueType::kDouble: {
+              char buf[32];
+              std::snprintf(buf, sizeof(buf), "%g", col.double_at(row));
+              key = buf;
+              break;
+            }
+            case ValueType::kNull:
+              break;
+          }
+        }
+        keyed.push_back({std::move(key), relation.gid(row)});
       }
     };
     add_relation(hint.relation);

@@ -1,0 +1,79 @@
+#include "chase/gamma_snapshot.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dcer {
+
+GammaSnapshot::GammaSnapshot(
+    const UnionFind& eid, const std::unordered_set<uint64_t>& validated_ml,
+    uint64_t version)
+    : version_(version) {
+  const size_t n = eid.size();
+  root_of_.resize(n);
+  for (size_t g = 0; g < n; ++g) {
+    root_of_[g] = eid.FindNoCompress(static_cast<uint32_t>(g));
+  }
+
+  // Counting sort by root: one pass to number the classes in first-member
+  // order, one to size them, one to place members. Members come out sorted
+  // within each class because gids are visited ascending.
+  class_of_.assign(n, 0);
+  std::vector<uint32_t> class_size;
+  {
+    std::vector<uint32_t> class_id_of_root(n, UINT32_MAX);
+    for (size_t g = 0; g < n; ++g) {
+      uint32_t& id = class_id_of_root[root_of_[g]];
+      if (id == UINT32_MAX) {
+        id = static_cast<uint32_t>(class_size.size());
+        class_size.push_back(0);
+      }
+      class_of_[g] = id;
+      ++class_size[id];
+    }
+  }
+  class_begin_.resize(class_size.size() + 1);
+  class_begin_[0] = 0;
+  std::partial_sum(class_size.begin(), class_size.end(),
+                   class_begin_.begin() + 1);
+  members_.resize(n);
+  std::vector<uint32_t> cursor(class_begin_.begin(), class_begin_.end() - 1);
+  for (size_t g = 0; g < n; ++g) {
+    members_[cursor[class_of_[g]]++] = static_cast<Gid>(g);
+  }
+
+  for (uint32_t sz : class_size) {
+    num_matched_pairs_ += static_cast<uint64_t>(sz) * (sz - 1) / 2;
+  }
+
+  validated_ml_keys_.assign(validated_ml.begin(), validated_ml.end());
+  std::sort(validated_ml_keys_.begin(), validated_ml_keys_.end());
+}
+
+std::vector<Gid> GammaSnapshot::Entity(Gid g) const {
+  if (g >= root_of_.size()) return {g};
+  const uint32_t c = class_of_[g];
+  return std::vector<Gid>(members_.begin() + class_begin_[c],
+                          members_.begin() + class_begin_[c + 1]);
+}
+
+bool GammaSnapshot::IsValidatedMl(uint64_t ml_key) const {
+  return std::binary_search(validated_ml_keys_.begin(),
+                            validated_ml_keys_.end(), ml_key);
+}
+
+std::vector<std::pair<Gid, Gid>> GammaSnapshot::MatchedPairs() const {
+  std::vector<std::pair<Gid, Gid>> pairs;
+  pairs.reserve(num_matched_pairs_);
+  for (size_t c = 0; c + 1 < class_begin_.size(); ++c) {
+    for (uint32_t i = class_begin_[c]; i < class_begin_[c + 1]; ++i) {
+      for (uint32_t j = i + 1; j < class_begin_[c + 1]; ++j) {
+        pairs.emplace_back(members_[i], members_[j]);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace dcer

@@ -1,0 +1,91 @@
+#ifndef DCER_CHASE_GAMMA_SNAPSHOT_H_
+#define DCER_CHASE_GAMMA_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/union_find.h"
+#include "relational/relation.h"
+
+namespace dcer {
+
+/// An immutable point-in-time view of Γ — the equivalence relation E_id plus
+/// the validated-ML fact set — frozen at a chase fixpoint.
+///
+/// This is the unit of snapshot isolation for the online resolver: the chase
+/// publishes a fresh `shared_ptr<const GammaSnapshot>` after every fixpoint,
+/// and point queries (`Resolve`, `SameEntity`) read whichever snapshot they
+/// grabbed without ever touching live engine state. A snapshot performs no
+/// writes after construction, so any number of threads may query one
+/// concurrently while the chase keeps running — readers never block the
+/// chase and the chase never invalidates a reader.
+///
+/// Representation: E_id is flattened to one root id per gid (no parent
+/// chains, so membership is one vector compare), and classes are laid out as
+/// a CSR over a members array sorted by (root, gid), making Entity() an
+/// O(log #classes + |class|) slice. The validated-ML half is a sorted key
+/// vector (the same canonical form determinism tests compare).
+class GammaSnapshot {
+ public:
+  /// Freezes the given equivalence relation and validated-ML set. Callers
+  /// normally go through MatchContext::MakeSnapshot.
+  GammaSnapshot(const UnionFind& eid,
+                const std::unordered_set<uint64_t>& validated_ml,
+                uint64_t version);
+
+  GammaSnapshot(const GammaSnapshot&) = delete;
+  GammaSnapshot& operator=(const GammaSnapshot&) = delete;
+
+  /// Monotone publication counter: one tick per published fixpoint.
+  uint64_t version() const { return version_; }
+
+  /// Number of tuples covered; gids >= num_tuples() were appended after the
+  /// snapshot was taken and are treated as unmatched singletons.
+  size_t num_tuples() const { return root_of_.size(); }
+
+  /// True iff (a, b) ∈ E_id in this snapshot. Out-of-range gids are
+  /// singletons, so SameEntity(g, g) is true for any g.
+  bool SameEntity(Gid a, Gid b) const {
+    if (a == b) return true;
+    if (a >= root_of_.size() || b >= root_of_.size()) return false;
+    return root_of_[a] == root_of_[b];
+  }
+
+  /// All members of g's entity class, sorted ascending, including g itself.
+  std::vector<Gid> Entity(Gid g) const;
+
+  /// True iff this ML prediction key was validated at snapshot time.
+  bool IsValidatedMl(uint64_t ml_key) const;
+
+  uint64_t num_matched_pairs() const { return num_matched_pairs_; }
+  size_t num_classes() const {
+    return class_begin_.empty() ? 0 : class_begin_.size() - 1;
+  }
+  size_t num_validated_ml() const { return validated_ml_keys_.size(); }
+
+  /// Sorted keys of every validated ML fact (canonical ML half of Γ).
+  const std::vector<uint64_t>& ValidatedMlKeys() const {
+    return validated_ml_keys_;
+  }
+
+  /// All matched non-reflexive pairs, sorted — identical to
+  /// MatchContext::MatchedPairs() at the frozen fixpoint, which is what the
+  /// streamed-vs-batch bit-identity tests compare.
+  std::vector<std::pair<Gid, Gid>> MatchedPairs() const;
+
+ private:
+  uint64_t version_;
+  std::vector<Gid> root_of_;      // flattened root per gid
+  std::vector<uint32_t> class_of_;  // dense class index per gid
+  std::vector<Gid> members_;      // concatenated class members, sorted
+  std::vector<uint32_t> class_begin_;  // CSR offsets into members_
+  std::vector<uint64_t> validated_ml_keys_;  // sorted
+  uint64_t num_matched_pairs_ = 0;
+};
+
+}  // namespace dcer
+
+#endif  // DCER_CHASE_GAMMA_SNAPSHOT_H_

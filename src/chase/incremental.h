@@ -21,6 +21,13 @@ namespace dcer {
 ///   inc.Initialize();                       // chase current contents
 ///   Gid g = dataset.AppendTuple(rel, row);  // ... append tuples ...
 ///   inc.AppendBatch({&g, 1});               // extend Γ incrementally
+///
+/// DEPRECATED: new code should open a `dcer::Resolver`
+/// (service/resolver.h), whose Append() runs this exact update-driven
+/// maintenance and additionally owns the dataset growth, publishes
+/// snapshots, and serves point queries. This wrapper remains as a thin
+/// compatibility shim for one release and will then be removed (see
+/// DESIGN.md, "Online service & snapshot isolation").
 class IncrementalMatcher {
  public:
   IncrementalMatcher(const Dataset* dataset, const RuleSet* rules,

@@ -30,6 +30,13 @@ struct MatchReport : RunReport {
 /// the same dataset as the view. Deterministic given the inputs; by the
 /// Church–Rosser property (Cor. 1) the resulting Γ is independent of rule
 /// order, which the tests verify against NaiveChase.
+///
+/// DEPRECATED: new code should open a `dcer::Resolver`
+/// (service/resolver.h) with num_workers = 0 — it runs this exact fixpoint
+/// and adds snapshots, point queries, and incremental Append on top. This
+/// free function remains as a thin compatibility shim for one release and
+/// will then be removed (see DESIGN.md, "Online service & snapshot
+/// isolation").
 MatchReport Match(const DatasetView& view, const RuleSet& rules,
                   const MlRegistry& registry, const MatchOptions& options,
                   MatchContext* ctx);

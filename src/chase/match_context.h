@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "chase/fact.h"
+#include "chase/gamma_snapshot.h"
 #include "chase/provenance.h"
 #include "common/union_find.h"
 #include "relational/dataset.h"
@@ -63,6 +64,15 @@ class MatchContext {
     std::vector<uint64_t> keys(validated_ml_.begin(), validated_ml_.end());
     std::sort(keys.begin(), keys.end());
     return keys;
+  }
+
+  /// Freezes the current Γ into an immutable refcounted snapshot (see
+  /// GammaSnapshot). Must be called between fixpoints — i.e. with no Apply
+  /// in flight — which is exactly when the Resolver publishes. The returned
+  /// snapshot is self-contained: it stays valid after this context mutates
+  /// or dies.
+  std::shared_ptr<const GammaSnapshot> MakeSnapshot(uint64_t version) const {
+    return std::make_shared<GammaSnapshot>(eid_, validated_ml_, version);
   }
 
   void EnableProvenance() {

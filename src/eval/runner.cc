@@ -2,9 +2,8 @@
 
 #include "baselines/matchers.h"
 #include "baselines/variants.h"
-#include "chase/match.h"
 #include "common/timer.h"
-#include "parallel/dmatch.h"
+#include "service/resolver.h"
 
 namespace dcer {
 
@@ -39,40 +38,53 @@ const char* MethodName(Method method) {
 RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
                     uint64_t seed, int threads) {
   RunResult result;
-  MatchContext ctx(gd.dataset);
   Timer timer;
 
-  auto run_dmatch = [&](const RuleSet& rules, bool use_mqo) {
-    DMatchOptions options;
-    options.num_workers = num_workers;
+  // The engine methods all go through the Resolver facade now: a borrowed
+  // open runs the same fixpoint the old Match/DMatch free functions did and
+  // hands back an immutable Γ snapshot for evaluation.
+  auto run_resolver = [&](const RuleSet& rules, int workers, bool use_mqo) {
+    ResolverOptions options;
+    options.num_workers = workers;
     options.use_mqo = use_mqo;
     options.threads = threads;
-    DMatchReport report = DMatch(gd.dataset, rules, gd.registry, options, &ctx);
-    result.partition_seconds = report.partition_seconds;
-    result.work = report.chase.valuations;
-    result.supersteps = report.supersteps;
-    result.messages = report.messages;
+    auto resolver = Resolver::OpenBorrowed(gd.dataset, rules, &gd.registry,
+                                           options);
+    if (const DMatchReport* report = resolver->dmatch_report()) {
+      result.partition_seconds = report->partition_seconds;
+      result.work = report->chase.valuations;
+      result.supersteps = report->supersteps;
+      result.messages = report->messages;
+    } else if (const MatchReport* report = resolver->match_report()) {
+      result.work = report->chase.valuations;
+    }
+    result.seconds = timer.ElapsedSeconds();
+    result.accuracy = gd.truth.Evaluate(resolver->Snapshot()->MatchedPairs());
   };
 
   switch (method) {
     case Method::kDMatch:
-      run_dmatch(gd.rules, true);
-      break;
+      run_resolver(gd.rules, num_workers, true);
+      return result;
     case Method::kDMatchNoMqo:
-      run_dmatch(gd.rules, false);
-      break;
+      run_resolver(gd.rules, num_workers, false);
+      return result;
     case Method::kDMatchC:
-      run_dmatch(CollectiveOnlyRules(gd.rules), true);
-      break;
+      run_resolver(CollectiveOnlyRules(gd.rules), num_workers, true);
+      return result;
     case Method::kDMatchD:
-      run_dmatch(DeepOnlyRules(gd.rules), true);
+      run_resolver(DeepOnlyRules(gd.rules), num_workers, true);
+      return result;
+    case Method::kMatchSeq:
+      run_resolver(gd.rules, 0, true);
+      return result;
+    default:
       break;
-    case Method::kMatchSeq: {
-      DatasetView view = DatasetView::Full(gd.dataset);
-      MatchReport report = Match(view, gd.rules, gd.registry, {}, &ctx);
-      result.work = report.chase.valuations;
-      break;
-    }
+  }
+
+  // Non-engine baselines still drive a MatchContext directly.
+  MatchContext ctx(gd.dataset);
+  switch (method) {
     case Method::kBlocking: {
       BaselineReport r = RunBlocking(gd.dataset, gd.hints, {}, &ctx);
       result.work = r.comparisons;
@@ -107,6 +119,8 @@ RunResult RunMethod(Method method, const GenDataset& gd, int num_workers,
       result.work = r.comparisons;
       break;
     }
+    default:
+      break;
   }
   result.seconds = timer.ElapsedSeconds();
   result.accuracy = gd.truth.Evaluate(ctx.MatchedPairs());

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "chase/inverted_index.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "rules/parser.h"
@@ -174,11 +175,16 @@ std::vector<std::pair<std::pair<Gid, Gid>, bool>> BuildDiscoverySample(
     if (lrel.schema().attr(attr).type != rrel.schema().attr(attr).type) {
       continue;
     }
-    std::unordered_map<Value, std::vector<Gid>, ValueHash> blocks;
+    // Code-keyed blocks from the columnar slice (attribute types already
+    // matched above, so cross-relation codes are comparable; strings share
+    // the dataset's interning pool).
+    std::unordered_map<uint64_t, std::vector<Gid>, CodeHash> blocks;
     auto index_rel = [&](const Relation& r) {
+      uint64_t code;
       for (size_t row = 0; row < r.num_rows(); ++row) {
-        const Value& v = r.at(row, attr);
-        if (!v.is_null()) blocks[v].push_back(r.gid(row));
+        if (JoinableCellCode(r, static_cast<uint32_t>(row), attr, &code)) {
+          blocks[code].push_back(r.gid(row));
+        }
       }
     };
     index_rel(lrel);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "chase/fact.h"
+#include "common/hash.h"
 
 namespace dcer {
 
@@ -43,17 +44,28 @@ struct AttrProfile {
 AttrProfile ProfileAttr(const Relation& relation, size_t attr) {
   AttrProfile p;
   if (relation.num_rows() == 0) return p;
-  std::unordered_set<uint64_t> distinct;
+  // One columnar slice: distinctness counts exact equality codes (no Value
+  // materialization, no hash collisions); NULL contributes one bucket like
+  // the old NULL-hash did.
+  const Column& col = relation.column(attr);
+  const bool is_string = col.type() == ValueType::kString;
+  std::unordered_set<uint64_t, CodeHash> distinct;
+  bool saw_null = false;
   double total_len = 0;
   for (size_t row = 0; row < relation.num_rows(); ++row) {
-    const Value& v = relation.at(row, attr);
-    distinct.insert(v.Hash());
-    if (v.type() == ValueType::kString) {
-      total_len += static_cast<double>(v.AsString().size());
+    if (col.is_null(row)) {
+      saw_null = true;
+      continue;
+    }
+    distinct.insert(col.code_at(row));
+    if (is_string) {
+      total_len +=
+          static_cast<double>(col.str_at(row, relation.pool()).size());
     }
   }
-  p.distinct_ratio = static_cast<double>(distinct.size()) /
-                     static_cast<double>(relation.num_rows());
+  p.distinct_ratio =
+      static_cast<double>(distinct.size() + (saw_null ? 1 : 0)) /
+      static_cast<double>(relation.num_rows());
   p.avg_len = total_len / static_cast<double>(relation.num_rows());
   return p;
 }

@@ -8,11 +8,27 @@
 namespace dcer {
 namespace wire {
 
-namespace {
-
-constexpr uint8_t kMagic = 0xDC;
-constexpr uint8_t kVersion = 0x01;
-constexpr uint8_t kTupleTag = 0x02;
+const char* WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kOk:
+      return "ok";
+    case WireError::kTruncated:
+      return "truncated";
+    case WireError::kBadMagic:
+      return "bad-magic";
+    case WireError::kVersionMismatch:
+      return "version-mismatch";
+    case WireError::kBadTag:
+      return "bad-tag";
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kTrailingBytes:
+      return "trailing-bytes";
+    case WireError::kSchemaMismatch:
+      return "schema-mismatch";
+  }
+  return "unknown";
+}
 
 void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
   while (v >= 0x80) {
@@ -23,8 +39,7 @@ void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
 }
 
 uint64_t ZigZag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^
-         static_cast<uint64_t>(v >> 63);
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
 }
 
 int64_t UnZigZag(uint64_t v) {
@@ -35,43 +50,32 @@ void PutFixed64(uint64_t v, std::vector<uint8_t>* out) {
   for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
 
-// Bounded reader; every Get* returns false on underrun instead of reading
-// past the buffer, so a truncated batch decodes to an error, never to UB.
-struct Reader {
-  const uint8_t* p;
-  const uint8_t* end;
+void PutHeader(uint8_t tag, std::vector<uint8_t>* out) {
+  out->push_back(kMagic);
+  out->push_back(kWireVersion);
+  out->push_back(tag);
+}
 
-  bool GetByte(uint8_t* v) {
-    if (p == end) return false;
-    *v = *p++;
-    return true;
-  }
+WireError ReadHeader(Reader* r, uint8_t* tag_out) {
+  uint8_t magic;
+  if (!r->GetByte(&magic)) return WireError::kTruncated;
+  if (magic != kMagic) return WireError::kBadMagic;
+  uint8_t version;
+  if (!r->GetByte(&version)) return WireError::kTruncated;
+  if (version != kWireVersion) return WireError::kVersionMismatch;
+  if (!r->GetByte(tag_out)) return WireError::kTruncated;
+  return WireError::kOk;
+}
 
-  bool GetVarint(uint64_t* v) {
-    uint64_t result = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      uint8_t byte;
-      if (!GetByte(&byte)) return false;
-      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) {
-        *v = result;
-        return true;
-      }
-    }
-    return false;  // varint longer than 10 bytes
-  }
+namespace {
 
-  bool GetFixed64(uint64_t* v) {
-    if (end - p < 8) return false;
-    uint64_t result = 0;
-    for (int i = 0; i < 8; ++i) {
-      result |= static_cast<uint64_t>(p[i]) << (8 * i);
-    }
-    p += 8;
-    *v = result;
-    return true;
-  }
-};
+// Validates the header and that the frame carries `expected_tag`.
+WireError ReadExpectedHeader(Reader* r, uint8_t expected_tag) {
+  uint8_t tag;
+  const WireError err = ReadHeader(r, &tag);
+  if (err != WireError::kOk) return err;
+  return tag == expected_tag ? WireError::kOk : WireError::kBadTag;
+}
 
 // The wire order: id facts before ML facts, then the per-section sort keys.
 bool WireLess(const Fact& x, const Fact& y) {
@@ -110,9 +114,8 @@ size_t EncodeFactBatch(const std::vector<Fact>& facts,
   const size_t num_ml = batch.size() - num_id;
 
   out->clear();
-  out->reserve(4 + batch.size() * 4 + num_ml * 18);
-  out->push_back(kMagic);
-  out->push_back(kVersion);
+  out->reserve(5 + batch.size() * 4 + num_ml * 18);
+  PutHeader(kFactBatchTag, out);
   PutVarint(num_id, out);
   PutVarint(num_ml, out);
 
@@ -145,20 +148,22 @@ size_t EncodeFactBatch(const std::vector<Fact>& facts,
   return batch.size();
 }
 
-bool DecodeFactBatch(const uint8_t* data, size_t size,
-                     std::vector<Fact>* out) {
+WireError DecodeFactBatch(const uint8_t* data, size_t size,
+                          std::vector<Fact>* out) {
   out->clear();
   Reader r{data, data + size};
-  uint8_t magic;
-  uint8_t version;
-  if (!r.GetByte(&magic) || magic != kMagic) return false;
-  if (!r.GetByte(&version) || version != kVersion) return false;
+  if (const WireError err = ReadExpectedHeader(&r, kFactBatchTag);
+      err != WireError::kOk) {
+    return err;
+  }
   uint64_t num_id;
   uint64_t num_ml;
-  if (!r.GetVarint(&num_id) || !r.GetVarint(&num_ml)) return false;
+  if (!r.GetVarint(&num_id) || !r.GetVarint(&num_ml)) {
+    return WireError::kTruncated;
+  }
   // A fact is at least 2 bytes on the wire; reject absurd counts before
   // reserving memory for them.
-  if (num_id + num_ml > size) return false;
+  if (num_id + num_ml > size) return WireError::kMalformed;
   out->reserve(num_id + num_ml);
 
   Gid prev_a = 0;
@@ -166,7 +171,7 @@ bool DecodeFactBatch(const uint8_t* data, size_t size,
   for (uint64_t i = 0; i < num_id; ++i) {
     uint64_t da;
     uint64_t db;
-    if (!r.GetVarint(&da) || !r.GetVarint(&db)) return false;
+    if (!r.GetVarint(&da) || !r.GetVarint(&db)) return WireError::kTruncated;
     const Gid a = static_cast<Gid>((i == 0 ? 0 : prev_a) + da);
     const bool same_run = i > 0 && da == 0;
     const Gid b = static_cast<Gid>(same_run ? prev_b + db : a + db);
@@ -185,7 +190,7 @@ bool DecodeFactBatch(const uint8_t* data, size_t size,
     uint64_t b_sig;
     if (!r.GetVarint(&dml) || !r.GetVarint(&za) || !r.GetVarint(&db) ||
         !r.GetFixed64(&a_sig) || !r.GetFixed64(&b_sig)) {
-      return false;
+      return WireError::kTruncated;
     }
     const int32_t ml_id = static_cast<int32_t>(prev_ml + dml);
     if (ml_id != prev_ml) prev_a = 0;
@@ -196,7 +201,7 @@ bool DecodeFactBatch(const uint8_t* data, size_t size,
     prev_ml = ml_id;
     prev_a = a;
   }
-  return r.p == r.end;  // trailing garbage is an error
+  return r.p == r.end ? WireError::kOk : WireError::kTrailingBytes;
 }
 
 size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
@@ -204,8 +209,7 @@ size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
   out->clear();
   const size_t num_rows = rows.size();
   const size_t num_cols = rel.num_columns();
-  out->push_back(kMagic);
-  out->push_back(kTupleTag);
+  PutHeader(kTupleBlockTag, out);
   PutVarint(num_rows, out);
   PutVarint(num_cols, out);
 
@@ -286,24 +290,26 @@ size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
   return out->size();
 }
 
-bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
+WireError DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
   Reader r{data, data + size};
-  uint8_t magic;
-  uint8_t tag;
-  if (!r.GetByte(&magic) || magic != kMagic) return false;
-  if (!r.GetByte(&tag) || tag != kTupleTag) return false;
+  if (const WireError err = ReadExpectedHeader(&r, kTupleBlockTag);
+      err != WireError::kOk) {
+    return err;
+  }
   uint64_t num_rows;
   uint64_t num_cols;
-  if (!r.GetVarint(&num_rows) || !r.GetVarint(&num_cols)) return false;
+  if (!r.GetVarint(&num_rows) || !r.GetVarint(&num_cols)) {
+    return WireError::kTruncated;
+  }
   // A row costs at least one gid byte; a column at least its type byte.
-  if (num_rows > size || num_cols > size) return false;
-  if (num_cols != dst->schema().num_attrs()) return false;
+  if (num_rows > size || num_cols > size) return WireError::kMalformed;
+  if (num_cols != dst->schema().num_attrs()) return WireError::kSchemaMismatch;
 
   std::vector<Gid> gids(num_rows);
   Gid prev_gid = 0;
   for (uint64_t i = 0; i < num_rows; ++i) {
     uint64_t v;
-    if (!r.GetVarint(&v)) return false;
+    if (!r.GetVarint(&v)) return WireError::kTruncated;
     const Gid g = i == 0 ? static_cast<Gid>(v)
                          : static_cast<Gid>(static_cast<int64_t>(prev_gid) +
                                             UnZigZag(v));
@@ -316,15 +322,17 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
   std::vector<std::vector<Value>> cells(num_cols);
   for (uint64_t c = 0; c < num_cols; ++c) {
     uint8_t type_byte;
-    if (!r.GetByte(&type_byte)) return false;
-    if (type_byte > static_cast<uint8_t>(ValueType::kString)) return false;
+    if (!r.GetByte(&type_byte)) return WireError::kTruncated;
+    if (type_byte > static_cast<uint8_t>(ValueType::kString)) {
+      return WireError::kMalformed;
+    }
     const ValueType type = static_cast<ValueType>(type_byte);
     if (type != ValueType::kNull && type != dst->schema().attr(c).type) {
-      return false;
+      return WireError::kSchemaMismatch;
     }
 
     const size_t bitmap_bytes = (num_rows + 7) / 8;
-    if (static_cast<size_t>(r.end - r.p) < bitmap_bytes) return false;
+    if (r.remaining() < bitmap_bytes) return WireError::kTruncated;
     const uint8_t* bitmap = r.p;
     r.p += bitmap_bytes;
     auto is_null = [bitmap](uint64_t i) {
@@ -338,7 +346,7 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
         for (uint64_t i = 0; i < num_rows; ++i) {
           if (is_null(i)) continue;
           uint64_t zz;
-          if (!r.GetVarint(&zz)) return false;
+          if (!r.GetVarint(&zz)) return WireError::kTruncated;
           prev += UnZigZag(zz);
           cells[c][i] = Value(prev);
         }
@@ -348,7 +356,7 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
         for (uint64_t i = 0; i < num_rows; ++i) {
           if (is_null(i)) continue;
           uint64_t bits;
-          if (!r.GetFixed64(&bits)) return false;
+          if (!r.GetFixed64(&bits)) return WireError::kTruncated;
           double d;
           std::memcpy(&d, &bits, sizeof(d));
           cells[c][i] = Value(d);
@@ -357,15 +365,15 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
       }
       case ValueType::kString: {
         uint64_t dict_size;
-        if (!r.GetVarint(&dict_size)) return false;
-        if (dict_size > size) return false;
+        if (!r.GetVarint(&dict_size)) return WireError::kTruncated;
+        if (dict_size > size) return WireError::kMalformed;
         // Re-intern each distinct string once into the destination pool;
         // cells then reference the new ids.
         std::vector<uint32_t> dict(dict_size);
         for (uint64_t d = 0; d < dict_size; ++d) {
           uint64_t len;
-          if (!r.GetVarint(&len)) return false;
-          if (static_cast<size_t>(r.end - r.p) < len) return false;
+          if (!r.GetVarint(&len)) return WireError::kTruncated;
+          if (r.remaining() < len) return WireError::kTruncated;
           dict[d] = dst->mutable_pool()->Intern(
               std::string_view(reinterpret_cast<const char*>(r.p), len));
           r.p += len;
@@ -374,8 +382,8 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
         for (uint64_t i = 0; i < num_rows; ++i) {
           if (is_null(i)) continue;
           uint64_t idx;
-          if (!r.GetVarint(&idx)) return false;
-          if (idx >= dict_size) return false;
+          if (!r.GetVarint(&idx)) return WireError::kTruncated;
+          if (idx >= dict_size) return WireError::kMalformed;
           cells[c][i] = Value::Interned(pool.view(dict[idx]), dict[idx]);
         }
         break;
@@ -384,14 +392,14 @@ bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst) {
         break;  // every cell stays NULL
     }
   }
-  if (r.p != r.end) return false;  // trailing garbage is an error
+  if (r.p != r.end) return WireError::kTrailingBytes;
 
   Row row(num_cols);
   for (uint64_t i = 0; i < num_rows; ++i) {
     for (uint64_t c = 0; c < num_cols; ++c) row[c] = cells[c][i];
     dst->Append(row, gids[i]);
   }
-  return true;
+  return WireError::kOk;
 }
 
 }  // namespace wire

@@ -11,6 +11,116 @@
 namespace dcer {
 namespace wire {
 
+/// --- Shared frame header ----------------------------------------------------
+///
+/// Every payload that crosses a process or socket boundary — fact batches,
+/// tuple blocks, and the resolver service's request/response frames — starts
+/// with the same 3-byte header:
+///
+///   [magic 0xDC][protocol version][frame tag]
+///
+/// The version byte is the compatibility contract: a decoder refuses a frame
+/// whose version differs from its own with a typed kVersionMismatch instead
+/// of misparsing the body (v1 frames had per-format two-byte headers with no
+/// shared version, so a layout change could only be detected as garbage).
+/// The tag identifies the frame type within the version; one tag space
+/// covers the whole protocol so a misrouted frame fails fast as kBadTag.
+
+inline constexpr uint8_t kMagic = 0xDC;
+/// Bumped whenever any frame layout changes incompatibly.
+inline constexpr uint8_t kWireVersion = 0x02;
+
+// Frame tags. 0x0_ = data planes, 0x1_+ = service requests, 0x2_ = service
+// responses.
+inline constexpr uint8_t kFactBatchTag = 0x01;
+inline constexpr uint8_t kTupleBlockTag = 0x02;
+inline constexpr uint8_t kAppendRequestTag = 0x11;
+inline constexpr uint8_t kResolveRequestTag = 0x12;
+inline constexpr uint8_t kSameRequestTag = 0x13;
+inline constexpr uint8_t kStatsRequestTag = 0x14;
+inline constexpr uint8_t kShutdownRequestTag = 0x15;
+inline constexpr uint8_t kAppendedResponseTag = 0x21;
+inline constexpr uint8_t kEntityResponseTag = 0x22;
+inline constexpr uint8_t kBoolResponseTag = 0x23;
+inline constexpr uint8_t kStatsResponseTag = 0x24;
+inline constexpr uint8_t kErrorResponseTag = 0x2F;
+
+/// Typed decode outcome. Everything except kOk leaves the output in an
+/// unspecified partial state; callers treat non-kOk as a fatal frame error.
+enum class WireError : uint8_t {
+  kOk = 0,
+  kTruncated,        // buffer ended before the structure did
+  kBadMagic,         // first byte is not 0xDC — not one of our frames
+  kVersionMismatch,  // peer speaks a different protocol revision
+  kBadTag,           // well-versioned frame of an unexpected type
+  kMalformed,        // structurally invalid body (counts, indices, varints)
+  kTrailingBytes,    // valid structure followed by garbage
+  kSchemaMismatch,   // tuple block does not fit the destination relation
+};
+
+/// Stable lowercase name for logs and error replies.
+const char* WireErrorName(WireError e);
+
+/// --- Primitive encoders/decoders -------------------------------------------
+///
+/// Exposed so the service protocol (src/service/protocol.cc) composes frames
+/// from the same primitives as the data planes below.
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out);
+void PutFixed64(uint64_t v, std::vector<uint8_t>* out);
+uint64_t ZigZag(int64_t v);
+int64_t UnZigZag(uint64_t v);
+
+/// Bounded reader; every Get* returns false on underrun instead of reading
+/// past the buffer, so a truncated frame decodes to an error, never to UB.
+struct Reader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  bool GetByte(uint8_t* v) {
+    if (p == end) return false;
+    *v = *p++;
+    return true;
+  }
+
+  bool GetVarint(uint64_t* v) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      if (!GetByte(&byte)) return false;
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = result;
+        return true;
+      }
+    }
+    return false;  // varint longer than 10 bytes
+  }
+
+  bool GetFixed64(uint64_t* v) {
+    if (end - p < 8) return false;
+    uint64_t result = 0;
+    for (int i = 0; i < 8; ++i) {
+      result |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    *v = result;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+/// Appends the shared [magic][version][tag] header.
+void PutHeader(uint8_t tag, std::vector<uint8_t>* out);
+
+/// Consumes and validates the shared header, storing the frame tag in
+/// *tag_out. Returns kVersionMismatch for a foreign protocol revision before
+/// ever looking at the tag, so old-version peers get a clean typed refusal.
+WireError ReadHeader(Reader* r, uint8_t* tag_out);
+
+/// --- Fact batches -----------------------------------------------------------
+///
 /// Binary wire codec for the BSP message plane. Only deduced facts — never
 /// raw tuples — cross worker boundaries (Sec. V-B), so one compact batch
 /// format covers all of DMatch's communication. Every byte count the system
@@ -20,7 +130,7 @@ namespace wire {
 ///
 /// Layout (all integers little-endian):
 ///
-///   [magic 0xDC][version 0x01]
+///   [shared header, tag kFactBatchTag]
 ///   [varint num_id_facts][varint num_ml_facts]
 ///   id section   — facts canonicalized to a <= b, sorted by (a, b),
 ///                  strictly deduplicated:
@@ -57,13 +167,13 @@ size_t EncodeFactBatch(const std::vector<Fact>& facts,
                        std::vector<uint8_t>* out);
 
 /// Parses a batch produced by EncodeFactBatch into *out (cleared first; the
-/// result is in canonical form). Returns false on malformed input
-/// (truncated buffer, bad magic/version, trailing bytes).
-bool DecodeFactBatch(const uint8_t* data, size_t size,
-                     std::vector<Fact>* out);
+/// result is in canonical form). Returns a typed error on malformed input
+/// (truncated buffer, bad magic/version/tag, trailing bytes).
+WireError DecodeFactBatch(const uint8_t* data, size_t size,
+                          std::vector<Fact>* out);
 
-inline bool DecodeFactBatch(const std::vector<uint8_t>& bytes,
-                            std::vector<Fact>* out) {
+inline WireError DecodeFactBatch(const std::vector<uint8_t>& bytes,
+                                 std::vector<Fact>* out) {
   return DecodeFactBatch(bytes.data(), bytes.size(), out);
 }
 
@@ -74,11 +184,12 @@ bool SameFact(const Fact& x, const Fact& y);
 
 /// --- Tuple blocks -----------------------------------------------------------
 ///
-/// Columnar codec for shipping relation fragments (data loading and
-/// repartitioning; the match plane itself still only exchanges facts). A
-/// block carries the selected rows of one relation, column by column:
+/// Columnar codec for shipping relation fragments (data loading, the
+/// service's APPEND requests, and repartitioning; the match plane itself
+/// still only exchanges facts). A block carries the selected rows of one
+/// relation, column by column:
 ///
-///   [magic 0xDC][tag 0x02]
+///   [shared header, tag kTupleBlockTag]
 ///   [varint num_rows][varint num_cols]
 ///   gid section    — varint first gid, then zigzag-varint deltas
 ///   per column     — [type byte][null bitmap, ceil(num_rows/8) bytes,
@@ -101,13 +212,13 @@ size_t EncodeTupleBlock(const Relation& rel, const std::vector<uint32_t>& rows,
 
 /// Appends the rows of a block into *dst, whose schema must have the same
 /// column types as the encoded relation. Strings are re-interned into dst's
-/// pool; original gids are preserved. Returns false on malformed input or a
-/// column-type mismatch (dst is then left partially appended — callers treat
-/// that as a fatal transport error).
-bool DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst);
+/// pool; original gids are preserved. Returns a typed error on malformed
+/// input or a column-type mismatch (dst is then left partially appended —
+/// callers treat that as a fatal transport error).
+WireError DecodeTupleBlock(const uint8_t* data, size_t size, Relation* dst);
 
-inline bool DecodeTupleBlock(const std::vector<uint8_t>& bytes,
-                             Relation* dst) {
+inline WireError DecodeTupleBlock(const std::vector<uint8_t>& bytes,
+                                  Relation* dst) {
   return DecodeTupleBlock(bytes.data(), bytes.size(), dst);
 }
 

@@ -1,0 +1,537 @@
+#include "service/daemon.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace dcer {
+namespace service {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+uint32_t ReadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void AppendFramed(const std::vector<uint8_t>& payload,
+                  std::vector<uint8_t>* out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<uint8_t>(len));
+  out->push_back(static_cast<uint8_t>(len >> 8));
+  out->push_back(static_cast<uint8_t>(len >> 16));
+  out->push_back(static_cast<uint8_t>(len >> 24));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+ResolverDaemon::ResolverDaemon(std::unique_ptr<Resolver> resolver,
+                               DaemonOptions options)
+    : resolver_(std::move(resolver)),
+      options_(options),
+      chase_group_(&ThreadPool::Global()) {}
+
+ResolverDaemon::~ResolverDaemon() { Stop(); }
+
+Status ResolverDaemon::Start() {
+  if (running_.load()) return Status::OK();
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd_, options_.backlog) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind/listen on 127.0.0.1 failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::IOError("epoll/eventfd setup failed");
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_requested_.store(false);
+  running_.store(true);
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void ResolverDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_requested_.store(true);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  // Any in-flight chase still references the queues and the resolver; wait
+  // it out before tearing anything down.
+  chase_group_.Wait();
+  for (auto& [fd, c] : conns_) close(fd);
+  conns_.clear();
+  conns_by_id_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+DaemonStats ResolverDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::string ResolverDaemon::StatsJson() const {
+  const DaemonStats s = stats();
+  const auto snapshot = resolver_->Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("snapshot_version", snapshot->version());
+  w.KV("num_tuples", static_cast<uint64_t>(snapshot->num_tuples()));
+  w.KV("matched_pairs", snapshot->num_matched_pairs());
+  w.KV("validated_ml", static_cast<uint64_t>(snapshot->num_validated_ml()));
+  w.KV("connections_accepted", s.connections_accepted);
+  w.KV("connections_closed", s.connections_closed);
+  w.KV("frames_received", s.frames_received);
+  w.KV("frames_rejected", s.frames_rejected);
+  w.KV("append_requests", s.append_requests);
+  w.KV("tuples_appended", s.tuples_appended);
+  w.KV("append_batches", s.append_batches);
+  w.KV("queries_served", s.queries_served);
+  w.KV("total_query_seconds", s.total_query_seconds);
+  w.KV("max_query_seconds", s.max_query_seconds);
+  w.KV("visibility_lag_samples", s.visibility_lag_samples);
+  w.KV("total_visibility_lag_seconds", s.total_visibility_lag_seconds);
+  w.KV("max_visibility_lag_seconds", s.max_visibility_lag_seconds);
+  w.EndObject();
+  return w.str();
+}
+
+void ResolverDaemon::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void ResolverDaemon::LoopThread() {
+  epoll_event events[64];
+  while (true) {
+    const int n = epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompleted();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Connection* c = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(c);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(c);
+        if (conns_.find(fd) == conns_.end()) continue;  // closed mid-read
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(c);
+    }
+    if (stop_requested_.load()) {
+      // Best-effort: push out whatever replies are already queued (e.g. the
+      // SHUTDOWN ack) before leaving.
+      DrainCompleted();
+      for (auto& [fd, c] : conns_) FlushOutput(c.get());
+      break;
+    }
+  }
+}
+
+void ResolverDaemon::AcceptAll() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: nothing more to accept
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_by_id_[conn->id] = conn.get();
+    conns_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void ResolverDaemon::HandleReadable(Connection* c) {
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->in.insert(c->in.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed — possibly mid-frame (a killed client). Whatever partial
+      // frame is buffered is discarded with the connection; nothing else in
+      // the daemon ever saw it.
+      CloseConnection(c);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(c);
+    return;
+  }
+  ParseFrames(c);
+}
+
+bool ResolverDaemon::ParseFrames(Connection* c) {
+  while (c->in.size() - c->in_off >= 4) {
+    const uint32_t len = ReadLe32(c->in.data() + c->in_off);
+    if (len > options_.max_frame_bytes) {
+      // A garbage length prefix means the stream can never resync — refuse
+      // and drop the connection once the error reply flushes.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_rejected;
+      }
+      Response err;
+      err.kind = Response::Kind::kError;
+      err.error = wire::WireError::kMalformed;
+      err.text = "frame exceeds max_frame_bytes";
+      QueueResponse(c, err);
+      c->close_after_flush = true;
+      FlushOutput(c);
+      return conns_.count(c->fd) > 0;
+    }
+    if (c->in.size() - c->in_off < 4u + len) break;  // incomplete frame
+    const uint8_t* payload = c->in.data() + c->in_off + 4;
+    c->in_off += 4u + len;
+    HandleFrame(c, payload, len);
+    if (conns_.count(c->fd) == 0) return false;  // closed while handling
+  }
+  if (c->in_off == c->in.size()) {
+    c->in.clear();
+    c->in_off = 0;
+  } else if (c->in_off > size_t{64} * 1024) {
+    c->in.erase(c->in.begin(), c->in.begin() + c->in_off);
+    c->in_off = 0;
+  }
+  return true;
+}
+
+void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
+                                 size_t size) {
+  const Clock::time_point t0 = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_received;
+  }
+
+  Request req;
+  const wire::WireError decode_err = DecodeRequest(data, size, &req);
+  if (decode_err != wire::WireError::kOk) {
+    // Typed refusal — a frame from an old protocol revision (or garbage)
+    // gets an ERROR reply naming the reason; the stream itself stays in
+    // sync because framing is length-prefixed, so the connection survives.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_rejected;
+    }
+    Response err;
+    err.kind = Response::Kind::kError;
+    err.error = decode_err;
+    err.text = wire::WireErrorName(decode_err);
+    QueueResponse(c, err);
+    return;
+  }
+
+  switch (req.kind) {
+    case Request::Kind::kAppend: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.append_requests;
+      }
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_appends_.push_back({c->id, std::move(req), t0});
+      MaybeStartChaseLocked();
+      return;  // acked after its fixpoint publishes
+    }
+    case Request::Kind::kResolve: {
+      const auto snapshot = resolver_->Snapshot();
+      Response resp;
+      resp.kind = Response::Kind::kEntity;
+      resp.snapshot_version = snapshot->version();
+      resp.gids = snapshot->Entity(req.gid);
+      QueueResponse(c, resp);
+      break;
+    }
+    case Request::Kind::kSame: {
+      const auto snapshot = resolver_->Snapshot();
+      Response resp;
+      resp.kind = Response::Kind::kBool;
+      resp.snapshot_version = snapshot->version();
+      resp.value = snapshot->SameEntity(req.a, req.b);
+      QueueResponse(c, resp);
+      break;
+    }
+    case Request::Kind::kStats: {
+      Response resp;
+      resp.kind = Response::Kind::kStats;
+      resp.text = StatsJson();
+      resp.snapshot_version = resolver_->Snapshot()->version();
+      QueueResponse(c, resp);
+      break;
+    }
+    case Request::Kind::kShutdown: {
+      Response resp;
+      resp.kind = Response::Kind::kBool;
+      resp.snapshot_version = resolver_->Snapshot()->version();
+      resp.value = true;
+      QueueResponse(c, resp);
+      stop_requested_.store(true);
+      break;
+    }
+  }
+
+  const double query_seconds = Seconds(Clock::now() - t0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries_served;
+    stats_.total_query_seconds += query_seconds;
+    if (query_seconds > stats_.max_query_seconds) {
+      stats_.max_query_seconds = query_seconds;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram* hist = obs::MetricsRegistry::Global().GetHistogram(
+        "service.query_seconds", obs::Histogram::Unit::kNanos);
+    hist->RecordSeconds(query_seconds);
+  }
+}
+
+void ResolverDaemon::QueueResponse(Connection* c, const Response& resp) {
+  std::vector<uint8_t> payload;
+  EncodeResponse(resp, &payload);
+  AppendFramed(payload, &c->out);
+  FlushOutput(c);
+}
+
+void ResolverDaemon::FlushOutput(Connection* c) {
+  while (c->out_off < c->out.size()) {
+    const ssize_t n = send(c->fd, c->out.data() + c->out_off,
+                           c->out.size() - c->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateWriteInterest(c);
+      return;
+    }
+    CloseConnection(c);
+    return;
+  }
+  c->out.clear();
+  c->out_off = 0;
+  if (c->close_after_flush) {
+    CloseConnection(c);
+    return;
+  }
+  UpdateWriteInterest(c);
+}
+
+void ResolverDaemon::UpdateWriteInterest(Connection* c) {
+  const bool want = c->out_off < c->out.size();
+  if (want == c->want_write) return;
+  c->want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = c->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void ResolverDaemon::HandleWritable(Connection* c) { FlushOutput(c); }
+
+void ResolverDaemon::CloseConnection(Connection* c) {
+  conns_by_id_.erase(c->id);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  close(c->fd);
+  conns_.erase(c->fd);  // destroys c
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+void ResolverDaemon::DrainCompleted() {
+  std::vector<Outgoing> done;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    done.swap(completed_);
+  }
+  for (Outgoing& o : done) {
+    auto it = conns_by_id_.find(o.conn_id);
+    if (it == conns_by_id_.end()) continue;  // client went away; drop reply
+    Connection* c = it->second;
+    c->out.insert(c->out.end(), o.frame.begin(), o.frame.end());
+    FlushOutput(c);
+  }
+}
+
+void ResolverDaemon::MaybeStartChaseLocked() {
+  if (chase_inflight_ || pending_appends_.empty()) return;
+  chase_inflight_ = true;
+  chase_group_.Run([this] { ChaseDrain(); });
+}
+
+void ResolverDaemon::ChaseDrain() {
+  while (true) {
+    std::vector<AppendWork> works;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_appends_.empty()) {
+        chase_inflight_ = false;
+        return;
+      }
+      works.swap(pending_appends_);
+    }
+
+    // Decode every queued request; all valid ones merge into one micro-batch
+    // and share one update-driven fixpoint (everything that arrived while
+    // the previous fixpoint ran is batched — natural backpressure).
+    struct Decoded {
+      size_t work = 0;
+      size_t first_tuple = 0;
+      size_t num_tuples = 0;
+    };
+    TupleBatch merged;
+    std::vector<Decoded> decoded;
+    std::vector<Outgoing> replies(works.size());
+    for (size_t i = 0; i < works.size(); ++i) {
+      replies[i].conn_id = works[i].conn_id;
+      TupleBatch one;
+      const wire::WireError err =
+          DecodeAppendBlocks(works[i].request, resolver_->dataset(), &one);
+      if (err != wire::WireError::kOk) {
+        Response resp;
+        resp.kind = Response::Kind::kError;
+        resp.error = err;
+        resp.text = wire::WireErrorName(err);
+        std::vector<uint8_t> payload;
+        EncodeResponse(resp, &payload);
+        AppendFramed(payload, &replies[i].frame);
+        continue;
+      }
+      decoded.push_back({i, merged.size(), one.size()});
+      for (auto& entry : one.tuples) {
+        merged.tuples.push_back(std::move(entry));
+      }
+    }
+
+    AppendOutcome outcome;
+    if (!merged.empty()) outcome = resolver_->Append(std::move(merged));
+    const Clock::time_point published = Clock::now();
+
+    for (const Decoded& d : decoded) {
+      Response resp;
+      resp.kind = Response::Kind::kAppended;
+      resp.snapshot_version = outcome.snapshot_version;
+      resp.gids.assign(
+          outcome.gids.begin() + static_cast<ptrdiff_t>(d.first_tuple),
+          outcome.gids.begin() +
+              static_cast<ptrdiff_t>(d.first_tuple + d.num_tuples));
+      std::vector<uint8_t> payload;
+      EncodeResponse(resp, &payload);
+      AppendFramed(payload, &replies[d.work].frame);
+
+      const double lag = Seconds(published - works[d.work].arrival);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.visibility_lag_samples;
+        stats_.total_visibility_lag_seconds += lag;
+        if (lag > stats_.max_visibility_lag_seconds) {
+          stats_.max_visibility_lag_seconds = lag;
+        }
+      }
+      if (obs::MetricsEnabled()) {
+        static obs::Histogram* hist =
+            obs::MetricsRegistry::Global().GetHistogram(
+                "service.visibility_lag_seconds",
+                obs::Histogram::Unit::kNanos);
+        hist->RecordSeconds(lag);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (!merged.empty() || !decoded.empty()) ++stats_.append_batches;
+      stats_.tuples_appended += outcome.gids.size();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (Outgoing& r : replies) {
+        if (!r.frame.empty()) completed_.push_back(std::move(r));
+      }
+    }
+    WakeLoop();
+  }
+}
+
+}  // namespace service
+}  // namespace dcer

@@ -1,0 +1,326 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dcer {
+namespace service {
+
+namespace {
+
+using wire::PutHeader;
+using wire::PutVarint;
+using wire::Reader;
+using wire::ReadHeader;
+using wire::UnZigZag;
+using wire::WireError;
+using wire::ZigZag;
+
+uint8_t RequestTag(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kAppend:
+      return wire::kAppendRequestTag;
+    case Request::Kind::kResolve:
+      return wire::kResolveRequestTag;
+    case Request::Kind::kSame:
+      return wire::kSameRequestTag;
+    case Request::Kind::kStats:
+      return wire::kStatsRequestTag;
+    case Request::Kind::kShutdown:
+      return wire::kShutdownRequestTag;
+  }
+  return wire::kStatsRequestTag;
+}
+
+uint8_t ResponseTag(Response::Kind kind) {
+  switch (kind) {
+    case Response::Kind::kAppended:
+      return wire::kAppendedResponseTag;
+    case Response::Kind::kEntity:
+      return wire::kEntityResponseTag;
+    case Response::Kind::kBool:
+      return wire::kBoolResponseTag;
+    case Response::Kind::kStats:
+      return wire::kStatsResponseTag;
+    case Response::Kind::kError:
+      return wire::kErrorResponseTag;
+  }
+  return wire::kErrorResponseTag;
+}
+
+void PutGidList(const std::vector<Gid>& gids, std::vector<uint8_t>* out) {
+  PutVarint(gids.size(), out);
+  Gid prev = 0;
+  for (size_t i = 0; i < gids.size(); ++i) {
+    if (i == 0) {
+      PutVarint(gids[i], out);
+    } else {
+      PutVarint(ZigZag(static_cast<int64_t>(gids[i]) -
+                       static_cast<int64_t>(prev)),
+                out);
+    }
+    prev = gids[i];
+  }
+}
+
+WireError GetGidList(Reader* r, size_t frame_size, std::vector<Gid>* gids) {
+  uint64_t n;
+  if (!r->GetVarint(&n)) return WireError::kTruncated;
+  // Each gid costs at least one byte on the wire.
+  if (n > frame_size) return WireError::kMalformed;
+  gids->clear();
+  gids->reserve(n);
+  Gid prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v;
+    if (!r->GetVarint(&v)) return WireError::kTruncated;
+    const Gid g = i == 0 ? static_cast<Gid>(v)
+                         : static_cast<Gid>(static_cast<int64_t>(prev) +
+                                            UnZigZag(v));
+    gids->push_back(g);
+    prev = g;
+  }
+  return WireError::kOk;
+}
+
+WireError GetLengthPrefixedBytes(Reader* r, std::vector<uint8_t>* out) {
+  uint64_t len;
+  if (!r->GetVarint(&len)) return WireError::kTruncated;
+  if (r->remaining() < len) return WireError::kTruncated;
+  out->assign(r->p, r->p + len);
+  r->p += len;
+  return WireError::kOk;
+}
+
+}  // namespace
+
+void EncodeRequest(const Request& req, std::vector<uint8_t>* out) {
+  out->clear();
+  PutHeader(RequestTag(req.kind), out);
+  switch (req.kind) {
+    case Request::Kind::kAppend:
+      PutVarint(req.blocks.size(), out);
+      for (const auto& [rel, bytes] : req.blocks) {
+        PutVarint(rel, out);
+        PutVarint(bytes.size(), out);
+        out->insert(out->end(), bytes.begin(), bytes.end());
+      }
+      break;
+    case Request::Kind::kResolve:
+      PutVarint(req.gid, out);
+      break;
+    case Request::Kind::kSame:
+      PutVarint(req.a, out);
+      PutVarint(req.b, out);
+      break;
+    case Request::Kind::kStats:
+    case Request::Kind::kShutdown:
+      break;
+  }
+}
+
+wire::WireError DecodeRequest(const uint8_t* data, size_t size,
+                              Request* out) {
+  *out = Request{};
+  Reader r{data, data + size};
+  uint8_t tag;
+  if (const WireError err = ReadHeader(&r, &tag); err != WireError::kOk) {
+    return err;
+  }
+  switch (tag) {
+    case wire::kAppendRequestTag: {
+      out->kind = Request::Kind::kAppend;
+      uint64_t num_blocks;
+      if (!r.GetVarint(&num_blocks)) return WireError::kTruncated;
+      if (num_blocks > size) return WireError::kMalformed;
+      out->blocks.reserve(num_blocks);
+      for (uint64_t i = 0; i < num_blocks; ++i) {
+        uint64_t rel;
+        if (!r.GetVarint(&rel)) return WireError::kTruncated;
+        std::vector<uint8_t> bytes;
+        if (const WireError err = GetLengthPrefixedBytes(&r, &bytes);
+            err != WireError::kOk) {
+          return err;
+        }
+        out->blocks.emplace_back(static_cast<uint32_t>(rel),
+                                 std::move(bytes));
+      }
+      break;
+    }
+    case wire::kResolveRequestTag: {
+      out->kind = Request::Kind::kResolve;
+      uint64_t gid;
+      if (!r.GetVarint(&gid)) return WireError::kTruncated;
+      out->gid = static_cast<Gid>(gid);
+      break;
+    }
+    case wire::kSameRequestTag: {
+      out->kind = Request::Kind::kSame;
+      uint64_t a;
+      uint64_t b;
+      if (!r.GetVarint(&a) || !r.GetVarint(&b)) return WireError::kTruncated;
+      out->a = static_cast<Gid>(a);
+      out->b = static_cast<Gid>(b);
+      break;
+    }
+    case wire::kStatsRequestTag:
+      out->kind = Request::Kind::kStats;
+      break;
+    case wire::kShutdownRequestTag:
+      out->kind = Request::Kind::kShutdown;
+      break;
+    default:
+      return WireError::kBadTag;
+  }
+  return r.p == r.end ? WireError::kOk : WireError::kTrailingBytes;
+}
+
+void EncodeResponse(const Response& resp, std::vector<uint8_t>* out) {
+  out->clear();
+  PutHeader(ResponseTag(resp.kind), out);
+  switch (resp.kind) {
+    case Response::Kind::kAppended:
+    case Response::Kind::kEntity:
+      PutVarint(resp.snapshot_version, out);
+      PutGidList(resp.gids, out);
+      break;
+    case Response::Kind::kBool:
+      PutVarint(resp.snapshot_version, out);
+      out->push_back(resp.value ? 1 : 0);
+      break;
+    case Response::Kind::kStats:
+      PutVarint(resp.snapshot_version, out);
+      PutVarint(resp.text.size(), out);
+      out->insert(out->end(), resp.text.begin(), resp.text.end());
+      break;
+    case Response::Kind::kError:
+      out->push_back(static_cast<uint8_t>(resp.error));
+      PutVarint(resp.text.size(), out);
+      out->insert(out->end(), resp.text.begin(), resp.text.end());
+      break;
+  }
+}
+
+wire::WireError DecodeResponse(const uint8_t* data, size_t size,
+                               Response* out) {
+  *out = Response{};
+  Reader r{data, data + size};
+  uint8_t tag;
+  if (const WireError err = ReadHeader(&r, &tag); err != WireError::kOk) {
+    return err;
+  }
+  switch (tag) {
+    case wire::kAppendedResponseTag:
+    case wire::kEntityResponseTag: {
+      out->kind = tag == wire::kAppendedResponseTag ? Response::Kind::kAppended
+                                                    : Response::Kind::kEntity;
+      if (!r.GetVarint(&out->snapshot_version)) return WireError::kTruncated;
+      if (const WireError err = GetGidList(&r, size, &out->gids);
+          err != WireError::kOk) {
+        return err;
+      }
+      break;
+    }
+    case wire::kBoolResponseTag: {
+      out->kind = Response::Kind::kBool;
+      if (!r.GetVarint(&out->snapshot_version)) return WireError::kTruncated;
+      uint8_t v;
+      if (!r.GetByte(&v)) return WireError::kTruncated;
+      if (v > 1) return WireError::kMalformed;
+      out->value = v == 1;
+      break;
+    }
+    case wire::kStatsResponseTag: {
+      out->kind = Response::Kind::kStats;
+      if (!r.GetVarint(&out->snapshot_version)) return WireError::kTruncated;
+      std::vector<uint8_t> bytes;
+      if (const WireError err = GetLengthPrefixedBytes(&r, &bytes);
+          err != WireError::kOk) {
+        return err;
+      }
+      out->text.assign(bytes.begin(), bytes.end());
+      break;
+    }
+    case wire::kErrorResponseTag: {
+      out->kind = Response::Kind::kError;
+      uint8_t code;
+      if (!r.GetByte(&code)) return WireError::kTruncated;
+      if (code > static_cast<uint8_t>(WireError::kSchemaMismatch)) {
+        return WireError::kMalformed;
+      }
+      out->error = static_cast<WireError>(code);
+      std::vector<uint8_t> bytes;
+      if (const WireError err = GetLengthPrefixedBytes(&r, &bytes);
+          err != WireError::kOk) {
+        return err;
+      }
+      out->text.assign(bytes.begin(), bytes.end());
+      break;
+    }
+    default:
+      return WireError::kBadTag;
+  }
+  return r.p == r.end ? WireError::kOk : WireError::kTrailingBytes;
+}
+
+Request MakeAppendRequest(
+    const Dataset& schema_source,
+    const std::vector<std::pair<uint32_t, Row>>& rows) {
+  Request req;
+  req.kind = Request::Kind::kAppend;
+  // Group rows by destination relation, preserving order within a group
+  // (and across groups by relation index — the server re-numbers anyway).
+  std::map<uint32_t, Relation> staged;
+  for (const auto& [rel_idx, row] : rows) {
+    auto it = staged.find(rel_idx);
+    if (it == staged.end()) {
+      it = staged
+               .emplace(rel_idx,
+                        Relation(schema_source.relation(rel_idx).schema()))
+               .first;
+    }
+    it->second.Append(row, static_cast<Gid>(it->second.num_rows()));
+  }
+  for (const auto& [rel_idx, rel] : staged) {
+    std::vector<uint32_t> all(rel.num_rows());
+    for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    std::vector<uint8_t> bytes;
+    wire::EncodeTupleBlock(rel, all, &bytes);
+    req.blocks.emplace_back(rel_idx, std::move(bytes));
+  }
+  return req;
+}
+
+wire::WireError DecodeAppendBlocks(const Request& req,
+                                   const Dataset& schema_source,
+                                   TupleBatch* out) {
+  out->tuples.clear();
+  for (const auto& [rel_idx, bytes] : req.blocks) {
+    if (rel_idx >= schema_source.num_relations()) {
+      return WireError::kMalformed;
+    }
+    // Decode into a scratch relation with its own pool, then copy rows out
+    // as owning values (the scratch pool dies with this function).
+    Relation scratch(schema_source.relation(rel_idx).schema());
+    if (const WireError err = wire::DecodeTupleBlock(bytes, &scratch);
+        err != WireError::kOk) {
+      return err;
+    }
+    const size_t num_attrs = scratch.schema().num_attrs();
+    for (size_t i = 0; i < scratch.num_rows(); ++i) {
+      Row row(num_attrs);
+      for (size_t c = 0; c < num_attrs; ++c) {
+        if (scratch.is_null(i, c)) continue;
+        const Value v = scratch.at(i, c);
+        row[c] = v.type() == ValueType::kString
+                     ? Value(std::string(v.AsString()))
+                     : v;
+      }
+      out->Add(rel_idx, std::move(row));
+    }
+  }
+  return WireError::kOk;
+}
+
+}  // namespace service
+}  // namespace dcer

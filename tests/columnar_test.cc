@@ -238,7 +238,7 @@ TEST(TupleBlockTest, RoundTripPreservesContentAndGids) {
   // Decode into a standalone relation with its own (empty) pool: the codec
   // must re-intern string cells on the receiving side.
   Relation dst(MixedSchema());
-  ASSERT_TRUE(wire::DecodeTupleBlock(bytes, &dst));
+  ASSERT_EQ(wire::DecodeTupleBlock(bytes, &dst), wire::WireError::kOk);
   ASSERT_EQ(dst.num_rows(), rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(dst.gid(i), gids[i]);
@@ -254,9 +254,11 @@ TEST(TupleBlockTest, RoundTripPreservesContentAndGids) {
   // Trailing garbage and arity mismatches are rejected.
   std::vector<uint8_t> trailing = bytes;
   trailing.push_back(0);
-  EXPECT_FALSE(wire::DecodeTupleBlock(trailing, &dst));
+  EXPECT_EQ(wire::DecodeTupleBlock(trailing, &dst),
+            wire::WireError::kTrailingBytes);
   Relation narrow(Schema("Narrow", {{"only", ValueType::kString}}));
-  EXPECT_FALSE(wire::DecodeTupleBlock(bytes, &narrow));
+  EXPECT_EQ(wire::DecodeTupleBlock(bytes, &narrow),
+            wire::WireError::kSchemaMismatch);
 }
 
 // --- Γ bit-identity vs the row-wise storage --------------------------------

@@ -1,0 +1,509 @@
+// Tests of the online resolver service: the Resolver facade (streamed
+// micro-batches vs from-scratch batch bit-identity, snapshot isolation
+// under concurrent readers), the request/response protocol codec (including
+// version-mismatch refusal), and the dcerd daemon end to end over loopback
+// TCP (queries while appends stream, killed clients, half-written frames,
+// oversized-frame refusal, SHUTDOWN).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "chase/match.h"
+#include "chase/view.h"
+#include "datagen/ecommerce.h"
+#include "parallel/wire.h"
+#include "rules/parser.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/resolver.h"
+
+namespace dcer {
+namespace {
+
+using service::DaemonOptions;
+using service::DecodeRequest;
+using service::DecodeResponse;
+using service::EncodeRequest;
+using service::EncodeResponse;
+using service::MakeAppendRequest;
+using service::Request;
+using service::ResolverClient;
+using service::ResolverDaemon;
+using service::Response;
+
+// A small ecommerce workload re-grown into a fresh dataset: everything but
+// the last `held_back` tuples appended up front, the tail returned as
+// (relation, row) pairs in gid order. Re-appending in gid order reproduces
+// the generator's gid assignment exactly, so Γ over the re-grown dataset is
+// comparable bit for bit with Γ over the original.
+struct StreamSetup {
+  std::unique_ptr<GenDataset> gd;
+  Dataset prefix;
+  RuleSet rules;  // parsed against `prefix`
+  std::vector<std::pair<uint32_t, Row>> tail;
+};
+
+StreamSetup MakeStreamSetup(size_t num_customers, size_t held_back) {
+  StreamSetup s;
+  EcommerceOptions options;
+  options.num_customers = num_customers;
+  s.gd = MakeEcommerce(options);
+  for (size_t r = 0; r < s.gd->dataset.num_relations(); ++r) {
+    s.prefix.AddRelation(s.gd->dataset.relation(r).schema());
+  }
+  Status st = ParseRuleSet(s.gd->rules.ToString(s.gd->dataset), s.prefix,
+                           s.gd->registry, &s.rules);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const size_t cut = s.gd->dataset.num_tuples() - held_back;
+  for (Gid g = 0; g < cut; ++g) {
+    TupleLoc loc = s.gd->dataset.loc(g);
+    s.prefix.AppendTuple(loc.relation,
+                         s.gd->dataset.relation(loc.relation).row(loc.row));
+  }
+  for (Gid g = cut; g < s.gd->dataset.num_tuples(); ++g) {
+    TupleLoc loc = s.gd->dataset.loc(g);
+    s.tail.push_back({static_cast<uint32_t>(loc.relation),
+                      s.gd->dataset.relation(loc.relation).row(loc.row)});
+  }
+  return s;
+}
+
+// Γ over the original generated dataset, chased from scratch in one batch.
+std::pair<std::vector<std::pair<Gid, Gid>>, std::vector<uint64_t>>
+ScratchGamma(const GenDataset& gd) {
+  DatasetView view = DatasetView::Full(gd.dataset);
+  MatchContext ctx(gd.dataset);
+  Match(view, gd.rules, gd.registry, {}, &ctx);
+  return {ctx.MatchedPairs(), ctx.ValidatedMlKeys()};
+}
+
+// ---------------------------------------------------------------------------
+// Protocol codec
+
+TEST(ServiceProtocolTest, RequestRoundTrips) {
+  Request resolve;
+  resolve.kind = Request::Kind::kResolve;
+  resolve.gid = 1234;
+  Request same;
+  same.kind = Request::Kind::kSame;
+  same.a = 7;
+  same.b = 99;
+  Request stats;
+  stats.kind = Request::Kind::kStats;
+  Request shutdown;
+  shutdown.kind = Request::Kind::kShutdown;
+  for (const Request& req : {resolve, same, stats, shutdown}) {
+    std::vector<uint8_t> bytes;
+    EncodeRequest(req, &bytes);
+    Request back;
+    ASSERT_EQ(DecodeRequest(bytes, &back), wire::WireError::kOk);
+    EXPECT_EQ(back.kind, req.kind);
+    EXPECT_EQ(back.gid, req.gid);
+    EXPECT_EQ(back.a, req.a);
+    EXPECT_EQ(back.b, req.b);
+  }
+}
+
+TEST(ServiceProtocolTest, AppendRequestRoundTripsThroughTupleBlocks) {
+  auto setup = MakeStreamSetup(40, 8);
+  Request req = MakeAppendRequest(setup.prefix, setup.tail);
+  std::vector<uint8_t> bytes;
+  EncodeRequest(req, &bytes);
+  Request back;
+  ASSERT_EQ(DecodeRequest(bytes, &back), wire::WireError::kOk);
+  ASSERT_EQ(back.kind, Request::Kind::kAppend);
+  TupleBatch batch;
+  ASSERT_EQ(service::DecodeAppendBlocks(back, setup.prefix, &batch),
+            wire::WireError::kOk);
+  ASSERT_EQ(batch.size(), setup.tail.size());
+  // MakeAppendRequest groups rows by relation but preserves content; check
+  // the multiset of (relation, row) survives the wire.
+  size_t found = 0;
+  for (const auto& entry : batch.tuples) {
+    for (const auto& [rel, row] : setup.tail) {
+      if (entry.relation == rel && entry.row == row) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, setup.tail.size());
+}
+
+TEST(ServiceProtocolTest, ResponseRoundTrips) {
+  Response appended;
+  appended.kind = Response::Kind::kAppended;
+  appended.gids = {100, 101, 205};
+  appended.snapshot_version = 7;
+  Response entity;
+  entity.kind = Response::Kind::kEntity;
+  entity.gids = {3, 17, 44};
+  entity.snapshot_version = 2;
+  Response boolean;
+  boolean.kind = Response::Kind::kBool;
+  boolean.value = true;
+  boolean.snapshot_version = 9;
+  Response stats;
+  stats.kind = Response::Kind::kStats;
+  stats.text = "{\"queries\":3}";
+  stats.snapshot_version = 4;
+  Response error;
+  error.kind = Response::Kind::kError;
+  error.error = wire::WireError::kVersionMismatch;
+  error.text = "nope";
+  for (const Response& resp : {appended, entity, boolean, stats, error}) {
+    std::vector<uint8_t> bytes;
+    EncodeResponse(resp, &bytes);
+    Response back;
+    ASSERT_EQ(DecodeResponse(bytes, &back), wire::WireError::kOk);
+    EXPECT_EQ(back.kind, resp.kind);
+    EXPECT_EQ(back.gids, resp.gids);
+    EXPECT_EQ(back.snapshot_version, resp.snapshot_version);
+    EXPECT_EQ(back.value, resp.value);
+    EXPECT_EQ(back.text, resp.text);
+    EXPECT_EQ(back.error, resp.error);
+  }
+}
+
+TEST(ServiceProtocolTest, ForeignVersionIsTypedRefusal) {
+  Request stats;
+  stats.kind = Request::Kind::kStats;
+  std::vector<uint8_t> bytes;
+  EncodeRequest(stats, &bytes);
+  ASSERT_GE(bytes.size(), size_t{3});
+  ASSERT_EQ(bytes[1], wire::kWireVersion);
+  bytes[1] = wire::kWireVersion + 1;  // a future protocol revision
+  Request back;
+  EXPECT_EQ(DecodeRequest(bytes, &back), wire::WireError::kVersionMismatch);
+  bytes[1] = 0x01;  // the pre-header v1 revision
+  EXPECT_EQ(DecodeRequest(bytes, &back), wire::WireError::kVersionMismatch);
+}
+
+TEST(ServiceProtocolTest, GarbageFramesFailTyped) {
+  Request back;
+  EXPECT_EQ(DecodeRequest(std::vector<uint8_t>{}, &back),
+            wire::WireError::kTruncated);
+  EXPECT_EQ(DecodeRequest(std::vector<uint8_t>{0x00, 0x02, 0x14}, &back),
+            wire::WireError::kBadMagic);
+  EXPECT_EQ(
+      DecodeRequest(std::vector<uint8_t>{wire::kMagic, wire::kWireVersion,
+                                         0x7E},
+                    &back),
+      wire::WireError::kBadTag);
+}
+
+// ---------------------------------------------------------------------------
+// Resolver facade
+
+TEST(ResolverTest, StreamedMicroBatchesEqualFromScratchBatch) {
+  constexpr size_t kHeldBack = 32;
+  constexpr size_t kBatchSize = 4;
+  auto setup = MakeStreamSetup(120, kHeldBack);
+  auto resolver = Resolver::Open(std::move(setup.prefix), setup.rules,
+                                 &setup.gd->registry);
+  uint64_t last_version = resolver->Snapshot()->version();
+  size_t i = 0;
+  while (i < setup.tail.size()) {
+    TupleBatch batch;
+    for (size_t j = 0; j < kBatchSize && i < setup.tail.size(); ++j, ++i) {
+      batch.Add(setup.tail[i].first, setup.tail[i].second);
+    }
+    const size_t batch_size = batch.size();
+    AppendOutcome outcome = resolver->Append(std::move(batch));
+    EXPECT_EQ(outcome.gids.size(), batch_size);
+    EXPECT_GT(outcome.snapshot_version, last_version);
+    last_version = outcome.snapshot_version;
+  }
+  ASSERT_EQ(resolver->dataset().num_tuples(), setup.gd->dataset.num_tuples());
+
+  auto snapshot = resolver->Snapshot();
+  auto [scratch_pairs, scratch_ml] = ScratchGamma(*setup.gd);
+  EXPECT_EQ(snapshot->MatchedPairs(), scratch_pairs);
+  EXPECT_EQ(snapshot->ValidatedMlKeys(), scratch_ml);
+  EXPECT_EQ(snapshot->num_tuples(), setup.gd->dataset.num_tuples());
+}
+
+TEST(ResolverTest, BorrowedResolverRefusesAppend) {
+  EcommerceOptions options;
+  options.num_customers = 40;
+  auto gd = MakeEcommerce(options);
+  auto resolver =
+      Resolver::OpenBorrowed(gd->dataset, gd->rules, &gd->registry);
+  EXPECT_FALSE(resolver->owns_dataset());
+  const size_t before = gd->dataset.num_tuples();
+  TupleBatch batch;
+  batch.Add(0, gd->dataset.relation(0).row(0));
+  AppendOutcome outcome = resolver->Append(std::move(batch));
+  EXPECT_TRUE(outcome.gids.empty());
+  EXPECT_EQ(gd->dataset.num_tuples(), before);
+}
+
+TEST(ResolverTest, SnapshotQueriesAgreeWithGamma) {
+  EcommerceOptions options;
+  options.num_customers = 60;
+  auto gd = MakeEcommerce(options);
+  auto resolver =
+      Resolver::OpenBorrowed(gd->dataset, gd->rules, &gd->registry);
+  auto snapshot = resolver->Snapshot();
+  auto [pairs, ml] = ScratchGamma(*gd);
+  EXPECT_EQ(snapshot->MatchedPairs(), pairs);
+  EXPECT_EQ(snapshot->ValidatedMlKeys(), ml);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(resolver->SameEntity(a, b));
+    std::vector<Gid> cls = resolver->Resolve(a);
+    EXPECT_TRUE(std::find(cls.begin(), cls.end(), b) != cls.end());
+  }
+}
+
+// The TSan lane's target: readers hammer the published snapshot from
+// several threads while one appender streams micro-batches through the
+// resolver. Snapshot isolation means no reader ever blocks on or races the
+// chase; versions observed by each reader must be monotone.
+TEST(ResolverTest, ConcurrentSnapshotReadersWhileAppending) {
+  constexpr size_t kHeldBack = 24;
+  constexpr size_t kBatchSize = 4;
+  auto setup = MakeStreamSetup(80, kHeldBack);
+  auto resolver = Resolver::Open(std::move(setup.prefix), setup.rules,
+                                 &setup.gd->registry);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&resolver, &done, &monotone] {
+      uint64_t last = 0;
+      Gid probe = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = resolver->Snapshot();
+        if (snap->version() < last) {
+          monotone.store(false, std::memory_order_relaxed);
+        }
+        last = snap->version();
+        // Read through the snapshot: membership, classes, ML keys.
+        snap->SameEntity(probe, probe + 1);
+        std::vector<Gid> cls = snap->Entity(probe % snap->num_tuples());
+        if (!cls.empty()) probe = cls.back();
+        snap->ValidatedMlKeys();
+      }
+    });
+  }
+
+  size_t i = 0;
+  while (i < setup.tail.size()) {
+    TupleBatch batch;
+    for (size_t j = 0; j < kBatchSize && i < setup.tail.size(); ++j, ++i) {
+      batch.Add(setup.tail[i].first, setup.tail[i].second);
+    }
+    resolver->Append(std::move(batch));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(monotone.load());
+
+  auto [pairs, ml] = ScratchGamma(*setup.gd);
+  EXPECT_EQ(resolver->Snapshot()->MatchedPairs(), pairs);
+  EXPECT_EQ(resolver->Snapshot()->ValidatedMlKeys(), ml);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end to end (loopback TCP)
+
+struct DaemonFixture {
+  std::unique_ptr<GenDataset> gd;  // pristine copy for schemas + scratch Γ
+  std::vector<std::pair<uint32_t, Row>> tail;
+  std::unique_ptr<ResolverDaemon> daemon;
+
+  explicit DaemonFixture(size_t num_customers, size_t held_back,
+                         DaemonOptions dopt = {}) {
+    auto setup = MakeStreamSetup(num_customers, held_back);
+    gd = std::move(setup.gd);
+    tail = std::move(setup.tail);
+    auto resolver = Resolver::Open(std::move(setup.prefix), setup.rules,
+                                   &gd->registry);
+    daemon = std::make_unique<ResolverDaemon>(std::move(resolver), dopt);
+    Status st = daemon->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+};
+
+TEST(DaemonTest, ServesQueriesWhileAppendsStream) {
+  constexpr size_t kBatchSize = 4;
+  DaemonFixture fx(80, 24);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+
+  // A concurrent reader on its own connection keeps querying while the
+  // appends stream in; versions it observes must be monotone.
+  std::atomic<bool> done{false};
+  std::atomic<bool> reader_ok{true};
+  std::thread reader([&fx, &done, &reader_ok] {
+    ResolverClient c;
+    if (!c.Connect(fx.daemon->port()).ok()) {
+      reader_ok.store(false);
+      return;
+    }
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      Response r;
+      if (!c.SameEntity(0, 1, &r).ok() || r.snapshot_version < last) {
+        reader_ok.store(false);
+        return;
+      }
+      last = r.snapshot_version;
+    }
+  });
+
+  uint64_t last_ack_version = 0;
+  size_t appended = 0;
+  size_t i = 0;
+  while (i < fx.tail.size()) {
+    std::vector<std::pair<uint32_t, Row>> rows;
+    for (size_t j = 0; j < kBatchSize && i < fx.tail.size(); ++j, ++i) {
+      rows.push_back(fx.tail[i]);
+    }
+    Response resp;
+    ASSERT_TRUE(
+        client.Append(fx.daemon->resolver().dataset(), rows, &resp).ok());
+    ASSERT_EQ(resp.gids.size(), rows.size());
+    EXPECT_GT(resp.snapshot_version, last_ack_version);
+    last_ack_version = resp.snapshot_version;
+    appended += rows.size();
+
+    // Ack implies visibility: a query issued after the APPENDED reply must
+    // see at least that snapshot, and the new gids must resolve.
+    Response qr;
+    ASSERT_TRUE(client.Resolve(resp.gids.back(), &qr).ok());
+    EXPECT_GE(qr.snapshot_version, last_ack_version);
+    EXPECT_TRUE(std::find(qr.gids.begin(), qr.gids.end(), resp.gids.back()) !=
+                qr.gids.end());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_TRUE(reader_ok.load());
+  EXPECT_EQ(appended, fx.tail.size());
+
+  // The daemon's Γ after the stream equals the from-scratch batch Γ.
+  auto snapshot = fx.daemon->resolver().Snapshot();
+  auto [pairs, ml] = ScratchGamma(*fx.gd);
+  EXPECT_EQ(snapshot->MatchedPairs(), pairs);
+  EXPECT_EQ(snapshot->ValidatedMlKeys(), ml);
+
+  Response stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  EXPECT_NE(stats.text.find("\"append_requests\""), std::string::npos);
+  fx.daemon->Stop();
+}
+
+TEST(DaemonTest, ForeignVersionFrameGetsTypedErrorAndConnectionSurvives) {
+  DaemonFixture fx(40, 8);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+
+  Request stats;
+  stats.kind = Request::Kind::kStats;
+  std::vector<uint8_t> payload;
+  EncodeRequest(stats, &payload);
+  payload[1] = wire::kWireVersion + 1;  // future revision
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(client.CallRaw(payload, &reply).ok());
+  Response resp;
+  ASSERT_EQ(DecodeResponse(reply, &resp), wire::WireError::kOk);
+  EXPECT_EQ(resp.kind, Response::Kind::kError);
+  EXPECT_EQ(resp.error, wire::WireError::kVersionMismatch);
+
+  // The framing stayed in sync: the same connection keeps working.
+  Response ok;
+  EXPECT_TRUE(client.Stats(&ok).ok());
+  fx.daemon->Stop();
+  EXPECT_GE(fx.daemon->stats().frames_rejected, uint64_t{1});
+}
+
+TEST(DaemonTest, OversizedFramePrefixIsRefused) {
+  DaemonOptions dopt;
+  dopt.max_frame_bytes = 1024;
+  DaemonFixture fx(40, 8, dopt);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+
+  // A length prefix past the cap: the daemon must answer with a typed ERROR
+  // and close, never waiting for (or buffering) the advertised body.
+  std::vector<uint8_t> huge = {0x00, 0x00, 0x10, 0x00};  // 1 MiB little-endian
+  ASSERT_TRUE(client.SendBytes(huge).ok());
+  Response resp;
+  Status st = client.Stats(&resp);
+  EXPECT_FALSE(st.ok());  // ERROR reply or connection closed — never a hang
+
+  // The daemon survives and serves fresh connections.
+  ResolverClient fresh;
+  ASSERT_TRUE(fresh.Connect(fx.daemon->port()).ok());
+  Response ok;
+  EXPECT_TRUE(fresh.Stats(&ok).ok());
+  fx.daemon->Stop();
+  EXPECT_GE(fx.daemon->stats().frames_rejected, uint64_t{1});
+}
+
+TEST(DaemonTest, KilledClientWithHalfWrittenFrameIsHandled) {
+  DaemonFixture fx(40, 8);
+  {
+    // Write a frame prefix promising 100 bytes, deliver 10, vanish.
+    ResolverClient half;
+    ASSERT_TRUE(half.Connect(fx.daemon->port()).ok());
+    std::vector<uint8_t> partial = {100, 0, 0, 0};
+    partial.insert(partial.end(), 10, 0xAB);
+    ASSERT_TRUE(half.SendBytes(partial).ok());
+    half.Close();
+  }
+  {
+    // Connect and vanish mid-handshake with nothing written at all.
+    ResolverClient ghost;
+    ASSERT_TRUE(ghost.Connect(fx.daemon->port()).ok());
+    ghost.Close();
+  }
+  // The daemon shrugs both off and keeps serving.
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+  Response resp;
+  EXPECT_TRUE(client.Stats(&resp).ok());
+  EXPECT_TRUE(client.SameEntity(0, 0, &resp).ok());
+  EXPECT_TRUE(resp.value);
+  fx.daemon->Stop();
+  EXPECT_GE(fx.daemon->stats().connections_closed, uint64_t{2});
+}
+
+TEST(DaemonTest, ShutdownRequestStopsTheDaemon) {
+  DaemonFixture fx(40, 8);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+  Response resp;
+  ASSERT_TRUE(client.Shutdown(&resp).ok());
+  EXPECT_TRUE(resp.value);
+  // The poll the dcerd binary runs: stop_requested flips, Stop() is clean.
+  for (int i = 0; i < 100 && !fx.daemon->stop_requested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(fx.daemon->stop_requested());
+  fx.daemon->Stop();
+}
+
+TEST(DaemonTest, ResolveOfUnknownGidIsSingleton) {
+  DaemonFixture fx(40, 8);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+  const Gid beyond =
+      static_cast<Gid>(fx.daemon->resolver().dataset().num_tuples() + 100);
+  Response resp;
+  ASSERT_TRUE(client.Resolve(beyond, &resp).ok());
+  EXPECT_EQ(resp.gids, std::vector<Gid>{beyond});
+  Response same;
+  ASSERT_TRUE(client.SameEntity(beyond, 0, &same).ok());
+  EXPECT_FALSE(same.value);
+  fx.daemon->Stop();
+}
+
+}  // namespace
+}  // namespace dcer

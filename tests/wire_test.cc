@@ -14,6 +14,7 @@ using wire::CanonicalizeBatch;
 using wire::DecodeFactBatch;
 using wire::EncodeFactBatch;
 using wire::SameFact;
+using wire::WireError;
 
 bool BatchesEqual(const std::vector<Fact>& x, const std::vector<Fact>& y) {
   if (x.size() != y.size()) return false;
@@ -34,7 +35,7 @@ void ExpectRoundTrip(const std::vector<Fact>& batch) {
   EXPECT_EQ(encoded, canonical.size());
 
   std::vector<Fact> decoded;
-  ASSERT_TRUE(DecodeFactBatch(bytes, &decoded));
+  ASSERT_EQ(DecodeFactBatch(bytes, &decoded), WireError::kOk);
   EXPECT_TRUE(BatchesEqual(decoded, canonical));
 
   std::vector<uint8_t> bytes2;
@@ -46,7 +47,7 @@ TEST(WireCodecTest, EmptyBatch) {
   ExpectRoundTrip({});
   std::vector<uint8_t> bytes;
   EXPECT_EQ(EncodeFactBatch({}, &bytes), 0u);
-  EXPECT_EQ(bytes.size(), 4u);  // magic, version, two zero counts
+  EXPECT_EQ(bytes.size(), 5u);  // magic, version, tag, two zero counts
 }
 
 TEST(WireCodecTest, SingleFact) {
@@ -80,7 +81,7 @@ TEST(WireCodecTest, DuplicatesCollapseOnSend) {
   std::vector<uint8_t> bytes;
   EXPECT_EQ(EncodeFactBatch(batch, &bytes), 2u);
   std::vector<Fact> decoded;
-  ASSERT_TRUE(DecodeFactBatch(bytes, &decoded));
+  ASSERT_EQ(DecodeFactBatch(bytes, &decoded), WireError::kOk);
   ASSERT_EQ(decoded.size(), 2u);
   EXPECT_TRUE(SameFact(decoded[0], Fact::IdMatch(5, 17)));
   EXPECT_TRUE(SameFact(decoded[1], Fact::MlValidated(0, 2, 7, 8, 9)));
@@ -132,14 +133,23 @@ TEST(WireCodecTest, ExtremeGidsAndSignaturesRoundTrip) {
                    Fact::MlValidated(0, 0, 0, max_gid, ~0ull)});
 }
 
-TEST(WireCodecTest, RejectsMalformedInput) {
+TEST(WireCodecTest, RejectsMalformedInputWithTypedErrors) {
   std::vector<Fact> out;
-  // Empty buffer, wrong magic, wrong version.
-  EXPECT_FALSE(DecodeFactBatch(std::vector<uint8_t>{}, &out));
-  EXPECT_FALSE(DecodeFactBatch({0x00, 0x01, 0x00, 0x00}, &out));
-  EXPECT_FALSE(DecodeFactBatch({0xDC, 0x7F, 0x00, 0x00}, &out));
+  // Empty buffer, wrong magic, foreign version, wrong frame tag.
+  EXPECT_EQ(DecodeFactBatch(std::vector<uint8_t>{}, &out),
+            WireError::kTruncated);
+  EXPECT_EQ(DecodeFactBatch({0x00, 0x02, 0x01, 0x00, 0x00}, &out),
+            WireError::kBadMagic);
+  EXPECT_EQ(DecodeFactBatch({0xDC, 0x7F, 0x01, 0x00, 0x00}, &out),
+            WireError::kVersionMismatch);
+  EXPECT_EQ(DecodeFactBatch({0xDC, wire::kWireVersion, 0x6E, 0x00, 0x00},
+                            &out),
+            WireError::kBadTag);
   // Counts larger than the buffer could possibly hold.
-  EXPECT_FALSE(DecodeFactBatch({0xDC, 0x01, 0xFF, 0x7F}, &out));
+  EXPECT_EQ(DecodeFactBatch({0xDC, wire::kWireVersion, wire::kFactBatchTag,
+                             0xFF, 0x7F, 0x00},
+                            &out),
+            WireError::kMalformed);
 
   // Truncations and trailing garbage of a valid encoding must all fail,
   // never crash or read out of bounds.
@@ -149,11 +159,28 @@ TEST(WireCodecTest, RejectsMalformedInput) {
   EncodeFactBatch(batch, &bytes);
   for (size_t cut = 0; cut < bytes.size(); ++cut) {
     std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
-    EXPECT_FALSE(DecodeFactBatch(truncated, &out)) << "cut=" << cut;
+    EXPECT_NE(DecodeFactBatch(truncated, &out), WireError::kOk)
+        << "cut=" << cut;
   }
   std::vector<uint8_t> padded = bytes;
   padded.push_back(0x00);
-  EXPECT_FALSE(DecodeFactBatch(padded, &out));
+  EXPECT_EQ(DecodeFactBatch(padded, &out), WireError::kTrailingBytes);
+}
+
+TEST(WireCodecTest, OldProtocolVersionIsRefusedCleanly) {
+  // A v1 fact batch started [magic][0x01][counts...] with no tag byte. The
+  // v2 decoder must identify it by its version byte and refuse with the
+  // typed error — never misparse the body under the new layout.
+  const std::vector<uint8_t> v1_frame = {0xDC, 0x01, 0x00, 0x00};
+  std::vector<Fact> out;
+  EXPECT_EQ(DecodeFactBatch(v1_frame, &out), WireError::kVersionMismatch);
+  EXPECT_TRUE(out.empty());
+
+  // Same refusal on the tuple-block plane.
+  Relation rel(Schema("R", {{"x", ValueType::kInt}}));
+  EXPECT_EQ(wire::DecodeTupleBlock(v1_frame, &rel),
+            WireError::kVersionMismatch);
+  EXPECT_EQ(rel.num_rows(), 0u);
 }
 
 TEST(WireCodecTest, EncodeIsDeterministicAcrossInputOrder) {

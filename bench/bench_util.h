@@ -48,7 +48,7 @@ inline DMatchReport TimedDMatch(GenDataset& gd, const RuleSet& rules,
   options.use_mqo = use_mqo;
   options.run_parallel = run_parallel;
   options.threads = threads;
-  return DMatch(gd.dataset, rules, gd.registry, options, ctx);
+  return engine::DMatch(gd.dataset, rules, gd.registry, options, ctx);
 }
 
 inline void PrintHeader(const char* what) {

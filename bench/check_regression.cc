@@ -30,6 +30,11 @@
 
 #include <unordered_map>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "bench/workloads.h"
 #include "chase/deduce.h"
 #include "chase/match_context.h"
@@ -39,6 +44,7 @@
 #include "common/timer.h"
 #include "datagen/ecommerce.h"
 #include "datagen/tpch_lite.h"
+#include "obs/exposition.h"
 #include "rules/parser.h"
 #include "service/client.h"
 #include "service/daemon.h"
@@ -219,6 +225,160 @@ ServiceFresh MeasureServiceFresh() {
   return out;
 }
 
+// One raw HTTP/1.0 GET against 127.0.0.1:port. Returns the full response
+// (status line + headers + body) or an empty string on any socket error.
+// Deliberately not the ResolverClient: the scrape path must work for a stock
+// Prometheus agent that speaks only HTTP.
+std::string HttpGet(int port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string req = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// Exposition smoke gate: structural, so it runs even without a baseline.
+// Spins up a small dcerd with the HTTP scrape listener enabled, pushes one
+// APPEND through the queue (so the request histograms have samples), then
+// checks that both scrape paths — the METRICS wire verb and a raw
+// `GET /metrics` — return Prometheus text our own parser round-trips, and
+// that the three per-request histograms introduced for the telemetry plane
+// are present.
+bool ExpositionSmoke() {
+  EcommerceOptions options;
+  options.num_customers = 60;
+  auto gd = MakeEcommerce(options);
+  Dataset dst;
+  for (size_t r = 0; r < gd->dataset.num_relations(); ++r) {
+    dst.AddRelation(gd->dataset.relation(r).schema());
+  }
+  RuleSet rules;
+  Status st =
+      ParseRuleSet(gd->rules.ToString(gd->dataset), dst, gd->registry, &rules);
+  if (!st.ok()) {
+    std::printf("FAIL: exposition smoke: rule parse: %s\n",
+                st.message().c_str());
+    return false;
+  }
+  const size_t total = gd->dataset.num_tuples();
+  const size_t cut = total - 8;
+  for (Gid g = 0; g < cut; ++g) {
+    TupleLoc loc = gd->dataset.loc(g);
+    dst.AppendTuple(loc.relation,
+                    gd->dataset.relation(loc.relation).row(loc.row));
+  }
+  service::DaemonOptions daemon_options;
+  daemon_options.metrics_port = 0;  // ephemeral HTTP scrape listener
+  service::ResolverDaemon daemon(
+      Resolver::Open(std::move(dst), rules, &gd->registry), daemon_options);
+  if (!daemon.Start().ok()) {
+    std::printf("FAIL: exposition smoke: daemon start\n");
+    return false;
+  }
+  bool ok = true;
+  {
+    service::ResolverClient client;
+    ok = client.Connect(daemon.port()).ok();
+    std::vector<std::pair<uint32_t, Row>> rows;
+    for (Gid g = static_cast<Gid>(cut); g < total && ok; ++g) {
+      TupleLoc loc = gd->dataset.loc(g);
+      rows.emplace_back(loc.relation,
+                        gd->dataset.relation(loc.relation).row(loc.row));
+    }
+    service::Response resp;
+    if (ok) ok = client.Append(gd->dataset, rows, &resp).ok();
+    if (ok) ok = client.Resolve(0, &resp).ok();  // publishes the batch
+    const char* kFamilies[] = {"dcerd_queue_wait_seconds",
+                               "dcerd_exec_seconds",
+                               "dcerd_publish_lag_seconds"};
+    if (ok) {
+      service::Response metrics;
+      ok = client.Metrics(&metrics).ok();
+      if (ok) {
+        obs::ExpositionParse parsed = obs::ParseExposition(metrics.text);
+        if (!parsed.ok()) {
+          std::printf("FAIL: exposition smoke: METRICS verb text did not "
+                      "parse: %s\n",
+                      parsed.error.c_str());
+          ok = false;
+        }
+        for (const char* fam : kFamilies) {
+          if (ok && !parsed.HasFamily(fam)) {
+            std::printf("FAIL: exposition smoke: METRICS verb missing "
+                        "family %s\n",
+                        fam);
+            ok = false;
+          }
+        }
+      } else {
+        std::printf("FAIL: exposition smoke: METRICS verb errored\n");
+      }
+    }
+    if (ok) {
+      const std::string http = HttpGet(daemon.metrics_port(), "/metrics");
+      const size_t body_at = http.find("\r\n\r\n");
+      if (http.compare(0, 12, "HTTP/1.0 200") != 0 ||
+          body_at == std::string::npos) {
+        std::printf("FAIL: exposition smoke: GET /metrics did not return "
+                    "200\n");
+        ok = false;
+      } else {
+        obs::ExpositionParse parsed =
+            obs::ParseExposition(http.substr(body_at + 4));
+        if (!parsed.ok()) {
+          std::printf("FAIL: exposition smoke: GET /metrics body did not "
+                      "parse: %s\n",
+                      parsed.error.c_str());
+          ok = false;
+        }
+        for (const char* fam : kFamilies) {
+          if (ok && !parsed.HasFamily(fam)) {
+            std::printf("FAIL: exposition smoke: GET /metrics missing "
+                        "family %s\n",
+                        fam);
+            ok = false;
+          }
+        }
+      }
+    }
+    if (ok) {
+      const std::string health = HttpGet(daemon.metrics_port(), "/healthz");
+      if (health.compare(0, 12, "HTTP/1.0 200") != 0 ||
+          health.find("ok") == std::string::npos) {
+        std::printf("FAIL: exposition smoke: GET /healthz not ok\n");
+        ok = false;
+      }
+    }
+    client.Close();
+  }
+  daemon.Stop();
+  if (ok) std::printf("exposition smoke: PASS (verb + HTTP scrape)\n");
+  return ok;
+}
+
 IncCascadeRun RunIncCascade(size_t leaf_limit) {
   IncCascadeRun out;
   for (int rep = 0; rep < 3; ++rep) {
@@ -268,8 +428,10 @@ int Run(int argc, char** argv) {
   {
     FILE* f = std::fopen(argv[1], "rb");
     if (f == nullptr) {
-      std::printf("no baseline at %s; skipping regression check (PASS)\n",
-                  argv[1]);
+      std::printf("no baseline at %s; skipping regression check\n", argv[1]);
+      // The structural gate needs no baseline — still run it.
+      if (!ExpositionSmoke()) return 1;
+      std::printf("PASS\n");
       return 0;
     }
     std::string text;
@@ -589,6 +751,10 @@ int Run(int argc, char** argv) {
   } else {
     std::printf("service: no baseline; skipping (PASS)\n");
   }
+
+  // Telemetry-plane structural gate: deterministic, so it runs even when the
+  // baseline predates the exposition endpoints.
+  if (!ExpositionSmoke()) return 1;
   std::printf("PASS\n");
   return 0;
 }

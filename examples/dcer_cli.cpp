@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
     MatchOptions options;
     options.enable_provenance = explain;
     MatchReport report =
-        Match(DatasetView::Full(dataset), rules, registry, options, &ctx);
+        engine::Match(DatasetView::Full(dataset), rules, registry, options, &ctx);
     std::fprintf(stderr, "dcer_cli: %llu matches in %.2fs (%llu valuations)\n",
                  static_cast<unsigned long long>(report.matched_pairs),
                  report.seconds,
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
   } else {
     DMatchOptions options;
     options.num_workers = workers;
-    DMatchReport report = DMatch(dataset, rules, registry, options, &ctx);
+    DMatchReport report = engine::DMatch(dataset, rules, registry, options, &ctx);
     std::fprintf(stderr,
                  "dcer_cli: %llu matches, %d supersteps, %llu messages\n",
                  static_cast<unsigned long long>(report.matched_pairs),

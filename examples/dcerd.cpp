@@ -6,11 +6,18 @@
 // appends are drained into micro-batched fixpoints and acked only once
 // their snapshot is visible.
 //
-// Usage: dcerd [--port=N] [--customers=N] [--workers=N]
-//   --port       listen port (default 0 = kernel-assigned, printed on start)
-//   --customers  ecommerce generator size (default 400)
-//   --workers    BSP workers for the initial fixpoint (default 0 =
-//                sequential chase)
+// Usage: dcerd [--port=N] [--customers=N] [--workers=N] [--metrics_port=N]
+//              [--slow_query_ms=N]
+//   --port          listen port (default 0 = kernel-assigned, printed on
+//                   start)
+//   --customers     ecommerce generator size (default 400)
+//   --workers       BSP workers for the initial fixpoint (default 0 =
+//                   sequential chase)
+//   --metrics_port  plain-HTTP scrape listener serving GET /metrics
+//                   (Prometheus text) and GET /healthz on 127.0.0.1
+//                   (default -1 = disabled; 0 = kernel-assigned)
+//   --slow_query_ms requests slower than this log a structured, rate-
+//                   limited slow_query record to stderr (default 0 = off)
 
 #include <chrono>
 #include <csignal>
@@ -44,6 +51,8 @@ int main(int argc, char** argv) {
   const long port = FlagValue(argc, argv, "--port", 0);
   const long customers = FlagValue(argc, argv, "--customers", 400);
   const long workers = FlagValue(argc, argv, "--workers", 0);
+  const long metrics_port = FlagValue(argc, argv, "--metrics_port", -1);
+  const long slow_query_ms = FlagValue(argc, argv, "--slow_query_ms", 0);
 
   EcommerceOptions gen;
   gen.num_customers = static_cast<size_t>(customers);
@@ -62,6 +71,8 @@ int main(int argc, char** argv) {
 
   service::DaemonOptions dopt;
   dopt.port = static_cast<uint16_t>(port);
+  dopt.metrics_port = static_cast<int>(metrics_port);
+  dopt.slow_query_ms = static_cast<uint32_t>(slow_query_ms);
   service::ResolverDaemon daemon(std::move(resolver), dopt);
   if (Status s = daemon.Start(); !s.ok()) {
     std::printf("dcerd: start failed: %s\n", s.ToString().c_str());
@@ -70,6 +81,14 @@ int main(int argc, char** argv) {
   std::printf("dcerd: serving on 127.0.0.1:%u (SHUTDOWN frame or Ctrl-C "
               "stops)\n",
               daemon.port());
+  if (metrics_port >= 0) {
+    std::printf("dcerd: metrics on http://127.0.0.1:%u/metrics (healthz on "
+                "/healthz)\n",
+                daemon.metrics_port());
+  }
+  if (slow_query_ms > 0) {
+    std::printf("dcerd: logging requests slower than %ld ms\n", slow_query_ms);
+  }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   while (!daemon.stop_requested() && !g_interrupted) {

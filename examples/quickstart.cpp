@@ -2,15 +2,15 @@
 //
 // Builds the e-commerce dataset of Example 1 (Tables I-IV), the MRLs of
 // Example 2 (φ1..φ5, plus the φ6 gap-filler documented in
-// datagen/paper_example.cc), chases it with the sequential Match, and prints
-// the deduced matches of Example 3 together with the derivation of the
-// "fraud" match (t1 ~ t2) — including the recursive steps through products
-// and shops.
+// datagen/paper_example.cc), resolves it through the unified Resolver
+// facade, and prints the deduced matches of Example 3 together with the
+// derivation of the "fraud" match (t1 ~ t2) — including the recursive steps
+// through products and shops.
 
 #include <cstdio>
 
-#include "chase/match.h"
 #include "datagen/paper_example.h"
+#include "service/resolver.h"
 
 using namespace dcer;
 
@@ -20,12 +20,13 @@ int main() {
   std::printf("\nRules (Example 2):\n%s\n",
               ex->rules.ToString(ex->dataset).c_str());
 
-  // Chase to the fixpoint Γ with provenance recording.
-  DatasetView view = DatasetView::Full(ex->dataset);
-  MatchContext ctx(ex->dataset);
-  MatchOptions options;
+  // Open a resolver over the dataset: chases to the fixpoint Γ (with
+  // provenance recording) and publishes the first snapshot.
+  ResolverOptions options;
   options.enable_provenance = true;
-  MatchReport report = Match(view, ex->rules, ex->registry, options, &ctx);
+  auto resolver =
+      Resolver::OpenBorrowed(ex->dataset, ex->rules, &ex->registry, options);
+  const MatchReport& report = *resolver->match_report();
 
   std::printf("Chase done: %llu matches, %llu validated ML predictions, "
               "%llu valuations inspected, %d rounds.\n\n",
@@ -36,12 +37,12 @@ int main() {
 
   std::printf("Deduced matches (Example 3 expects {t1,t2,t3}, {t4,t5}, "
               "{t9,t10}, {t12,t13}):\n");
-  for (auto [a, b] : ctx.MatchedPairs()) {
+  for (auto [a, b] : resolver->Snapshot()->MatchedPairs()) {
     std::printf("  t%u.id = t%u.id\n", a + 1, b + 1);
   }
 
   std::printf("\nWhy is t1 the same customer as t2 (the fraud deduction)?\n");
-  std::printf("%s\n", ctx.provenance()
+  std::printf("%s\n", resolver->provenance()
                           ->Explain(ex->dataset, ex->rules, ex->t[1],
                                     ex->t[2])
                           .c_str());

@@ -13,7 +13,7 @@ using namespace dcer;
 namespace {
 double F1(const GenDataset& gd, const RuleSet& rules) {
   MatchContext ctx(gd.dataset);
-  Match(DatasetView::Full(gd.dataset), rules, gd.registry, {}, &ctx);
+  engine::Match(DatasetView::Full(gd.dataset), rules, gd.registry, {}, &ctx);
   return gd.truth.Evaluate(ctx.MatchedPairs()).f1;
 }
 }  // namespace

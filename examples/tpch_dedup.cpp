@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   DMatchOptions dopt;
   dopt.num_workers = 8;
   MatchContext pctx(gd->dataset);
-  DMatchReport report = DMatch(gd->dataset, gd->rules, gd->registry, dopt,
+  DMatchReport report = engine::DMatch(gd->dataset, gd->rules, gd->registry, dopt,
                                &pctx);
   PrecisionRecall pr = gd->truth.Evaluate(pctx.MatchedPairs());
   std::printf("DMatch (8 workers): partition %.0fms + ER, %d supersteps, "
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   MatchContext ctx(gd->dataset);
   MatchOptions mopt;
   mopt.enable_provenance = true;
-  Match(DatasetView::Full(gd->dataset), gd->rules, gd->registry, mopt, &ctx);
+  engine::Match(DatasetView::Full(gd->dataset), gd->rules, gd->registry, mopt, &ctx);
 
   // Find a matched order pair whose derivation used rule "ro" (level 3).
   size_t orders_rel = gd->dataset.RelationIndexOrDie("Orders");

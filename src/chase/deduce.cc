@@ -251,12 +251,17 @@ bool ChaseEngine::ParallelEnumerate(size_t rule_idx, Scope& scope,
   };
   std::vector<ShardOut> found(shards);
   {
+    // Pool workers have their own (empty) thread-local trace context —
+    // re-install the dispatching thread's so shard spans keep the request's
+    // trace_id.
+    const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
     TaskGroup group(options_.pool);
     for (size_t s = 0; s < shards; ++s) {
       const size_t lo = num_roots * s / shards;
       const size_t hi = num_roots * (s + 1) / shards;
       ShardOut* out = &found[s];
-      group.Run([this, rule_idx, &scope, out, lo, hi] {
+      group.Run([this, rule_idx, &scope, out, lo, hi, trace_ctx] {
+        obs::TraceContextScope trace_scope(trace_ctx);
         RuleJoiner shard_joiner(scope.index, &rules_->rule(rule_idx),
                                 registry_, ctx_);
         // Same ML policy as the scope joiner: plans (and thus the shard
@@ -562,10 +567,12 @@ void ChaseEngine::ExecuteIncRoundTasks(Delta* round_out) {
   }
 
   {
+    const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
     TaskGroup group(options_.pool);
     for (ChunkOut& chunk : chunks) {
       ChunkOut* out = &chunk;
-      group.Run([this, out] {
+      group.Run([this, out, trace_ctx] {
+        obs::TraceContextScope trace_scope(trace_ctx);
         Timer chunk_timer;
         const IncTask& head = inc_tasks_[out->begin];
         Scope& scope = scopes_[head.rule][head.scope];
@@ -642,6 +649,10 @@ void ChaseEngine::IncDeduce(const Delta& seeds, Delta* out) {
           : nullptr;
 
   while (!inc_frontier_.empty()) {
+    // One span per semi-naive round, nested under chase.inc_deduce and
+    // carrying the installed request context — in a stitched trace the
+    // rounds appear as children of the daemon's drain span.
+    DCER_TRACE("chase.inc_round");
     ++stats_.inc_rounds;
     stats_.inc_frontier_items += inc_frontier_.size();
     if (frontier_hist != nullptr) frontier_hist->Record(inc_frontier_.size());

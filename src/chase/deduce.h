@@ -61,8 +61,8 @@ class ChaseEngine {
   };
 
   /// The single mapping from the shared EngineOptions knobs onto engine
-  /// options. Every entry point (Match, the DMatch workers,
-  /// IncrementalMatcher) builds its engine through this, so a knob cannot
+  /// options. Every entry point (engine::Match, the DMatch workers, the
+  /// Resolver) builds its engine through this, so a knob cannot
   /// drift between the sequential and parallel paths. `pool` is used (with
   /// 2 × threads enumeration shards, oversplit so stealing can rebalance
   /// skewed shards) only when eo.threads > 1.

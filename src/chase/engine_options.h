@@ -14,8 +14,9 @@ namespace dcer {
 /// kInProcess if sockets are unavailable.
 enum class TransportKind : uint8_t { kInProcess, kLoopbackTcp };
 
-/// Engine knobs shared by every entry point that runs a chase — sequential
-/// Match, the BSP DMatch workers, and IncrementalMatcher. Factored into one
+/// Engine knobs shared by every entry point that runs a chase — the
+/// sequential engine::Match, the BSP DMatch workers, and the Resolver's
+/// incremental Append path. Factored into one
 /// base so a setting cannot drift between the sequential and parallel paths:
 /// MatchOptions and DMatchOptions both inherit this, and both map it onto
 /// ChaseEngine::Options through the same helper

@@ -10,9 +10,9 @@ namespace dcer {
 
 void MatchReport::ExtraJson(JsonWriter* w) const { w->KV("rounds", rounds); }
 
-MatchReport Match(const DatasetView& view, const RuleSet& rules,
-                  const MlRegistry& registry, const MatchOptions& options,
-                  MatchContext* ctx) {
+MatchReport engine::Match(const DatasetView& view, const RuleSet& rules,
+                          const MlRegistry& registry,
+                          const MatchOptions& options, MatchContext* ctx) {
   obs::InitFromEnv();
   DCER_TRACE("match");
   Timer timer;

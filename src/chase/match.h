@@ -25,21 +25,26 @@ struct MatchReport : RunReport {
   void ExtraJson(JsonWriter* w) const override;
 };
 
+namespace engine {
+
 /// Sequential algorithm Match (Fig. 3): chases `view` with `rules` to the
 /// fixpoint Γ, which is left in *ctx. ctx must be freshly constructed over
 /// the same dataset as the view. Deterministic given the inputs; by the
 /// Church–Rosser property (Cor. 1) the resulting Γ is independent of rule
 /// order, which the tests verify against NaiveChase.
 ///
-/// DEPRECATED: new code should open a `dcer::Resolver`
-/// (service/resolver.h) with num_workers = 0 — it runs this exact fixpoint
-/// and adds snapshots, point queries, and incremental Append on top. This
-/// free function remains as a thin compatibility shim for one release and
-/// will then be removed (see DESIGN.md, "Online service & snapshot
-/// isolation").
+/// This is the one-shot fixpoint *kernel*; application code should open a
+/// `dcer::Resolver` (service/resolver.h) with num_workers = 0 instead — it
+/// runs this exact fixpoint and adds snapshots, point queries, and
+/// incremental Append on top. The kernel stays exposed (in dcer::engine)
+/// for white-box tests, benches and the eval harness, which need direct
+/// control of the MatchContext. The old deprecated `dcer::Match` shim has
+/// been removed.
 MatchReport Match(const DatasetView& view, const RuleSet& rules,
                   const MlRegistry& registry, const MatchOptions& options,
                   MatchContext* ctx);
+
+}  // namespace engine
 
 }  // namespace dcer
 

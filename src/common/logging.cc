@@ -1,47 +1,239 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <mutex>
 
 namespace dcer {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_mutex;
+std::mutex g_mutex;  // guards the sink and serializes stderr lines
+
+std::function<void(const std::string&)>& SinkSlot() {
+  static auto* sink = new std::function<void(const std::string&)>();
+  return *sink;
+}
+
+uint64_t WallMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Appends `s` JSON-escaped (without surrounding quotes).
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(std::function<void(const std::string& line)> sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SinkSlot() = std::move(sink);
+}
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 namespace internal {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   if (level < g_level.load()) return;
-  const char* tag = "?";
-  switch (level) {
-    case LogLevel::kDebug:
-      tag = "D";
-      break;
-    case LogLevel::kInfo:
-      tag = "I";
-      break;
-    case LogLevel::kWarning:
-      tag = "W";
-      break;
-    case LogLevel::kError:
-      tag = "E";
-      break;
+  static const char kTags[] = {'D', 'I', 'W', 'E'};
+  const int idx = static_cast<int>(level);
+  const char tag = idx >= 0 && idx < 4 ? kTags[idx] : '?';
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), "[%c %s:%d] ", tag, Basename(file),
+                line);
+  EmitLine(prefix + msg);
+}
+
+LogRateLimiter::LogRateLimiter(double per_sec, double burst)
+    : per_sec_(per_sec > 0 ? per_sec : 1.0),
+      burst_(burst >= 1.0 ? burst : 1.0),
+      tokens_(burst_) {}
+
+bool LogRateLimiter::Admit(uint64_t* suppressed) {
+  const uint64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_ns_ != 0 && now > last_ns_) {
+    tokens_ += static_cast<double>(now - last_ns_) / 1e9 * per_sec_;
+    if (tokens_ > burst_) tokens_ = burst_;
   }
-  // Strip directories from file for compact output.
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+  last_ns_ = now;
+  if (tokens_ < 1.0) {
+    ++suppressed_;
+    return false;
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", tag, base, line, msg.c_str());
+  tokens_ -= 1.0;
+  *suppressed = suppressed_;
+  suppressed_ = 0;
+  return true;
 }
 
 }  // namespace internal
+
+StructuredLog::StructuredLog(LogLevel level, const char* event,
+                             const char* file, int line,
+                             internal::LogRateLimiter* limiter)
+    : enabled_(level >= g_level.load()), limiter_(limiter) {
+  if (!enabled_) return;
+  line_ = "{\"ts_ms\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(WallMillis()));
+  line_ += buf;
+  line_ += ",\"level\":\"";
+  line_ += internal::LevelName(level);
+  line_ += "\",\"event\":\"";
+  AppendEscaped(event, &line_);
+  line_ += "\",\"src\":\"";
+  std::snprintf(buf, sizeof(buf), "%s:%d", Basename(file), line);
+  AppendEscaped(buf, &line_);
+  line_ += "\"";
+}
+
+StructuredLog::~StructuredLog() {
+  if (!enabled_) return;
+  uint64_t suppressed = 0;
+  if (limiter_ != nullptr && !limiter_->Admit(&suppressed)) return;
+  if (suppressed != 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"suppressed\":%llu",
+                  static_cast<unsigned long long>(suppressed));
+    line_ += buf;
+  }
+  line_ += "}";
+  internal::EmitLine(line_);
+}
+
+void StructuredLog::Key(const char* key) {
+  line_ += ",\"";
+  AppendEscaped(key, &line_);
+  line_ += "\":";
+}
+
+StructuredLog& StructuredLog::KV(const char* key, const std::string& value) {
+  if (!enabled_) return *this;
+  Key(key);
+  line_ += "\"";
+  AppendEscaped(value, &line_);
+  line_ += "\"";
+  return *this;
+}
+
+StructuredLog& StructuredLog::KV(const char* key, const char* value) {
+  return KV(key, std::string(value));
+}
+
+StructuredLog& StructuredLog::KV(const char* key, uint64_t value) {
+  if (!enabled_) return *this;
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  line_ += buf;
+  return *this;
+}
+
+StructuredLog& StructuredLog::KV(const char* key, int64_t value) {
+  if (!enabled_) return *this;
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  line_ += buf;
+  return *this;
+}
+
+StructuredLog& StructuredLog::KV(const char* key, double value) {
+  if (!enabled_) return *this;
+  Key(key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  line_ += buf;
+  return *this;
+}
+
+StructuredLog& StructuredLog::KV(const char* key, bool value) {
+  if (!enabled_) return *this;
+  Key(key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
 }  // namespace dcer

@@ -1,6 +1,9 @@
 #ifndef DCER_COMMON_LOGGING_H_
 #define DCER_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -13,9 +16,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Redirects every log line (both DCER_LOG text and DCER_SLOG JSON) to
+/// `sink` instead of stderr; pass nullptr to restore stderr. The line is
+/// passed without a trailing newline. Used by tests and by embedders that
+/// forward into their own logging fabric.
+void SetLogSink(std::function<void(const std::string& line)> sink);
+
 namespace internal {
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
+
+/// Emits one already-rendered line through the sink (newline appended for
+/// the stderr default).
+void EmitLine(const std::string& line);
+
+/// Stable lowercase level name ("debug" ... "error").
+const char* LevelName(LogLevel level);
 
 class LogStream {
  public:
@@ -35,11 +51,91 @@ class LogStream {
   int line_;
   std::ostringstream stream_;
 };
+
+/// Token-bucket admission control for one log call site: allows `burst`
+/// records immediately and `per_sec` sustained, drops the rest. Dropped
+/// records are counted and surfaced as a "suppressed" key on the next
+/// admitted record, so the log never silently loses information about load.
+/// Thread-safe; the fast path is one mutex on an already-cold branch (the
+/// record was above the level threshold).
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(double per_sec, double burst = 10.0);
+
+  /// True if this record may be emitted; on admission *suppressed receives
+  /// the number of records dropped since the last admitted one.
+  bool Admit(uint64_t* suppressed);
+
+ private:
+  const double per_sec_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  uint64_t last_ns_ = 0;
+  uint64_t suppressed_ = 0;
+};
 }  // namespace internal
+
+/// Structured JSON log record, emitted as one line on destruction:
+///
+///   DCER_SLOG(Warning, "slow_query")
+///       .KV("kind", "append").KV("trace_id", TraceIdHex(id))
+///       .KV("elapsed_ms", 12.7);
+///
+/// renders {"ts_ms":...,"level":"warning","event":"slow_query",
+/// "src":"daemon.cc:321","kind":"append",...}. Records below the global
+/// level threshold cost one branch and build nothing. Keys are emitted in
+/// call order; values are JSON-escaped strings, integers, doubles or bools.
+class StructuredLog {
+ public:
+  StructuredLog(LogLevel level, const char* event, const char* file, int line,
+                internal::LogRateLimiter* limiter = nullptr);
+  ~StructuredLog();
+
+  StructuredLog(const StructuredLog&) = delete;
+  StructuredLog& operator=(const StructuredLog&) = delete;
+
+  StructuredLog& KV(const char* key, const std::string& value);
+  StructuredLog& KV(const char* key, const char* value);
+  StructuredLog& KV(const char* key, uint64_t value);
+  StructuredLog& KV(const char* key, int64_t value);
+  StructuredLog& KV(const char* key, int value) {
+    return KV(key, static_cast<int64_t>(value));
+  }
+  StructuredLog& KV(const char* key, double value);
+  StructuredLog& KV(const char* key, bool value);
+
+ private:
+  void Key(const char* key);
+
+  bool enabled_;
+  internal::LogRateLimiter* limiter_;
+  std::string line_;
+};
+
+/// `id` as the 16-hex-digit form shared with the Chrome trace output, so a
+/// grep for a trace id hits both the slow-query log and the trace file.
+std::string TraceIdHex(uint64_t id);
 
 #define DCER_LOG(level)                                                  \
   ::dcer::internal::LogStream(::dcer::LogLevel::k##level, __FILE__, \
                               __LINE__)
+
+/// Structured record at `level` for `event` (a stable snake_case name).
+#define DCER_SLOG(level, event)                                         \
+  ::dcer::StructuredLog(::dcer::LogLevel::k##level, event, __FILE__,    \
+                        __LINE__)
+
+/// DCER_SLOG with per-call-site rate limiting: at most `per_sec` sustained
+/// records per second from this line (burst of 10), dropped records counted
+/// into the next admitted record's "suppressed" key.
+#define DCER_SLOG_LIMITED(level, event, per_sec)                          \
+  ::dcer::StructuredLog(                                                  \
+      ::dcer::LogLevel::k##level, event, __FILE__, __LINE__,              \
+      []() -> ::dcer::internal::LogRateLimiter* {                         \
+        static ::dcer::internal::LogRateLimiter limiter(per_sec);         \
+        return &limiter;                                                  \
+      }())
 
 }  // namespace dcer
 

@@ -1,0 +1,182 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dcer {
+namespace obs {
+namespace {
+
+bool NameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendUint(uint64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendDouble(double v, std::string* out) {
+  // %.17g round-trips any finite double; trim nothing — scrapers don't care.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendHistogram(const std::string& family, const HistogramSnapshot& h,
+                     std::string* out) {
+  const bool seconds = h.unit == Histogram::Unit::kNanos;
+  *out += "# TYPE " + family + " histogram\n";
+  // Emit bounds only up to the highest populated bucket — 64 bounds per
+  // family would dominate the document for no scraper benefit.
+  size_t top = 0;
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] != 0) top = b + 1;
+  }
+  uint64_t cum = 0;
+  for (size_t b = 0; b < top; ++b) {
+    cum += h.buckets[b];
+    // Inclusive upper bound of bucket b (sample range [2^(b-1), 2^b)).
+    const uint64_t bound = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+    *out += family + "_bucket{le=\"";
+    if (seconds) {
+      AppendDouble(static_cast<double>(bound) / 1e9, out);
+    } else {
+      AppendUint(bound, out);
+    }
+    *out += "\"} ";
+    AppendUint(cum, out);
+    *out += "\n";
+  }
+  *out += family + "_bucket{le=\"+Inf\"} ";
+  AppendUint(h.count, out);
+  *out += "\n" + family + "_sum ";
+  if (seconds) {
+    AppendDouble(static_cast<double>(h.sum) / 1e9, out);
+  } else {
+    AppendUint(h.sum, out);
+  }
+  *out += "\n" + family + "_count ";
+  AppendUint(h.count, out);
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string ExpositionMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!NameChar(c)) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+std::string RenderExposition(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : snap.counters) {
+    const std::string family = ExpositionMetricName(name) + "_total";
+    out += "# TYPE " + family + " counter\n" + family + " ";
+    AppendUint(v, &out);
+    out += "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string family = ExpositionMetricName(name);
+    out += "# TYPE " + family + " gauge\n" + family + " ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string family = ExpositionMetricName(name);
+    if (h.unit == Histogram::Unit::kNanos) family += "_seconds";
+    AppendHistogram(family, h, &out);
+  }
+  return out;
+}
+
+double ExpositionParse::Value(const std::string& name) const {
+  for (const ExpositionSample& s : samples) {
+    if (s.name == name && s.le.empty()) return s.value;
+  }
+  return 0;
+}
+
+std::vector<double> ExpositionParse::BucketCounts(
+    const std::string& family) const {
+  std::vector<double> out;
+  const std::string series = family + "_bucket";
+  for (const ExpositionSample& s : samples) {
+    if (s.name == series && !s.le.empty()) out.push_back(s.value);
+  }
+  return out;
+}
+
+ExpositionParse ParseExposition(const std::string& text) {
+  ExpositionParse out;
+  size_t pos = 0;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    out.error = "line " + std::to_string(lineno) + ": " + what;
+    return out;
+  };
+  while (pos < text.size()) {
+    ++lineno;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE <family> <kind>" is structural; other comments skip.
+      static const char kType[] = "# TYPE ";
+      if (line.compare(0, sizeof(kType) - 1, kType) == 0) {
+        const std::string rest = line.substr(sizeof(kType) - 1);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string::npos || sp == 0 || sp + 1 >= rest.size()) {
+          return fail("malformed TYPE line");
+        }
+        out.types[rest.substr(0, sp)] = rest.substr(sp + 1);
+      }
+      continue;
+    }
+    ExpositionSample s;
+    size_t i = 0;
+    while (i < line.size() && NameChar(line[i])) ++i;
+    if (i == 0) return fail("sample does not start with a metric name");
+    s.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      static const char kLe[] = "{le=\"";
+      if (line.compare(i, sizeof(kLe) - 1, kLe) != 0) {
+        return fail("unsupported label set (only le is emitted)");
+      }
+      i += sizeof(kLe) - 1;
+      const size_t close = line.find("\"}", i);
+      if (close == std::string::npos) return fail("unterminated le label");
+      s.le = line.substr(i, close - i);
+      if (s.le.empty()) return fail("empty le label");
+      i = close + 2;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail("missing space before sample value");
+    }
+    ++i;
+    const std::string value = line.substr(i);
+    char* endp = nullptr;
+    s.value = std::strtod(value.c_str(), &endp);
+    if (endp == value.c_str() || *endp != '\0') {
+      return fail("unparseable sample value '" + value + "'");
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dcer

@@ -1,0 +1,79 @@
+#ifndef DCER_OBS_EXPOSITION_H_
+#define DCER_OBS_EXPOSITION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dcer {
+namespace obs {
+
+/// Prometheus text exposition (format 0.0.4) over the metrics registry.
+///
+/// The registry's dotted names map to Prometheus families by replacing every
+/// character outside [a-zA-Z0-9_:] with '_' ("dcerd.queue_wait" →
+/// "dcerd_queue_wait"). Families render as:
+///
+///   counters    — `<name>_total` with `# TYPE ... counter`
+///   gauges      — `<name>` with `# TYPE ... gauge`
+///   histograms  — `<name>_bucket{le="..."}` cumulative series plus
+///                 `<name>_sum` / `<name>_count`; the le bounds are the
+///                 power-of-two buckets' inclusive upper bounds (2^b − 1),
+///                 ending with le="+Inf". Timing histograms (Unit::kNanos)
+///                 render in seconds with a `_seconds` family suffix, so
+///                 scrapers get base-unit SI values.
+///
+/// Rendering is deterministic: families appear in registry (map) order and
+/// every numeric is formatted with enough digits to round-trip.
+
+/// `name` sanitized to a valid Prometheus metric name.
+std::string ExpositionMetricName(const std::string& name);
+
+/// Renders the snapshot as one exposition document (trailing newline
+/// included, as scrapers expect).
+std::string RenderExposition(const MetricsSnapshot& snap);
+
+/// One parsed sample line: metric name, optional `le` label, value.
+struct ExpositionSample {
+  std::string name;
+  std::string le;  // empty when the sample has no le label
+  double value = 0;
+
+  bool operator==(const ExpositionSample&) const = default;
+};
+
+/// Outcome of parsing one exposition document. The parser accepts the
+/// subset RenderExposition emits (comments, `# TYPE` lines, samples with an
+/// optional {le="..."} label set) — enough for the round-trip tests and the
+/// bench scrape gate to assert structure, not a general scrape client.
+struct ExpositionParse {
+  std::vector<ExpositionSample> samples;
+  std::map<std::string, std::string> types;  // family → counter|gauge|histogram
+  std::string error;  // empty = whole document parsed
+
+  bool ok() const { return error.empty(); }
+
+  /// True iff a `# TYPE` line declared this family.
+  bool HasFamily(const std::string& family) const {
+    return types.count(family) != 0;
+  }
+
+  /// Value of the sample named exactly `name` (no labels); 0 if absent.
+  double Value(const std::string& name) const;
+
+  /// Cumulative `<family>_bucket` counts in le order, +Inf last. Empty if
+  /// the family has no bucket series.
+  std::vector<double> BucketCounts(const std::string& family) const;
+};
+
+/// Parses a document produced by RenderExposition. Any line that is neither
+/// a comment nor a well-formed sample stops the parse with a positioned
+/// error message.
+ExpositionParse ParseExposition(const std::string& text);
+
+}  // namespace obs
+}  // namespace dcer
+
+#endif  // DCER_OBS_EXPOSITION_H_

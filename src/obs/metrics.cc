@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdlib>
 
 #include "obs/json.h"
@@ -128,6 +129,32 @@ void MetricsRegistry::ResetAll() {
       stripe.sum.store(0, std::memory_order_relaxed);
     }
   }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) < target) continue;
+    if (b == 0) return 0.0;  // bucket 0 holds only the value 0
+    const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(b));
+    const double frac = (target - static_cast<double>(prev)) /
+                        static_cast<double>(buckets[b]);
+    return lo + frac * (hi - lo);
+  }
+  // Unreachable for a consistent snapshot (count == Σ buckets); defend
+  // against a racing hand-built snapshot by answering the largest bound.
+  for (size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] != 0) return std::ldexp(1.0, static_cast<int>(b));
+  }
+  return 0.0;
 }
 
 MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {

@@ -118,6 +118,14 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  // size kBuckets
 
   bool operator==(const HistogramSnapshot&) const = default;
+
+  /// Estimated q-quantile (q in [0, 1]) of the recorded samples, in the
+  /// histogram's base unit. Walks the cumulative bucket counts to the target
+  /// rank and interpolates linearly inside the hit bucket's sample range
+  /// [2^(b-1), 2^b) — the Prometheus histogram_quantile scheme — instead of
+  /// reporting the bucket upper bound, which overstates skewed tails by up
+  /// to 2x. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
 };
 
 /// Point-in-time copy of the whole registry; subtractable, so a phase can

@@ -20,6 +20,8 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
   int depth = 0;
+  uint64_t trace_id = 0;  // 0 = recorded outside any TraceContext
+  uint64_t span_id = 0;
 };
 
 /// Per-thread span buffer. Appends come only from the owning thread; the
@@ -59,6 +61,11 @@ ThreadBuf& LocalBuf() {
 int& LocalDepth() {
   thread_local int depth = 0;
   return depth;
+}
+
+TraceContext& LocalContext() {
+  thread_local TraceContext ctx;
+  return ctx;
 }
 
 uint64_t NowNs() {
@@ -101,6 +108,9 @@ void TraceSpan::Open(std::string name) {
   active_ = true;
   name_ = std::move(name);
   depth_ = LocalDepth()++;
+  const TraceContext& ctx = LocalContext();
+  trace_id_ = ctx.trace_id;
+  span_id_ = ctx.span_id;
   start_ns_ = NowNs();
 }
 
@@ -110,11 +120,38 @@ TraceSpan::~TraceSpan() {
   --LocalDepth();
   ThreadBuf& buf = LocalBuf();
   std::lock_guard<std::mutex> lock(buf.mu);
-  buf.events.push_back(
-      {std::move(name_), start_ns_, end_ns - start_ns_, depth_});
+  buf.events.push_back({std::move(name_), start_ns_, end_ns - start_ns_,
+                        depth_, trace_id_, span_id_});
 }
 
 int TraceSpan::CurrentDepth() { return LocalDepth(); }
+
+TraceContext CurrentTraceContext() { return LocalContext(); }
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  // splitmix64: distinct nonzero ids without coordination; the counter seed
+  // keeps ids unique within the process, which is all stitching needs.
+  uint64_t z = counter.fetch_add(0x9E3779B97F4A7C15ull,
+                                 std::memory_order_relaxed) +
+               0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx) {
+  if (!ctx.valid()) return;
+  TraceContext& cur = LocalContext();
+  prev_ = cur;
+  cur = ctx;
+  installed_ = true;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (installed_) LocalContext() = prev_;
+}
 
 std::string ChromeTraceJson() {
   JsonWriter w;
@@ -133,7 +170,17 @@ std::string ChromeTraceJson() {
       w.KV("dur", static_cast<double>(e.dur_ns) / 1e3);
       w.KV("pid", 1);
       w.KV("tid", buf->tid);
-      w.Key("args").BeginObject().KV("depth", e.depth).EndObject();
+      w.Key("args").BeginObject().KV("depth", e.depth);
+      if (e.trace_id != 0) {
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(e.trace_id));
+        w.KV("trace_id", hex);
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(e.span_id));
+        w.KV("parent_span", hex);
+      }
+      w.EndObject();
       w.EndObject();
     }
   }

@@ -20,7 +20,11 @@ void SetTraceEnabled(bool on);
 /// variable (see obs::InitFromEnv).
 void SetTraceFile(const std::string& path);
 
-/// The collected spans as a Chrome trace_event JSON document.
+/// The collected spans as a Chrome trace_event JSON document. Spans are
+/// recorded only when they *close* (TraceSpan destruction), so a flush
+/// racing live spans — the atexit hook firing mid-drain, a test snapshot
+/// during a chase — serializes completed spans only and never emits torn
+/// JSON; still-open spans are dropped, not half-written.
 std::string ChromeTraceJson();
 
 /// Writes ChromeTraceJson() to `path`.
@@ -31,6 +35,42 @@ void ClearTrace();
 
 /// Number of spans collected so far, across all threads.
 size_t TraceEventCount();
+
+/// Request-scoped trace identity. `trace_id` names the whole request — every
+/// span recorded while a context is installed carries it, across threads and
+/// (via the wire protocol's extended request header) across processes, which
+/// is what lets one Chrome trace stitch client call → daemon handling →
+/// chase rounds. `span_id` names the propagating parent span within the
+/// trace. Zero ids mean "no context".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's installed context (all-zero when none).
+TraceContext CurrentTraceContext();
+
+/// A fresh nonzero 64-bit id (splitmix64 over a process-wide counter).
+uint64_t NewTraceId();
+
+/// Installs `ctx` as the calling thread's trace context for the enclosing
+/// scope and restores the previous one on exit. Installing an invalid
+/// context is a no-op pass-through (the previous context stays visible), so
+/// call sites forward whatever they were handed without checking.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
 
 /// Hierarchical scoped timer: records one complete span (name, thread,
 /// start, duration, nesting depth) on destruction. Nesting is per thread —
@@ -65,6 +105,8 @@ class TraceSpan {
   std::string name_;
   int depth_ = 0;
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;  // captured from the thread's context at open
+  uint64_t span_id_ = 0;
 };
 
 #define DCER_TRACE_CONCAT2(a, b) a##b

@@ -33,9 +33,15 @@ double RunSuperstep(std::vector<std::unique_ptr<Worker>>& workers,
     }
   };
   if (run_parallel) {
+    // Re-install the dispatching thread's trace context on each pool worker
+    // so superstep spans keep the request's trace_id.
+    const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
     TaskGroup group(pool);
     for (size_t w = 0; w < workers.size(); ++w) {
-      group.Run([&run_one, w] { run_one(w); });
+      group.Run([&run_one, w, trace_ctx] {
+        obs::TraceContextScope trace_scope(trace_ctx);
+        run_one(w);
+      });
     }
     group.Wait();
   } else {
@@ -74,9 +80,10 @@ void DMatchReport::ExtraJson(JsonWriter* w) const {
   w->EndObject();
 }
 
-DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
-                    const MlRegistry& registry, const DMatchOptions& options,
-                    MatchContext* result) {
+DMatchReport engine::DMatch(const Dataset& dataset, const RuleSet& rules,
+                            const MlRegistry& registry,
+                            const DMatchOptions& options,
+                            MatchContext* result) {
   obs::InitFromEnv();
   DCER_TRACE("dmatch");
   DMatchReport report;

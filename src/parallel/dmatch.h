@@ -62,20 +62,24 @@ struct DMatchReport : RunReport {
   void ExtraJson(JsonWriter* w) const override;
 };
 
+namespace engine {
+
 /// Parallel deep and collective ER: HyPart-partitions the dataset, runs the
 /// BSP fixpoint (partial evaluation, then incremental supersteps routed
 /// through the master) and leaves Γ = ∪ Γ_i in *result. By Prop. 4/8 the
 /// result equals the sequential Match's Γ, which the tests verify.
 ///
-/// DEPRECATED: new code should open a `dcer::Resolver`
-/// (service/resolver.h) with num_workers > 0 — it runs this exact BSP
-/// fixpoint and adds snapshots, point queries, and incremental Append on
-/// top. This free function remains as a thin compatibility shim for one
-/// release and will then be removed (see DESIGN.md, "Online service &
-/// snapshot isolation").
+/// This is the one-shot BSP *kernel*; application code should open a
+/// `dcer::Resolver` (service/resolver.h) with num_workers > 0 instead — it
+/// runs this exact fixpoint and adds snapshots, point queries, and
+/// incremental Append on top. The kernel stays exposed (in dcer::engine)
+/// for white-box tests, benches and the eval harness. The old deprecated
+/// `dcer::DMatch` shim has been removed.
 DMatchReport DMatch(const Dataset& dataset, const RuleSet& rules,
                     const MlRegistry& registry, const DMatchOptions& options,
                     MatchContext* result);
+
+}  // namespace engine
 
 }  // namespace dcer
 

@@ -56,13 +56,16 @@ void PutHeader(uint8_t tag, std::vector<uint8_t>* out) {
   out->push_back(tag);
 }
 
-WireError ReadHeader(Reader* r, uint8_t* tag_out) {
+WireError ReadHeader(Reader* r, uint8_t* tag_out, uint8_t* version_out) {
   uint8_t magic;
   if (!r->GetByte(&magic)) return WireError::kTruncated;
   if (magic != kMagic) return WireError::kBadMagic;
   uint8_t version;
   if (!r->GetByte(&version)) return WireError::kTruncated;
-  if (version != kWireVersion) return WireError::kVersionMismatch;
+  if (version < kMinWireVersion || version > kWireVersion) {
+    return WireError::kVersionMismatch;
+  }
+  if (version_out != nullptr) *version_out = version;
   if (!r->GetByte(tag_out)) return WireError::kTruncated;
   return WireError::kOk;
 }

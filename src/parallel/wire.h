@@ -27,8 +27,14 @@ namespace wire {
 /// covers the whole protocol so a misrouted frame fails fast as kBadTag.
 
 inline constexpr uint8_t kMagic = 0xDC;
-/// Bumped whenever any frame layout changes incompatibly.
-inline constexpr uint8_t kWireVersion = 0x02;
+/// Bumped whenever any frame layout changes incompatibly. v3 added the
+/// optional trace-context extension to service request frames (a flags byte
+/// after the body start; see service/protocol.h) and the METRICS verb.
+inline constexpr uint8_t kWireVersion = 0x03;
+/// Oldest version this build still decodes. v2 frames are identical to v3
+/// except that service requests carry no flags byte, so v2 peers keep
+/// getting correct answers one release after the bump.
+inline constexpr uint8_t kMinWireVersion = 0x02;
 
 // Frame tags. 0x0_ = data planes, 0x1_+ = service requests, 0x2_ = service
 // responses.
@@ -39,10 +45,12 @@ inline constexpr uint8_t kResolveRequestTag = 0x12;
 inline constexpr uint8_t kSameRequestTag = 0x13;
 inline constexpr uint8_t kStatsRequestTag = 0x14;
 inline constexpr uint8_t kShutdownRequestTag = 0x15;
+inline constexpr uint8_t kMetricsRequestTag = 0x16;  // v3+
 inline constexpr uint8_t kAppendedResponseTag = 0x21;
 inline constexpr uint8_t kEntityResponseTag = 0x22;
 inline constexpr uint8_t kBoolResponseTag = 0x23;
 inline constexpr uint8_t kStatsResponseTag = 0x24;
+inline constexpr uint8_t kMetricsResponseTag = 0x25;  // v3+
 inline constexpr uint8_t kErrorResponseTag = 0x2F;
 
 /// Typed decode outcome. Everything except kOk leaves the output in an
@@ -115,9 +123,14 @@ struct Reader {
 void PutHeader(uint8_t tag, std::vector<uint8_t>* out);
 
 /// Consumes and validates the shared header, storing the frame tag in
-/// *tag_out. Returns kVersionMismatch for a foreign protocol revision before
-/// ever looking at the tag, so old-version peers get a clean typed refusal.
-WireError ReadHeader(Reader* r, uint8_t* tag_out);
+/// *tag_out and (optionally) the peer's version in *version_out. Versions in
+/// [kMinWireVersion, kWireVersion] are accepted — the frame layouts they
+/// share are identical, and version-conditional extensions (the service
+/// request trace context) key off *version_out. Anything outside the window
+/// is refused kVersionMismatch before ever looking at the tag, so foreign
+/// peers get a clean typed refusal.
+WireError ReadHeader(Reader* r, uint8_t* tag_out,
+                     uint8_t* version_out = nullptr);
 
 /// --- Fact batches -----------------------------------------------------------
 ///

@@ -9,10 +9,31 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dcer {
 namespace service {
 
 namespace {
+
+const char* ClientSpanName(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kAppend:
+      return "client.append";
+    case Request::Kind::kResolve:
+      return "client.resolve";
+    case Request::Kind::kSame:
+      return "client.same";
+    case Request::Kind::kStats:
+      return "client.stats";
+    case Request::Kind::kShutdown:
+      return "client.shutdown";
+    case Request::Kind::kMetrics:
+      return "client.metrics";
+  }
+  return "client.call";
+}
 
 Status SendAll(int fd, const uint8_t* data, size_t size) {
   size_t off = 0;
@@ -48,6 +69,9 @@ Status RecvAll(int fd, uint8_t* data, size_t size) {
 ResolverClient::~ResolverClient() { Close(); }
 
 Status ResolverClient::Connect(uint16_t port) {
+  // A pure-client process (no resolver opened) still honors
+  // DCER_TRACE_FILE / DCER_METRICS for its request spans.
+  obs::InitFromEnv();
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
@@ -112,6 +136,16 @@ Status ResolverClient::Call(const Request& req, Response* resp) {
 
 Status ResolverClient::CallKind(Request&& req, Response::Kind expected,
                                 Response* resp) {
+  // Stamp a trace context (one fresh span id per call; the trace id comes
+  // from the installed context when the caller is already inside a traced
+  // scope). The daemon echoes these ids on every span the request triggers.
+  if (obs::TraceEnabled() && !req.trace.valid()) {
+    const obs::TraceContext cur = obs::CurrentTraceContext();
+    req.trace.trace_id = cur.valid() ? cur.trace_id : obs::NewTraceId();
+    req.trace.span_id = obs::NewTraceId();
+  }
+  obs::TraceContextScope trace_scope(req.trace);
+  obs::TraceSpan span(ClientSpanName(req.kind));
   if (Status s = Call(req, resp); !s.ok()) return s;
   if (resp->kind == Response::Kind::kError) {
     return Status::InvalidArgument("daemon refused request: " + resp->text);
@@ -154,6 +188,12 @@ Status ResolverClient::Shutdown(Response* resp) {
   Request req;
   req.kind = Request::Kind::kShutdown;
   return CallKind(std::move(req), Response::Kind::kBool, resp);
+}
+
+Status ResolverClient::Metrics(Response* resp) {
+  Request req;
+  req.kind = Request::Kind::kMetrics;
+  return CallKind(std::move(req), Response::Kind::kMetrics, resp);
 }
 
 }  // namespace service

@@ -40,7 +40,11 @@ class ResolverClient {
   Status SendBytes(const std::vector<uint8_t>& bytes);
 
   // Convenience wrappers; each fails if the reply is an ERROR frame, with
-  // the server's message in the status.
+  // the server's message in the status. When tracing is enabled each wrapper
+  // records a client-side span and stamps the request with a trace context
+  // (reusing the calling thread's trace_id when one is installed, minting a
+  // fresh one otherwise) — the daemon scopes its work under the same ids, so
+  // DCER_TRACE_FILE yields one stitched Chrome trace per request.
   Status Append(const Dataset& schema_source,
                 const std::vector<std::pair<uint32_t, Row>>& rows,
                 Response* resp);
@@ -48,6 +52,9 @@ class ResolverClient {
   Status SameEntity(Gid a, Gid b, Response* resp);
   Status Stats(Response* resp);
   Status Shutdown(Response* resp);
+  /// METRICS verb (v3+): the daemon's registry as Prometheus text in
+  /// resp->text — the same body GET /metrics serves.
+  Status Metrics(Response* resp);
 
  private:
   Status CallKind(Request&& req, Response::Kind expected, Response* resp);

@@ -13,8 +13,9 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
-#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcer {
 namespace service {
@@ -23,6 +24,11 @@ namespace {
 
 double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
+}
+
+uint64_t Nanos(std::chrono::steady_clock::duration d) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+  return ns.count() <= 0 ? 0 : static_cast<uint64_t>(ns.count());
 }
 
 uint32_t ReadLe32(const uint8_t* p) {
@@ -41,7 +47,106 @@ void AppendFramed(const std::vector<uint8_t>& payload,
   out->insert(out->end(), payload.begin(), payload.end());
 }
 
+const char* RequestSpanName(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kAppend:
+      return "dcerd.append.enqueue";
+    case Request::Kind::kResolve:
+      return "dcerd.resolve";
+    case Request::Kind::kSame:
+      return "dcerd.same";
+    case Request::Kind::kStats:
+      return "dcerd.stats";
+    case Request::Kind::kShutdown:
+      return "dcerd.shutdown";
+    case Request::Kind::kMetrics:
+      return "dcerd.metrics";
+  }
+  return "dcerd.request";
+}
+
+const char* RequestKindName(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kAppend:
+      return "append";
+    case Request::Kind::kResolve:
+      return "resolve";
+    case Request::Kind::kSame:
+      return "same";
+    case Request::Kind::kStats:
+      return "stats";
+    case Request::Kind::kShutdown:
+      return "shutdown";
+    case Request::Kind::kMetrics:
+      return "metrics";
+  }
+  return "?";
+}
+
+int OpenLoopbackListener(uint16_t port, int backlog, uint16_t* bound) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(fd, backlog) < 0) {
+    close(fd);
+    return -1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  *bound = ntohs(addr.sin_port);
+  return fd;
+}
+
 }  // namespace
+
+ResolverDaemon::Telemetry::Telemetry() {
+  auto& reg = obs::MetricsRegistry::Global();
+  connections_accepted = reg.GetCounter("dcerd.connections_accepted");
+  connections_closed = reg.GetCounter("dcerd.connections_closed");
+  frames_received = reg.GetCounter("dcerd.frames_received");
+  frames_rejected = reg.GetCounter("dcerd.frames_rejected");
+  append_requests = reg.GetCounter("dcerd.append_requests");
+  tuples_appended = reg.GetCounter("dcerd.tuples_appended");
+  append_batches = reg.GetCounter("dcerd.append_batches");
+  query = reg.GetHistogram("dcerd.query", obs::Histogram::Unit::kNanos);
+  queue_wait =
+      reg.GetHistogram("dcerd.queue_wait", obs::Histogram::Unit::kNanos);
+  exec = reg.GetHistogram("dcerd.exec", obs::Histogram::Unit::kNanos);
+  publish_lag =
+      reg.GetHistogram("dcerd.publish_lag", obs::Histogram::Unit::kNanos);
+  visibility_lag =
+      reg.GetHistogram("dcerd.visibility_lag", obs::Histogram::Unit::kNanos);
+}
+
+void ResolverDaemon::Telemetry::Rebase() {
+  base.connections_accepted = connections_accepted->Value();
+  base.connections_closed = connections_closed->Value();
+  base.frames_received = frames_received->Value();
+  base.frames_rejected = frames_rejected->Value();
+  base.append_requests = append_requests->Value();
+  base.tuples_appended = tuples_appended->Value();
+  base.append_batches = append_batches->Value();
+  base.query_count = query->TotalCount();
+  base.query_sum_ns = query->TotalSum();
+  base.visibility_count = visibility_lag->TotalCount();
+  base.visibility_sum_ns = visibility_lag->TotalSum();
+  max_query_ns.store(0, std::memory_order_relaxed);
+  max_visibility_lag_ns.store(0, std::memory_order_relaxed);
+}
+
+void ResolverDaemon::Telemetry::MergeMax(std::atomic<uint64_t>* slot,
+                                         uint64_t ns) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !slot->compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
 
 ResolverDaemon::ResolverDaemon(std::unique_ptr<Resolver> resolver,
                                DaemonOptions options)
@@ -54,24 +159,19 @@ ResolverDaemon::~ResolverDaemon() { Stop(); }
 Status ResolverDaemon::Start() {
   if (running_.load()) return Status::OK();
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return Status::IOError("socket() failed");
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  listen_fd_ = OpenLoopbackListener(options_.port, options_.backlog, &port_);
+  if (listen_fd_ < 0) return Status::IOError("bind/listen on 127.0.0.1 failed");
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options_.port);
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      listen(listen_fd_, options_.backlog) < 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IOError("bind/listen on 127.0.0.1 failed");
+  if (options_.metrics_port >= 0) {
+    metrics_listen_fd_ = OpenLoopbackListener(
+        static_cast<uint16_t>(options_.metrics_port), options_.backlog,
+        &metrics_port_);
+    if (metrics_listen_fd_ < 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IOError("bind/listen for --metrics_port failed");
+    }
   }
-  socklen_t addr_len = sizeof(addr);
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
 
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
@@ -79,7 +179,8 @@ Status ResolverDaemon::Start() {
     if (epoll_fd_ >= 0) close(epoll_fd_);
     if (wake_fd_ >= 0) close(wake_fd_);
     close(listen_fd_);
-    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    if (metrics_listen_fd_ >= 0) close(metrics_listen_fd_);
+    listen_fd_ = metrics_listen_fd_ = epoll_fd_ = wake_fd_ = -1;
     return Status::IOError("epoll/eventfd setup failed");
   }
 
@@ -89,7 +190,12 @@ Status ResolverDaemon::Start() {
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   ev.data.fd = wake_fd_;
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (metrics_listen_fd_ >= 0) {
+    ev.data.fd = metrics_listen_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, metrics_listen_fd_, &ev);
+  }
 
+  telemetry_.Rebase();
   stop_requested_.store(false);
   running_.store(true);
   loop_ = std::thread([this] { LoopThread(); });
@@ -108,14 +214,41 @@ void ResolverDaemon::Stop() {
   conns_.clear();
   conns_by_id_.clear();
   if (listen_fd_ >= 0) close(listen_fd_);
+  if (metrics_listen_fd_ >= 0) close(metrics_listen_fd_);
   if (epoll_fd_ >= 0) close(epoll_fd_);
   if (wake_fd_ >= 0) close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  listen_fd_ = metrics_listen_fd_ = epoll_fd_ = wake_fd_ = -1;
 }
 
 DaemonStats ResolverDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  const Telemetry& t = telemetry_;
+  DaemonStats s;
+  s.connections_accepted =
+      t.connections_accepted->Value() - t.base.connections_accepted;
+  s.connections_closed =
+      t.connections_closed->Value() - t.base.connections_closed;
+  s.frames_received = t.frames_received->Value() - t.base.frames_received;
+  s.frames_rejected = t.frames_rejected->Value() - t.base.frames_rejected;
+  s.append_requests = t.append_requests->Value() - t.base.append_requests;
+  s.tuples_appended = t.tuples_appended->Value() - t.base.tuples_appended;
+  s.append_batches = t.append_batches->Value() - t.base.append_batches;
+  s.queries_served = t.query->TotalCount() - t.base.query_count;
+  s.total_query_seconds =
+      static_cast<double>(t.query->TotalSum() - t.base.query_sum_ns) / 1e9;
+  s.max_query_seconds =
+      static_cast<double>(t.max_query_ns.load(std::memory_order_relaxed)) /
+      1e9;
+  s.visibility_lag_samples =
+      t.visibility_lag->TotalCount() - t.base.visibility_count;
+  s.total_visibility_lag_seconds =
+      static_cast<double>(t.visibility_lag->TotalSum() -
+                          t.base.visibility_sum_ns) /
+      1e9;
+  s.max_visibility_lag_seconds =
+      static_cast<double>(
+          t.max_visibility_lag_ns.load(std::memory_order_relaxed)) /
+      1e9;
+  return s;
 }
 
 std::string ResolverDaemon::StatsJson() const {
@@ -140,8 +273,20 @@ std::string ResolverDaemon::StatsJson() const {
   w.KV("visibility_lag_samples", s.visibility_lag_samples);
   w.KV("total_visibility_lag_seconds", s.total_visibility_lag_seconds);
   w.KV("max_visibility_lag_seconds", s.max_visibility_lag_seconds);
+  // Interpolated quantiles over the whole-process dcerd.query histogram —
+  // scrape-friendly mirrors of what bench/micro_core measures exactly.
+  const auto snap = obs::MetricsRegistry::Global().Snapshot();
+  auto it = snap.histograms.find("dcerd.query");
+  if (it != snap.histograms.end() && it->second.count > 0) {
+    w.KV("query_p50_seconds", it->second.Quantile(0.5) / 1e9);
+    w.KV("query_p99_seconds", it->second.Quantile(0.99) / 1e9);
+  }
   w.EndObject();
   return w.str();
+}
+
+std::string ResolverDaemon::MetricsText() const {
+  return obs::RenderExposition(obs::MetricsRegistry::Global().Snapshot());
 }
 
 void ResolverDaemon::WakeLoop() {
@@ -161,7 +306,11 @@ void ResolverDaemon::LoopThread() {
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
-        AcceptAll();
+        AcceptAll(listen_fd_, /*http=*/false);
+        continue;
+      }
+      if (fd == metrics_listen_fd_) {
+        AcceptAll(metrics_listen_fd_, /*http=*/true);
         continue;
       }
       if (fd == wake_fd_) {
@@ -194,10 +343,10 @@ void ResolverDaemon::LoopThread() {
   }
 }
 
-void ResolverDaemon::AcceptAll() {
+void ResolverDaemon::AcceptAll(int listen_fd, bool http) {
   while (true) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd =
+        accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or a transient error: nothing more to accept
@@ -207,14 +356,14 @@ void ResolverDaemon::AcceptAll() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->http = http;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
     conns_by_id_[conn->id] = conn.get();
     conns_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_accepted;
+    telemetry_.connections_accepted->Increment();
   }
 }
 
@@ -238,7 +387,65 @@ void ResolverDaemon::HandleReadable(Connection* c) {
     CloseConnection(c);
     return;
   }
-  ParseFrames(c);
+  if (c->http) {
+    ParseHttp(c);
+  } else {
+    ParseFrames(c);
+  }
+}
+
+bool ResolverDaemon::ParseHttp(Connection* c) {
+  // Minimal HTTP/1.0-style server: one GET per connection, reply, close.
+  // The request is complete at the first blank line (no bodies on GET).
+  static constexpr size_t kMaxHttpRequest = 16 * 1024;
+  const std::string_view in(reinterpret_cast<const char*>(c->in.data()),
+                            c->in.size());
+  const size_t end = in.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    if (c->in.size() > kMaxHttpRequest) {
+      CloseConnection(c);
+      return false;
+    }
+    return true;  // headers not complete yet
+  }
+  const size_t line_end = in.find("\r\n");
+  const std::string_view request_line = in.substr(0, line_end);
+
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "not found\n";
+  if (request_line.rfind("GET ", 0) == 0) {
+    const size_t path_end = request_line.find(' ', 4);
+    const std::string_view path =
+        request_line.substr(4, path_end == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : path_end - 4);
+    if (path == "/metrics") {
+      status = "200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = MetricsText();
+    } else if (path == "/healthz") {
+      status = "200 OK";
+      body = "ok\n";
+    }
+  } else {
+    status = "405 Method Not Allowed";
+    body = "only GET is served here\n";
+  }
+
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  c->out.insert(c->out.end(), resp.begin(), resp.end());
+  c->in.clear();
+  c->in_off = 0;
+  c->close_after_flush = true;
+  telemetry_.frames_received->Increment();
+  // FlushOutput may close (and free) the connection once the reply drains.
+  const int fd = c->fd;
+  FlushOutput(c);
+  return conns_.count(fd) > 0;
 }
 
 bool ResolverDaemon::ParseFrames(Connection* c) {
@@ -247,10 +454,7 @@ bool ResolverDaemon::ParseFrames(Connection* c) {
     if (len > options_.max_frame_bytes) {
       // A garbage length prefix means the stream can never resync — refuse
       // and drop the connection once the error reply flushes.
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.frames_rejected;
-      }
+      telemetry_.frames_rejected->Increment();
       Response err;
       err.kind = Response::Kind::kError;
       err.error = wire::WireError::kMalformed;
@@ -279,10 +483,7 @@ bool ResolverDaemon::ParseFrames(Connection* c) {
 void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
                                  size_t size) {
   const Clock::time_point t0 = Clock::now();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.frames_received;
-  }
+  telemetry_.frames_received->Increment();
 
   Request req;
   const wire::WireError decode_err = DecodeRequest(data, size, &req);
@@ -290,10 +491,7 @@ void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
     // Typed refusal — a frame from an old protocol revision (or garbage)
     // gets an ERROR reply naming the reason; the stream itself stays in
     // sync because framing is length-prefixed, so the connection survives.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.frames_rejected;
-    }
+    telemetry_.frames_rejected->Increment();
     Response err;
     err.kind = Response::Kind::kError;
     err.error = decode_err;
@@ -302,12 +500,14 @@ void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
     return;
   }
 
+  // Everything this request triggers on this thread records under the
+  // client's trace context (a v2 peer or traceless client scopes nothing).
+  obs::TraceContextScope trace_scope(req.trace);
+  obs::TraceSpan span(RequestSpanName(req.kind));
+
   switch (req.kind) {
     case Request::Kind::kAppend: {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.append_requests;
-      }
+      telemetry_.append_requests->Increment();
       std::lock_guard<std::mutex> lock(queue_mu_);
       pending_appends_.push_back({c->id, std::move(req), t0});
       MaybeStartChaseLocked();
@@ -339,6 +539,14 @@ void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
       QueueResponse(c, resp);
       break;
     }
+    case Request::Kind::kMetrics: {
+      Response resp;
+      resp.kind = Response::Kind::kMetrics;
+      resp.text = MetricsText();
+      resp.snapshot_version = resolver_->Snapshot()->version();
+      QueueResponse(c, resp);
+      break;
+    }
     case Request::Kind::kShutdown: {
       Response resp;
       resp.kind = Response::Kind::kBool;
@@ -350,19 +558,15 @@ void ResolverDaemon::HandleFrame(Connection* c, const uint8_t* data,
     }
   }
 
-  const double query_seconds = Seconds(Clock::now() - t0);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.queries_served;
-    stats_.total_query_seconds += query_seconds;
-    if (query_seconds > stats_.max_query_seconds) {
-      stats_.max_query_seconds = query_seconds;
-    }
-  }
-  if (obs::MetricsEnabled()) {
-    static obs::Histogram* hist = obs::MetricsRegistry::Global().GetHistogram(
-        "service.query_seconds", obs::Histogram::Unit::kNanos);
-    hist->RecordSeconds(query_seconds);
+  const uint64_t query_ns = Nanos(Clock::now() - t0);
+  telemetry_.query->Record(query_ns);
+  telemetry_.MergeMax(&telemetry_.max_query_ns, query_ns);
+  if (options_.slow_query_ms > 0 &&
+      query_ns >= uint64_t{options_.slow_query_ms} * 1000000ull) {
+    DCER_SLOG_LIMITED(Warning, "slow_query", 5.0)
+        .KV("kind", RequestKindName(req.kind))
+        .KV("trace_id", TraceIdHex(req.trace.trace_id))
+        .KV("elapsed_ms", static_cast<double>(query_ns) / 1e6);
   }
 }
 
@@ -415,17 +619,21 @@ void ResolverDaemon::CloseConnection(Connection* c) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
   close(c->fd);
   conns_.erase(c->fd);  // destroys c
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.connections_closed;
+  telemetry_.connections_closed->Increment();
 }
 
 void ResolverDaemon::DrainCompleted() {
+  const Clock::time_point now = Clock::now();
   std::vector<Outgoing> done;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     done.swap(completed_);
   }
   for (Outgoing& o : done) {
+    if (o.published != Clock::time_point{}) {
+      // Published snapshot → reply bytes handed to the socket layer.
+      telemetry_.publish_lag->Record(Nanos(now - o.published));
+    }
     auto it = conns_by_id_.find(o.conn_id);
     if (it == conns_by_id_.end()) continue;  // client went away; drop reply
     Connection* c = it->second;
@@ -451,6 +659,23 @@ void ResolverDaemon::ChaseDrain() {
       }
       works.swap(pending_appends_);
     }
+    const Clock::time_point drain_start = Clock::now();
+    for (const AppendWork& w : works) {
+      telemetry_.queue_wait->Record(Nanos(drain_start - w.arrival));
+    }
+
+    // A merged micro-batch runs as one fixpoint; its spans are attributed to
+    // the first traced request in the batch (the common case — one request
+    // per drain — attributes exactly).
+    obs::TraceContext batch_ctx;
+    for (const AppendWork& w : works) {
+      if (w.request.trace.valid()) {
+        batch_ctx = w.request.trace;
+        break;
+      }
+    }
+    obs::TraceContextScope trace_scope(batch_ctx);
+    obs::TraceSpan drain_span("dcerd.drain");
 
     // Decode every queued request; all valid ones merge into one micro-batch
     // and share one update-driven fixpoint (everything that arrived while
@@ -484,9 +709,12 @@ void ResolverDaemon::ChaseDrain() {
       }
     }
 
+    const size_t merged_tuples = merged.size();
     AppendOutcome outcome;
     if (!merged.empty()) outcome = resolver_->Append(std::move(merged));
     const Clock::time_point published = Clock::now();
+    const uint64_t exec_ns = Nanos(published - drain_start);
+    telemetry_.exec->Record(exec_ns);
 
     for (const Decoded& d : decoded) {
       Response resp;
@@ -499,28 +727,30 @@ void ResolverDaemon::ChaseDrain() {
       std::vector<uint8_t> payload;
       EncodeResponse(resp, &payload);
       AppendFramed(payload, &replies[d.work].frame);
+      replies[d.work].published = published;
 
-      const double lag = Seconds(published - works[d.work].arrival);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.visibility_lag_samples;
-        stats_.total_visibility_lag_seconds += lag;
-        if (lag > stats_.max_visibility_lag_seconds) {
-          stats_.max_visibility_lag_seconds = lag;
-        }
-      }
-      if (obs::MetricsEnabled()) {
-        static obs::Histogram* hist =
-            obs::MetricsRegistry::Global().GetHistogram(
-                "service.visibility_lag_seconds",
-                obs::Histogram::Unit::kNanos);
-        hist->RecordSeconds(lag);
+      const uint64_t lag_ns = Nanos(published - works[d.work].arrival);
+      telemetry_.visibility_lag->Record(lag_ns);
+      telemetry_.MergeMax(&telemetry_.max_visibility_lag_ns, lag_ns);
+      if (options_.slow_query_ms > 0 &&
+          lag_ns >= uint64_t{options_.slow_query_ms} * 1000000ull) {
+        const Request& r = works[d.work].request;
+        DCER_SLOG_LIMITED(Warning, "slow_query", 5.0)
+            .KV("kind", "append")
+            .KV("trace_id", TraceIdHex(r.trace.trace_id))
+            .KV("batch_tuples", static_cast<uint64_t>(d.num_tuples))
+            .KV("merged_tuples", static_cast<uint64_t>(merged_tuples))
+            .KV("rounds", outcome.report.rounds)
+            .KV("seeded_joins", outcome.report.chase.seeded_joins)
+            .KV("queue_wait_ms",
+                Seconds(drain_start - works[d.work].arrival) * 1e3)
+            .KV("exec_ms", static_cast<double>(exec_ns) / 1e6)
+            .KV("elapsed_ms", static_cast<double>(lag_ns) / 1e6);
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      if (!merged.empty() || !decoded.empty()) ++stats_.append_batches;
-      stats_.tuples_appended += outcome.gids.size();
+    if (!decoded.empty()) {
+      telemetry_.append_batches->Increment();
+      telemetry_.tuples_appended->Add(outcome.gids.size());
     }
 
     {

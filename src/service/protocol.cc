@@ -28,9 +28,14 @@ uint8_t RequestTag(Request::Kind kind) {
       return wire::kStatsRequestTag;
     case Request::Kind::kShutdown:
       return wire::kShutdownRequestTag;
+    case Request::Kind::kMetrics:
+      return wire::kMetricsRequestTag;
   }
   return wire::kStatsRequestTag;
 }
+
+// v3 request flags byte.
+constexpr uint8_t kFlagTraceContext = 0x01;
 
 uint8_t ResponseTag(Response::Kind kind) {
   switch (kind) {
@@ -42,6 +47,8 @@ uint8_t ResponseTag(Response::Kind kind) {
       return wire::kBoolResponseTag;
     case Response::Kind::kStats:
       return wire::kStatsResponseTag;
+    case Response::Kind::kMetrics:
+      return wire::kMetricsResponseTag;
     case Response::Kind::kError:
       return wire::kErrorResponseTag;
   }
@@ -97,6 +104,13 @@ WireError GetLengthPrefixedBytes(Reader* r, std::vector<uint8_t>* out) {
 void EncodeRequest(const Request& req, std::vector<uint8_t>* out) {
   out->clear();
   PutHeader(RequestTag(req.kind), out);
+  if (req.trace.valid()) {
+    out->push_back(kFlagTraceContext);
+    wire::PutFixed64(req.trace.trace_id, out);
+    wire::PutFixed64(req.trace.span_id, out);
+  } else {
+    out->push_back(0);
+  }
   switch (req.kind) {
     case Request::Kind::kAppend:
       PutVarint(req.blocks.size(), out);
@@ -115,6 +129,7 @@ void EncodeRequest(const Request& req, std::vector<uint8_t>* out) {
       break;
     case Request::Kind::kStats:
     case Request::Kind::kShutdown:
+    case Request::Kind::kMetrics:
       break;
   }
 }
@@ -124,8 +139,34 @@ wire::WireError DecodeRequest(const uint8_t* data, size_t size,
   *out = Request{};
   Reader r{data, data + size};
   uint8_t tag;
-  if (const WireError err = ReadHeader(&r, &tag); err != WireError::kOk) {
+  uint8_t version;
+  if (const WireError err = ReadHeader(&r, &tag, &version);
+      err != WireError::kOk) {
     return err;
+  }
+  // Refuse unknown verbs before touching the body — the tag lives in the
+  // header, so a bad tag must report kBadTag even on a header-only frame.
+  switch (tag) {
+    case wire::kAppendRequestTag:
+    case wire::kResolveRequestTag:
+    case wire::kSameRequestTag:
+    case wire::kStatsRequestTag:
+    case wire::kShutdownRequestTag:
+    case wire::kMetricsRequestTag:
+      break;
+    default:
+      return WireError::kBadTag;
+  }
+  if (version >= 0x03) {
+    uint8_t flags;
+    if (!r.GetByte(&flags)) return WireError::kTruncated;
+    if ((flags & ~kFlagTraceContext) != 0) return WireError::kMalformed;
+    if (flags & kFlagTraceContext) {
+      if (!r.GetFixed64(&out->trace.trace_id) ||
+          !r.GetFixed64(&out->trace.span_id)) {
+        return WireError::kTruncated;
+      }
+    }
   }
   switch (tag) {
     case wire::kAppendRequestTag: {
@@ -169,6 +210,9 @@ wire::WireError DecodeRequest(const uint8_t* data, size_t size,
     case wire::kShutdownRequestTag:
       out->kind = Request::Kind::kShutdown;
       break;
+    case wire::kMetricsRequestTag:
+      out->kind = Request::Kind::kMetrics;
+      break;
     default:
       return WireError::kBadTag;
   }
@@ -189,6 +233,7 @@ void EncodeResponse(const Response& resp, std::vector<uint8_t>* out) {
       out->push_back(resp.value ? 1 : 0);
       break;
     case Response::Kind::kStats:
+    case Response::Kind::kMetrics:
       PutVarint(resp.snapshot_version, out);
       PutVarint(resp.text.size(), out);
       out->insert(out->end(), resp.text.begin(), resp.text.end());
@@ -230,8 +275,10 @@ wire::WireError DecodeResponse(const uint8_t* data, size_t size,
       out->value = v == 1;
       break;
     }
-    case wire::kStatsResponseTag: {
-      out->kind = Response::Kind::kStats;
+    case wire::kStatsResponseTag:
+    case wire::kMetricsResponseTag: {
+      out->kind = tag == wire::kStatsResponseTag ? Response::Kind::kStats
+                                                 : Response::Kind::kMetrics;
       if (!r.GetVarint(&out->snapshot_version)) return WireError::kTruncated;
       std::vector<uint8_t> bytes;
       if (const WireError err = GetLengthPrefixedBytes(&r, &bytes);

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/wire.h"
 #include "relational/dataset.h"
 #include "service/resolver.h"
@@ -20,7 +21,16 @@ namespace service {
 /// columnar tuple-block codec — the ingest plane reuses the data plane's
 /// format byte for byte.
 ///
-/// Frame bodies (after the 3-byte header; all varints as in wire.h):
+/// Frame bodies (after the 3-byte header; all varints as in wire.h).
+///
+/// Version-3 request frames open with one flags byte before the body below;
+/// bit 0 set means a trace-context extension follows immediately: fixed64
+/// trace_id, fixed64 span_id (the client's ids — the daemon scopes all work
+/// the request triggers under them, which is what stitches a Chrome trace
+/// across the socket). All other flag bits must be zero. Version-2 request
+/// frames carry no flags byte and decode exactly as before, so one-release-
+/// old clients keep working — they simply produce traceless requests.
+/// Response frames are identical in v2 and v3.
 ///
 ///   APPEND    varint num_blocks, then per block:
 ///               varint relation_index, varint length, <tuple-block frame>
@@ -28,6 +38,7 @@ namespace service {
 ///   SAME      varint a, varint b
 ///   STATS     (empty)
 ///   SHUTDOWN  (empty)
+///   METRICS   (empty; v3+)
 ///
 ///   APPENDED  varint snapshot_version, varint n, first gid varint then
 ///             zigzag deltas (batch order)
@@ -35,25 +46,43 @@ namespace service {
 ///             zigzag deltas (sorted members)
 ///   BOOL      varint snapshot_version, one byte 0/1
 ///   STATS_R   varint snapshot_version, varint length, raw JSON bytes
+///   METRICS_R varint snapshot_version, varint length, raw Prometheus text
 ///   ERROR     one byte WireError code, varint length, raw message bytes
 
 struct Request {
-  enum class Kind : uint8_t { kAppend, kResolve, kSame, kStats, kShutdown };
+  enum class Kind : uint8_t {
+    kAppend,
+    kResolve,
+    kSame,
+    kStats,
+    kShutdown,
+    kMetrics
+  };
   Kind kind = Kind::kStats;
   /// kAppend: encoded tuple-block frames, one per destination relation.
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> blocks;
   Gid gid = 0;  // kResolve
   Gid a = 0;    // kSame
   Gid b = 0;
+  /// Trace context the client stamped on the frame (invalid = none sent, or
+  /// a v2 peer). Encoded only when valid.
+  obs::TraceContext trace;
 };
 
 struct Response {
-  enum class Kind : uint8_t { kAppended, kEntity, kBool, kStats, kError };
+  enum class Kind : uint8_t {
+    kAppended,
+    kEntity,
+    kBool,
+    kStats,
+    kMetrics,
+    kError
+  };
   Kind kind = Kind::kError;
   std::vector<Gid> gids;  // kAppended: assigned gids; kEntity: class members
   uint64_t snapshot_version = 0;
   bool value = false;  // kBool
-  std::string text;    // kStats: JSON body; kError: human-readable message
+  std::string text;  // kStats: JSON; kMetrics: exposition text; kError: message
   wire::WireError error = wire::WireError::kOk;  // kError
 };
 

@@ -3,6 +3,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcer {
 
@@ -38,7 +40,7 @@ DMatchOptions ToDMatchOptions(const ResolverOptions& options) {
 
 void Resolver::RunOpenFixpoint() {
   if (options_.num_workers > 0) {
-    open_dmatch_report_ = std::make_unique<DMatchReport>(DMatch(
+    open_dmatch_report_ = std::make_unique<DMatchReport>(engine::DMatch(
         *dataset_, rules_, *registry_, ToDMatchOptions(options_), ctx_.get()));
     // The incremental engine (and its dependency store) is built lazily on
     // the first Append; queries only need the published snapshot.
@@ -55,6 +57,7 @@ void Resolver::RunOpenFixpoint() {
 std::unique_ptr<Resolver> Resolver::Open(Dataset&& dataset, RuleSet rules,
                                          const MlRegistry* registry,
                                          ResolverOptions options) {
+  obs::InitFromEnv();  // sequential opens never reach the kernels' init
   auto owned = std::make_unique<Dataset>(std::move(dataset));
   std::unique_ptr<Resolver> r(new Resolver(std::move(owned), nullptr,
                                            std::move(rules), registry,
@@ -67,6 +70,7 @@ std::unique_ptr<Resolver> Resolver::OpenBorrowed(const Dataset& dataset,
                                                  RuleSet rules,
                                                  const MlRegistry* registry,
                                                  ResolverOptions options) {
+  obs::InitFromEnv();
   std::unique_ptr<Resolver> r(new Resolver(nullptr, &dataset,
                                            std::move(rules), registry,
                                            options));
@@ -89,8 +93,7 @@ MatchReport Resolver::RunToFixpoint(Delta delta) {
   // call reaches the fixpoint.
   Delta rest;
   engine_->IncDeduce(delta, &rest);
-  // Per-call stats: difference against the engine's running counters (the
-  // same diffing IncrementalMatcher::RunToFixpoint did).
+  // Per-call stats: difference against the engine's running counters.
   ChaseStats now = engine_->stats();
   report.chase = now;
   report.chase.valuations -= stats_before_.valuations;
@@ -124,7 +127,12 @@ std::shared_ptr<const GammaSnapshot> Resolver::Snapshot() const {
   return snapshot_;
 }
 
+const ProvenanceLog* Resolver::provenance() const {
+  return ctx_->provenance();
+}
+
 AppendOutcome Resolver::Append(TupleBatch batch) {
+  DCER_TRACE("resolver.append");
   AppendOutcome out;
   if (!owned_dataset_) {
     DCER_LOG(Warning) << "Append refused: resolver borrows its dataset";

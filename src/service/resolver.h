@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "chase/gamma_snapshot.h"
-#include "chase/incremental.h"
 #include "chase/match.h"
 #include "parallel/dmatch.h"
 
@@ -59,8 +58,10 @@ struct AppendOutcome {
 };
 
 /// The unified entry point for deep and collective ER — the facade that
-/// subsumes the older free functions `Match` (sequential), `DMatch` (BSP
-/// parallel) and the `IncrementalMatcher` wrapper. Open() chases the initial
+/// subsumed the old public free functions `Match` (sequential), `DMatch`
+/// (BSP parallel) and the `IncrementalMatcher` wrapper, all since removed
+/// (the fixpoint kernels live on as `engine::Match` / `engine::DMatch` for
+/// white-box tests and benches). Open() chases the initial
 /// dataset to its fixpoint; Append() extends Γ incrementally per batch
 /// (update-driven IncDeduce, Sec. V-A Remark); Resolve()/SameEntity() answer
 /// point queries; Snapshot() hands out the immutable Γ view those queries
@@ -116,6 +117,10 @@ class Resolver {
   const MlRegistry& registry() const { return *registry_; }
   const ResolverOptions& options() const { return options_; }
   bool owns_dataset() const { return owned_dataset_ != nullptr; }
+
+  /// Rule/fact provenance recorded by the fixpoints (Explain()); non-null
+  /// only when opened with enable_provenance and num_workers == 0.
+  const ProvenanceLog* provenance() const;
 
   /// Report of the Open-time fixpoint. For a sequential open match_report()
   /// is set; for a DMatch open dmatch_report() is set instead (with the BSP

@@ -235,7 +235,7 @@ TEST(MatchTest, PaperExampleDeducesExactlyTheExpectedMatches) {
   auto ex = MakePaperExample();
   DatasetView view = DatasetView::Full(ex->dataset);
   MatchContext ctx(ex->dataset);
-  MatchReport report = Match(view, ex->rules, ex->registry, {}, &ctx);
+  MatchReport report = engine::Match(view, ex->rules, ex->registry, {}, &ctx);
 
   EXPECT_EQ(ctx.MatchedPairs(), ExpectedPaperMatches(*ex));
   EXPECT_EQ(report.matched_pairs, 6u);
@@ -265,7 +265,7 @@ TEST(MatchTest, RecursionIsRequired) {
   }
   DatasetView view = DatasetView::Full(ex->dataset);
   MatchContext ctx(ex->dataset);
-  Match(view, reduced, ex->registry, {}, &ctx);
+  engine::Match(view, reduced, ex->registry, {}, &ctx);
   EXPECT_FALSE(ctx.Matched(ex->t[12], ex->t[13]));
   EXPECT_FALSE(ctx.Matched(ex->t[1], ex->t[3]));
   EXPECT_FALSE(ctx.Matched(ex->t[1], ex->t[2]));
@@ -278,7 +278,7 @@ TEST(MatchTest, AgreesWithNaiveChase) {
   DatasetView view = DatasetView::Full(ex->dataset);
 
   MatchContext fast(ex->dataset);
-  Match(view, ex->rules, ex->registry, {}, &fast);
+  engine::Match(view, ex->rules, ex->registry, {}, &fast);
 
   MatchContext naive(ex->dataset);
   NaiveChase(view, ex->rules, ex->registry, &naive);
@@ -312,7 +312,7 @@ TEST(MatchTest, ChurchRosserRuleOrderIndependence) {
     RuleSet permuted;
     for (size_t i : order) permuted.Add(ex->rules.rule(i));
     MatchContext ctx2(ex->dataset);
-    Match(view, permuted, ex->registry, {}, &ctx2);
+    engine::Match(view, permuted, ex->registry, {}, &ctx2);
     EXPECT_EQ(ctx2.MatchedPairs(), expected_pairs) << "trial " << trial;
   }
 }
@@ -326,7 +326,7 @@ TEST(MatchTest, DependencyCapacityDoesNotAffectFixpoint) {
     MatchOptions options;
     options.dependency_capacity = capacity;
     MatchContext ctx(ex->dataset);
-    Match(view, ex->rules, ex->registry, options, &ctx);
+    engine::Match(view, ex->rules, ex->registry, options, &ctx);
     if (expected.empty()) {
       expected = ctx.MatchedPairs();
       EXPECT_EQ(expected.size(), 6u);
@@ -342,11 +342,11 @@ TEST(MatchTest, MqoToggleDoesNotAffectFixpoint) {
   MatchContext with_mqo(ex->dataset);
   MatchOptions opt;
   opt.use_mqo = true;
-  Match(view, ex->rules, ex->registry, opt, &with_mqo);
+  engine::Match(view, ex->rules, ex->registry, opt, &with_mqo);
 
   MatchContext without(ex->dataset);
   opt.use_mqo = false;
-  MatchReport report = Match(view, ex->rules, ex->registry, opt, &without);
+  MatchReport report = engine::Match(view, ex->rules, ex->registry, opt, &without);
   EXPECT_EQ(with_mqo.MatchedPairs(), without.MatchedPairs());
   // noMQO builds strictly more indices (per-rule duplication).
   EXPECT_GT(report.chase.indices_built, 0u);
@@ -357,7 +357,7 @@ TEST(MatchTest, FixpointIsStable) {
   auto ex = MakePaperExample();
   DatasetView view = DatasetView::Full(ex->dataset);
   MatchContext ctx(ex->dataset);
-  Match(view, ex->rules, ex->registry, {}, &ctx);
+  engine::Match(view, ex->rules, ex->registry, {}, &ctx);
   uint64_t pairs = ctx.num_matched_pairs();
   size_t ml = ctx.num_validated_ml();
 
@@ -374,7 +374,7 @@ TEST(MatchTest, ProvenanceExplainsTheFraudChain) {
   MatchContext ctx(ex->dataset);
   MatchOptions options;
   options.enable_provenance = true;
-  Match(view, ex->rules, ex->registry, options, &ctx);
+  engine::Match(view, ex->rules, ex->registry, options, &ctx);
   ASSERT_NE(ctx.provenance(), nullptr);
   std::string why =
       ctx.provenance()->Explain(ex->dataset, ex->rules, ex->t[1], ex->t[2]);
@@ -434,7 +434,7 @@ TEST_P(ChainTest, AllLevelsMatchRegardlessOfDependencyCapacity) {
   MatchOptions options;
   options.dependency_capacity = GetParam();
   MatchContext ctx(fx->dataset);
-  Match(view, fx->rules, fx->registry, options, &ctx);
+  engine::Match(view, fx->rules, fx->registry, options, &ctx);
   for (int i = 0; i < kDepth; ++i) {
     EXPECT_TRUE(ctx.Matched(fx->a[i], fx->b[i])) << "level " << i;
   }
@@ -451,7 +451,7 @@ TEST(ChainTest2, MatchesNaiveOnChains) {
   auto fx = MakeChain(6);
   DatasetView view = DatasetView::Full(fx->dataset);
   MatchContext fast(fx->dataset);
-  Match(view, fx->rules, fx->registry, {}, &fast);
+  engine::Match(view, fx->rules, fx->registry, {}, &fast);
   MatchContext naive(fx->dataset);
   NaiveChase(view, fx->rules, fx->registry, &naive);
   EXPECT_EQ(fast.MatchedPairs(), naive.MatchedPairs());
@@ -484,7 +484,7 @@ TEST(ValidatedMlTest, ValidationEnablesDownstreamRule) {
 
   DatasetView view = DatasetView::Full(d);
   MatchContext ctx(d);
-  Match(view, rules, registry, {}, &ctx);
+  engine::Match(view, rules, registry, {}, &ctx);
   EXPECT_TRUE(ctx.Matched(x, y));
 
   MatchContext naive(d);
@@ -495,7 +495,7 @@ TEST(ValidatedMlTest, ValidationEnablesDownstreamRule) {
   RuleSet only_consumer;
   only_consumer.Add(rules.rule(0));
   MatchContext ctx2(d);
-  Match(view, only_consumer, registry, {}, &ctx2);
+  engine::Match(view, only_consumer, registry, {}, &ctx2);
   EXPECT_FALSE(ctx2.Matched(x, y));
 }
 
@@ -534,7 +534,7 @@ TEST(RandomizedChaseTest, MatchEqualsNaiveOnRandomInstances) {
 
     DatasetView view = DatasetView::Full(d);
     MatchContext fast(d);
-    Match(view, rules, registry, {}, &fast);
+    engine::Match(view, rules, registry, {}, &fast);
     MatchContext naive(d);
     NaiveChase(view, rules, registry, &naive);
     EXPECT_EQ(fast.MatchedPairs(), naive.MatchedPairs()) << "seed " << seed;

@@ -287,7 +287,7 @@ struct GoldenCase {
 uint64_t RunWorkload(const GenDataset& gd, size_t* tuples, size_t* pairs) {
   DatasetView view = DatasetView::Full(gd.dataset);
   MatchContext ctx(gd.dataset);
-  Match(view, gd.rules, gd.registry, {}, &ctx);
+  engine::Match(view, gd.rules, gd.registry, {}, &ctx);
   auto matched = ctx.MatchedPairs();
   *tuples = gd.dataset.num_tuples();
   *pairs = matched.size();

@@ -68,7 +68,7 @@ void CheckGenerated(const GenDataset& gd) {
 double MatchF1(const GenDataset& gd) {
   DatasetView view = DatasetView::Full(gd.dataset);
   MatchContext ctx(gd.dataset);
-  Match(view, gd.rules, gd.registry, {}, &ctx);
+  engine::Match(view, gd.rules, gd.registry, {}, &ctx);
   return gd.truth.Evaluate(ctx.MatchedPairs()).f1;
 }
 
@@ -140,7 +140,7 @@ TEST(TpchTest, RecursionChainRequiresThreeLevels) {
   }
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext ctx(gd->dataset);
-  Match(view, without_rn, gd->registry, {}, &ctx);
+  engine::Match(view, without_rn, gd->registry, {}, &ctx);
   double crippled = gd->truth.Evaluate(ctx.MatchedPairs()).f1;
   EXPECT_GT(full, crippled + 0.1);
 }
@@ -179,7 +179,7 @@ TEST(MagellanTest, AcmDblpMatchesAreCrossRelation) {
   auto gd = MakeAcmDblp(options);
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext ctx(gd->dataset);
-  Match(view, gd->rules, gd->registry, {}, &ctx);
+  engine::Match(view, gd->rules, gd->registry, {}, &ctx);
   for (auto [a, b] : ctx.MatchedPairs()) {
     EXPECT_NE(gd->dataset.relation_of(a), gd->dataset.relation_of(b));
   }
@@ -198,7 +198,7 @@ TEST(SweepRulesTest, CountsAndPredicateKnob) {
   // Generated rules must actually run.
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext ctx(gd->dataset);
-  Match(view, r10, gd->registry, {}, &ctx);
+  engine::Match(view, r10, gd->registry, {}, &ctx);
   SUCCEED();
 }
 

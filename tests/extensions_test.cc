@@ -1,28 +1,25 @@
 #include <gtest/gtest.h>
 
-#include "chase/incremental.h"
 #include "chase/match.h"
 #include "chase/soft_match.h"
 #include "datagen/ecommerce.h"
 #include "datagen/paper_example.h"
 #include "rules/parser.h"
+#include "service/resolver.h"
 
 namespace dcer {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Incremental ER over data updates ΔD (Sec. V-A Remark).
+// Incremental ER over data updates ΔD (Sec. V-A Remark), via the Resolver
+// facade (the old IncrementalMatcher shim is gone).
 
 TEST(IncrementalTest, BatchAppendsEqualFromScratchChase) {
-  // Build the paper example incrementally, one tuple at a time, in a fresh
-  // dataset; after each batch Γ must equal a from-scratch Match over the
-  // grown prefix.
+  // Build the paper example incrementally, a few tuples at a time, in a
+  // fresh resolver; after each batch Γ must equal a from-scratch chase over
+  // the grown prefix.
   auto full = MakePaperExample();
 
-  // A second copy to grow incrementally.
-  auto grower = MakePaperExample();
-  // (MakePaperExample fills everything; instead grow a new dataset with the
-  // same schemas/rules by re-appending tuples.)
   Dataset& src = full->dataset;
   Dataset dst;
   for (size_t r = 0; r < src.num_relations(); ++r) {
@@ -33,30 +30,30 @@ TEST(IncrementalTest, BatchAppendsEqualFromScratchChase) {
                            &rules)
                   .ok());
 
-  IncrementalMatcher inc(&dst, &rules, &full->registry);
-  inc.Initialize();  // empty dataset: no matches
-  EXPECT_EQ(inc.context().num_matched_pairs(), 0u);
+  auto resolver = Resolver::Open(std::move(dst), rules, &full->registry);
+  EXPECT_EQ(resolver->Snapshot()->num_matched_pairs(), 0u);  // empty dataset
 
   // Append tuples in the paper's order, in batches of three.
-  std::vector<Gid> batch;
+  TupleBatch batch;
   for (Gid g = 0; g < src.num_tuples(); ++g) {
     TupleLoc loc = src.loc(g);
-    Row row = src.relation(loc.relation).row(loc.row);
-    batch.push_back(dst.AppendTuple(loc.relation, row));
+    batch.Add(loc.relation, src.relation(loc.relation).row(loc.row));
     if (batch.size() == 3 || g + 1 == src.num_tuples()) {
-      inc.AppendBatch(batch);
-      batch.clear();
+      resolver->Append(std::move(batch));
+      batch = TupleBatch{};
       // Cross-check against a from-scratch chase of the prefix.
-      MatchContext scratch(dst);
-      Match(DatasetView::Full(dst), rules, full->registry, {}, &scratch);
-      EXPECT_EQ(inc.context().MatchedPairs(), scratch.MatchedPairs())
-          << "after " << dst.num_tuples() << " tuples";
-      EXPECT_EQ(inc.context().num_validated_ml(),
+      const Dataset& grown = resolver->dataset();
+      MatchContext scratch(grown);
+      engine::Match(DatasetView::Full(grown), rules, full->registry, {},
+                    &scratch);
+      EXPECT_EQ(resolver->Snapshot()->MatchedPairs(), scratch.MatchedPairs())
+          << "after " << grown.num_tuples() << " tuples";
+      EXPECT_EQ(resolver->Snapshot()->num_validated_ml(),
                 scratch.num_validated_ml());
     }
   }
   // The final fixpoint is the paper's Γ: 6 matched pairs.
-  EXPECT_EQ(inc.context().num_matched_pairs(), 6u);
+  EXPECT_EQ(resolver->Snapshot()->num_matched_pairs(), 6u);
 }
 
 TEST(IncrementalTest, LateTupleTriggersRecursiveCascade) {
@@ -73,7 +70,6 @@ TEST(IncrementalTest, LateTupleTriggersRecursiveCascade) {
                            &rules)
                   .ok());
   // Everything except the two same-IP orders t16 (gid 15) and t17 (gid 16).
-  std::vector<Gid> initial;
   std::vector<std::pair<uint32_t, Row>> held_back;
   std::vector<Gid> mapping(src.num_tuples());
   for (Gid g = 0; g < src.num_tuples(); ++g) {
@@ -84,24 +80,20 @@ TEST(IncrementalTest, LateTupleTriggersRecursiveCascade) {
       continue;
     }
     mapping[g] = dst.AppendTuple(loc.relation, row);
-    initial.push_back(mapping[g]);
   }
-  IncrementalMatcher inc(&dst, &rules, &full->registry);
-  inc.Initialize();
+  auto resolver = Resolver::Open(std::move(dst), rules, &full->registry);
   // Without those orders, phi4 cannot fire: t1 !~ t3 (and hence t1 !~ t2).
-  EXPECT_FALSE(inc.context().Matched(mapping[full->t[1]],
-                                     mapping[full->t[3]]));
-
-  std::vector<Gid> batch;
-  for (auto& [rel, row] : held_back) {
-    batch.push_back(dst.AppendTuple(rel, row));
-  }
-  MatchReport report = inc.AppendBatch(batch);
-  EXPECT_TRUE(inc.context().Matched(mapping[full->t[1]],
+  EXPECT_FALSE(resolver->SameEntity(mapping[full->t[1]],
                                     mapping[full->t[3]]));
-  EXPECT_TRUE(inc.context().Matched(mapping[full->t[1]],
-                                    mapping[full->t[2]]));
-  EXPECT_GT(report.chase.seeded_joins, 0u);
+
+  TupleBatch batch;
+  for (auto& [rel, row] : held_back) batch.Add(rel, row);
+  AppendOutcome outcome = resolver->Append(std::move(batch));
+  EXPECT_TRUE(resolver->SameEntity(mapping[full->t[1]],
+                                   mapping[full->t[3]]));
+  EXPECT_TRUE(resolver->SameEntity(mapping[full->t[1]],
+                                   mapping[full->t[2]]));
+  EXPECT_GT(outcome.report.chase.seeded_joins, 0u);
 }
 
 TEST(IncrementalTest, UpdateDrivenCostIsBelowRechaseCost) {
@@ -122,17 +114,17 @@ TEST(IncrementalTest, UpdateDrivenCostIsBelowRechaseCost) {
     TupleLoc loc = gd->dataset.loc(g);
     dst.AppendTuple(loc.relation, gd->dataset.relation(loc.relation).row(loc.row));
   }
-  IncrementalMatcher inc(&dst, &rules, &gd->registry);
-  MatchReport init = inc.Initialize();
-  std::vector<Gid> batch;
+  auto resolver = Resolver::Open(std::move(dst), rules, &gd->registry);
+  ASSERT_NE(resolver->match_report(), nullptr);
+  const MatchReport init = *resolver->match_report();
+  TupleBatch batch;
   for (Gid g = static_cast<Gid>(cut); g < gd->dataset.num_tuples(); ++g) {
     TupleLoc loc = gd->dataset.loc(g);
-    batch.push_back(dst.AppendTuple(
-        loc.relation, gd->dataset.relation(loc.relation).row(loc.row)));
+    batch.Add(loc.relation, gd->dataset.relation(loc.relation).row(loc.row));
   }
-  MatchReport delta = inc.AppendBatch(batch);
+  AppendOutcome delta = resolver->Append(std::move(batch));
   // The batch inspects far fewer valuations than the initial chase.
-  EXPECT_LT(delta.chase.valuations, init.chase.valuations / 4);
+  EXPECT_LT(delta.report.chase.valuations, init.chase.valuations / 4);
 }
 
 // ---------------------------------------------------------------------------
@@ -163,7 +155,7 @@ TEST(SoftMatchTest, HardChaseIsTheBooleanSpecialCase) {
   // Transitive pair x ~ z via soft transitivity (damped).
   EXPECT_GE(soft.Probability(x, z), 0.9 * 1.0 * 1.0 - 1e-9);
   MatchContext hard(d);
-  Match(view, rules, registry, {}, &hard);
+  engine::Match(view, rules, registry, {}, &hard);
   for (auto [a, b] : hard.MatchedPairs()) {
     EXPECT_GE(soft.Probability(a, b), 0.5) << a << "," << b;
   }
@@ -274,7 +266,7 @@ TEST(SoftMatchTest, ConvergesWithinMaxPasses) {
   EXPECT_LT(passes, 30);
   // The hard matches of Example 3 all receive non-trivial probability.
   MatchContext hard(ex->dataset);
-  Match(view, ex->rules, ex->registry, {}, &hard);
+  engine::Match(view, ex->rules, ex->registry, {}, &hard);
   for (auto [a, b] : hard.MatchedPairs()) {
     EXPECT_GT(soft.Probability(a, b), 0.4) << "t" << a + 1 << "~t" << b + 1;
   }

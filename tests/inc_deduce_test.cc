@@ -98,7 +98,7 @@ TEST_P(IncDeduceTournamentTest, RecoveryMatchesFullChaseFixpoint) {
   {
     DatasetView view = DatasetView::Full(w->dataset);
     MatchContext ctx(w->dataset);
-    Match(view, w->rules, w->registry, {}, &ctx);
+    engine::Match(view, w->rules, w->registry, {}, &ctx);
     expected_pairs = ctx.MatchedPairs();
     expected_ml = ctx.ValidatedMlKeys();
     ASSERT_EQ(expected_pairs.size(), (1u << (kLevels + 1)) - 1);
@@ -193,7 +193,7 @@ TEST(IncDeduceTest, DMatchTransportsAndAblationAgree) {
   {
     DatasetView view = DatasetView::Full(w->dataset);
     MatchContext ctx(w->dataset);
-    Match(view, w->rules, w->registry, {}, &ctx);
+    engine::Match(view, w->rules, w->registry, {}, &ctx);
     expected = ctx.MatchedPairs();
   }
   struct Config {
@@ -218,7 +218,7 @@ TEST(IncDeduceTest, DMatchTransportsAndAblationAgree) {
     o.run_parallel = c.run_parallel;
     o.threads = c.threads;
     MatchContext ctx(w->dataset);
-    DMatchReport r = DMatch(w->dataset, w->rules, w->registry, o, &ctx);
+    DMatchReport r = engine::DMatch(w->dataset, w->rules, w->registry, o, &ctx);
     EXPECT_EQ(ctx.MatchedPairs(), expected)
         << "inc_parallel=" << c.inc_parallel
         << " transport=" << static_cast<int>(c.transport)
@@ -239,7 +239,7 @@ TEST(IncDeduceTest, EcommerceDMatchCap0AgreesWithMatch) {
   {
     DatasetView view = DatasetView::Full(gd->dataset);
     MatchContext ctx(gd->dataset);
-    Match(view, gd->rules, gd->registry, {}, &ctx);
+    engine::Match(view, gd->rules, gd->registry, {}, &ctx);
     expected = ctx.MatchedPairs();
     expected_ml = ctx.ValidatedMlKeys();
     ASSERT_FALSE(expected.empty());
@@ -251,7 +251,7 @@ TEST(IncDeduceTest, EcommerceDMatchCap0AgreesWithMatch) {
     o.dependency_capacity = 0;
     o.inc_parallel = inc_parallel;
     MatchContext ctx(gd->dataset);
-    DMatch(gd->dataset, gd->rules, gd->registry, o, &ctx);
+    engine::DMatch(gd->dataset, gd->rules, gd->registry, o, &ctx);
     EXPECT_EQ(ctx.MatchedPairs(), expected)
         << "inc_parallel=" << inc_parallel;
     EXPECT_EQ(ctx.ValidatedMlKeys(), expected_ml)

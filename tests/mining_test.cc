@@ -74,7 +74,7 @@ TEST(MinerTest, DiscoversAccurateRulesOnSongs) {
   // The mined rules, chased on the dataset, must reach a reasonable F.
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext ctx(gd->dataset);
-  Match(view, mined, gd->registry, {}, &ctx);
+  engine::Match(view, mined, gd->registry, {}, &ctx);
   PrecisionRecall pr = gd->truth.Evaluate(ctx.MatchedPairs());
   EXPECT_GT(pr.f1, 0.6) << "P=" << pr.precision << " R=" << pr.recall;
 }
@@ -98,9 +98,9 @@ TEST(MinerTest, ConfidenceBoundFiltersBadRules) {
   // shrink the rule *count*, so compare what they derive, not how many).
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext strict_ctx(gd->dataset);
-  Match(view, strict_rules, gd->registry, {}, &strict_ctx);
+  engine::Match(view, strict_rules, gd->registry, {}, &strict_ctx);
   MatchContext loose_ctx(gd->dataset);
-  Match(view, loose_rules, gd->registry, {}, &loose_ctx);
+  engine::Match(view, loose_rules, gd->registry, {}, &loose_ctx);
   EXPECT_GE(loose_ctx.num_matched_pairs(), strict_ctx.num_matched_pairs());
   EXPECT_GE(gd->truth.Evaluate(loose_ctx.MatchedPairs()).recall,
             gd->truth.Evaluate(strict_ctx.MatchedPairs()).recall);
@@ -121,7 +121,7 @@ TEST(MinerTest, CrossRelationMining) {
   EXPECT_GT(mined.size(), 0u);
   DatasetView view = DatasetView::Full(gd->dataset);
   MatchContext ctx(gd->dataset);
-  Match(view, mined, gd->registry, {}, &ctx);
+  engine::Match(view, mined, gd->registry, {}, &ctx);
   EXPECT_GT(gd->truth.Evaluate(ctx.MatchedPairs()).f1, 0.5);
 }
 

@@ -215,13 +215,13 @@ TEST(MlIndexChase, EcommerceMatchBitIdenticalOnOff) {
   MatchOptions off;
   off.ml_index = false;
   MatchContext ctx_off(gd->dataset);
-  Match(view, gd->rules, gd->registry, off, &ctx_off);
+  engine::Match(view, gd->rules, gd->registry, off, &ctx_off);
 
   MatchOptions on;
   on.ml_index = true;
   gd->registry.ClearCache();
   MatchContext ctx_on(gd->dataset);
-  Match(view, gd->rules, gd->registry, on, &ctx_on);
+  engine::Match(view, gd->rules, gd->registry, on, &ctx_on);
 
   EXPECT_EQ(ctx_off.MatchedPairs(), ctx_on.MatchedPairs());
   EXPECT_EQ(ctx_off.ValidatedMlKeys(), ctx_on.ValidatedMlKeys());
@@ -262,13 +262,13 @@ TEST(MlIndexChase, MlOnlyRulesBitIdenticalAndActuallyIndexed) {
   MatchOptions off;
   off.ml_index = false;
   MatchContext ctx_off(w.gd->dataset);
-  MatchReport r_off = Match(view, w.rules, w.gd->registry, off, &ctx_off);
+  MatchReport r_off = engine::Match(view, w.rules, w.gd->registry, off, &ctx_off);
 
   MatchOptions on;
   on.ml_index = true;
   w.gd->registry.ClearCache();
   MatchContext ctx_on(w.gd->dataset);
-  MatchReport r_on = Match(view, w.rules, w.gd->registry, on, &ctx_on);
+  MatchReport r_on = engine::Match(view, w.rules, w.gd->registry, on, &ctx_on);
 
   EXPECT_EQ(ctx_off.MatchedPairs(), ctx_on.MatchedPairs());
   EXPECT_GT(ctx_on.num_matched_pairs(), 0u);  // the workload is non-trivial
@@ -286,13 +286,13 @@ TEST(MlIndexChase, MlOnlyRulesParallelEnumerationBitIdentical) {
   seq.ml_index = true;
   seq.threads = 1;
   MatchContext ctx_seq(w.gd->dataset);
-  Match(view, w.rules, w.gd->registry, seq, &ctx_seq);
+  engine::Match(view, w.rules, w.gd->registry, seq, &ctx_seq);
 
   MatchOptions par = seq;
   par.threads = 4;
   w.gd->registry.ClearCache();
   MatchContext ctx_par(w.gd->dataset);
-  Match(view, w.rules, w.gd->registry, par, &ctx_par);
+  engine::Match(view, w.rules, w.gd->registry, par, &ctx_par);
 
   EXPECT_EQ(ctx_seq.MatchedPairs(), ctx_par.MatchedPairs());
   EXPECT_EQ(ctx_seq.ValidatedMlKeys(), ctx_par.ValidatedMlKeys());
@@ -307,13 +307,13 @@ TEST(MlIndexChase, DMatchBitIdenticalOnOff) {
   off.num_workers = 3;
   off.ml_index = false;
   MatchContext ctx_off(gd->dataset);
-  DMatch(gd->dataset, gd->rules, gd->registry, off, &ctx_off);
+  engine::DMatch(gd->dataset, gd->rules, gd->registry, off, &ctx_off);
 
   DMatchOptions on = off;
   on.ml_index = true;
   gd->registry.ClearCache();
   MatchContext ctx_on(gd->dataset);
-  DMatch(gd->dataset, gd->rules, gd->registry, on, &ctx_on);
+  engine::DMatch(gd->dataset, gd->rules, gd->registry, on, &ctx_on);
 
   EXPECT_EQ(ctx_off.MatchedPairs(), ctx_on.MatchedPairs());
   EXPECT_EQ(ctx_off.ValidatedMlKeys(), ctx_on.ValidatedMlKeys());

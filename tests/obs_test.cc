@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "datagen/paper_example.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -120,6 +123,101 @@ TEST(ObsMetricsTest, DeterministicEqualsIgnoresTimingHistograms) {
   EXPECT_FALSE(a.DeterministicEquals(b));
 }
 
+// Quantile estimation pinned against the exact empirical quantiles of the
+// recorded samples. Buckets are power-of-two wide, so without interpolation
+// the estimate for a quantile landing mid-bucket could be off by ~2x; with
+// linear interpolation inside the bucket it must stay within the bucket's
+// granularity of the true value.
+TEST(ObsMetricsTest, QuantileInterpolatesWithinBuckets) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.quantile_pin_hist");
+  // Deterministic LCG spread over [1, 4096): several orders of magnitude so
+  // high and low quantiles land in different buckets.
+  std::vector<uint64_t> samples;
+  uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t v = 1 + (x >> 33) % 4095;
+    samples.push_back(v);
+    h->Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  obs::HistogramSnapshot snap =
+      reg.Snapshot().histograms.at("test.quantile_pin_hist");
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = static_cast<double>(
+        samples[std::min(samples.size() - 1,
+                         static_cast<size_t>(q * samples.size()))]);
+    const double est = snap.Quantile(q);
+    // Interpolation cannot beat the bucket's resolution, but it must stay
+    // well inside the 2x band a bucket-upper-bound estimator is limited to.
+    EXPECT_NEAR(est, exact, 0.15 * exact + 2.0)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+  // Degenerate cases: empty histogram and all-zero samples report 0.
+  obs::HistogramSnapshot empty;
+  empty.buckets.assign(obs::Histogram::kBuckets, 0);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  obs::Histogram* zeros = reg.GetHistogram("test.quantile_zero_hist");
+  zeros->Record(0);
+  zeros->Record(0);
+  EXPECT_EQ(
+      reg.Snapshot().histograms.at("test.quantile_zero_hist").Quantile(0.9),
+      0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition: render → parse must round-trip structure and
+// values for every metric kind.
+
+TEST(ObsMetricsTest, ExpositionRoundTripsAllMetricKinds) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.expo.requests");
+  c->Reset();
+  c->Add(42);
+  reg.GetGauge("test.expo.workers")->Set(8);
+  obs::Histogram* sizes = reg.GetHistogram("test.expo.batch_size");
+  sizes->Record(1);
+  sizes->Record(5);
+  sizes->Record(5);
+  obs::Histogram* lat =
+      reg.GetHistogram("test.expo.latency", obs::Histogram::Unit::kNanos);
+  lat->Record(1500000000);  // 1.5s
+
+  const std::string text = obs::RenderExposition(reg.Snapshot());
+  obs::ExpositionParse parsed = obs::ParseExposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << text;
+
+  // Counter: the family (and its TYPE line) carry the `_total` suffix.
+  ASSERT_TRUE(parsed.HasFamily("test_expo_requests_total"));
+  EXPECT_EQ(parsed.types.at("test_expo_requests_total"), "counter");
+  EXPECT_EQ(parsed.Value("test_expo_requests_total"), 42.0);
+
+  // Gauge: bare name.
+  ASSERT_TRUE(parsed.HasFamily("test_expo_workers"));
+  EXPECT_EQ(parsed.Value("test_expo_workers"), 8.0);
+
+  // Count histogram: cumulative buckets ending at the total, sum intact.
+  ASSERT_TRUE(parsed.HasFamily("test_expo_batch_size"));
+  EXPECT_EQ(parsed.types.at("test_expo_batch_size"), "histogram");
+  EXPECT_EQ(parsed.Value("test_expo_batch_size_count"), 3.0);
+  EXPECT_EQ(parsed.Value("test_expo_batch_size_sum"), 11.0);
+  std::vector<double> buckets = parsed.BucketCounts("test_expo_batch_size");
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_TRUE(std::is_sorted(buckets.begin(), buckets.end()));
+  EXPECT_EQ(buckets.back(), 3.0);  // le="+Inf" equals _count
+
+  // Timing histogram: renders in seconds under a `_seconds` family.
+  ASSERT_TRUE(parsed.HasFamily("test_expo_latency_seconds"));
+  EXPECT_FALSE(parsed.HasFamily("test_expo_latency"));
+  EXPECT_EQ(parsed.Value("test_expo_latency_seconds_count"), 1.0);
+  EXPECT_NEAR(parsed.Value("test_expo_latency_seconds_sum"), 1.5, 1e-9);
+
+  // Garbage inputs are rejected, not half-parsed.
+  EXPECT_FALSE(obs::ParseExposition("test_expo_requests_total\n").ok());
+  EXPECT_FALSE(obs::ParseExposition("name not_a_number\n").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Trace spans.
 
@@ -156,6 +254,39 @@ TEST(ObsTraceTest, DisabledSpansRecordNothing) {
     EXPECT_EQ(obs::TraceSpan::CurrentDepth(), 0);
   }
   EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+// Flushing while spans are still open (daemon shutdown with an in-flight
+// request) must emit clean JSON: closed spans appear, the open span is
+// simply absent — never a torn or half-written event.
+TEST(ObsTraceTest, FlushWithOpenSpanEmitsOnlyCompletedSpans) {
+  obs::SetTraceEnabled(true);
+  obs::ClearTrace();
+  std::string mid_json;
+  {
+    DCER_TRACE("still_open");
+    {
+      DCER_TRACE("finished_child");
+    }
+    mid_json = obs::ChromeTraceJson();
+  }
+  // Mid-flight flush: the closed child is there, the open parent is not.
+  EXPECT_NE(mid_json.find("\"name\":\"finished_child\""), std::string::npos)
+      << mid_json;
+  EXPECT_EQ(mid_json.find("\"name\":\"still_open\""), std::string::npos)
+      << mid_json;
+  // Structurally clean: balanced braces/brackets, no dangling comma.
+  EXPECT_EQ(std::count(mid_json.begin(), mid_json.end(), '{'),
+            std::count(mid_json.begin(), mid_json.end(), '}'));
+  EXPECT_EQ(std::count(mid_json.begin(), mid_json.end(), '['),
+            std::count(mid_json.begin(), mid_json.end(), ']'));
+  EXPECT_EQ(mid_json.find(",]"), std::string::npos) << mid_json;
+  // Once the span closes it shows up in the next flush.
+  std::string final_json = obs::ChromeTraceJson();
+  EXPECT_NE(final_json.find("\"name\":\"still_open\""), std::string::npos)
+      << final_json;
+  obs::SetTraceEnabled(false);
+  obs::ClearTrace();
 }
 
 // ---------------------------------------------------------------------------
@@ -237,7 +368,7 @@ obs::MetricsSnapshot RunDMatchWithMetrics(int threads) {
   options.threads = threads;
   MatchContext result(ex->dataset);
   DMatchReport report =
-      DMatch(ex->dataset, ex->rules, ex->registry, options, &result);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &result);
   EXPECT_FALSE(report.metrics.empty());
   return obs::MetricsRegistry::Global().Snapshot();
 }

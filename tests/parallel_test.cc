@@ -77,13 +77,13 @@ TEST_P(DMatchWorkersTest, PaperExampleMatchesSequentialResult) {
   auto ex = MakePaperExample();
   DatasetView view = DatasetView::Full(ex->dataset);
   MatchContext sequential(ex->dataset);
-  Match(view, ex->rules, ex->registry, {}, &sequential);
+  engine::Match(view, ex->rules, ex->registry, {}, &sequential);
 
   DMatchOptions options;
   options.num_workers = GetParam();
   MatchContext parallel(ex->dataset);
   DMatchReport report =
-      DMatch(ex->dataset, ex->rules, ex->registry, options, &parallel);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &parallel);
 
   EXPECT_EQ(parallel.MatchedPairs(), sequential.MatchedPairs());
   EXPECT_EQ(parallel.num_validated_ml(), sequential.num_validated_ml());
@@ -128,7 +128,7 @@ TEST(DMatchTest, DeepChainCrossesFragmentBoundaries) {
   DMatchOptions options;
   options.num_workers = 4;
   MatchContext ctx(d);
-  DMatchReport report = DMatch(d, rules, registry, options, &ctx);
+  DMatchReport report = engine::DMatch(d, rules, registry, options, &ctx);
   for (int i = 0; i < kDepth; ++i) {
     EXPECT_TRUE(ctx.Matched(a[i], b[i])) << "level " << i;
   }
@@ -142,13 +142,13 @@ TEST(DMatchTest, SequentialExecutionModeGivesSameResult) {
   threaded.num_workers = 4;
   threaded.run_parallel = true;
   MatchContext c1(ex->dataset);
-  DMatch(ex->dataset, ex->rules, ex->registry, threaded, &c1);
+  engine::DMatch(ex->dataset, ex->rules, ex->registry, threaded, &c1);
 
   DMatchOptions sequential = threaded;
   sequential.run_parallel = false;
   MatchContext c2(ex->dataset);
   DMatchReport r2 =
-      DMatch(ex->dataset, ex->rules, ex->registry, sequential, &c2);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, sequential, &c2);
   EXPECT_EQ(c1.MatchedPairs(), c2.MatchedPairs());
   EXPECT_GT(r2.simulated_seconds, 0.0);
 }
@@ -163,7 +163,7 @@ TEST(DMatchTest, MqoAndBalancingTogglesPreserveResult) {
       options.use_mqo = mqo;
       options.use_virtual_blocks = vb;
       MatchContext ctx(ex->dataset);
-      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
       if (expected.empty()) {
         expected = ctx.MatchedPairs();
         EXPECT_EQ(expected.size(), 6u);
@@ -213,7 +213,7 @@ TEST(DMatchTest, RandomInstancesAgreeWithNaiveChase) {
     DMatchOptions options;
     options.num_workers = 3;
     MatchContext parallel(d);
-    DMatch(d, rules, registry, options, &parallel);
+    engine::DMatch(d, rules, registry, options, &parallel);
     EXPECT_EQ(parallel.MatchedPairs(), naive.MatchedPairs())
         << "seed " << seed;
     EXPECT_EQ(parallel.num_validated_ml(), naive.num_validated_ml())
@@ -228,7 +228,7 @@ TEST(IntraWorkerParallelismTest, PaperExampleDeterministicAcrossThreadCounts) {
   auto ex = MakePaperExample();
   DatasetView view = DatasetView::Full(ex->dataset);
   MatchContext reference(ex->dataset);
-  Match(view, ex->rules, ex->registry, {}, &reference);
+  engine::Match(view, ex->rules, ex->registry, {}, &reference);
 
   for (int tpw : {1, 3}) {
     for (bool run_parallel : {false, true}) {
@@ -237,7 +237,7 @@ TEST(IntraWorkerParallelismTest, PaperExampleDeterministicAcrossThreadCounts) {
       options.threads = tpw;
       options.run_parallel = run_parallel;
       MatchContext ctx(ex->dataset);
-      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
       EXPECT_EQ(ctx.MatchedPairs(), reference.MatchedPairs())
           << "tpw=" << tpw << " run_parallel=" << run_parallel;
       EXPECT_EQ(ctx.ValidatedMlKeys(), reference.ValidatedMlKeys())
@@ -256,12 +256,12 @@ TEST(IntraWorkerParallelismTest, EcommerceDeterministicAndSameWork) {
   // kicks in past min_parallel_root, which the forced shard count exercises.
   MatchContext reference(gd->dataset);
   MatchOptions seq;
-  MatchReport seq_report = Match(view, gd->rules, gd->registry, seq, &reference);
+  MatchReport seq_report = engine::Match(view, gd->rules, gd->registry, seq, &reference);
 
   MatchContext pooled(gd->dataset);
   MatchOptions par;
   par.threads = 4;
-  MatchReport par_report = Match(view, gd->rules, gd->registry, par, &pooled);
+  MatchReport par_report = engine::Match(view, gd->rules, gd->registry, par, &pooled);
 
   EXPECT_EQ(pooled.MatchedPairs(), reference.MatchedPairs());
   EXPECT_EQ(pooled.ValidatedMlKeys(), reference.ValidatedMlKeys());
@@ -275,7 +275,7 @@ TEST(IntraWorkerParallelismTest, EcommerceDeterministicAndSameWork) {
   DMatchOptions dopt;
   dopt.num_workers = 4;
   dopt.threads = 2;
-  DMatch(gd->dataset, gd->rules, gd->registry, dopt, &dmatch_ctx);
+  engine::DMatch(gd->dataset, gd->rules, gd->registry, dopt, &dmatch_ctx);
   EXPECT_EQ(dmatch_ctx.MatchedPairs(), reference.MatchedPairs());
   EXPECT_EQ(dmatch_ctx.ValidatedMlKeys(), reference.ValidatedMlKeys());
 }
@@ -286,7 +286,7 @@ TEST(DMatchTest, ReportAccountsForWorkAndCommunication) {
   options.num_workers = 4;
   MatchContext ctx(ex->dataset);
   DMatchReport report =
-      DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+      engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
   EXPECT_GT(report.chase.valuations, 0u);
   EXPECT_GT(report.partition.fragment_tuples, 0u);
   // The master is the single source of truth for wire volume: the report
@@ -329,14 +329,14 @@ TEST(DMatchTest, SpanningPairsMatchCrossProductGamma) {
     spanning.num_workers = workers;
     spanning.spanning_pairs = true;
     MatchContext ctx_spanning(ex->dataset);
-    DMatchReport r_spanning = DMatch(ex->dataset, ex->rules, ex->registry,
+    DMatchReport r_spanning = engine::DMatch(ex->dataset, ex->rules, ex->registry,
                                      spanning, &ctx_spanning);
 
     DMatchOptions cross = spanning;
     cross.spanning_pairs = false;
     MatchContext ctx_cross(ex->dataset);
     DMatchReport r_cross =
-        DMatch(ex->dataset, ex->rules, ex->registry, cross, &ctx_cross);
+        engine::DMatch(ex->dataset, ex->rules, ex->registry, cross, &ctx_cross);
 
     EXPECT_EQ(ctx_spanning.MatchedPairs(), ctx_cross.MatchedPairs())
         << "workers=" << workers;
@@ -391,7 +391,7 @@ TEST(DMatchTest, WireAccountingDeterministicAcrossExecutionModes) {
     options.run_parallel = run_parallel;
     options.transport = kind;
     MatchContext ctx(ex->dataset);
-    return DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
+    return engine::DMatch(ex->dataset, ex->rules, ex->registry, options, &ctx);
   };
   DMatchReport reference = run(true, TransportKind::kInProcess);
   for (int rep = 0; rep < 2; ++rep) {
@@ -425,12 +425,12 @@ TEST(DMatchTest, LoopbackTcpTransportPreservesResult) {
   DMatchOptions in_process;
   in_process.num_workers = 4;
   MatchContext c1(ex->dataset);
-  DMatch(ex->dataset, ex->rules, ex->registry, in_process, &c1);
+  engine::DMatch(ex->dataset, ex->rules, ex->registry, in_process, &c1);
 
   DMatchOptions tcp = in_process;
   tcp.transport = TransportKind::kLoopbackTcp;
   MatchContext c2(ex->dataset);
-  DMatchReport r2 = DMatch(ex->dataset, ex->rules, ex->registry, tcp, &c2);
+  DMatchReport r2 = engine::DMatch(ex->dataset, ex->rules, ex->registry, tcp, &c2);
   EXPECT_EQ(c1.MatchedPairs(), c2.MatchedPairs());
   EXPECT_EQ(c1.ValidatedMlKeys(), c2.ValidatedMlKeys());
   // Either the sockets worked or Create fell back; both are valid, and the

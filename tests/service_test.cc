@@ -7,8 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -16,6 +22,8 @@
 #include "chase/match.h"
 #include "chase/view.h"
 #include "datagen/ecommerce.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "parallel/wire.h"
 #include "rules/parser.h"
 #include "service/client.h"
@@ -78,7 +86,7 @@ std::pair<std::vector<std::pair<Gid, Gid>>, std::vector<uint64_t>>
 ScratchGamma(const GenDataset& gd) {
   DatasetView view = DatasetView::Full(gd.dataset);
   MatchContext ctx(gd.dataset);
-  Match(view, gd.rules, gd.registry, {}, &ctx);
+  engine::Match(view, gd.rules, gd.registry, {}, &ctx);
   return {ctx.MatchedPairs(), ctx.ValidatedMlKeys()};
 }
 
@@ -503,6 +511,211 @@ TEST(DaemonTest, ResolveOfUnknownGidIsSingleton) {
   ASSERT_TRUE(client.SameEntity(beyond, 0, &same).ok());
   EXPECT_FALSE(same.value);
   fx.daemon->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: exposition endpoints, old-version compat, trace stitching.
+
+// One blocking HTTP/1.0 GET against the daemon's scrape listener.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(DaemonTest, MetricsVerbReturnsParseableExposition) {
+  DaemonFixture fx(40, 8);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+  // One APPEND through the queue so the request histograms have samples,
+  // and one query to publish it.
+  Response resp;
+  ASSERT_TRUE(
+      client.Append(fx.daemon->resolver().dataset(), fx.tail, &resp).ok());
+  ASSERT_TRUE(client.Resolve(resp.gids.back(), &resp).ok());
+
+  Response metrics;
+  ASSERT_TRUE(client.Metrics(&metrics).ok());
+  ASSERT_EQ(metrics.kind, Response::Kind::kMetrics);
+  obs::ExpositionParse parsed = obs::ParseExposition(metrics.text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << metrics.text;
+  // The three per-request histograms of the telemetry plane, in seconds.
+  for (const char* fam : {"dcerd_queue_wait_seconds", "dcerd_exec_seconds",
+                          "dcerd_publish_lag_seconds"}) {
+    EXPECT_TRUE(parsed.HasFamily(fam)) << fam << "\n" << metrics.text;
+    EXPECT_GE(parsed.Value(std::string(fam) + "_count"), 1.0) << fam;
+  }
+  // Registry counters round-trip too.
+  EXPECT_GE(parsed.Value("dcerd_append_requests_total"), 1.0) << metrics.text;
+  EXPECT_GE(parsed.Value("dcerd_frames_received_total"), 3.0) << metrics.text;
+  fx.daemon->Stop();
+}
+
+TEST(DaemonTest, HttpEndpointsServeMetricsAndHealth) {
+  DaemonOptions dopt;
+  dopt.metrics_port = 0;  // ephemeral
+  DaemonFixture fx(40, 8, dopt);
+  ASSERT_GT(fx.daemon->metrics_port(), 0);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+  Response resp;
+  ASSERT_TRUE(
+      client.Append(fx.daemon->resolver().dataset(), fx.tail, &resp).ok());
+  ASSERT_TRUE(client.Resolve(resp.gids.back(), &resp).ok());
+
+  const std::string scrape = HttpGet(fx.daemon->metrics_port(), "/metrics");
+  ASSERT_EQ(scrape.compare(0, 12, "HTTP/1.0 200"), 0) << scrape;
+  EXPECT_NE(scrape.find("Content-Type: text/plain"), std::string::npos)
+      << scrape;
+  const size_t body_at = scrape.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  obs::ExpositionParse parsed =
+      obs::ParseExposition(scrape.substr(body_at + 4));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.HasFamily("dcerd_queue_wait_seconds"));
+  EXPECT_TRUE(parsed.HasFamily("dcerd_exec_seconds"));
+  EXPECT_TRUE(parsed.HasFamily("dcerd_publish_lag_seconds"));
+
+  const std::string health = HttpGet(fx.daemon->metrics_port(), "/healthz");
+  EXPECT_EQ(health.compare(0, 12, "HTTP/1.0 200"), 0) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos) << health;
+
+  const std::string missing = HttpGet(fx.daemon->metrics_port(), "/nope");
+  EXPECT_EQ(missing.compare(0, 12, "HTTP/1.0 404"), 0) << missing;
+
+  // The scrape listener is a separate socket: the wire port still speaks
+  // frames, and the daemon survives all the HTTP traffic.
+  Response ok;
+  EXPECT_TRUE(client.Stats(&ok).ok());
+  fx.daemon->Stop();
+}
+
+TEST(DaemonTest, PreviousWireVersionClientIsStillServed) {
+  DaemonFixture fx(40, 8);
+  ResolverClient client;
+  ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+
+  // A v2 client's STATS frame: header only, no flags byte.
+  std::vector<uint8_t> v2_stats = {wire::kMagic, 0x02,
+                                   wire::kStatsRequestTag};
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(client.CallRaw(v2_stats, &reply).ok());
+  Response resp;
+  ASSERT_EQ(DecodeResponse(reply, &resp), wire::WireError::kOk);
+  EXPECT_EQ(resp.kind, Response::Kind::kStats);
+  EXPECT_NE(resp.text.find("\"append_requests\""), std::string::npos);
+
+  // A v2 RESOLVE with its varint gid body still gets the correct entity.
+  std::vector<uint8_t> v2_resolve = {wire::kMagic, 0x02,
+                                     wire::kResolveRequestTag};
+  wire::PutVarint(5, &v2_resolve);
+  ASSERT_TRUE(client.CallRaw(v2_resolve, &reply).ok());
+  ASSERT_EQ(DecodeResponse(reply, &resp), wire::WireError::kOk);
+  ASSERT_EQ(resp.kind, Response::Kind::kEntity);
+  EXPECT_TRUE(std::find(resp.gids.begin(), resp.gids.end(), Gid{5}) !=
+              resp.gids.end());
+
+  // Below the compat window is still a typed refusal.
+  std::vector<uint8_t> v1 = {wire::kMagic, 0x01, wire::kStatsRequestTag};
+  ASSERT_TRUE(client.CallRaw(v1, &reply).ok());
+  ASSERT_EQ(DecodeResponse(reply, &resp), wire::WireError::kOk);
+  EXPECT_EQ(resp.kind, Response::Kind::kError);
+  EXPECT_EQ(resp.error, wire::WireError::kVersionMismatch);
+  fx.daemon->Stop();
+}
+
+// Events serialize as one flat object with "name" first and "trace_id"
+// inside "args", so a span's id is the trace_id between its name and the
+// next event's name. A name can occur several times — spans recorded
+// outside any request (the startup fixpoint) carry no trace_id — so the
+// helpers scan every occurrence.
+
+// The args.trace_id of the first *tagged* event named `span`, or "".
+std::string TraceIdOfSpan(const std::string& json, const std::string& span) {
+  const std::string needle = "\"name\":\"" + span + "\"";
+  for (size_t at = json.find(needle); at != std::string::npos;
+       at = json.find(needle, at + 1)) {
+    const size_t next = json.find("\"name\":\"", at + 1);
+    const size_t id_at = json.find("\"trace_id\":\"", at);
+    if (id_at == std::string::npos) return {};
+    if (next != std::string::npos && id_at > next) continue;  // untagged
+    const size_t start = id_at + 12;
+    const size_t end = json.find('"', start);
+    if (end == std::string::npos) return {};
+    return json.substr(start, end - start);
+  }
+  return {};
+}
+
+// True iff some event named `span` carries args.trace_id == `id`.
+bool SpanCarriesTraceId(const std::string& json, const std::string& span,
+                        const std::string& id) {
+  const std::string needle = "\"name\":\"" + span + "\"";
+  const std::string tagged = "\"trace_id\":\"" + id + "\"";
+  for (size_t at = json.find(needle); at != std::string::npos;
+       at = json.find(needle, at + 1)) {
+    const size_t next = json.find("\"name\":\"", at + 1);
+    const size_t id_at = json.find(tagged, at);
+    if (id_at != std::string::npos &&
+        (next == std::string::npos || id_at < next)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(DaemonTest, AppendTraceStitchesAcrossClientDaemonAndChase) {
+  obs::SetTraceEnabled(true);
+  obs::ClearTrace();
+  {
+    DaemonFixture fx(40, 8);
+    ResolverClient client;
+    ASSERT_TRUE(client.Connect(fx.daemon->port()).ok());
+    Response resp;
+    ASSERT_TRUE(
+        client.Append(fx.daemon->resolver().dataset(), fx.tail, &resp).ok());
+    client.Close();
+    // Stop() drains the in-flight chase, so every daemon-side span for the
+    // append has closed (and recorded) by the time we flush.
+    fx.daemon->Stop();
+  }
+  const std::string json = obs::ChromeTraceJson();
+  obs::SetTraceEnabled(false);
+  obs::ClearTrace();
+
+  // One request, one trace: the client span, the daemon's drain, the
+  // resolver's append and the chase's incremental fixpoint all carry the
+  // same wire-propagated trace_id.
+  const std::string client_id = TraceIdOfSpan(json, "client.append");
+  ASSERT_FALSE(client_id.empty()) << json;
+  EXPECT_TRUE(SpanCarriesTraceId(json, "dcerd.drain", client_id)) << json;
+  EXPECT_TRUE(SpanCarriesTraceId(json, "resolver.append", client_id)) << json;
+  EXPECT_TRUE(SpanCarriesTraceId(json, "chase.inc_deduce", client_id)) << json;
 }
 
 }  // namespace

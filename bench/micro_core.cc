@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -37,7 +38,9 @@
 #include "ml/candidate_index.h"
 #include "ml/classifier.h"
 #include "ml/embedding.h"
+#include "ml/profile.h"
 #include "ml/registry.h"
+#include "ml/simd.h"
 #include "ml/similarity.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -46,6 +49,7 @@
 #include "parallel/master.h"
 #include "parallel/wire.h"
 #include "partition/hypercube.h"
+#include "relational/string_pool.h"
 #include "rules/parser.h"
 #include "service/client.h"
 #include "service/daemon.h"
@@ -115,6 +119,74 @@ void BM_TokenJaccard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenJaccard);
+
+// One-vs-many batch kernels over warm profiles: the per-pair cost at batch
+// sizes 1/16/256 shows how far the precomputed-profile path amortizes the
+// per-call tokenization the pairwise kernel pays every time.
+void BM_TokenJaccardBatch(benchmark::State& state) {
+  std::vector<std::string> descs = DescCorpus(200);
+  StringPool pool;
+  std::vector<uint32_t> ids;
+  ids.reserve(descs.size());
+  for (const auto& s : descs) ids.push_back(pool.Intern(s));
+  ProfileStore store(&pool);
+  store.Sync();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> cands(batch);
+  for (size_t i = 0; i < batch; ++i) cands[i] = ids[(i * 7) % ids.size()];
+  std::vector<double> scores(batch);
+  size_t i = 0;
+  for (auto _ : state) {
+    ScoreTokenJaccardBatch(store, ids[i % ids.size()], cands.data(), batch,
+                           scores.data());
+    benchmark::DoNotOptimize(scores.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_TokenJaccardBatch)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_EditPredictBatch(benchmark::State& state) {
+  std::vector<std::string> descs = DescCorpus(200);
+  StringPool pool;
+  std::vector<uint32_t> ids;
+  ids.reserve(descs.size());
+  for (const auto& s : descs) ids.push_back(pool.Intern(s));
+  ProfileStore store(&pool);
+  store.Sync();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> cands(batch);
+  for (size_t i = 0; i < batch; ++i) cands[i] = ids[(i * 7) % ids.size()];
+  std::vector<uint8_t> preds(batch);
+  size_t i = 0;
+  for (auto _ : state) {
+    PredictEditSimilarityBatch(store, ids[i % ids.size()], cands.data(), batch,
+                               0.75, preds.data());
+    benchmark::DoNotOptimize(preds.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_EditPredictBatch)->Arg(1)->Arg(16)->Arg(256);
+
+// Cold path: what one from-scratch profile build over the corpus pool costs
+// (the price PrewarmIndexes pays once per dataset).
+void BM_ProfileStoreBuild(benchmark::State& state) {
+  std::vector<std::string> descs = DescCorpus(static_cast<size_t>(
+      state.range(0)));
+  StringPool pool;
+  for (const auto& s : descs) pool.Intern(s);
+  for (auto _ : state) {
+    ProfileStore store(&pool);
+    store.Sync();
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.size()));
+}
+BENCHMARK(BM_ProfileStoreBuild)->Arg(200)->Arg(1000);
 
 void BM_EditDistance(benchmark::State& state) {
   // Typical Customers.name lengths; bound = the k the chase actually passes
@@ -335,6 +407,101 @@ KernelNs MeasureKernelNs() {
   return k;
 }
 
+// Timer-based numbers for the one-vs-many batch path (same corpus and
+// rotation as token_jaccard_ns, so the per-pair speedup is apples-to-apples):
+// cold profile-build cost, arena footprint, and per-pair latency of the
+// batched score and predicate kernels at batch 256 with warm profiles. The
+// scores are cross-checked bit-for-bit against the pairwise kernels.
+struct BatchKernelNumbers {
+  std::string simd_level;
+  double build_seconds = 0;        // from-scratch ProfileStore::Sync
+  uint64_t profile_bytes = 0;      // arena footprint
+  double token_jaccard_batch_ns = 0;  // ScoreTokenJaccardBatch, per pair
+  double ml_probe_batch_ns = 0;       // PredictTokenJaccardBatch @0.5, per pair
+  double edit_predict_batch_ns = 0;   // PredictEditSimilarityBatch @0.75
+  bool batch_scores_equal = true;     // batch ≡ pairwise, spot-checked
+};
+
+BatchKernelNumbers MeasureBatchKernels() {
+  BatchKernelNumbers out;
+  out.simd_level = simd::LevelName(simd::ActiveLevel());
+  std::vector<std::string> descs = DescCorpus(200);
+  StringPool pool;
+  std::vector<uint32_t> ids;
+  ids.reserve(descs.size());
+  for (const auto& s : descs) ids.push_back(pool.Intern(s));
+  {
+    Timer t;
+    ProfileStore cold(&pool);
+    cold.Sync();
+    out.build_seconds = t.ElapsedSeconds();
+  }
+  ProfileStore store(&pool);
+  store.Sync();
+  out.profile_bytes = store.ByteSize();
+
+  constexpr size_t kBatch = 256;
+  std::vector<uint32_t> cands(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) cands[i] = ids[(i * 7) % ids.size()];
+  std::vector<double> scores(kBatch);
+  std::vector<uint8_t> preds(kBatch);
+  constexpr int kReps = 2'000;  // kReps * kBatch pairs per measurement
+
+  {
+    double sink = 0;
+    Timer t;
+    for (int r = 0; r < kReps; ++r) {
+      ScoreTokenJaccardBatch(store, ids[r % ids.size()], cands.data(), kBatch,
+                             scores.data());
+      sink += scores[static_cast<size_t>(r) % kBatch];
+    }
+    out.token_jaccard_batch_ns =
+        t.ElapsedSeconds() * 1e9 / (kReps * static_cast<double>(kBatch));
+    if (sink < 0) std::printf("unreachable\n");
+  }
+  {
+    size_t sink = 0;
+    Timer t;
+    for (int r = 0; r < kReps; ++r) {
+      PredictTokenJaccardBatch(store, ids[r % ids.size()], cands.data(),
+                               kBatch, 0.5, preds.data());
+      sink += preds[static_cast<size_t>(r) % kBatch];
+    }
+    out.ml_probe_batch_ns =
+        t.ElapsedSeconds() * 1e9 / (kReps * static_cast<double>(kBatch));
+    if (sink == size_t(-1)) std::printf("unreachable\n");
+  }
+  {
+    size_t sink = 0;
+    Timer t;
+    for (int r = 0; r < kReps; ++r) {
+      PredictEditSimilarityBatch(store, ids[r % ids.size()], cands.data(),
+                                 kBatch, 0.75, preds.data());
+      sink += preds[static_cast<size_t>(r) % kBatch];
+    }
+    out.edit_predict_batch_ns =
+        t.ElapsedSeconds() * 1e9 / (kReps * static_cast<double>(kBatch));
+    if (sink == size_t(-1)) std::printf("unreachable\n");
+  }
+  // Bit-identity spot check against the pairwise kernels, one full batch.
+  for (size_t p = 0; p < 8 && out.batch_scores_equal; ++p) {
+    const uint32_t probe = ids[p * 13 % ids.size()];
+    ScoreTokenJaccardBatch(store, probe, cands.data(), kBatch, scores.data());
+    PredictEditSimilarityBatch(store, probe, cands.data(), kBatch, 0.75,
+                               preds.data());
+    for (size_t i = 0; i < kBatch; ++i) {
+      const std::string_view a = pool.view(probe);
+      const std::string_view b = pool.view(cands[i]);
+      if (scores[i] != TokenJaccard(a, b) ||
+          (preds[i] != 0) != (EditSimilarity(a, b) >= 0.75)) {
+        out.batch_scores_equal = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 // ML-predicate-dominated workload: two rules whose only join constraint is an
 // ML predicate, so without candidate indices the chase post-filters the full
 // cross-product. MJ's jaccard 0.5 on Products.desc is selective because each
@@ -343,6 +510,7 @@ KernelNs MeasureKernelNs() {
 struct MlWorkloadNumbers {
   double off_seconds = 0;
   double on_seconds = 0;
+  double noprofiles_seconds = 0;  // ml_index on, ml_profiles off (ablation)
   bool pairs_equal = false;
   uint64_t matched_pairs = 0;
   uint64_t indices_built = 0;
@@ -369,13 +537,15 @@ MlWorkloadNumbers MeasureMlWorkload() {
   }
   DatasetView view = DatasetView::Full(gd->dataset);
 
-  auto best_of_3 = [&](bool ml_index, std::unique_ptr<MatchContext>* last) {
+  auto best_of_3 = [&](bool ml_index, bool ml_profiles,
+                       std::unique_ptr<MatchContext>* last) {
     double best = 0;
     for (int rep = 0; rep < 3; ++rep) {
       gd->registry.ClearCache();
       auto ctx = std::make_unique<MatchContext>(gd->dataset);
       MatchOptions mo;
       mo.ml_index = ml_index;
+      mo.ml_profiles = ml_profiles;
       Timer t;
       MatchReport r = engine::Match(view, rules, gd->registry, mo, ctx.get());
       double secs = t.ElapsedSeconds();
@@ -390,10 +560,14 @@ MlWorkloadNumbers MeasureMlWorkload() {
 
   std::unique_ptr<MatchContext> ctx_off;
   std::unique_ptr<MatchContext> ctx_on;
-  out.off_seconds = best_of_3(false, &ctx_off);
-  out.on_seconds = best_of_3(true, &ctx_on);
+  std::unique_ptr<MatchContext> ctx_noprof;
+  out.off_seconds = best_of_3(false, false, &ctx_off);
+  out.on_seconds = best_of_3(true, true, &ctx_on);
+  out.noprofiles_seconds = best_of_3(true, false, &ctx_noprof);
   out.pairs_equal = ctx_off->MatchedPairs() == ctx_on->MatchedPairs() &&
-                    ctx_off->ValidatedMlKeys() == ctx_on->ValidatedMlKeys();
+                    ctx_off->ValidatedMlKeys() == ctx_on->ValidatedMlKeys() &&
+                    ctx_off->MatchedPairs() == ctx_noprof->MatchedPairs() &&
+                    ctx_off->ValidatedMlKeys() == ctx_noprof->ValidatedMlKeys();
   out.matched_pairs = ctx_on->num_matched_pairs();
   return out;
 }
@@ -1138,6 +1312,7 @@ void WriteBenchCoreJson() {
 
   double hit_ns = MlCacheHitNs();
   KernelNs kernels = MeasureKernelNs();
+  BatchKernelNumbers batch = MeasureBatchKernels();
   MlWorkloadNumbers ml = MeasureMlWorkload();
   ColumnarNumbers columnar = MeasureColumnar();
 
@@ -1360,13 +1535,31 @@ void WriteBenchCoreJson() {
   w.KV("edit_similarity_ns", kernels.edit_similarity_ns);
   w.KV("cosine_ns", kernels.cosine_ns);
   w.KV("ml_index_probe_ns", kernels.ml_probe_ns);
+  // Vectorized similarity engine: per-pair latency of the one-vs-many batch
+  // kernels over warm profiles (batch 256, same corpus/rotation as
+  // token_jaccard_ns), the cold profile-build cost, and bit-identity of the
+  // batched scores against the pairwise kernels.
+  w.KV("simd_level", batch.simd_level);
+  w.KV("profiles_build_seconds", batch.build_seconds);
+  w.KV("profiles_bytes", batch.profile_bytes);
+  w.KV("token_jaccard_batch_ns", batch.token_jaccard_batch_ns);
+  w.KV("token_jaccard_batch_speedup",
+       batch.token_jaccard_batch_ns > 0
+           ? kernels.token_jaccard_ns / batch.token_jaccard_batch_ns
+           : 0.0);
+  w.KV("ml_probe_batch_ns", batch.ml_probe_batch_ns);
+  w.KV("edit_predict_batch_ns", batch.edit_predict_batch_ns);
+  w.KV("batch_scores_equal", batch.batch_scores_equal);
   w.KV("ml_workload",
        "ml-only rules (jaccard 0.5 on Products.desc, edit 0.75 on "
        "Customers.name), ecommerce num_customers=300");
   w.KV("ml_workload_off_seconds", ml.off_seconds);
   w.KV("ml_workload_on_seconds", ml.on_seconds);
+  w.KV("ml_workload_noprofiles_seconds", ml.noprofiles_seconds);
   w.KV("ml_index_speedup",
        ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0);
+  w.KV("ml_profiles_speedup",
+       ml.on_seconds > 0 ? ml.noprofiles_seconds / ml.on_seconds : 0.0);
   w.KV("ml_workload_pairs_equal", ml.pairs_equal);
   w.KV("ml_workload_matched_pairs", ml.matched_pairs);
   w.KV("ml_indices_built", ml.indices_built);
@@ -1426,12 +1619,26 @@ void WriteBenchCoreJson() {
                 "executor regression.\n",
                 pool_speedup, hw, pool_threads);
   }
-  std::printf("ML workload: off=%.4fs on=%.4fs speedup=%.2fx pairs_equal=%d "
+  std::printf("ML workload: off=%.4fs on=%.4fs noprofiles=%.4fs "
+              "speedup=%.2fx profiles_speedup=%.2fx pairs_equal=%d "
               "indices_built=%llu\n",
-              ml.off_seconds, ml.on_seconds,
+              ml.off_seconds, ml.on_seconds, ml.noprofiles_seconds,
               ml.on_seconds > 0 ? ml.off_seconds / ml.on_seconds : 0.0,
+              ml.on_seconds > 0 ? ml.noprofiles_seconds / ml.on_seconds : 0.0,
               ml.pairs_equal,
               static_cast<unsigned long long>(ml.indices_built));
+  std::printf("batch kernels (%s, batch 256): token_jaccard %.1f -> %.1f "
+              "ns/pair (%.1fx), predict@0.5 %.1f ns/pair, edit@0.75 %.1f "
+              "ns/pair, profiles build=%.4fs %.1f KiB, scores_equal=%d\n",
+              batch.simd_level.c_str(), kernels.token_jaccard_ns,
+              batch.token_jaccard_batch_ns,
+              batch.token_jaccard_batch_ns > 0
+                  ? kernels.token_jaccard_ns / batch.token_jaccard_batch_ns
+                  : 0.0,
+              batch.ml_probe_batch_ns, batch.edit_predict_batch_ns,
+              batch.build_seconds,
+              static_cast<double>(batch.profile_bytes) / 1024.0,
+              batch.batch_scores_equal);
   std::printf("routing: serial=%.4fs pooled=%.4fs speedup=%.2fx "
               "simulated=%.2fx inboxes_equal=%d (%llu facts, %llu wire "
               "bytes)\n",

@@ -18,6 +18,7 @@ ChaseEngine::Options ChaseEngine::FromEngineOptions(const EngineOptions& eo,
   o.inc_parallel = eo.inc_parallel;
   o.ml_index = eo.ml_index;
   o.ml_index_approx = eo.ml_index_approx;
+  o.ml_profiles = eo.ml_profiles;
   if (eo.threads > 1 && pool != nullptr) {
     o.pool = pool;
     o.enumeration_shards = eo.threads * 2;
@@ -68,6 +69,17 @@ ChaseEngine::ChaseEngine(
     ml_policy_.derivable = std::make_shared<const std::unordered_set<uint64_t>>(
         DerivableMlKeys(*rules_));
   }
+  // Profiles pay off only when some rule actually scores strings; gating on
+  // that keeps ML-free workloads free of the build cost.
+  bool want_profiles = false;
+  if (options_.ml_profiles) {
+    for (size_t i = 0; i < rules_->size(); ++i) {
+      if (rules_->rule(i).HasMlPredicate()) {
+        want_profiles = true;
+        break;
+      }
+    }
+  }
   scopes_.resize(rules_->size());
   if (rule_views == nullptr) {
     // Sequential form: one scope per rule over the full view; MQO shares a
@@ -87,6 +99,13 @@ ChaseEngine::ChaseEngine(
                                                   registry_, ctx_);
       scope.joiner->ConfigureMlIndex(ml_policy_);
       scopes_[i].push_back(std::move(scope));
+    }
+    if (want_profiles) {
+      // One store per engine: profiles depend only on the dataset's pool,
+      // so noMQO's per-rule indices alias it instead of rebuilding it.
+      auto store = std::make_shared<ProfileStore>(&view_->dataset().pool());
+      if (shared_index_ != nullptr) shared_index_->AttachProfiles(store);
+      for (auto& index : owned_indices_) index->AttachProfiles(store);
     }
     return;
   }
@@ -125,6 +144,10 @@ ChaseEngine::ChaseEngine(
       scope.joiner->ConfigureMlIndex(ml_policy_);
       scopes_[i].push_back(std::move(scope));
     }
+  }
+  if (want_profiles) {
+    auto store = std::make_shared<ProfileStore>(&view_->dataset().pool());
+    for (auto& index : owned_indices_) index->AttachProfiles(store);
   }
 }
 

@@ -51,6 +51,9 @@ class ChaseEngine {
     /// Additionally allow approximate (LSH) indices for classifiers without
     /// a sound filter (embedding cosine). May lose recall; off by default.
     bool ml_index_approx = false;
+    /// Precomputed string profiles + batch similarity kernels
+    /// (EngineOptions::ml_profiles). Bit-identical results either way.
+    bool ml_profiles = true;
     /// Batched semi-naive IncDeduce (see EngineOptions::inc_parallel): each
     /// round's re-joins are recorded against a frozen snapshot and merged in
     /// (rule, scope, item-order); rounds with at least

@@ -59,8 +59,24 @@ class DatasetIndex {
 
   /// Registers a row newly appended to the view in every already-built
   /// index of its relation (incremental ER over updates ΔD). The caller
-  /// must have added the row to the view first.
+  /// must have added the row to the view first. Profiles are synced before
+  /// any ML index Add so profiled indices can read the new row's profile.
   void NotifyAppend(size_t rel, uint32_t row);
+
+  /// Opts this index into the vectorized similarity engine: builds (or
+  /// syncs) a ProfileStore shadowing the dataset's string pool. Idempotent;
+  /// exclusive phases only (same contract as EnsureBuilt). Until called,
+  /// profiles() is nullptr and every ML path stays on the text kernels.
+  void EnsureProfiles();
+
+  /// Shares an existing store instead of building one (profiles are a
+  /// function of the dataset's pool alone, so every block index of one
+  /// engine can alias a single store). Syncs it.
+  void AttachProfiles(std::shared_ptr<ProfileStore> store);
+
+  /// The dataset-wide profile store, or nullptr when disabled — the single
+  /// gate every profiled fast path checks.
+  const ProfileStore* profiles() const { return profile_store_.get(); }
 
   /// Candidate index over one side of an ML predicate: all rows of `rel` in
   /// this view, keyed by their `attrs` values, filterable at the
@@ -110,6 +126,10 @@ class DatasetIndex {
   };
 
   const DatasetView* view_;
+  // Precomputed string profiles (token ids, gram sketches, lengths) shared
+  // by every profiled ML index and the join's batch evaluator; possibly
+  // aliased by sibling block indices of the same engine (AttachProfiles).
+  std::shared_ptr<ProfileStore> profile_store_;
   // (rel, attr) -> index; keyed densely: rel * max_attrs + attr is avoided in
   // favor of a map keyed by pair packed into uint64.
   std::unordered_map<uint64_t, std::unique_ptr<AttrIndex>> indices_;

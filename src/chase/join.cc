@@ -380,6 +380,106 @@ const std::vector<uint32_t>* RuleJoiner::ProbeMlCandidates(
   return have ? &out : nullptr;
 }
 
+void RuleJoiner::BatchFillMlPredictions(
+    int var, const std::vector<uint32_t>& candidates, size_t lo, size_t hi) {
+  const ProfileStore* store = index_->profiles();
+  if (store == nullptr) return;
+  const Dataset& dataset = index_->view().dataset();
+  for (int i : leaf_preds_) {
+    const Predicate& p = rule_->preconditions()[i];
+    if (p.kind != PredicateKind::kMl) continue;
+    int other;
+    const std::vector<int>* my_attrs;
+    const std::vector<int>* other_attrs;
+    if (p.lhs.var == var && p.rhs.var != var) {
+      other = p.rhs.var;
+      my_attrs = &p.lhs_ml_attrs;
+      other_attrs = &p.rhs_ml_attrs;
+    } else if (p.rhs.var == var && p.lhs.var != var) {
+      other = p.lhs.var;
+      my_attrs = &p.rhs_ml_attrs;
+      other_attrs = &p.lhs_ml_attrs;
+    } else {
+      continue;
+    }
+    if (!bound_[other]) continue;
+    const MlClassifier& clf = registry_->classifier(p.ml_id);
+    const MlBatchKernel kernel = clf.batch_kernel();
+    if (kernel == MlBatchKernel::kNone) continue;
+    // Single-string sides only: there the side's ConcatValueText is exactly
+    // the pool string the profile describes.
+    if (my_attrs->size() != 1 || other_attrs->size() != 1) continue;
+    const Column& my_col = dataset.relation(rule_->var_relation(var))
+                               .column((*my_attrs)[0]);
+    const Column& other_col = dataset.relation(rule_->var_relation(other))
+                                  .column((*other_attrs)[0]);
+    if (my_col.type() != ValueType::kString ||
+        other_col.type() != ValueType::kString) {
+      continue;
+    }
+    const uint32_t other_row = binding_[other];
+    const uint32_t probe_id = other_col.is_null(other_row)
+                                  ? ProfileStore::kNpos
+                                  : other_col.str_id(other_row);
+    // An unprofiled non-empty string would make the gram/token pruning
+    // unsound; leave such pairs to the per-pair leaf path.
+    if (probe_id != ProfileStore::kNpos && store->Find(probe_id) == nullptr) {
+      continue;
+    }
+    const uint64_t my_sig =
+        MlSideSignature(rule_->var_relation(var), *my_attrs);
+    const uint64_t other_sig =
+        MlSideSignature(rule_->var_relation(other), *other_attrs);
+    const Gid other_gid = GidOf(other, other_row);
+    const double threshold = clf.threshold();
+    constexpr size_t kBlock = 256;
+    for (size_t b = lo; b < hi; b += kBlock) {
+      const size_t e = std::min(hi, b + kBlock);
+      batch_ids_.clear();
+      batch_keys_.clear();
+      for (size_t j = b; j < e; ++j) {
+        const uint32_t row = candidates[j];
+        const uint64_t key =
+            Fact::MlValidated(p.ml_id, GidOf(var, row), my_sig, other_gid,
+                              other_sig)
+                .Key();
+        // Validated pairs never reach the classifier, and cached pairs are
+        // already settled — matching the per-pair path keeps the registry's
+        // prediction counters comparable across the two.
+        if (ctx_->IsValidatedMl(key)) continue;
+        if (registry_->PeekPrediction(p.ml_id, key) >= 0) continue;
+        const uint32_t cid =
+            my_col.is_null(row) ? ProfileStore::kNpos : my_col.str_id(row);
+        if (cid != ProfileStore::kNpos && store->Find(cid) == nullptr) {
+          continue;
+        }
+        batch_ids_.push_back(cid);
+        batch_keys_.push_back(key);
+      }
+      if (batch_ids_.empty()) continue;
+      batch_preds_.resize(batch_ids_.size());
+      switch (kernel) {
+        case MlBatchKernel::kTokenJaccard:
+          PredictTokenJaccardBatch(*store, probe_id, batch_ids_.data(),
+                                   batch_ids_.size(), threshold,
+                                   batch_preds_.data());
+          break;
+        case MlBatchKernel::kEditSimilarity:
+          PredictEditSimilarityBatch(*store, probe_id, batch_ids_.data(),
+                                     batch_ids_.size(), threshold,
+                                     batch_preds_.data());
+          break;
+        case MlBatchKernel::kNone:
+          continue;
+      }
+      for (size_t j = 0; j < batch_keys_.size(); ++j) {
+        registry_->InsertPrediction(p.ml_id, batch_keys_[j],
+                                    batch_preds_[j] != 0);
+      }
+    }
+  }
+}
+
 void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
                          size_t hi, int var,
                          const std::vector<Constraint>& constraints,
@@ -387,6 +487,13 @@ void RuleJoiner::ForRows(const std::vector<uint32_t>& candidates, size_t lo,
   const Relation& relation =
       index_->view().dataset().relation(rule_->var_relation(var));
   counters_.candidates_probed += hi - lo;
+  // Last variable with nothing filtering the rows below: every candidate
+  // reaches the leaf, so its ML predicates can be evaluated one-vs-many
+  // before the loop instead of pair-by-pair inside it.
+  if (num_bound_ == rule_->num_vars() && hi > lo && constraints.empty() &&
+      self_eqs_[var].empty()) {
+    BatchFillMlPredictions(var, candidates, lo, hi);
+  }
   for (size_t i = lo; i < hi; ++i) {
     uint32_t row = candidates[i];
     // Verify remaining constraints (the lookup enforced only one): a

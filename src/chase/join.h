@@ -212,6 +212,16 @@ class RuleJoiner {
   // which case the caller keeps the full scan.
   const std::vector<uint32_t>* ProbeMlCandidates(const BindStep& step,
                                                  size_t depth);
+  // One-vs-many ML evaluation (the vectorized similarity engine's join hook):
+  // when `var` is the last unbound variable and rows [lo, hi) of `candidates`
+  // all reach the leaf unfiltered, every ML precondition pairing `var` with a
+  // bound single-string side is evaluated in blocks through the profile batch
+  // kernels, and the verdicts are seeded into the prediction cache the leaf's
+  // EvalIdOrMl reads. Pure cache warming: kernels are bit-identical to
+  // Predict and the cache is lossy by design, so enumeration results never
+  // depend on it.
+  void BatchFillMlPredictions(int var, const std::vector<uint32_t>& candidates,
+                              size_t lo, size_t hi);
   int PickNextVar(uint64_t bound_mask) const;
   const BindPlan& PlanFor(uint64_t seeded_mask);
   bool RowSatisfiesLocalPreds(int var, uint32_t row) const;
@@ -261,6 +271,9 @@ class RuleJoiner {
   std::vector<uint32_t> ml_tmp_scratch_;
   std::vector<uint32_t> ml_isect_scratch_;
   std::vector<int> unsat_scratch_;
+  std::vector<uint32_t> batch_ids_;    // candidate pool ids per block
+  std::vector<uint64_t> batch_keys_;   // their prediction-cache pair keys
+  std::vector<uint8_t> batch_preds_;   // kernel verdicts
   mutable std::vector<Value> ml_scratch_a_;
   mutable std::vector<Value> ml_scratch_b_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <string_view>
 
+#include "common/string_util.h"
 #include "ml/embedding.h"
 #include "ml/similarity.h"
 
@@ -58,7 +60,9 @@ CandidateIndexKind EmbeddingCosineClassifier::candidate_index_kind() const {
 }
 
 std::unique_ptr<MlCandidateIndex> EmbeddingCosineClassifier::BuildCandidateIndex(
-    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+    const ProfileSource* profiles) const {
+  (void)profiles;  // LSH re-embeds; profiles carry no embedding state
   if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
   return std::make_unique<CosineLshIndex>(threshold(), dim_, rows, fill);
 }
@@ -79,9 +83,11 @@ CandidateIndexKind TokenJaccardClassifier::candidate_index_kind() const {
 }
 
 std::unique_ptr<MlCandidateIndex> TokenJaccardClassifier::BuildCandidateIndex(
-    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+    const ProfileSource* profiles) const {
   if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
-  return std::make_unique<TokenJaccardIndex>(threshold(), rows, fill);
+  return std::make_unique<TokenJaccardIndex>(threshold(), rows, fill,
+                                             profiles);
 }
 
 EditSimilarityClassifier::EditSimilarityClassifier(std::string name,
@@ -94,15 +100,35 @@ double EditSimilarityClassifier::Score(const std::vector<Value>& a,
   return EditSimilarity(ConcatValueView(a, &sa), ConcatValueView(b, &sb));
 }
 
+bool EditSimilarityClassifier::Predict(const std::vector<Value>& a,
+                                       const std::vector<Value>& b) const {
+  std::string sa, sb;
+  const std::string_view ta = ConcatValueView(a, &sa);
+  const std::string_view tb = ConcatValueView(b, &sb);
+  if (ta.empty() && tb.empty()) return 1.0 >= threshold();
+  const size_t m = std::max(ta.size(), tb.size());
+  // k is the largest distance whose score still reaches the threshold under
+  // the exact IEEE comparison Score performs; deciding d <= k is therefore
+  // the same boolean, and lets the DP stop as soon as the band is exceeded.
+  const size_t k = EditPassBound(m, threshold());
+  if (k == kEditNoPass) return false;
+  const size_t diff =
+      ta.size() > tb.size() ? ta.size() - tb.size() : tb.size() - ta.size();
+  if (diff > k) return false;
+  return EditDistance(ta, tb, static_cast<int>(k)) <= k;
+}
+
 CandidateIndexKind EditSimilarityClassifier::candidate_index_kind() const {
   return IndexableThreshold(threshold()) ? CandidateIndexKind::kExact
                                          : CandidateIndexKind::kNone;
 }
 
 std::unique_ptr<MlCandidateIndex> EditSimilarityClassifier::BuildCandidateIndex(
-    const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+    const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+    const ProfileSource* profiles) const {
   if (candidate_index_kind() == CandidateIndexKind::kNone) return nullptr;
-  return std::make_unique<QGramEditIndex>(threshold(), rows, fill);
+  return std::make_unique<QGramEditIndex>(threshold(), rows, fill, /*q=*/2,
+                                          profiles);
 }
 
 NumericToleranceClassifier::NumericToleranceClassifier(std::string name,

@@ -13,6 +13,12 @@
 
 namespace dcer {
 
+/// Which profile-backed one-vs-many kernel (ml/profile.h) evaluates this
+/// classifier's boolean predicate in bulk. kNone keeps per-pair Predict.
+/// A batch kernel must return bit-for-bit the same booleans as Predict on
+/// every pair — the join mixes batched and per-pair evaluation freely.
+enum class MlBatchKernel { kNone, kTokenJaccard, kEditSimilarity };
+
 /// The boolean ML oracle M(t[Ā], s[B̄]) of Sec. II: a well-trained classifier
 /// applied to two attribute-value vectors, returning true iff it predicts a
 /// match. Implementations must be deterministic and thread-safe (Predict is
@@ -35,10 +41,17 @@ class MlClassifier {
   virtual double Score(const std::vector<Value>& a,
                        const std::vector<Value>& b) const = 0;
 
-  /// Boolean prediction (the predicate's truth value).
-  bool Predict(const std::vector<Value>& a, const std::vector<Value>& b) const {
+  /// Boolean prediction (the predicate's truth value). Virtual so
+  /// classifiers with an exact decision procedure cheaper than the full
+  /// score (e.g. banded edit distance) can override it; any override must
+  /// return exactly Score(a, b) >= threshold().
+  virtual bool Predict(const std::vector<Value>& a,
+                       const std::vector<Value>& b) const {
     return Score(a, b) >= threshold_;
   }
+
+  /// Profile-backed batch kernel for this classifier (kNone by default).
+  virtual MlBatchKernel batch_kernel() const { return MlBatchKernel::kNone; }
 
   /// Drops any internal memoization (e.g. per-text embeddings). Called by
   /// MlRegistry::ClearCache so benchmark repetitions start cold.
@@ -55,11 +68,15 @@ class MlClassifier {
   /// attribute values supplied by `fill`). Returns nullptr when
   /// candidate_index_kind() is kNone. The index's Probe must honour the
   /// classifier's *current* threshold; callers rebuild if the threshold
-  /// changes after construction.
+  /// changes after construction. `profiles` (optional) lets string indices
+  /// build from precomputed ProfileStore arenas; the resulting index probes
+  /// identically with or without it.
   virtual std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
-      const std::vector<uint32_t>& rows, const RowValuesFn& fill) const {
+      const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+      const ProfileSource* profiles = nullptr) const {
     (void)rows;
     (void)fill;
+    (void)profiles;
     return nullptr;
   }
 
@@ -88,8 +105,8 @@ class EmbeddingCosineClassifier : public MlClassifier {
   /// gated behind MatchOptions::ml_index_approx.
   CandidateIndexKind candidate_index_kind() const override;
   std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
-      const std::vector<uint32_t>& rows,
-      const RowValuesFn& fill) const override;
+      const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+      const ProfileSource* profiles = nullptr) const override;
 
  private:
   const Embedding& CachedEmbed(std::string text) const;
@@ -109,11 +126,16 @@ class TokenJaccardClassifier : public MlClassifier {
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
 
+  /// Batched evaluation: sorted token-id intersection over profiles.
+  MlBatchKernel batch_kernel() const override {
+    return MlBatchKernel::kTokenJaccard;
+  }
+
   /// Sound PPJoin-style prefix+length filtered token index.
   CandidateIndexKind candidate_index_kind() const override;
   std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
-      const std::vector<uint32_t>& rows,
-      const RowValuesFn& fill) const override;
+      const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+      const ProfileSource* profiles = nullptr) const override;
 };
 
 /// Normalized edit similarity over concatenated attributes (short strings:
@@ -124,11 +146,23 @@ class EditSimilarityClassifier : public MlClassifier {
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
 
+  /// Threshold-aware prediction: converts the threshold to the exact edit
+  /// bound (EditPassBound), rejects on the length band, and runs the banded
+  /// DP — same boolean as Score >= threshold, usually without finishing the
+  /// full distance.
+  bool Predict(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+
+  /// Batched evaluation: banded Myers over cached lengths/gram sketches.
+  MlBatchKernel batch_kernel() const override {
+    return MlBatchKernel::kEditSimilarity;
+  }
+
   /// Sound q-gram count + length filtered index.
   CandidateIndexKind candidate_index_kind() const override;
   std::unique_ptr<MlCandidateIndex> BuildCandidateIndex(
-      const std::vector<uint32_t>& rows,
-      const RowValuesFn& fill) const override;
+      const std::vector<uint32_t>& rows, const RowValuesFn& fill,
+      const ProfileSource* profiles = nullptr) const override;
 };
 
 /// Numeric agreement within a relative tolerance (e.g., song durations,

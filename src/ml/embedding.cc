@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/hash.h"
+#include "ml/simd.h"
 
 namespace dcer {
 
@@ -54,22 +55,11 @@ Embedding EmbedText(std::string_view text, size_t dim, size_t min_n,
 
 double Cosine(const Embedding& a, const Embedding& b) {
   if (a.size() != b.size()) return 0.0;
-  // Four independent accumulators over the contiguous float arrays: breaks
-  // the serial FP dependency chain so the compiler can vectorize without
-  // -ffast-math. Embeddings are L2-normalized, so the dot IS the cosine.
-  const float* pa = a.data();
-  const float* pb = b.data();
-  const size_t n = a.size();
-  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += static_cast<double>(pa[i]) * pb[i];
-    s1 += static_cast<double>(pa[i + 1]) * pb[i + 1];
-    s2 += static_cast<double>(pa[i + 2]) * pb[i + 2];
-    s3 += static_cast<double>(pa[i + 3]) * pb[i + 3];
-  }
-  for (; i < n; ++i) s0 += static_cast<double>(pa[i]) * pb[i];
-  return (s0 + s1) + (s2 + s3);
+  // Blocked 4-accumulator dot product (simd.h): the AVX2 body performs the
+  // same operations on the same four lanes, so the result is bit-identical
+  // across dispatch levels. Embeddings are L2-normalized, so the dot IS the
+  // cosine.
+  return simd::DotBlockedF32(a.data(), b.data(), a.size());
 }
 
 }  // namespace dcer

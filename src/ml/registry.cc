@@ -91,6 +91,18 @@ bool MlRegistry::PredictAndCache(int id, uint64_t pair_key,
   return result;
 }
 
+int MlRegistry::PeekPrediction(int id, uint64_t pair_key) const {
+  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
+  return cache_.Lookup(key);
+}
+
+void MlRegistry::InsertPrediction(int id, uint64_t pair_key,
+                                  bool value) const {
+  uint64_t key = HashCombine(HashInt(static_cast<uint64_t>(id)), pair_key);
+  num_predictions_.fetch_add(1, std::memory_order_relaxed);
+  cache_.Insert(key, value);
+}
+
 bool MlRegistry::Predict(int id, uint64_t pair_key,
                          const std::vector<Value>& a,
                          const std::vector<Value>& b) const {

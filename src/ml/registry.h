@@ -96,6 +96,16 @@ class MlRegistry {
   bool PredictAndCache(int id, uint64_t pair_key, const std::vector<Value>& a,
                        const std::vector<Value>& b) const;
 
+  /// Stats-free cache probe (no hit counter): the batch evaluator uses it to
+  /// decide which candidates still need scoring without inflating the hit
+  /// rate the benchmarks report for the per-pair path. Thread-safe.
+  int PeekPrediction(int id, uint64_t pair_key) const;
+
+  /// Memoizes an externally computed prediction (batch kernels). Counted as
+  /// a prediction — the batch kernel did run the classifier's decision
+  /// procedure, just not through Predict(). Thread-safe.
+  void InsertPrediction(int id, uint64_t pair_key, bool value) const;
+
   /// Uncached score (for baselines and diagnostics).
   double Score(int id, const std::vector<Value>& a,
                const std::vector<Value>& b) const {

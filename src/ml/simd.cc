@@ -1,0 +1,255 @@
+#include "ml/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DCER_SIMD_X86 1
+#else
+#define DCER_SIMD_X86 0
+#endif
+
+namespace dcer {
+namespace simd {
+
+namespace {
+
+constexpr int kUnresolved = -2;
+
+// Resolved tier, cached after the first kernel call. Plain int so the test
+// hook can also store "re-resolve" (-2).
+std::atomic<int> g_level{kUnresolved};
+
+int Resolve() {
+  const char* env = std::getenv("DCER_SIMD");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    return static_cast<int>(Level::kScalar);
+  }
+#if DCER_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return static_cast<int>(Level::kAvx2);
+#endif
+  return static_cast<int>(Level::kScalar);
+}
+
+inline Level CachedLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUnresolved) {
+    level = Resolve();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(level);
+}
+
+// --- Scalar bodies ----------------------------------------------------------
+
+size_t IntersectCountU32Scalar(const uint32_t* a, size_t na, const uint32_t* b,
+                               size_t nb, size_t i, size_t j, size_t count) {
+  while (i < na && j < nb) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SharedMinCountU64Scalar(const uint64_t* ka, const uint32_t* ca,
+                                 size_t na, const uint64_t* kb,
+                                 const uint32_t* cb, size_t nb, size_t i,
+                                 size_t j, uint64_t total) {
+  while (i < na && j < nb) {
+    const uint64_t x = ka[i];
+    const uint64_t y = kb[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      total += std::min(ca[i], cb[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+double DotBlockedF32Scalar(const float* a, const float* b, size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+// --- AVX2 bodies ------------------------------------------------------------
+//
+// Compiled with per-function target attributes (the build does not pass
+// -mavx2 globally), entered only after a runtime __builtin_cpu_supports
+// check. Each body computes the same integers / the same IEEE double
+// sequence as its scalar twin; the scalar tail handlers above finish the
+// sub-width remainders, so every (lengths, contents) combination agrees
+// bit for bit with the scalar tier.
+
+#if DCER_SIMD_X86
+
+__attribute__((target("avx2"))) size_t IntersectCountU32Avx2(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  if (na >= 8 && nb >= 8) {
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while (i + 8 <= na && j + 8 <= nb) {
+      // Skip-ahead: disjoint ranges advance without any compares.
+      const uint32_t amax = a[i + 7];
+      const uint32_t bmax = b[j + 7];
+      if (amax < b[j]) {
+        i += 8;
+        continue;
+      }
+      if (bmax < a[i]) {
+        j += 8;
+        continue;
+      }
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      // All-pairs 8x8 equality via 8 rotations of the b block. Elements are
+      // unique within an array, so each a lane matches at most one rotation
+      // and the OR-reduced mask has one bit per intersecting a element.
+      __m256i match = _mm256_cmpeq_epi32(va, vb);
+      for (int r = 1; r < 8; ++r) {
+        vb = _mm256_permutevar8x32_epi32(vb, rot1);
+        match = _mm256_or_si256(match, _mm256_cmpeq_epi32(va, vb));
+      }
+      count += static_cast<size_t>(__builtin_popcount(
+          static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(match)))));
+      // Advance the block(s) whose maximum was reached; a retired element can
+      // never match a later block (both arrays ascend strictly), so nothing
+      // is double-counted or missed.
+      if (amax <= bmax) i += 8;
+      if (bmax <= amax) j += 8;
+    }
+  }
+  return IntersectCountU32Scalar(a, na, b, nb, i, j, count);
+}
+
+__attribute__((target("avx2"))) uint64_t SharedMinCountU64Avx2(
+    const uint64_t* ka, const uint32_t* ca, size_t na, const uint64_t* kb,
+    const uint32_t* cb, size_t nb) {
+  size_t i = 0, j = 0;
+  uint64_t total = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const uint64_t amax = ka[i + 3];
+    const uint64_t bmax = kb[j + 3];
+    if (amax < kb[j]) {
+      i += 4;
+      continue;
+    }
+    if (bmax < ka[i]) {
+      j += 4;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ka + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kb + j));
+    __m256i match = _mm256_cmpeq_epi64(va, vb);
+    for (int r = 1; r < 4; ++r) {
+      vb = _mm256_permute4x64_epi64(vb, 0x39);  // rotate lanes down by one
+      match = _mm256_or_si256(match, _mm256_cmpeq_epi64(va, vb));
+    }
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(match)));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      mask &= mask - 1;
+      const uint64_t key = ka[i + lane];
+      for (int m = 0; m < 4; ++m) {
+        if (kb[j + m] == key) {
+          total += std::min(ca[i + lane], cb[j + m]);
+          break;
+        }
+      }
+    }
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  return SharedMinCountU64Scalar(ka, ca, na, kb, cb, nb, i, j, total);
+}
+
+__attribute__((target("avx2"))) double DotBlockedF32Avx2(const float* a,
+                                                         const float* b,
+                                                         size_t n) {
+  // One ymm of 4 doubles IS the scalar tier's (s0, s1, s2, s3): lane l
+  // accumulates indices ≡ l (mod 4) with a widen-multiply-add per step —
+  // the exact operation sequence of the scalar body, just side by side.
+  // No FMA: a fused multiply-add rounds once where mul+add rounds twice.
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d da = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d db = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(da, db));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  double s0 = s[0];
+  for (; i < n; ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return (s0 + s[1]) + (s[2] + s[3]);
+}
+
+#endif  // DCER_SIMD_X86
+
+}  // namespace
+
+Level ActiveLevel() { return CachedLevel(); }
+
+const char* LevelName(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+void SetLevelForTest(int level) {
+  g_level.store(level < 0 ? kUnresolved : level, std::memory_order_relaxed);
+}
+
+size_t IntersectCountU32(const uint32_t* a, size_t na, const uint32_t* b,
+                         size_t nb) {
+#if DCER_SIMD_X86
+  if (CachedLevel() == Level::kAvx2) {
+    return IntersectCountU32Avx2(a, na, b, nb);
+  }
+#endif
+  return IntersectCountU32Scalar(a, na, b, nb, 0, 0, 0);
+}
+
+uint64_t SharedMinCountU64(const uint64_t* ka, const uint32_t* ca, size_t na,
+                           const uint64_t* kb, const uint32_t* cb, size_t nb) {
+#if DCER_SIMD_X86
+  if (CachedLevel() == Level::kAvx2) {
+    return SharedMinCountU64Avx2(ka, ca, na, kb, cb, nb);
+  }
+#endif
+  return SharedMinCountU64Scalar(ka, ca, na, kb, cb, nb, 0, 0, 0);
+}
+
+double DotBlockedF32(const float* a, const float* b, size_t n) {
+#if DCER_SIMD_X86
+  if (CachedLevel() == Level::kAvx2) return DotBlockedF32Avx2(a, b, n);
+#endif
+  return DotBlockedF32Scalar(a, b, n);
+}
+
+}  // namespace simd
+}  // namespace dcer

@@ -1,0 +1,52 @@
+#ifndef DCER_ML_SIMD_H_
+#define DCER_ML_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcer {
+namespace simd {
+
+/// Instruction-set tier of the similarity inner loops. Resolved once at
+/// first use: `DCER_SIMD=0` in the environment forces the portable scalar
+/// path; otherwise AVX2 is used when the CPU reports it
+/// (__builtin_cpu_supports). Every kernel below is bit-identical across
+/// tiers — the AVX2 bodies perform the same IEEE double operations in the
+/// same order as the scalar bodies (and the set kernels are pure integer
+/// work), so switching tiers can never change a similarity score.
+enum class Level : int { kScalar = 0, kAvx2 = 1 };
+
+/// The tier the kernels currently dispatch to.
+Level ActiveLevel();
+
+/// Human-readable tier name ("scalar" / "avx2") for logs and benches.
+const char* LevelName(Level level);
+
+/// Test hook: forces a tier (kernels trust the caller that the CPU supports
+/// it), or re-resolves from the environment/CPU when `level` is negative.
+/// Not thread-safe against concurrent kernel calls; tests only.
+void SetLevelForTest(int level);
+
+/// |A ∩ B| of two strictly ascending uint32 arrays (sets). The token-overlap
+/// inner loop of the batched TokenJaccard kernel.
+size_t IntersectCountU32(const uint32_t* a, size_t na, const uint32_t* b,
+                         size_t nb);
+
+/// Multiset overlap Σ min(count_a, count_b) over two strictly ascending
+/// uint64 key arrays with per-key multiplicities (the q-gram count sketches
+/// of ml/profile.h). The count-filter inner loop of the batched edit kernel.
+uint64_t SharedMinCountU64(const uint64_t* ka, const uint32_t* ca, size_t na,
+                           const uint64_t* kb, const uint32_t* cb, size_t nb);
+
+/// Float dot product accumulated in doubles with the blocked 4-accumulator
+/// order of ml/embedding.cc's Cosine: lane l sums the elements with index
+/// ≡ l (mod 4), the tail goes to lane 0, and the result is
+/// (s0 + s1) + (s2 + s3). The AVX2 body maps the four lanes onto one ymm of
+/// doubles (no FMA — fusing would change the rounding), so both tiers emit
+/// bit-identical doubles.
+double DotBlockedF32(const float* a, const float* b, size_t n);
+
+}  // namespace simd
+}  // namespace dcer
+
+#endif  // DCER_ML_SIMD_H_

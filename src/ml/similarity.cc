@@ -84,6 +84,67 @@ double EditSimilarity(std::string_view a, std::string_view b) {
   return 1.0 - static_cast<double>(d) / static_cast<double>(m);
 }
 
+size_t EditPassBound(size_t max_len, double threshold) {
+  const double m = static_cast<double>(max_len);
+  const double est = (1.0 - threshold) * m;
+  size_t k = est <= 0 ? 0 : static_cast<size_t>(est);
+  if (k > max_len) k = max_len;
+  // The estimate can be off by an ulp in either direction; settle it against
+  // the exact predicate the scores are compared with.
+  while (k > 0 && 1.0 - static_cast<double>(k) / m < threshold) --k;
+  while (k < max_len && 1.0 - static_cast<double>(k + 1) / m >= threshold) {
+    ++k;
+  }
+  if (1.0 - static_cast<double>(k) / m < threshold) return kEditNoPass;
+  return k;
+}
+
+namespace ml_text {
+
+std::vector<std::string> UniqueTokensLower(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) {
+      std::string tok(text.substr(start, i - start));
+      for (char& c : tok) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      tokens.push_back(std::move(tok));
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+void UniqueTokenViewsLower(std::string_view text, std::string* lower,
+                           std::vector<std::string_view>* out) {
+  lower->resize(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    (*lower)[i] =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  out->clear();
+  const std::string_view lv(*lower);
+  size_t i = 0;
+  const size_t n = lv.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(lv[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(lv[i]))) ++i;
+    if (i > start) out->push_back(lv.substr(start, i - start));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace ml_text
+
 double NumericSimilarity(double a, double b, double tol) {
   double denom = std::max({std::fabs(a), std::fabs(b), 1e-12});
   double rel = std::fabs(a - b) / denom;

@@ -1,7 +1,11 @@
 #ifndef DCER_ML_SIMILARITY_H_
 #define DCER_ML_SIMILARITY_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace dcer {
 
@@ -16,6 +20,37 @@ double EditSimilarity(std::string_view a, std::string_view b);
 
 /// 1 if relative difference <= tol, decaying linearly to 0 at 2*tol.
 double NumericSimilarity(double a, double b, double tol);
+
+/// "No edit distance passes the threshold" sentinel for EditPassBound.
+inline constexpr size_t kEditNoPass = SIZE_MAX;
+
+/// Largest integer edit distance d such that the EXACT double predicate
+/// 1.0 - d/max_len >= threshold holds (kEditNoPass when even d = 0 fails).
+/// Found by nudging the closed-form estimate against the IEEE-evaluated
+/// predicate itself, so `d <= EditPassBound(m, t)` is bit-for-bit equivalent
+/// to `EditSimilarity(a, b) >= t` for strings with max length m — which lets
+/// both the bounded classifier predicate and the batched edit kernel run the
+/// banded Myers DP (common/string_util.h) without ever disagreeing with the
+/// unbanded score at a rounding boundary. Requires max_len >= 1.
+size_t EditPassBound(size_t max_len, double threshold);
+
+namespace ml_text {
+
+/// Lowercased, sorted, deduplicated whitespace tokens of `text` — the
+/// token-set semantics of TokenJaccard, shared by the PPJoin-style candidate
+/// index and the ProfileStore so the pruning bounds, the precomputed
+/// profiles and the verified score can never diverge.
+std::vector<std::string> UniqueTokensLower(std::string_view text);
+
+/// Allocation-light form of UniqueTokensLower for bulk passes (the
+/// ProfileStore build visits every pool string): lowercases `text` into
+/// `*lower` and fills `*out` with sorted deduplicated views into it. The
+/// views alias `*lower` and are invalidated by its next reuse. Token set
+/// and order are identical to UniqueTokensLower.
+void UniqueTokenViewsLower(std::string_view text, std::string* lower,
+                           std::vector<std::string_view>* out);
+
+}  // namespace ml_text
 
 namespace reference {
 

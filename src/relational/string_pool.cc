@@ -10,13 +10,15 @@ constexpr size_t kMinChunk = 64 * 1024;  // chars per arena chunk
 }
 
 const char* StringPool::ArenaAppend(std::string_view s) {
-  if (chunk_used_ + s.size() > chunk_cap_) {
+  // chunks_.empty() matters when the first interned string is "": it needs a
+  // chunk for its (zero-length) stable pointer without growing the arena.
+  if (chunks_.empty() || chunk_used_ + s.size() > chunk_cap_) {
     chunk_cap_ = s.size() > kMinChunk ? s.size() : kMinChunk;
     chunks_.push_back(std::make_unique<char[]>(chunk_cap_));
     chunk_used_ = 0;
   }
   char* dst = chunks_.back().get() + chunk_used_;
-  std::memcpy(dst, s.data(), s.size());
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
   chunk_used_ += s.size();
   arena_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
   return dst;
